@@ -1,0 +1,54 @@
+// Reproduces the paper's Figure 3 (illustrative): a double-dot CSD before
+// and after applying the extracted virtualization matrix. In the virtual
+// frame the steep transition line becomes vertical and the shallow line
+// horizontal — "one-to-one" control. Writes PGM images and prints the
+// orthogonality metrics.
+#include "dataset/csd_io.hpp"
+#include "device/dot_array.hpp"
+#include "extraction/fast_extractor.hpp"
+
+#include <iostream>
+
+int main() {
+  using namespace qvg;
+
+  DotArrayParams params;
+  params.n_dots = 2;
+  params.cross_ratio = 0.28;
+  Rng jitter(17);
+  params.jitter = 0.05;
+  const BuiltDevice device = build_dot_array(params, &jitter);
+  DeviceSimulator sim = make_pair_simulator(device);
+  const VoltageAxis axis = scan_axis(device, 150);
+
+  // Record the physical-frame diagram.
+  Csd physical = sim.generate_csd(axis, axis, "fig3_physical");
+  save_csd_pgm(physical, "fig3_physical.pgm");
+
+  // Extract virtual gates with the fast method.
+  sim.reset();
+  const auto result = run_fast_extraction(sim, axis, axis);
+  if (!result.success) {
+    std::cerr << "extraction failed: " << result.failure_reason << "\n";
+    return 1;
+  }
+
+  const auto truth = sim.truth();
+  std::cout << "Extracted: a12 = " << result.virtual_gates.alpha12
+            << " (truth " << truth.alpha12() << "), a21 = "
+            << result.virtual_gates.alpha21 << " (truth " << truth.alpha21()
+            << ")\n";
+
+  const Csd virtualized = warp_to_virtual(physical, result.virtual_gates);
+  save_csd_pgm(virtualized, "fig3_virtual.pgm");
+
+  const double angle_before =
+      angle_between_slopes_deg(truth.slope_steep, truth.slope_shallow);
+  const double angle_after = virtualized_angle_deg(
+      result.virtual_gates, truth.slope_steep, truth.slope_shallow);
+  std::cout << "Angle between transition lines: " << angle_before
+            << " deg (physical frame) -> " << angle_after
+            << " deg (virtual frame; 90 = perfect orthogonal control)\n"
+            << "wrote fig3_physical.pgm, fig3_virtual.pgm\n";
+  return angle_after > 85.0 ? 0 : 1;
+}

@@ -1,0 +1,85 @@
+// Device playground: generate charge stability diagrams for a range of
+// simulated devices and export them as PGM images + CSV data, ready for
+// inspection in any image viewer or plotting tool.
+//
+// Shows off the device substrate directly: cross-capacitance strength,
+// charging energy, sensor contrast, and every noise family are knobs.
+#include "dataset/csd_io.hpp"
+#include "device/dot_array.hpp"
+
+#include <iostream>
+#include <memory>
+
+namespace {
+
+void export_csd(const qvg::Csd& csd) {
+  save_csd_pgm(csd, csd.name() + ".pgm");
+  save_csd_csv(csd, csd.name() + ".csv");
+  const auto [lo, hi] = csd.current_range();
+  std::cout << "  " << csd.name() << ".pgm/.csv  (" << csd.width() << "x"
+            << csd.height() << ", current " << lo << " .. " << hi;
+  if (csd.truth()) {
+    std::cout << ", truth slopes " << csd.truth()->slope_steep << " / "
+              << csd.truth()->slope_shallow;
+  }
+  std::cout << ")\n";
+}
+
+}  // namespace
+
+int main() {
+  using namespace qvg;
+  std::cout << "Generating example charge stability diagrams...\n";
+
+  // 1. A clean double dot with moderate cross-capacitance.
+  {
+    DotArrayParams params;
+    params.n_dots = 2;
+    params.cross_ratio = 0.25;
+    const BuiltDevice device = build_dot_array(params);
+    DeviceSimulator sim = make_pair_simulator(device);
+    const VoltageAxis axis = scan_axis(device, 150);
+    export_csd(sim.generate_csd(axis, axis, "playground_clean"));
+  }
+
+  // 2. Strong cross-capacitance: both lines visibly tilted.
+  {
+    DotArrayParams params;
+    params.n_dots = 2;
+    params.cross_ratio = 0.45;
+    const BuiltDevice device = build_dot_array(params);
+    DeviceSimulator sim = make_pair_simulator(device);
+    const VoltageAxis axis = scan_axis(device, 150);
+    export_csd(sim.generate_csd(axis, axis, "playground_strong_crosstalk"));
+  }
+
+  // 3. Realistic noise cocktail: white + 1/f + telegraph.
+  {
+    DotArrayParams params;
+    params.n_dots = 2;
+    params.jitter = 0.05;
+    Rng jitter(77);
+    const BuiltDevice device = build_dot_array(params, &jitter);
+    DeviceSimulator sim = make_pair_simulator(device, 0, 123);
+    sim.add_noise(std::make_unique<WhiteNoise>(0.03));
+    sim.add_noise(std::make_unique<PinkNoise>(0.02, 0.2, 30.0));
+    sim.add_noise(std::make_unique<TelegraphNoise>(0.04, 0.8));
+    const VoltageAxis axis = scan_axis(device, 150);
+    export_csd(sim.generate_csd(axis, axis, "playground_noisy"));
+  }
+
+  // 4. A wide scan of a triple-dot device's first pair: spectator dot lines
+  //    appear at the top-right as the cross-capacitance drives dot 3.
+  {
+    DotArrayParams params;
+    params.n_dots = 3;
+    const BuiltDevice device = build_dot_array(params);
+    DeviceSimulator sim = make_pair_simulator(device);
+    const VoltageAxis axis = scan_axis(device, 150);
+    export_csd(sim.generate_csd(axis, axis, "playground_triple_dot"));
+  }
+
+  std::cout << "done. View the .pgm files in any image viewer; bright "
+               "lower-left region = empty (0,0) charge state.\n";
+  return 0;
+}

@@ -1,0 +1,74 @@
+// Noise robustness: how much measurement noise can the fast extraction
+// absorb on one device before the verdict flips?
+//
+// Sweeps white, 1/f, and telegraph noise independently against a fixed
+// double-dot device, printing the verdict and the compensation-coefficient
+// errors at each level. Useful for choosing integration times on a real
+// setup: the dwell time trades linearly against the noise sigma of each
+// probe.
+#include "common/strings.hpp"
+#include "device/dot_array.hpp"
+#include "extraction/fast_extractor.hpp"
+#include "extraction/success.hpp"
+
+#include <functional>
+#include <iostream>
+#include <memory>
+#include <vector>
+
+int main() {
+  using namespace qvg;
+
+  DotArrayParams params;
+  params.n_dots = 2;
+  params.cross_ratio = 0.25;
+  params.jitter = 0.04;
+  Rng jitter(5);
+  const BuiltDevice device = build_dot_array(params, &jitter);
+  const VoltageAxis axis = scan_axis(device, 100);
+  const TransitionTruth truth =
+      device.model.pair_truth(0, 1, 0, 1, device.base_voltages);
+
+  struct NoiseFamily {
+    std::string name;
+    std::function<std::unique_ptr<NoiseProcess>(double)> make;
+  };
+  const std::vector<NoiseFamily> families{
+      {"white", [](double s) { return std::make_unique<WhiteNoise>(s); }},
+      {"1/f (pink)",
+       [](double s) { return std::make_unique<PinkNoise>(s, 0.2, 30.0); }},
+      {"telegraph 0.5 Hz",
+       [](double s) { return std::make_unique<TelegraphNoise>(s, 0.5); }},
+  };
+  const std::vector<double> levels{0.01, 0.03, 0.06, 0.10, 0.20};
+
+  for (const auto& family : families) {
+    std::vector<std::vector<std::string>> rows;
+    for (double level : levels) {
+      DeviceSimulator sim = make_pair_simulator(device, 0, 31);
+      sim.add_noise(family.make(level));
+      const auto result = run_fast_extraction(sim, axis, axis);
+      const Verdict verdict =
+          judge_extraction(result.success, result.virtual_gates, truth);
+      rows.push_back(
+          {format_fixed(level, 2),
+           verdict.success ? "success" : "fail",
+           result.success ? format_fixed(100.0 * verdict.alpha12_rel_error, 1) + "%"
+                          : "-",
+           result.success ? format_fixed(100.0 * verdict.alpha21_rel_error, 1) + "%"
+                          : "-",
+           std::to_string(result.stats.unique_probes)});
+    }
+    std::cout << family.name << " noise (sensor peak current = 1.0):\n"
+              << render_table({"sigma/amp", "verdict", "a12 err", "a21 err",
+                               "probes"},
+                              rows)
+              << "\n";
+  }
+
+  std::cout << "Slow (1/f, telegraph) noise is gentler on the fast method "
+               "than white noise of the same size: the feature gradient "
+               "compares probes taken milliseconds apart, so slow drifts "
+               "cancel.\n";
+  return 0;
+}

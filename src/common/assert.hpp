@@ -1,0 +1,45 @@
+// Lightweight contract-checking macros in the spirit of the GSL's
+// Expects/Ensures. Violations indicate programmer error and throw
+// qvg::ContractViolation (an exception rather than abort so that tests can
+// assert on misuse).
+#pragma once
+
+#include "common/error.hpp"
+
+#include <sstream>
+#include <string>
+
+namespace qvg::detail {
+
+[[noreturn]] inline void contract_failed(const char* kind, const char* expr,
+                                         const char* file, int line) {
+  std::ostringstream os;
+  os << kind << " violated: `" << expr << "` at " << file << ":" << line;
+  throw ContractViolation(os.str());
+}
+
+}  // namespace qvg::detail
+
+// Precondition check: argument/state requirements at function entry.
+#define QVG_EXPECTS(cond)                                                  \
+  do {                                                                     \
+    if (!(cond))                                                           \
+      ::qvg::detail::contract_failed("Precondition", #cond, __FILE__,      \
+                                     __LINE__);                            \
+  } while (false)
+
+// Postcondition / invariant check.
+#define QVG_ENSURES(cond)                                                  \
+  do {                                                                     \
+    if (!(cond))                                                           \
+      ::qvg::detail::contract_failed("Postcondition", #cond, __FILE__,     \
+                                     __LINE__);                            \
+  } while (false)
+
+// Internal invariant that should be unreachable if the module is correct.
+#define QVG_ASSERT(cond)                                                   \
+  do {                                                                     \
+    if (!(cond))                                                           \
+      ::qvg::detail::contract_failed("Invariant", #cond, __FILE__,         \
+                                     __LINE__);                            \
+  } while (false)

@@ -1,0 +1,5 @@
+#include "common/error.hpp"
+
+// Exception classes are header-only; this TU anchors the library and keeps a
+// home for future out-of-line error utilities.
+namespace qvg {}

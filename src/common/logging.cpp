@@ -1,0 +1,31 @@
+#include "common/logging.hpp"
+
+namespace qvg {
+
+Logger& Logger::instance() {
+  static Logger logger;
+  return logger;
+}
+
+namespace {
+
+const char* level_tag(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug: return "[debug]";
+    case LogLevel::kInfo:  return "[info ]";
+    case LogLevel::kWarn:  return "[warn ]";
+    case LogLevel::kError: return "[error]";
+    case LogLevel::kOff:   return "[off  ]";
+  }
+  return "[?    ]";
+}
+
+}  // namespace
+
+void Logger::write(LogLevel level, const std::string& message) {
+  if (static_cast<int>(level) < static_cast<int>(level_)) return;
+  std::ostream& os = stream_ != nullptr ? *stream_ : std::clog;
+  os << "qvg " << level_tag(level) << ' ' << message << '\n';
+}
+
+}  // namespace qvg

@@ -1,0 +1,62 @@
+// Minimal leveled logger. Thread-safe enough for this library's needs
+// (single writer per stream); designed for human-readable diagnostics from
+// the extraction pipeline and benches.
+#pragma once
+
+#include <iostream>
+#include <sstream>
+#include <string>
+
+namespace qvg {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+/// Global logging configuration. Defaults to kWarn so library users are not
+/// spammed; benches/examples raise it explicitly.
+class Logger {
+ public:
+  static Logger& instance();
+
+  void set_level(LogLevel level) noexcept { level_ = level; }
+  [[nodiscard]] LogLevel level() const noexcept { return level_; }
+
+  /// Redirect output (e.g. to a file stream owned by the caller). The stream
+  /// must outlive the logger's use. Pass nullptr to restore std::clog.
+  void set_stream(std::ostream* os) noexcept { stream_ = os; }
+
+  void write(LogLevel level, const std::string& message);
+
+ private:
+  Logger() = default;
+  LogLevel level_ = LogLevel::kWarn;
+  std::ostream* stream_ = nullptr;
+};
+
+namespace detail {
+
+class LogLine {
+ public:
+  explicit LogLine(LogLevel level) : level_(level) {}
+  LogLine(const LogLine&) = delete;
+  LogLine& operator=(const LogLine&) = delete;
+  ~LogLine() { Logger::instance().write(level_, os_.str()); }
+
+  template <typename T>
+  LogLine& operator<<(const T& value) {
+    os_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream os_;
+};
+
+}  // namespace detail
+
+inline detail::LogLine log_debug() { return detail::LogLine(LogLevel::kDebug); }
+inline detail::LogLine log_info() { return detail::LogLine(LogLevel::kInfo); }
+inline detail::LogLine log_warn() { return detail::LogLine(LogLevel::kWarn); }
+inline detail::LogLine log_error() { return detail::LogLine(LogLevel::kError); }
+
+}  // namespace qvg

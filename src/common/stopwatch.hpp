@@ -1,0 +1,26 @@
+// Wall-clock stopwatch used to measure algorithm compute time, which the
+// benches add on top of the simulated probe (dwell) time.
+#pragma once
+
+#include <chrono>
+
+namespace qvg {
+
+class Stopwatch {
+ public:
+  Stopwatch() : start_(Clock::now()) {}
+
+  void reset() { start_ = Clock::now(); }
+
+  [[nodiscard]] double elapsed_seconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  [[nodiscard]] double elapsed_ms() const { return elapsed_seconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace qvg

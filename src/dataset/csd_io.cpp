@@ -1,0 +1,124 @@
+#include "dataset/csd_io.hpp"
+
+#include "common/assert.hpp"
+#include "common/error.hpp"
+#include "common/strings.hpp"
+
+#include <algorithm>
+#include <fstream>
+#include <sstream>
+
+namespace qvg {
+
+void save_csd_csv(const Csd& csd, const std::string& path) {
+  std::ofstream os(path);
+  if (!os) throw IoError("cannot open for writing: " + path);
+  os.precision(17);
+  os << "# qvg-csd " << csd.width() << ' ' << csd.height() << ' '
+     << csd.x_axis().start() << ' ' << csd.x_axis().step() << ' '
+     << csd.y_axis().start() << ' ' << csd.y_axis().step() << '\n';
+  if (csd.truth()) {
+    const auto& t = *csd.truth();
+    os << "# truth " << t.slope_steep << ' ' << t.slope_shallow << ' '
+       << t.triple_point.x << ' ' << t.triple_point.y << '\n';
+  }
+  for (std::size_t y = 0; y < csd.height(); ++y) {
+    for (std::size_t x = 0; x < csd.width(); ++x) {
+      if (x > 0) os << ',';
+      os << csd.grid()(x, y);
+    }
+    os << '\n';
+  }
+  if (!os) throw IoError("write failed: " + path);
+}
+
+Csd load_csd_csv(const std::string& path) {
+  std::ifstream is(path);
+  if (!is) throw IoError("cannot open for reading: " + path);
+
+  std::string line;
+  if (!std::getline(is, line)) throw ParseError("empty file: " + path);
+  std::istringstream header(line);
+  std::string hash;
+  std::string tag;
+  std::size_t width = 0;
+  std::size_t height = 0;
+  double x_start = 0;
+  double x_step = 0;
+  double y_start = 0;
+  double y_step = 0;
+  header >> hash >> tag >> width >> height >> x_start >> x_step >> y_start >>
+      y_step;
+  if (hash != "#" || tag != "qvg-csd" || width == 0 || height == 0 ||
+      x_step <= 0 || y_step <= 0)
+    throw ParseError("bad qvg-csd header in " + path);
+
+  Csd csd(VoltageAxis(x_start, x_step, width),
+          VoltageAxis(y_start, y_step, height));
+
+  std::size_t y = 0;
+  while (std::getline(is, line)) {
+    if (line.empty()) continue;
+    if (line[0] == '#') {
+      std::istringstream truth_line(line);
+      std::string hash2;
+      std::string tag2;
+      truth_line >> hash2 >> tag2;
+      if (tag2 == "truth") {
+        TransitionTruth t;
+        truth_line >> t.slope_steep >> t.slope_shallow >> t.triple_point.x >>
+            t.triple_point.y;
+        if (!truth_line) throw ParseError("bad truth line in " + path);
+        csd.set_truth(t);
+      }
+      continue;
+    }
+    if (y >= height) throw ParseError("too many data rows in " + path);
+    const auto fields = split(line, ',');
+    if (fields.size() != width)
+      throw ParseError("row " + std::to_string(y) + " has " +
+                       std::to_string(fields.size()) + " fields, expected " +
+                       std::to_string(width) + " in " + path);
+    for (std::size_t x = 0; x < width; ++x) {
+      try {
+        csd.grid()(x, y) = std::stod(fields[x]);
+      } catch (const std::exception&) {
+        throw ParseError("bad number '" + fields[x] + "' in " + path);
+      }
+    }
+    ++y;
+  }
+  if (y != height) throw ParseError("missing data rows in " + path);
+  return csd;
+}
+
+void save_csd_pgm(const Csd& csd, const std::string& path) {
+  std::ofstream os(path, std::ios::binary);
+  if (!os) throw IoError("cannot open for writing: " + path);
+  const auto [lo, hi] = csd.current_range();
+  const double scale = hi - lo > 1e-300 ? 255.0 / (hi - lo) : 0.0;
+  os << "P5\n" << csd.width() << ' ' << csd.height() << "\n255\n";
+  // PGM rows go top to bottom; our y axis points up, so flip.
+  for (std::size_t row = 0; row < csd.height(); ++row) {
+    const std::size_t y = csd.height() - 1 - row;
+    for (std::size_t x = 0; x < csd.width(); ++x) {
+      const double v = (csd.grid()(x, y) - lo) * scale;
+      const auto byte = static_cast<unsigned char>(
+          std::clamp(v, 0.0, 255.0));
+      os.put(static_cast<char>(byte));
+    }
+  }
+  if (!os) throw IoError("write failed: " + path);
+}
+
+void save_points_csv(const std::vector<Point2>& points,
+                     const std::string& path) {
+  std::ofstream os(path);
+  if (!os) throw IoError("cannot open for writing: " + path);
+  os.precision(17);
+  os << "x,y\n";
+  for (const auto& p : points) os << p.x << ',' << p.y << '\n';
+  if (!os) throw IoError("write failed: " + path);
+}
+
+}  // namespace qvg

@@ -1,0 +1,28 @@
+// Charge-stability-diagram serialization: CSV (lossless, with axis header)
+// and 8-bit PGM (for eyeballing diagrams in any image viewer).
+#pragma once
+
+#include "grid/csd.hpp"
+
+#include <string>
+
+namespace qvg {
+
+/// Write a CSD as CSV. First line is a header
+/// `# qvg-csd width height x_start x_step y_start y_step`, optionally
+/// followed by `# truth slope_steep slope_shallow tx ty`; then height rows of
+/// width comma-separated currents, bottom row (y = 0) first.
+void save_csd_csv(const Csd& csd, const std::string& path);
+
+/// Read a CSD written by save_csd_csv. Throws IoError / ParseError.
+[[nodiscard]] Csd load_csd_csv(const std::string& path);
+
+/// Write the diagram as a binary 8-bit PGM, min..max scaled; y = 0 is the
+/// bottom image row (flipped for display convention).
+void save_csd_pgm(const Csd& csd, const std::string& path);
+
+/// Write a set of (x, y) voltage points as CSV with a one-line header.
+void save_points_csv(const std::vector<Point2>& points,
+                     const std::string& path);
+
+}  // namespace qvg

@@ -1,0 +1,84 @@
+#include "device/charge_state.hpp"
+
+#include "common/assert.hpp"
+
+#include <limits>
+
+namespace qvg {
+
+std::vector<int> ground_state_exhaustive(const CapacitanceModel& model,
+                                         const std::vector<double>& drives,
+                                         int max_electrons_per_dot) {
+  QVG_EXPECTS(max_electrons_per_dot >= 0);
+  const std::size_t n = model.num_dots();
+  std::vector<int> occupation(n, 0);
+  std::vector<int> best(n, 0);
+  double best_energy = model.energy(best, drives);
+
+  // Odometer-style enumeration of {0..max}^n.
+  while (true) {
+    std::size_t d = 0;
+    while (d < n) {
+      if (occupation[d] < max_electrons_per_dot) {
+        ++occupation[d];
+        break;
+      }
+      occupation[d] = 0;
+      ++d;
+    }
+    if (d == n) break;  // wrapped around: enumeration complete
+    const double e = model.energy(occupation, drives);
+    if (e < best_energy) {
+      best_energy = e;
+      best = occupation;
+    }
+  }
+  return best;
+}
+
+std::vector<int> ground_state_greedy(const CapacitanceModel& model,
+                                     const std::vector<double>& drives,
+                                     int max_electrons_per_dot) {
+  QVG_EXPECTS(max_electrons_per_dot >= 0);
+  const std::size_t n = model.num_dots();
+  std::vector<int> occupation(n, 0);
+
+  // Iterated conditional modes: optimize one dot holding the others fixed.
+  // Converges because each accepted move strictly lowers the energy and the
+  // state space is finite.
+  bool changed = true;
+  int guard = 0;
+  while (changed) {
+    QVG_ASSERT(++guard < 10000);
+    changed = false;
+    for (std::size_t d = 0; d < n; ++d) {
+      double best_e = std::numeric_limits<double>::infinity();
+      int best_nd = occupation[d];
+      std::vector<int> trial = occupation;
+      for (int nd = 0; nd <= max_electrons_per_dot; ++nd) {
+        trial[d] = nd;
+        const double e = model.energy(trial, drives);
+        if (e < best_e) {
+          best_e = e;
+          best_nd = nd;
+        }
+      }
+      if (best_nd != occupation[d]) {
+        occupation[d] = best_nd;
+        changed = true;
+      }
+    }
+  }
+  return occupation;
+}
+
+std::vector<int> ground_state(const CapacitanceModel& model,
+                              const std::vector<double>& gate_voltages,
+                              const ChargeSolverOptions& options) {
+  const auto drives = model.dot_drives(gate_voltages);
+  if (model.num_dots() <= options.exhaustive_dot_limit)
+    return ground_state_exhaustive(model, drives, options.max_electrons_per_dot);
+  return ground_state_greedy(model, drives, options.max_electrons_per_dot);
+}
+
+}  // namespace qvg

@@ -1,0 +1,36 @@
+// Ground-state charge configuration solvers for the constant-interaction
+// model. The exhaustive solver enumerates all occupations up to a per-dot
+// maximum (exact, fine for <= 4-5 dots); the greedy solver uses iterated
+// conditional updates for larger arrays.
+#pragma once
+
+#include "device/capacitance.hpp"
+
+#include <vector>
+
+namespace qvg {
+
+struct ChargeSolverOptions {
+  int max_electrons_per_dot = 4;
+  /// Use the exhaustive solver up to this many dots, greedy above.
+  std::size_t exhaustive_dot_limit = 5;
+};
+
+/// Ground-state occupation at the given gate voltages.
+[[nodiscard]] std::vector<int> ground_state(
+    const CapacitanceModel& model, const std::vector<double>& gate_voltages,
+    const ChargeSolverOptions& options = {});
+
+/// Exhaustive minimizer over {0..max}^n (exact).
+[[nodiscard]] std::vector<int> ground_state_exhaustive(
+    const CapacitanceModel& model, const std::vector<double>& drives,
+    int max_electrons_per_dot);
+
+/// Iterated conditional modes: repeatedly relax one dot at a time until a
+/// fixed point. Exact for diagonal-dominant couplings in practice; used for
+/// arrays too large to enumerate.
+[[nodiscard]] std::vector<int> ground_state_greedy(
+    const CapacitanceModel& model, const std::vector<double>& drives,
+    int max_electrons_per_dot);
+
+}  // namespace qvg

@@ -1,0 +1,173 @@
+#include "device/dot_array.hpp"
+
+#include "common/assert.hpp"
+
+#include <cmath>
+
+namespace qvg {
+
+namespace {
+
+/// Apply relative jitter: value * (1 + jitter * N(0,1)), clamped to stay
+/// positive and within a factor of 2 of the nominal value.
+double jittered(double value, double jitter, Rng* rng) {
+  if (rng == nullptr || jitter <= 0.0) return value;
+  const double factor = 1.0 + jitter * rng->normal();
+  const double clamped = std::min(std::max(factor, 0.5), 2.0);
+  return value * clamped;
+}
+
+}  // namespace
+
+BuiltDevice build_dot_array(const DotArrayParams& params, Rng* jitter_rng) {
+  QVG_EXPECTS(params.n_dots >= 2);
+  QVG_EXPECTS(params.window_hi > params.window_lo);
+  QVG_EXPECTS(params.cross_ratio > 0.0 && params.cross_ratio < 1.0);
+  QVG_EXPECTS(params.alpha_self > 0.0);
+  QVG_EXPECTS(params.charging_energy > 0.0);
+
+  const std::size_t n = params.n_dots;
+
+  // Lever arms: diagonal-dominant, falling off with gate-dot distance.
+  Matrix alpha(n, n, 0.0);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      const auto dist = i > j ? i - j : j - i;
+      double lever = params.alpha_self;
+      if (dist >= 1) lever *= params.cross_ratio;
+      for (std::size_t d = 1; d < dist; ++d) lever *= params.cross_far_decay;
+      alpha(i, j) = jittered(lever, params.jitter, jitter_rng);
+    }
+  }
+
+  // Charging and mutual-coupling energies.
+  std::vector<double> charging(n);
+  for (std::size_t i = 0; i < n; ++i)
+    charging[i] = jittered(params.charging_energy, params.jitter, jitter_rng);
+
+  Matrix mutual(n, n, 0.0);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t k = i + 1; k < n; ++k) {
+      const std::size_t dist = k - i;
+      double em = params.mutual_coupling;
+      for (std::size_t d = 1; d < dist; ++d) em *= params.cross_far_decay;
+      // Jitter symmetrically.
+      em = jittered(em, params.jitter, jitter_rng);
+      mutual(i, k) = em;
+      mutual(k, i) = em;
+    }
+  }
+
+  // Offsets place each dot's first-electron transition at the requested
+  // fraction of the window (own plunger swept, others at base_voltage):
+  // transition where alpha(d,:) . V = Ec_d / 2 + offset_d.
+  const double span = params.window_hi - params.window_lo;
+  std::vector<double> offsets(n);
+  for (std::size_t d = 0; d < n; ++d) {
+    const double frac = d == 0 ? params.transition_fraction_x
+                               : params.transition_fraction_y;
+    const double v_trans =
+        params.window_lo +
+        jittered(frac, params.jitter, jitter_rng) * span;
+    double drive = alpha(d, d) * v_trans;
+    for (std::size_t j = 0; j < n; ++j) {
+      if (j == d) continue;
+      drive += alpha(d, j) * params.base_voltage;
+    }
+    offsets[d] = drive - 0.5 * charging[d];
+  }
+
+  CapacitanceModel model(alpha, charging, mutual, offsets);
+
+  // Charge sensor at the dot-0 end of the array.
+  SensorConfig sensor;
+  sensor.beta.resize(n);
+  for (std::size_t j = 0; j < n; ++j) {
+    const double falloff = 1.0 - params.sensor_beta_falloff * static_cast<double>(j);
+    sensor.beta[j] =
+        jittered(params.sensor_beta * std::max(falloff, 0.2), params.jitter,
+                 jitter_rng);
+  }
+  sensor.gamma.resize(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    sensor.gamma[i] =
+        jittered(params.sensor_gamma *
+                     std::pow(params.sensor_gamma_decay, static_cast<double>(i)),
+                 params.jitter, jitter_rng);
+  }
+  sensor.peak_spacing = params.peak_spacing;
+  sensor.peak_width = params.peak_width;
+  sensor.peak_current = params.peak_current;
+
+  // Choose u0 so that, with the scanned pair at the lower-left window
+  // corner (the empty (0,0) region) and the other plungers at base, the
+  // sensor sits at flank_offset from a peak. With negative beta the
+  // detuning only decreases from there, so the whole scan stays on one
+  // monotonic peak flank.
+  double external = 0.0;
+  for (std::size_t j = 0; j < n; ++j)
+    external +=
+        sensor.beta[j] * (j <= 1 ? params.window_lo : params.base_voltage);
+  sensor.u0 = params.flank_offset - external;
+
+  BuiltDevice built{std::move(model), std::move(sensor),
+                    std::vector<double>(n, params.base_voltage), params};
+  return built;
+}
+
+SensorConfig sensor_for_pair(const BuiltDevice& device,
+                             std::size_t pair_index) {
+  QVG_EXPECTS(pair_index + 1 < device.model.num_dots());
+  const DotArrayParams& params = device.params;
+  const std::size_t n = device.model.num_dots();
+  SensorConfig sensor = device.sensor;
+  auto pair_distance = [&](std::size_t index) {
+    const std::size_t a = index > pair_index ? index - pair_index : pair_index - index;
+    const std::size_t b = index > pair_index + 1 ? index - pair_index - 1
+                                                 : pair_index + 1 - index;
+    return std::min(a, b);
+  };
+  for (std::size_t d = 0; d < n; ++d)
+    sensor.gamma[d] = params.sensor_gamma *
+                      std::pow(params.sensor_gamma_decay,
+                               static_cast<double>(pair_distance(d)));
+  for (std::size_t j = 0; j < n; ++j) {
+    const double falloff =
+        1.0 - params.sensor_beta_falloff * static_cast<double>(pair_distance(j));
+    sensor.beta[j] = params.sensor_beta * std::max(falloff, 0.2);
+  }
+  // Re-anchor the operating point: scanned pair at the window's lower-left
+  // corner, all other plungers at base.
+  double external = 0.0;
+  for (std::size_t j = 0; j < n; ++j)
+    external += sensor.beta[j] * (j == pair_index || j == pair_index + 1
+                                      ? params.window_lo
+                                      : params.base_voltage);
+  sensor.u0 = params.flank_offset - external;
+  return sensor;
+}
+
+DeviceSimulator make_pair_simulator(const BuiltDevice& device,
+                                    std::size_t pair_index,
+                                    std::uint64_t noise_seed,
+                                    double dwell_seconds) {
+  QVG_EXPECTS(pair_index + 1 < device.model.num_dots());
+  ScanPair pair;
+  pair.gate_x = pair_index;
+  pair.gate_y = pair_index + 1;
+  pair.dot_x = pair_index;
+  pair.dot_y = pair_index + 1;
+  // Pair 0 keeps the device's own (jittered) sensor; other pairs measure
+  // through the sensor nearest to them.
+  const SensorConfig& sensor =
+      pair_index == 0 ? device.sensor : sensor_for_pair(device, pair_index);
+  return DeviceSimulator(device.model, sensor, device.base_voltages, pair,
+                         noise_seed, dwell_seconds);
+}
+
+VoltageAxis scan_axis(const BuiltDevice& device, std::size_t pixels) {
+  return VoltageAxis::over_range(device.params.window_lo,
+                                 device.params.window_hi, pixels);
+}
+
+}  // namespace qvg

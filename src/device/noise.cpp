@@ -1,0 +1,88 @@
+#include "device/noise.hpp"
+
+#include "common/assert.hpp"
+
+#include <cmath>
+
+namespace qvg {
+
+WhiteNoise::WhiteNoise(double sigma) : sigma_(sigma) {
+  QVG_EXPECTS(sigma >= 0.0);
+}
+
+double WhiteNoise::next(double /*dt*/, Rng& rng) {
+  return sigma_ > 0.0 ? rng.normal(0.0, sigma_) : 0.0;
+}
+
+OuNoise::OuNoise(double sigma, double tau_seconds)
+    : sigma_(sigma), tau_(tau_seconds) {
+  QVG_EXPECTS(sigma >= 0.0);
+  QVG_EXPECTS(tau_seconds > 0.0);
+}
+
+double OuNoise::next(double dt, Rng& rng) {
+  QVG_EXPECTS(dt >= 0.0);
+  // Exact discretization of the OU process over a step dt.
+  const double decay = std::exp(-dt / tau_);
+  const double diffusion = sigma_ * std::sqrt(1.0 - decay * decay);
+  value_ = value_ * decay + (diffusion > 0.0 ? rng.normal(0.0, diffusion) : 0.0);
+  return value_;
+}
+
+TelegraphNoise::TelegraphNoise(double amplitude, double rate_hz)
+    : amplitude_(amplitude), rate_(rate_hz) {
+  QVG_EXPECTS(amplitude >= 0.0);
+  QVG_EXPECTS(rate_hz >= 0.0);
+}
+
+double TelegraphNoise::next(double dt, Rng& rng) {
+  QVG_EXPECTS(dt >= 0.0);
+  const double flip_probability = 1.0 - std::exp(-rate_ * dt);
+  if (rng.bernoulli(flip_probability)) high_ = !high_;
+  return (high_ ? 0.5 : -0.5) * amplitude_;
+}
+
+PinkNoise::PinkNoise(double total_sigma, double tau_min_seconds,
+                     double tau_max_seconds) {
+  QVG_EXPECTS(total_sigma >= 0.0);
+  QVG_EXPECTS(tau_min_seconds > 0.0);
+  QVG_EXPECTS(tau_max_seconds >= tau_min_seconds);
+  // Octave ladder of correlation times; equal per-component variance gives
+  // an approximately 1/f spectrum between 1/tau_max and 1/tau_min.
+  std::size_t n = 1;
+  for (double tau = tau_min_seconds; tau * 2.0 <= tau_max_seconds; tau *= 2.0)
+    ++n;
+  const double sigma_each = total_sigma / std::sqrt(static_cast<double>(n));
+  double tau = tau_min_seconds;
+  for (std::size_t i = 0; i < n; ++i) {
+    components_.emplace_back(sigma_each, tau);
+    tau *= 2.0;
+  }
+}
+
+double PinkNoise::next(double dt, Rng& rng) {
+  double acc = 0.0;
+  for (auto& c : components_) acc += c.next(dt, rng);
+  return acc;
+}
+
+void PinkNoise::reset() {
+  for (auto& c : components_) c.reset();
+}
+
+void CompositeNoise::add(std::unique_ptr<NoiseProcess> process) {
+  QVG_EXPECTS(process != nullptr);
+  processes_.push_back(std::move(process));
+}
+
+double CompositeNoise::next(double dt, Rng& rng) {
+  double acc = 0.0;
+  for (auto& p : processes_) acc += p->next(dt, rng);
+  return acc;
+}
+
+void CompositeNoise::reset() {
+  for (auto& p : processes_) p->reset();
+}
+
+}  // namespace qvg

@@ -1,0 +1,94 @@
+// Measurement-noise processes.
+//
+// Real charge-sensor traces carry white (amplifier/shot) noise, slow 1/f
+// charge noise, random-telegraph switching from nearby two-level
+// fluctuators, and drift. All processes are *temporal*: each probe advances
+// the process by the dwell time, so noise correlations depend on the probe
+// order exactly as they would on a real instrument.
+#pragma once
+
+#include "common/random.hpp"
+
+#include <memory>
+#include <vector>
+
+namespace qvg {
+
+class NoiseProcess {
+ public:
+  virtual ~NoiseProcess() = default;
+  /// Advance the process by dt seconds and return the noise sample (same
+  /// units as the sensor current).
+  virtual double next(double dt, Rng& rng) = 0;
+  /// Return the process to its initial state (deterministic replay requires
+  /// also re-seeding the Rng).
+  virtual void reset() = 0;
+};
+
+/// Independent Gaussian sample per probe.
+class WhiteNoise final : public NoiseProcess {
+ public:
+  explicit WhiteNoise(double sigma);
+  double next(double dt, Rng& rng) override;
+  void reset() override {}
+
+ private:
+  double sigma_;
+};
+
+/// Ornstein-Uhlenbeck process: stationary std `sigma`, correlation time
+/// `tau` seconds. Models slow drift / low-frequency charge noise.
+class OuNoise final : public NoiseProcess {
+ public:
+  OuNoise(double sigma, double tau_seconds);
+  double next(double dt, Rng& rng) override;
+  void reset() override { value_ = 0.0; }
+
+ private:
+  double sigma_;
+  double tau_;
+  double value_ = 0.0;
+};
+
+/// Random telegraph noise: two-state fluctuator toggling at `rate` Hz with
+/// amplitude +/- `amplitude`/2.
+class TelegraphNoise final : public NoiseProcess {
+ public:
+  TelegraphNoise(double amplitude, double rate_hz);
+  double next(double dt, Rng& rng) override;
+  void reset() override { high_ = false; }
+
+ private:
+  double amplitude_;
+  double rate_;
+  bool high_ = false;
+};
+
+/// Approximate 1/f noise: a sum of OU processes with octave-spaced
+/// correlation times (a standard Lorentzian-superposition construction).
+class PinkNoise final : public NoiseProcess {
+ public:
+  /// total_sigma: stationary std of the sum; tau_min/tau_max bound the
+  /// octave ladder of correlation times.
+  PinkNoise(double total_sigma, double tau_min_seconds, double tau_max_seconds);
+  double next(double dt, Rng& rng) override;
+  void reset() override;
+
+ private:
+  std::vector<OuNoise> components_;
+};
+
+/// Sum of independent processes.
+class CompositeNoise final : public NoiseProcess {
+ public:
+  CompositeNoise() = default;
+  void add(std::unique_ptr<NoiseProcess> process);
+  double next(double dt, Rng& rng) override;
+  void reset() override;
+  [[nodiscard]] std::size_t size() const noexcept { return processes_.size(); }
+
+ private:
+  std::vector<std::unique_ptr<NoiseProcess>> processes_;
+};
+
+}  // namespace qvg

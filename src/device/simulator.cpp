@@ -1,0 +1,86 @@
+#include "device/simulator.hpp"
+
+#include "common/assert.hpp"
+#include "probe/raster.hpp"
+
+namespace qvg {
+
+DeviceSimulator::DeviceSimulator(CapacitanceModel model,
+                                 SensorConfig sensor_config,
+                                 std::vector<double> base_voltages,
+                                 ScanPair pair, std::uint64_t noise_seed,
+                                 double dwell_seconds)
+    : model_(std::move(model)),
+      sensor_(std::move(sensor_config)),
+      base_voltages_(std::move(base_voltages)),
+      pair_(pair),
+      rng_(noise_seed),
+      noise_seed_(noise_seed),
+      clock_(dwell_seconds) {
+  QVG_EXPECTS(base_voltages_.size() == model_.num_gates());
+  set_scan_pair(pair);
+}
+
+void DeviceSimulator::set_scan_pair(ScanPair pair) {
+  QVG_EXPECTS(pair.gate_x < model_.num_gates());
+  QVG_EXPECTS(pair.gate_y < model_.num_gates());
+  QVG_EXPECTS(pair.gate_x != pair.gate_y);
+  QVG_EXPECTS(pair.dot_x < model_.num_dots());
+  QVG_EXPECTS(pair.dot_y < model_.num_dots());
+  QVG_EXPECTS(pair.dot_x != pair.dot_y);
+  pair_ = pair;
+}
+
+void DeviceSimulator::set_base_voltage(std::size_t gate, double voltage) {
+  QVG_EXPECTS(gate < base_voltages_.size());
+  base_voltages_[gate] = voltage;
+}
+
+void DeviceSimulator::add_noise(std::unique_ptr<NoiseProcess> process) {
+  noise_.add(std::move(process));
+}
+
+double DeviceSimulator::ideal_current(double v1, double v2) const {
+  std::vector<double> v = base_voltages_;
+  v[pair_.gate_x] = v1;
+  v[pair_.gate_y] = v2;
+  const auto occupation = ground_state(model_, v, solver_options_);
+  return sensor_.current(v, occupation);
+}
+
+std::vector<int> DeviceSimulator::occupation_at(double v1, double v2) const {
+  std::vector<double> v = base_voltages_;
+  v[pair_.gate_x] = v1;
+  v[pair_.gate_y] = v2;
+  return ground_state(model_, v, solver_options_);
+}
+
+double DeviceSimulator::get_current(double v1, double v2) {
+  ++probes_;
+  clock_.charge_probe();
+  const double ideal = ideal_current(v1, v2);
+  return ideal + noise_.next(clock_.dwell_seconds(), rng_);
+}
+
+TransitionTruth DeviceSimulator::truth() const {
+  return model_.pair_truth(pair_.dot_x, pair_.dot_y, pair_.gate_x, pair_.gate_y,
+                           base_voltages_);
+}
+
+Csd DeviceSimulator::generate_csd(const VoltageAxis& x_axis,
+                                  const VoltageAxis& y_axis,
+                                  const std::string& name) {
+  Csd csd = acquire_full_csd(*this, x_axis, y_axis);
+  csd.set_truth(truth());
+  csd.set_name(name);
+  return csd;
+}
+
+void DeviceSimulator::reset() {
+  clock_.reset();
+  probes_ = 0;
+  noise_.reset();
+  rng_.reseed(noise_seed_);
+}
+
+}  // namespace qvg

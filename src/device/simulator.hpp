@@ -1,0 +1,92 @@
+// Full device simulator: constant-interaction physics + charge sensor +
+// temporal noise, exposed through the CurrentSource experiment interface so
+// every extraction algorithm can run against it directly (the "live device"
+// mode) or against CSDs it generated (the paper's replay mode).
+#pragma once
+
+#include "device/capacitance.hpp"
+#include "device/charge_state.hpp"
+#include "device/noise.hpp"
+#include "device/sensor.hpp"
+#include "grid/csd.hpp"
+#include "probe/current_source.hpp"
+
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace qvg {
+
+/// Which two gates a double-dot scan sweeps, and which dots they address.
+struct ScanPair {
+  std::size_t gate_x = 0;  // x-axis gate (VP1)
+  std::size_t gate_y = 1;  // y-axis gate (VP2)
+  std::size_t dot_x = 0;   // dot whose addition line is steep in this plane
+  std::size_t dot_y = 1;   // dot whose addition line is shallow
+};
+
+class DeviceSimulator final : public CurrentSource {
+ public:
+  DeviceSimulator(CapacitanceModel model, SensorConfig sensor_config,
+                  std::vector<double> base_voltages, ScanPair pair,
+                  std::uint64_t noise_seed = 42,
+                  double dwell_seconds = 0.050);
+
+  /// Attach a noise process (sums with any already attached).
+  void add_noise(std::unique_ptr<NoiseProcess> process);
+
+  // CurrentSource interface (Algorithm 1).
+  double get_current(double v1, double v2) override;
+  [[nodiscard]] SimClock& clock() override { return clock_; }
+  [[nodiscard]] const SimClock& clock() const override { return clock_; }
+  [[nodiscard]] long probe_count() const override { return probes_; }
+
+  /// Noise-free current at a voltage pair (reference for tests and SNR
+  /// calibration).
+  [[nodiscard]] double ideal_current(double v1, double v2) const;
+
+  /// Ground-state occupation at a voltage pair.
+  [[nodiscard]] std::vector<int> occupation_at(double v1, double v2) const;
+
+  /// Analytic transition-line ground truth for the scanned pair.
+  [[nodiscard]] TransitionTruth truth() const;
+
+  /// Acquire a full CSD over the given axes (raster scan through this
+  /// simulator, so it costs probes and simulated time) and stamp it with the
+  /// ground truth. `name` labels the diagram for reports.
+  [[nodiscard]] Csd generate_csd(const VoltageAxis& x_axis,
+                                 const VoltageAxis& y_axis,
+                                 const std::string& name = {});
+
+  [[nodiscard]] const CapacitanceModel& model() const noexcept { return model_; }
+  [[nodiscard]] const ChargeSensor& sensor() const noexcept { return sensor_; }
+  [[nodiscard]] const ScanPair& scan_pair() const noexcept { return pair_; }
+  [[nodiscard]] const std::vector<double>& base_voltages() const noexcept {
+    return base_voltages_;
+  }
+
+  /// Change the scanned gate pair (used by the n-dot array extractor as it
+  /// walks neighbouring plunger pairs).
+  void set_scan_pair(ScanPair pair);
+
+  /// Update a base (non-swept) gate voltage.
+  void set_base_voltage(std::size_t gate, double voltage);
+
+  /// Reset clock, probe counter, noise state, and noise RNG (deterministic
+  /// replay of an experiment).
+  void reset();
+
+ private:
+  CapacitanceModel model_;
+  ChargeSensor sensor_;
+  std::vector<double> base_voltages_;
+  ScanPair pair_;
+  ChargeSolverOptions solver_options_;
+  CompositeNoise noise_;
+  Rng rng_;
+  std::uint64_t noise_seed_;
+  SimClock clock_;
+  long probes_ = 0;
+};
+
+}  // namespace qvg

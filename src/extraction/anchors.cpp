@@ -1,0 +1,207 @@
+#include "extraction/anchors.hpp"
+
+#include "common/assert.hpp"
+#include "extraction/feature_gradient.hpp"
+#include "imgproc/kernel.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace qvg {
+
+namespace {
+
+/// Probe the pixel (clamped to the window) and return its current.
+double probe_pixel(CurrentSource& source, const VoltageAxis& x_axis,
+                   const VoltageAxis& y_axis, std::ptrdiff_t x,
+                   std::ptrdiff_t y) {
+  const auto w = static_cast<std::ptrdiff_t>(x_axis.count());
+  const auto h = static_cast<std::ptrdiff_t>(y_axis.count());
+  const auto cx = std::clamp<std::ptrdiff_t>(x, 0, w - 1);
+  const auto cy = std::clamp<std::ptrdiff_t>(y, 0, h - 1);
+  return source.get_current(x_axis.voltage(static_cast<double>(cx)),
+                            y_axis.voltage(static_cast<double>(cy)));
+}
+
+/// Cross-correlate a mask centred at pixel (px, py).
+double mask_response(CurrentSource& source, const VoltageAxis& x_axis,
+                     const VoltageAxis& y_axis, const Kernel2D& mask,
+                     std::ptrdiff_t px, std::ptrdiff_t py) {
+  const auto rx = static_cast<std::ptrdiff_t>(mask.width()) / 2;
+  const auto ry = static_cast<std::ptrdiff_t>(mask.height()) / 2;
+  double acc = 0.0;
+  for (std::size_t my = 0; my < mask.height(); ++my) {
+    for (std::size_t mx = 0; mx < mask.width(); ++mx) {
+      const double w = mask(mx, my);
+      if (w == 0.0) continue;
+      acc += w * probe_pixel(source, x_axis, y_axis,
+                             px + static_cast<std::ptrdiff_t>(mx) - rx,
+                             py + static_cast<std::ptrdiff_t>(my) - ry);
+    }
+  }
+  return acc;
+}
+
+/// Gaussian prior over [0, n), centred at the sweep *start* with
+/// sigma = fraction * n. The sweep starts inside the empty (0,0) region, so
+/// the first transition line encountered is the wanted one; the decaying
+/// prior suppresses the (equally sharp) second-electron lines farther out.
+std::vector<double> gaussian_prior(std::size_t n, double sigma_fraction) {
+  std::vector<double> prior(n, 1.0);
+  if (n < 2) return prior;
+  const double sigma = std::max(sigma_fraction * static_cast<double>(n), 1e-9);
+  for (std::size_t i = 0; i < n; ++i) {
+    const double t = static_cast<double>(i) / sigma;
+    prior[i] = std::exp(-0.5 * t * t);
+  }
+  return prior;
+}
+
+}  // namespace
+
+Expected<AnchorResult> find_anchor_points(CurrentSource& source,
+                                          const VoltageAxis& x_axis,
+                                          const VoltageAxis& y_axis,
+                                          const AnchorOptions& opt) {
+  const auto w = static_cast<std::ptrdiff_t>(x_axis.count());
+  const auto h = static_cast<std::ptrdiff_t>(y_axis.count());
+  if (w < 12 || h < 12)
+    return Expected<AnchorResult>::failure(
+        "scan window too small for anchor preprocessing");
+  QVG_EXPECTS(opt.num_diagonal_points >= 2);
+
+  AnchorResult result;
+
+  // 1. Diagonal probe: ten equally spaced points, find the brightest.
+  Pixel brightest{0, 0};
+  double brightest_current = -1e300;
+  const int nd = opt.num_diagonal_points;
+  for (int k = 0; k < nd; ++k) {
+    const double frac = static_cast<double>(k) / static_cast<double>(nd - 1);
+    const auto px = static_cast<std::ptrdiff_t>(
+        std::llround(frac * static_cast<double>(w - 1)));
+    const auto py = static_cast<std::ptrdiff_t>(
+        std::llround(frac * static_cast<double>(h - 1)));
+    const double c = probe_pixel(source, x_axis, y_axis, px, py);
+    if (c > brightest_current) {
+      brightest_current = c;
+      brightest = {static_cast<int>(px), static_cast<int>(py)};
+    }
+  }
+
+  // 2. Starting point: brightest diagonal point or the 10%-width/height
+  //    point, whichever is farther from the lower-left corner.
+  const Pixel fallback{
+      static_cast<int>(std::llround(opt.start_fraction * static_cast<double>(w - 1))),
+      static_cast<int>(std::llround(opt.start_fraction * static_cast<double>(h - 1)))};
+  const Pixel origin{0, 0};
+  result.start =
+      distance(brightest, origin) >= distance(fallback, origin) ? brightest
+                                                                : fallback;
+
+  // 3. Mask sweeps with a Gaussian prior.
+  const Kernel2D mask_x = paper_mask_x();
+  const Kernel2D mask_y = paper_mask_y();
+
+  // Sweep Mask_x rightward along the starting row: anchor B (steep line).
+  {
+    const std::ptrdiff_t x_lo = result.start.x;
+    const std::ptrdiff_t x_hi = w - 1;
+    if (x_hi <= x_lo)
+      return Expected<AnchorResult>::failure("empty Mask_x sweep range");
+    const auto n = static_cast<std::size_t>(x_hi - x_lo + 1);
+    result.response_x.resize(n);
+    for (std::size_t i = 0; i < n; ++i)
+      result.response_x[i] =
+          mask_response(source, x_axis, y_axis, mask_x,
+                        x_lo + static_cast<std::ptrdiff_t>(i), result.start.y);
+    const auto prior = gaussian_prior(n, opt.gaussian_sigma_fraction);
+    std::size_t best = 0;
+    double best_value = -1e300;
+    for (std::size_t i = 0; i < n; ++i) {
+      const double v = result.response_x[i] * prior[i];
+      if (v > best_value) {
+        best_value = v;
+        best = i;
+      }
+    }
+    result.anchor_b = {static_cast<int>(x_lo + static_cast<std::ptrdiff_t>(best)),
+                       result.start.y};
+  }
+
+  // Sweep Mask_y upward along the starting column: anchor A (shallow line).
+  {
+    const std::ptrdiff_t y_lo = result.start.y;
+    const std::ptrdiff_t y_hi = h - 1;
+    if (y_hi <= y_lo)
+      return Expected<AnchorResult>::failure("empty Mask_y sweep range");
+    const auto n = static_cast<std::size_t>(y_hi - y_lo + 1);
+    result.response_y.resize(n);
+    for (std::size_t i = 0; i < n; ++i)
+      result.response_y[i] =
+          mask_response(source, x_axis, y_axis, mask_y, result.start.x,
+                        y_lo + static_cast<std::ptrdiff_t>(i));
+    const auto prior = gaussian_prior(n, opt.gaussian_sigma_fraction);
+    std::size_t best = 0;
+    double best_value = -1e300;
+    for (std::size_t i = 0; i < n; ++i) {
+      const double v = result.response_y[i] * prior[i];
+      if (v > best_value) {
+        best_value = v;
+        best = i;
+      }
+    }
+    result.anchor_a = {result.start.x,
+                       static_cast<int>(y_lo + static_cast<std::ptrdiff_t>(best))};
+  }
+
+  // Snap each anchor to the nearby feature-gradient maximum so the fit's
+  // fixed endpoints use the same bright-side pixel convention as the sweeps.
+  if (opt.snap_radius > 0) {
+    auto gradient_at = [&](int px, int py) {
+      return feature_gradient(source,
+                              x_axis.voltage(static_cast<double>(px)),
+                              y_axis.voltage(static_cast<double>(py)),
+                              x_axis.step(), y_axis.step());
+    };
+    {
+      int best_dy = 0;
+      double best_g = -1e300;
+      for (int dy = -opt.snap_radius; dy <= opt.snap_radius; ++dy) {
+        const int y = result.anchor_a.y + dy;
+        if (y < 0 || y >= static_cast<int>(h)) continue;
+        const double g = gradient_at(result.anchor_a.x, y);
+        if (g > best_g) {
+          best_g = g;
+          best_dy = dy;
+        }
+      }
+      result.anchor_a.y += best_dy;
+    }
+    {
+      int best_dx = 0;
+      double best_g = -1e300;
+      for (int dx = -opt.snap_radius; dx <= opt.snap_radius; ++dx) {
+        const int x = result.anchor_b.x + dx;
+        if (x < 0 || x >= static_cast<int>(w)) continue;
+        const double g = gradient_at(x, result.anchor_b.y);
+        if (g > best_g) {
+          best_g = g;
+          best_dx = dx;
+        }
+      }
+      result.anchor_b.x += best_dx;
+    }
+  }
+
+  // The anchors must span a valid triangle: A strictly left of and above B.
+  if (!(result.anchor_a.x < result.anchor_b.x &&
+        result.anchor_a.y > result.anchor_b.y)) {
+    return Expected<AnchorResult>::failure(
+        "anchor points do not form a valid critical region (A must be left "
+        "of and above B)");
+  }
+  return result;
+}
+
+}  // namespace qvg

@@ -1,0 +1,79 @@
+#include "extraction/array_extractor.hpp"
+
+#include "common/assert.hpp"
+
+#include <cmath>
+#include <memory>
+
+namespace qvg {
+
+ArrayExtractionResult extract_array_virtualization(
+    const BuiltDevice& device, const ArrayExtractionOptions& opt) {
+  const std::size_t n = device.model.num_dots();
+  QVG_EXPECTS(n >= 2);
+  QVG_EXPECTS(opt.pixels_per_axis >= 16);
+
+  ArrayExtractionResult result;
+  result.matrix = Matrix::identity(n);
+
+  // Reference: nearest-neighbour band of the exact compensation matrix.
+  result.reference = device.model.ideal_virtualization();
+
+  std::vector<VirtualGatePair> pairs_for_compose;
+  bool all_ok = true;
+
+  for (std::size_t pair_index = 0; pair_index + 1 < n; ++pair_index) {
+    DeviceSimulator sim = make_pair_simulator(
+        device, pair_index, opt.noise_seed + pair_index, opt.dwell_seconds);
+    if (opt.white_noise_sigma > 0.0)
+      sim.add_noise(std::make_unique<WhiteNoise>(opt.white_noise_sigma));
+    const VoltageAxis axis = scan_axis(device, opt.pixels_per_axis);
+
+    PairExtraction pair;
+    pair.pair_index = pair_index;
+
+    if (opt.method == ExtractionMethod::kFast) {
+      const auto extraction = run_fast_extraction(sim, axis, axis, opt.fast);
+      pair.success = extraction.success;
+      pair.failure_reason = extraction.failure_reason;
+      pair.gates = extraction.virtual_gates;
+      pair.stats = extraction.stats;
+    } else {
+      const auto extraction = run_hough_baseline(sim, axis, axis, opt.baseline);
+      pair.success = extraction.success;
+      pair.failure_reason = extraction.failure_reason;
+      pair.gates = extraction.virtual_gates;
+      pair.stats = extraction.stats;
+    }
+    pair.verdict = judge_extraction(pair.success, pair.gates, sim.truth(),
+                                    opt.verdict);
+
+    result.total_stats.unique_probes += pair.stats.unique_probes;
+    result.total_stats.total_requests += pair.stats.total_requests;
+    result.total_stats.simulated_seconds += pair.stats.simulated_seconds;
+    result.total_stats.compute_seconds += pair.stats.compute_seconds;
+
+    if (pair.success) {
+      result.matrix(pair_index, pair_index + 1) = pair.gates.alpha12;
+      result.matrix(pair_index + 1, pair_index) = pair.gates.alpha21;
+      pairs_for_compose.push_back(pair.gates);
+    } else {
+      all_ok = false;
+    }
+    result.pairs.push_back(std::move(pair));
+  }
+
+  // Band error vs the reference compensation matrix.
+  double worst = 0.0;
+  for (std::size_t i = 0; i + 1 < n; ++i) {
+    worst = std::max(worst, std::abs(result.matrix(i, i + 1) -
+                                     result.reference(i, i + 1)));
+    worst = std::max(worst, std::abs(result.matrix(i + 1, i) -
+                                     result.reference(i + 1, i)));
+  }
+  result.band_max_error = worst;
+  result.success = all_ok;
+  return result;
+}
+
+}  // namespace qvg

@@ -1,0 +1,60 @@
+// N-dot array virtualization (paper §2.3): "The virtual gate extraction can
+// be extended to an n-dot array by sequentially applying it to every pair of
+// nearby plunger gates, and n-1 sequentially executed extraction processes
+// are needed." This module walks the nearest-neighbour plunger pairs of a
+// simulated linear array, runs the chosen extraction method on each pair,
+// and composes the full n x n virtualization matrix.
+#pragma once
+
+#include "device/dot_array.hpp"
+#include "extraction/fast_extractor.hpp"
+#include "extraction/hough_baseline.hpp"
+#include "extraction/success.hpp"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace qvg {
+
+enum class ExtractionMethod { kFast, kHoughBaseline };
+
+struct ArrayExtractionOptions {
+  ExtractionMethod method = ExtractionMethod::kFast;
+  std::size_t pixels_per_axis = 100;
+  double dwell_seconds = 0.050;
+  std::uint64_t noise_seed = 42;
+  /// White-noise sigma added to each pair scan (sensor current units).
+  double white_noise_sigma = 0.0;
+  FastExtractorOptions fast;
+  HoughBaselineOptions baseline;
+  VerdictOptions verdict;
+};
+
+struct PairExtraction {
+  std::size_t pair_index = 0;
+  bool success = false;
+  std::string failure_reason;
+  VirtualGatePair gates;
+  Verdict verdict;
+  ProbeStats stats;
+};
+
+struct ArrayExtractionResult {
+  bool success = false;  // every pair succeeded
+  std::vector<PairExtraction> pairs;
+  /// Composed n x n virtualization matrix (identity entries where a pair
+  /// failed).
+  Matrix matrix;
+  /// Nearest-neighbour reference matrix from the device's lever arms.
+  Matrix reference;
+  /// Max absolute error over the nearest-neighbour band vs the reference.
+  double band_max_error = 0.0;
+  ProbeStats total_stats;
+};
+
+/// Extract virtual gates for every nearest-neighbour pair of the array.
+[[nodiscard]] ArrayExtractionResult extract_array_virtualization(
+    const BuiltDevice& device, const ArrayExtractionOptions& options = {});
+
+}  // namespace qvg

@@ -1,0 +1,80 @@
+#include "extraction/fast_extractor.hpp"
+
+#include "common/stopwatch.hpp"
+#include "extraction/postprocess.hpp"
+#include "probe/probe_cache.hpp"
+
+#include <algorithm>
+
+namespace qvg {
+
+FastExtractionResult run_fast_extraction(CurrentSource& source,
+                                         const VoltageAxis& x_axis,
+                                         const VoltageAxis& y_axis,
+                                         const FastExtractorOptions& opt) {
+  FastExtractionResult result;
+  Stopwatch wall;
+  const double sim_start = source.clock().elapsed_seconds();
+
+  ProbeCache cache(source, std::min(x_axis.step(), y_axis.step()));
+
+  auto finish = [&](bool success, std::string reason = {}) {
+    result.success = success;
+    result.failure_reason = std::move(reason);
+    result.stats.unique_probes = cache.unique_probe_count();
+    result.stats.total_requests = cache.probe_count();
+    result.stats.simulated_seconds =
+        source.clock().elapsed_seconds() - sim_start;
+    result.stats.compute_seconds = wall.elapsed_seconds();
+    result.probe_log = cache.probe_log();
+    return result;
+  };
+
+  // Stage 1: anchor preprocessing (§4.4).
+  auto anchors = find_anchor_points(cache, x_axis, y_axis, opt.anchors);
+  if (!anchors) return finish(false, "anchors: " + anchors.reason());
+  result.anchors = std::move(anchors).value();
+
+  // Stage 2: triangle sweeps (§4.3.2, Algorithm 3).
+  SweepOptions sweep_opt = opt.sweep;
+  sweep_opt.run_row_sweep = opt.enable_row_sweep;
+  sweep_opt.run_col_sweep = opt.enable_col_sweep;
+  result.sweeps = run_sweeps(cache, x_axis, y_axis, result.anchors.anchor_a,
+                             result.anchors.anchor_b, sweep_opt);
+  std::vector<Pixel> raw_points;
+  if (opt.enable_row_sweep)
+    for (const auto& p : result.sweeps.row_points) raw_points.push_back(p.pixel);
+  if (opt.enable_col_sweep)
+    for (const auto& p : result.sweeps.col_points) raw_points.push_back(p.pixel);
+  if (raw_points.size() < 3)
+    return finish(false, "sweeps located fewer than 3 transition points");
+
+  // Stage 3: post-processing filter (Algorithm 3, PostProcess).
+  result.filtered_points = opt.enable_postprocess
+                               ? postprocess_transition_points(raw_points)
+                               : raw_points;
+
+  // Stage 4: 2-piecewise slope fit (§4.3.3).
+  auto fit = fit_piecewise_linear(result.filtered_points,
+                                  result.anchors.anchor_a,
+                                  result.anchors.anchor_b, opt.fit);
+  if (!fit) return finish(false, "fit: " + fit.reason());
+  result.fit = std::move(fit).value();
+
+  // Convert pixel-space slopes and intersection to voltage units.
+  const double unit_ratio = y_axis.step() / x_axis.step();
+  result.slope_steep = result.fit.slope_steep * unit_ratio;
+  result.slope_shallow = result.fit.slope_shallow * unit_ratio;
+  result.intersection_voltage = {x_axis.voltage(result.fit.intersection.x),
+                                 y_axis.voltage(result.fit.intersection.y)};
+
+  // Stage 5: virtualization matrix (§2.3).
+  auto pair =
+      virtualization_from_slopes(result.slope_steep, result.slope_shallow);
+  if (!pair) return finish(false, "virtualization: " + pair.reason());
+  result.virtual_gates = *pair;
+
+  return finish(true);
+}
+
+}  // namespace qvg

@@ -1,0 +1,72 @@
+// The paper's fast virtual gate extraction pipeline (§4):
+//   anchor preprocessing -> critical-region triangle sweeps ->
+//   post-processing filter -> 2-piecewise slope fit -> virtualization matrix.
+//
+// The extractor talks to the device only through CurrentSource (Algorithm 1)
+// and wraps it in a ProbeCache, so "points probed" counts unique voltage
+// configurations exactly as the paper's Table 1 does.
+#pragma once
+
+#include "common/error.hpp"
+#include "common/geometry.hpp"
+#include "extraction/anchors.hpp"
+#include "extraction/piecewise_fit.hpp"
+#include "extraction/sweep.hpp"
+#include "extraction/virtualization.hpp"
+#include "grid/axis.hpp"
+#include "probe/current_source.hpp"
+
+#include <string>
+#include <vector>
+
+namespace qvg {
+
+struct FastExtractorOptions {
+  AnchorOptions anchors;
+  SweepOptions sweep;
+  PiecewiseFitOptions fit;
+  /// Run the row-major / column-major sweeps (ablation knobs; the paper
+  /// uses both).
+  bool enable_row_sweep = true;
+  bool enable_col_sweep = true;
+  /// Apply the post-processing filter (ablation knob; the paper applies it).
+  bool enable_postprocess = true;
+};
+
+struct ProbeStats {
+  long unique_probes = 0;   // distinct voltage configurations (Table 1)
+  long total_requests = 0;  // including cache hits
+  double simulated_seconds = 0.0;  // dwell-dominated experiment time
+  double compute_seconds = 0.0;    // algorithm wall-clock time
+  [[nodiscard]] double total_seconds() const {
+    return simulated_seconds + compute_seconds;
+  }
+};
+
+struct FastExtractionResult {
+  bool success = false;
+  std::string failure_reason;
+
+  // Stage outputs (valid as far as the pipeline got).
+  AnchorResult anchors;
+  SweepResult sweeps;
+  std::vector<Pixel> filtered_points;
+  PiecewiseFit fit;  // pixel coordinates
+
+  // Final results, voltage units.
+  double slope_steep = 0.0;
+  double slope_shallow = 0.0;
+  Point2 intersection_voltage{};
+  VirtualGatePair virtual_gates;
+
+  ProbeStats stats;
+  /// Unique probed voltage configurations, in probe order (Figure 7).
+  std::vector<Point2> probe_log;
+};
+
+/// Run the full fast extraction over the scan window given by the axes.
+[[nodiscard]] FastExtractionResult run_fast_extraction(
+    CurrentSource& source, const VoltageAxis& x_axis, const VoltageAxis& y_axis,
+    const FastExtractorOptions& options = {});
+
+}  // namespace qvg

@@ -1,0 +1,16 @@
+#include "extraction/feature_gradient.hpp"
+
+#include "common/assert.hpp"
+
+namespace qvg {
+
+double feature_gradient(CurrentSource& source, double v1, double v2,
+                        double delta_x, double delta_y) {
+  QVG_EXPECTS(delta_x > 0.0 && delta_y > 0.0);
+  const double c = source.get_current(v1, v2);
+  const double c_right = source.get_current(v1 + delta_x, v2);
+  const double c_upper_right = source.get_current(v1 + delta_x, v2 + delta_y);
+  return (c - c_right) + (c - c_upper_right);
+}
+
+}  // namespace qvg

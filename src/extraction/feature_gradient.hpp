@@ -1,0 +1,28 @@
+// The paper's Algorithm 2: the feature gradient.
+//
+// A charge-state transition line produces a sharp *drop* in sensor current
+// when crossed toward increasing voltages (an electron loads and shifts the
+// sensor peak). The feature gradient of a pixel sums its current difference
+// with the right and upper-right neighbours,
+//
+//   g(v1, v2) = (c - c_right) + (c - c_upper_right)
+//   c            = getCurrent(v1,         v2)
+//   c_right      = getCurrent(v1 + delta, v2)
+//   c_upper_right= getCurrent(v1 + delta, v2 + delta)
+//
+// so it is large and positive exactly on the transition lines ("positively
+// tilted gradient", Figure 4). delta is the voltage granularity (pixel size).
+#pragma once
+
+#include "probe/current_source.hpp"
+
+namespace qvg {
+
+/// Evaluate the feature gradient at gate voltages (v1, v2) = (x, y) with
+/// pixel sizes (delta_x, delta_y). Costs up to three probes (shared
+/// neighbours hit the ProbeCache when evaluated on a sweep).
+[[nodiscard]] double feature_gradient(CurrentSource& source, double v1,
+                                      double v2, double delta_x,
+                                      double delta_y);
+
+}  // namespace qvg

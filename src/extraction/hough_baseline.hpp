@@ -1,0 +1,70 @@
+// The conventional virtual gate extraction baseline (paper §3, §5.1):
+// acquire the *full* charge stability diagram (every pixel costs a probe +
+// dwell), run Canny edge detection, then a Hough transform, classify the
+// detected lines into the steep and shallow transition-line families, and
+// build the virtualization matrix from the strongest line of each family.
+#pragma once
+
+#include "common/error.hpp"
+#include "extraction/fast_extractor.hpp"  // ProbeStats
+#include "extraction/virtualization.hpp"
+#include "grid/csd.hpp"
+#include "imgproc/canny.hpp"
+#include "imgproc/hough.hpp"
+#include "probe/current_source.hpp"
+
+#include <string>
+#include <vector>
+
+namespace qvg {
+
+struct HoughBaselineOptions {
+  /// Fixed absolute Canny thresholds in normalized-image units, mirroring
+  /// common OpenCV practice (and the paper's baseline): tuned once for the
+  /// contrast of a typical charge-sensed CSD rather than adapted per image.
+  /// This is what makes the baseline blind to faint transition lines
+  /// (benchmark CSD 7) even though the diagram is otherwise clean.
+  CannyOptions canny{.low_threshold = 0.25, .high_threshold = 0.45};
+  HoughOptions hough;
+  /// Pixel-space slope separating the steep from the shallow family.
+  double steep_threshold = -1.0;
+  /// Reject near-horizontal/vertical artefacts: lines need a pixel-space
+  /// slope in [-max_abs_slope, -1/max_abs_slope] to be counted.
+  double max_abs_slope = 30.0;
+  /// Minimum Hough votes for a line to count, as a fraction of the image
+  /// diagonal (lines supported by only a few edge pixels are noise).
+  double min_votes_diag_fraction = 0.12;
+  /// After peak picking, refine each line's slope by least-squares fitting
+  /// the edge pixels within this distance (pixels); 0 disables and keeps the
+  /// quantized accumulator slope.
+  double refine_tolerance_px = 2.0;
+};
+
+struct HoughBaselineResult {
+  bool success = false;
+  std::string failure_reason;
+
+  Csd acquired;            // the full CSD the baseline measured
+  long edge_pixels = 0;    // Canny output size
+  std::vector<HoughLine> lines;  // all peak lines considered
+  HoughLine steep_line;
+  HoughLine shallow_line;
+
+  double slope_steep = 0.0;    // voltage units
+  double slope_shallow = 0.0;  // voltage units
+  VirtualGatePair virtual_gates;
+
+  ProbeStats stats;
+};
+
+/// Run the baseline over the scan window given by the axes.
+[[nodiscard]] HoughBaselineResult run_hough_baseline(
+    CurrentSource& source, const VoltageAxis& x_axis, const VoltageAxis& y_axis,
+    const HoughBaselineOptions& options = {});
+
+/// Run only the image-processing stage on an already-acquired CSD (used by
+/// tests and by replay benches that share one acquisition).
+[[nodiscard]] HoughBaselineResult analyze_csd_with_hough(
+    const Csd& csd, const HoughBaselineOptions& options = {});
+
+}  // namespace qvg

@@ -1,0 +1,125 @@
+#include "extraction/piecewise_fit.hpp"
+
+#include "common/assert.hpp"
+#include "linalg/nelder_mead.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace qvg {
+
+namespace {
+
+double segment_distance(Point2 p, Point2 a, Point2 b) {
+  const Point2 ab = b - a;
+  const double len2 = ab.x * ab.x + ab.y * ab.y;
+  if (len2 < 1e-300) return distance(p, a);
+  double t = ((p.x - a.x) * ab.x + (p.y - a.y) * ab.y) / len2;
+  t = std::clamp(t, 0.0, 1.0);
+  return distance(p, {a.x + t * ab.x, a.y + t * ab.y});
+}
+
+}  // namespace
+
+double distance_to_path(Point2 p, Point2 a, Point2 vertex, Point2 b) {
+  return std::min(segment_distance(p, a, vertex), segment_distance(p, vertex, b));
+}
+
+Expected<PiecewiseFit> fit_piecewise_linear(const std::vector<Pixel>& points,
+                                            Pixel anchor_a, Pixel anchor_b,
+                                            const PiecewiseFitOptions& opt) {
+  if (points.size() < 3)
+    return Expected<PiecewiseFit>::failure(
+        "piecewise fit needs at least 3 transition points");
+  QVG_EXPECTS(anchor_a.x < anchor_b.x);
+  QVG_EXPECTS(anchor_a.y > anchor_b.y);
+
+  const Point2 a = anchor_a.center();
+  const Point2 b = anchor_b.center();
+
+  // Penalized objective: sum of squared residuals, with a quadratic penalty
+  // that keeps the intersection strictly inside the anchor box
+  // (a.x < px < b.x, b.y < py < a.y).
+  auto objective = [&](const std::vector<double>& params) {
+    const Point2 vertex{params[0], params[1]};
+    double penalty = 0.0;
+    auto violation = [](double v) { return v > 0.0 ? v * v : 0.0; };
+    penalty += violation(a.x + 0.5 - vertex.x);
+    penalty += violation(vertex.x - (b.x - 0.5));
+    penalty += violation(b.y + 0.5 - vertex.y);
+    penalty += violation(vertex.y - (a.y - 0.5));
+    const double scale =
+        static_cast<double>(points.size()) * 100.0;  // dominate residuals
+
+    // Huber loss: quadratic within delta, linear beyond.
+    const double delta = opt.huber_delta_px;
+    auto loss = [delta](double r) {
+      const double ar = std::abs(r);
+      if (delta <= 0.0 || ar <= delta) return r * r;
+      return 2.0 * delta * ar - delta * delta;
+    };
+
+    double ss = 0.0;
+    if (opt.residual == FitResidual::kOrthogonal) {
+      for (const Pixel& p : points) {
+        ss += loss(distance_to_path(p.center(), a, vertex, b));
+      }
+    } else {
+      // Vertical residual against the piecewise function y(x). The shallow
+      // branch runs from A to the vertex, the steep branch from the vertex
+      // to B.
+      const double eps = 1e-9;
+      const double m1 = (vertex.y - a.y) / std::max(vertex.x - a.x, eps);
+      const double m2 = (b.y - vertex.y) / std::max(b.x - vertex.x, eps);
+      for (const Pixel& p : points) {
+        const Point2 q = p.center();
+        const double predicted = q.x <= vertex.x
+                                     ? a.y + m1 * (q.x - a.x)
+                                     : vertex.y + m2 * (q.x - vertex.x);
+        ss += loss(q.y - predicted);
+      }
+    }
+    return ss + scale * penalty;
+  };
+
+  // Initial guess: inset from the right-angle vertex (b.x, a.y) toward the
+  // triangle interior.
+  const double inset = opt.initial_inset;
+  std::vector<double> x0{b.x - inset * (b.x - a.x), a.y - inset * (a.y - b.y)};
+
+  NelderMeadOptions nm;
+  nm.max_iterations = opt.max_iterations;
+  nm.f_tolerance = 1e-12;
+  nm.x_tolerance = 1e-9;
+  const auto solution = minimize_nelder_mead(objective, x0, nm);
+
+  PiecewiseFit fit;
+  fit.intersection = {solution.x[0], solution.x[1]};
+  fit.iterations = solution.iterations;
+
+  const double dx_shallow = fit.intersection.x - a.x;
+  const double dx_steep = b.x - fit.intersection.x;
+  if (dx_shallow < 0.25 || dx_steep < 0.25)
+    return Expected<PiecewiseFit>::failure(
+        "fitted intersection collapsed onto an anchor");
+
+  fit.slope_shallow = (fit.intersection.y - a.y) / dx_shallow;
+  fit.slope_steep = (b.y - fit.intersection.y) / dx_steep;
+
+  if (!(fit.slope_shallow < 0.0) || !(fit.slope_steep < 0.0))
+    return Expected<PiecewiseFit>::failure(
+        "fitted transition lines must both have negative slope");
+  if (!(fit.slope_steep < fit.slope_shallow))
+    return Expected<PiecewiseFit>::failure(
+        "steep/shallow slope ordering violated by the fit");
+
+  double ss = 0.0;
+  for (const Pixel& p : points) {
+    const double d = distance_to_path(p.center(), a, fit.intersection, b);
+    ss += d * d;
+  }
+  fit.rms_residual = std::sqrt(ss / static_cast<double>(points.size()));
+  return fit;
+}
+
+}  // namespace qvg

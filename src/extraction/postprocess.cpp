@@ -1,0 +1,42 @@
+#include "extraction/postprocess.hpp"
+
+#include <algorithm>
+#include <map>
+
+namespace qvg {
+
+std::vector<Pixel> keep_lowest_per_column(const std::vector<Pixel>& points) {
+  std::map<int, Pixel> best;  // x -> lowest point
+  for (const Pixel& p : points) {
+    auto [it, inserted] = best.try_emplace(p.x, p);
+    if (!inserted && p.y < it->second.y) it->second = p;
+  }
+  std::vector<Pixel> out;
+  out.reserve(best.size());
+  for (const auto& [x, p] : best) out.push_back(p);
+  return out;
+}
+
+std::vector<Pixel> keep_leftmost_per_row(const std::vector<Pixel>& points) {
+  std::map<int, Pixel> best;  // y -> leftmost point
+  for (const Pixel& p : points) {
+    auto [it, inserted] = best.try_emplace(p.y, p);
+    if (!inserted && p.x < it->second.x) it->second = p;
+  }
+  std::vector<Pixel> out;
+  out.reserve(best.size());
+  for (const auto& [y, p] : best) out.push_back(p);
+  return out;
+}
+
+std::vector<Pixel> postprocess_transition_points(
+    const std::vector<Pixel>& points) {
+  std::vector<Pixel> merged = keep_lowest_per_column(points);
+  const auto second = keep_leftmost_per_row(points);
+  merged.insert(merged.end(), second.begin(), second.end());
+  std::sort(merged.begin(), merged.end());
+  merged.erase(std::unique(merged.begin(), merged.end()), merged.end());
+  return merged;
+}
+
+}  // namespace qvg

@@ -1,0 +1,32 @@
+// Post-processing filter of Algorithm 3: joins the two sweeps' points and
+// removes erroneous ones.
+//
+// The true boundary of the (0,0) region is a monotone staircase (both
+// transition lines have negative slope), and erroneous sweep points are
+// biased toward the open upper-right interior of the triangle. Keeping, per
+// x, the lowest point (errors from the row sweep are vetoed by accurate
+// column-sweep points below them) and, per y, the leftmost point (errors
+// from the column sweep are vetoed by accurate row-sweep points left of
+// them), then taking the union, yields a clean point set on both lines.
+#pragma once
+
+#include "common/geometry.hpp"
+
+#include <vector>
+
+namespace qvg {
+
+/// filteredPoints1 of Algorithm 3: for each x, the point with minimal y.
+[[nodiscard]] std::vector<Pixel> keep_lowest_per_column(
+    const std::vector<Pixel>& points);
+
+/// filteredPoints2 of Algorithm 3: for each y, the point with minimal x.
+[[nodiscard]] std::vector<Pixel> keep_leftmost_per_row(
+    const std::vector<Pixel>& points);
+
+/// Full post-processing: union of the two filters, deduplicated and sorted
+/// by (x, y).
+[[nodiscard]] std::vector<Pixel> postprocess_transition_points(
+    const std::vector<Pixel>& points);
+
+}  // namespace qvg

@@ -1,0 +1,49 @@
+#include "extraction/success.hpp"
+
+#include <cmath>
+#include <sstream>
+
+namespace qvg {
+
+Verdict judge_extraction(bool extraction_succeeded,
+                         const VirtualGatePair& extracted,
+                         const TransitionTruth& truth,
+                         const VerdictOptions& opt) {
+  Verdict verdict;
+  if (!extraction_succeeded) {
+    verdict.reason = "method reported failure";
+    return verdict;
+  }
+
+  const double true_a12 = truth.alpha12();
+  const double true_a21 = truth.alpha21();
+  verdict.alpha12_rel_error =
+      std::abs(extracted.alpha12 - true_a12) / std::abs(true_a12);
+  verdict.alpha21_rel_error =
+      std::abs(extracted.alpha21 - true_a21) / std::abs(true_a21);
+  verdict.virtualized_angle_deg = virtualized_angle_deg(
+      extracted, truth.slope_steep, truth.slope_shallow);
+
+  std::ostringstream reason;
+  bool ok = true;
+  if (verdict.alpha12_rel_error > opt.alpha_tolerance) {
+    ok = false;
+    reason << "alpha12 error " << verdict.alpha12_rel_error << " > "
+           << opt.alpha_tolerance << "; ";
+  }
+  if (verdict.alpha21_rel_error > opt.alpha_tolerance) {
+    ok = false;
+    reason << "alpha21 error " << verdict.alpha21_rel_error << " > "
+           << opt.alpha_tolerance << "; ";
+  }
+  if (verdict.virtualized_angle_deg < opt.min_virtualized_angle_deg) {
+    ok = false;
+    reason << "virtualized angle " << verdict.virtualized_angle_deg << " deg < "
+           << opt.min_virtualized_angle_deg << "; ";
+  }
+  verdict.success = ok;
+  verdict.reason = ok ? "within tolerance" : reason.str();
+  return verdict;
+}
+
+}  // namespace qvg

@@ -1,0 +1,43 @@
+// Automated success verdicts.
+//
+// The paper judged success by manually inspecting the affine-transformed
+// diagram (§5.1). With the simulator's analytic ground truth available we
+// replace that with an objective test applied identically to both methods:
+// extraction succeeds when both compensation coefficients are within a
+// relative tolerance of the ground truth and the fitted geometry is sane.
+#pragma once
+
+#include "extraction/virtualization.hpp"
+#include "grid/csd.hpp"
+
+#include <string>
+
+namespace qvg {
+
+struct VerdictOptions {
+  /// Maximum relative error allowed on each compensation coefficient.
+  double alpha_tolerance = 0.25;
+  /// Minimum acceptable angle (degrees) between the virtualized lines when
+  /// mapping the *true* slopes through the extracted matrix (90 = perfect).
+  double min_virtualized_angle_deg = 75.0;
+};
+
+struct Verdict {
+  bool success = false;
+  std::string reason;
+  double alpha12_rel_error = 0.0;
+  double alpha21_rel_error = 0.0;
+  /// Angle between the true transition lines after applying the extracted
+  /// virtualization matrix.
+  double virtualized_angle_deg = 0.0;
+};
+
+/// Judge an extracted pair against the ground truth. `extraction_succeeded`
+/// is the method's own internal status (a method that failed to produce a
+/// matrix fails the verdict outright).
+[[nodiscard]] Verdict judge_extraction(bool extraction_succeeded,
+                                       const VirtualGatePair& extracted,
+                                       const TransitionTruth& truth,
+                                       const VerdictOptions& options = {});
+
+}  // namespace qvg

@@ -1,0 +1,124 @@
+#include "extraction/sweep.hpp"
+
+#include "common/assert.hpp"
+#include "extraction/feature_gradient.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace qvg {
+
+std::vector<Pixel> SweepResult::all_pixels() const {
+  std::vector<Pixel> out;
+  out.reserve(row_points.size() + col_points.size());
+  for (const auto& p : row_points) out.push_back(p.pixel);
+  for (const auto& p : col_points) out.push_back(p.pixel);
+  return out;
+}
+
+namespace {
+
+struct GradientProbe {
+  CurrentSource& source;
+  const VoltageAxis& x_axis;
+  const VoltageAxis& y_axis;
+
+  double operator()(int px, int py) const {
+    return feature_gradient(source, x_axis.voltage(px), y_axis.voltage(py),
+                            x_axis.step(), y_axis.step());
+  }
+};
+
+/// Integer pixel range [lo, hi] covered by a continuous span, using pixel
+/// centres for the inside test (paper §4.3.2) and clamping to the window.
+std::pair<int, int> pixel_range(double span_lo, double span_hi, int window_hi) {
+  const int lo = std::max(0, static_cast<int>(std::ceil(span_lo - 1e-9)));
+  const int hi = std::min(window_hi, static_cast<int>(std::floor(span_hi + 1e-9)));
+  return {lo, hi};
+}
+
+}  // namespace
+
+SweepResult run_sweeps(CurrentSource& source, const VoltageAxis& x_axis,
+                       const VoltageAxis& y_axis, Pixel anchor_a,
+                       Pixel anchor_b, const SweepOptions& opt) {
+  QVG_EXPECTS(anchor_a.x < anchor_b.x);
+  QVG_EXPECTS(anchor_a.y > anchor_b.y);
+  const int w = static_cast<int>(x_axis.count());
+  const int h = static_cast<int>(y_axis.count());
+  QVG_EXPECTS(anchor_b.x < w && anchor_a.y < h);
+  QVG_EXPECTS(anchor_a.x >= 0 && anchor_b.y >= 0);
+
+  const GradientProbe gradient{source, x_axis, y_axis};
+  SweepResult result;
+
+  // --- Row-major sweep (bottom -> top), moving anchor B. -----------------
+  if (opt.run_row_sweep) {
+    const int slack = opt.triangle_slack_pixels;
+    TriangleRegion triangle(anchor_a.center(), anchor_b.center());
+    for (int row = anchor_b.y + 1; row <= anchor_a.y - 1; ++row) {
+      const auto span = triangle.row_span(static_cast<double>(row));
+      if (!span) continue;
+      auto [x_lo, x_hi] =
+          pixel_range(span->first - slack, span->second + slack, w - 1);
+      // Keep the moving anchor strictly right of the fixed anchor A.
+      x_lo = std::max(x_lo, anchor_a.x + 1);
+      if (x_lo > x_hi) continue;
+      if (opt.max_segment_pixels > 0) {
+        const auto limit = static_cast<int>(opt.max_segment_pixels);
+        if (x_hi - x_lo + 1 > limit) x_lo = x_hi - limit + 1;
+      }
+
+      SweepPoint best{{x_lo, row}, -1e300};
+      for (int x = x_lo; x <= x_hi; ++x) {
+        const double g = gradient(x, row);
+        if (g > best.gradient) best = {{x, row}, g};
+      }
+      result.row_points.push_back(best);
+      int anchor_x = best.pixel.x;
+      if (opt.max_anchor_step > 0) {
+        const int prev_x = static_cast<int>(triangle.anchor_b().x);
+        anchor_x = std::max(anchor_x, prev_x - opt.max_anchor_step);
+      }
+      triangle.move_anchor_b(
+          {static_cast<double>(anchor_x), static_cast<double>(row)});
+    }
+  }
+
+  // --- Column-major sweep (left -> right), moving anchor A. --------------
+  if (opt.run_col_sweep) {
+    const int slack = opt.triangle_slack_pixels;
+    TriangleRegion triangle(anchor_a.center(), anchor_b.center());
+    for (int col = anchor_a.x + 1; col <= anchor_b.x - 1; ++col) {
+      const auto span = triangle.col_span(static_cast<double>(col));
+      if (!span) continue;
+      auto [y_lo, y_hi] =
+          pixel_range(span->first - slack, span->second + slack, h - 1);
+      // Keep the moving anchor strictly above the fixed anchor B.
+      y_lo = std::max(y_lo, anchor_b.y + 1);
+      if (y_lo > y_hi) continue;
+      if (opt.max_segment_pixels > 0) {
+        const auto limit = static_cast<int>(opt.max_segment_pixels);
+        if (y_hi - y_lo + 1 > limit) y_lo = y_hi - limit + 1;
+      }
+
+      SweepPoint best{{col, y_lo}, -1e300};
+      for (int y = y_lo; y <= y_hi; ++y) {
+        const double g = gradient(col, y);
+        if (g > best.gradient) best = {{col, y}, g};
+      }
+      result.col_points.push_back(best);
+      int anchor_y = best.pixel.y;
+      if (opt.max_anchor_step > 0) {
+        const int prev_y = static_cast<int>(triangle.anchor_a().y);
+        anchor_y = std::max(anchor_y, prev_y - opt.max_anchor_step);
+      }
+      triangle.move_anchor_a(
+          {static_cast<double>(col), static_cast<double>(anchor_y)});
+    }
+  }
+
+  return result;
+}
+
+}  // namespace qvg

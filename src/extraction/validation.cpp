@@ -1,0 +1,151 @@
+#include "extraction/validation.hpp"
+
+#include "common/assert.hpp"
+#include "linalg/solve.hpp"
+
+#include <cmath>
+#include <limits>
+#include <vector>
+
+namespace qvg {
+
+namespace {
+
+/// Scan `points` probes along one virtual axis and locate the sharpest
+/// current drop (the transition crossing). `axis_index` selects which
+/// virtual coordinate is swept; the other is held at `fixed_value`.
+/// Returns the crossing in the swept coordinate, or NaN.
+double find_crossing(CurrentSource& source, const Matrix& m_inv,
+                     int axis_index, double sweep_lo, double sweep_hi,
+                     double fixed_value, std::size_t points, long& probes) {
+  QVG_EXPECTS(points >= 8);
+  std::vector<double> currents(points);
+  const double step = (sweep_hi - sweep_lo) / static_cast<double>(points - 1);
+  for (std::size_t i = 0; i < points; ++i) {
+    const double swept = sweep_lo + step * static_cast<double>(i);
+    const std::vector<double> virtual_point =
+        axis_index == 0 ? std::vector<double>{swept, fixed_value}
+                        : std::vector<double>{fixed_value, swept};
+    const auto physical = m_inv.apply(virtual_point);
+    currents[i] = source.get_current(physical[0], physical[1]);
+    ++probes;
+  }
+  // Sharpest drop between consecutive samples; smooth over a 2-sample
+  // window to damp single-point noise.
+  double best_drop = 0.0;
+  std::size_t best_index = 0;
+  for (std::size_t i = 1; i + 2 < points; ++i) {
+    const double before = 0.5 * (currents[i - 1] + currents[i]);
+    const double after = 0.5 * (currents[i + 1] + currents[i + 2]);
+    const double drop = before - after;
+    if (drop > best_drop) {
+      best_drop = drop;
+      best_index = i;
+    }
+  }
+  // A genuine transition must dominate the scan's noise floor.
+  double span = 0.0;
+  for (std::size_t i = 0; i < points; ++i)
+    span = std::max(span, std::abs(currents[i] - currents[0]));
+  if (best_drop < 0.3 * span || best_index == 0)
+    return std::numeric_limits<double>::quiet_NaN();
+  return sweep_lo + step * (static_cast<double>(best_index) + 0.5);
+}
+
+}  // namespace
+
+ValidationResult validate_virtual_gates(CurrentSource& source,
+                                        const VoltageAxis& x_axis,
+                                        const VoltageAxis& y_axis,
+                                        const VirtualGatePair& gates,
+                                        Point2 intersection,
+                                        const ValidationOptions& opt) {
+  QVG_EXPECTS(opt.points_per_scan >= 8);
+  QVG_EXPECTS(opt.scan_separation_fraction > 0.0 &&
+              opt.scan_separation_fraction < 0.5);
+
+  ValidationResult result;
+  const Matrix m = gates.matrix();
+  const Matrix m_inv = inverse(m);
+
+  // Virtual-frame coordinates of the fitted intersection.
+  const auto p_virtual = m.apply({intersection.x, intersection.y});
+  const double span_x = x_axis.end() - x_axis.start();
+  const double span_y = y_axis.end() - y_axis.start();
+  const double sep_x = opt.scan_separation_fraction * span_x;
+  const double sep_y = opt.scan_separation_fraction * span_y;
+
+  // --- Check alpha12: two scans along V'1 at different V'2, below the
+  // triple point, crossing the (now nominally vertical) steep line. -------
+  {
+    const double lo = p_virtual[0] - 0.8 * sep_x;
+    const double hi = p_virtual[0] + 0.8 * sep_x;
+    const double v2_low = p_virtual[1] - 1.6 * sep_y;
+    const double v2_high = p_virtual[1] - 0.6 * sep_y;
+    result.steep_check.crossing_low =
+        find_crossing(source, m_inv, 0, lo, hi, v2_low, opt.points_per_scan,
+                      result.probes_used);
+    result.steep_check.crossing_high =
+        find_crossing(source, m_inv, 0, lo, hi, v2_high, opt.points_per_scan,
+                      result.probes_used);
+    result.steep_check.crossing_found =
+        std::isfinite(result.steep_check.crossing_low) &&
+        std::isfinite(result.steep_check.crossing_high);
+    if (result.steep_check.crossing_found) {
+      result.steep_check.residual_crosstalk =
+          std::abs(result.steep_check.crossing_high -
+                   result.steep_check.crossing_low) /
+          (v2_high - v2_low);
+    }
+  }
+
+  // --- Check alpha21: two scans along V'2 at different V'1, left of the
+  // triple point, crossing the (nominally horizontal) shallow line. -------
+  {
+    const double lo = p_virtual[1] - 0.8 * sep_y;
+    const double hi = p_virtual[1] + 0.8 * sep_y;
+    const double v1_low = p_virtual[0] - 1.6 * sep_x;
+    const double v1_high = p_virtual[0] - 0.6 * sep_x;
+    result.shallow_check.crossing_low =
+        find_crossing(source, m_inv, 1, lo, hi, v1_low, opt.points_per_scan,
+                      result.probes_used);
+    result.shallow_check.crossing_high =
+        find_crossing(source, m_inv, 1, lo, hi, v1_high, opt.points_per_scan,
+                      result.probes_used);
+    result.shallow_check.crossing_found =
+        std::isfinite(result.shallow_check.crossing_low) &&
+        std::isfinite(result.shallow_check.crossing_high);
+    if (result.shallow_check.crossing_found) {
+      result.shallow_check.residual_crosstalk =
+          std::abs(result.shallow_check.crossing_high -
+                   result.shallow_check.crossing_low) /
+          (v1_high - v1_low);
+    }
+  }
+
+  if (!result.steep_check.crossing_found) {
+    result.reason = "steep-line validation scans found no transition";
+    return result;
+  }
+  if (!result.shallow_check.crossing_found) {
+    result.reason = "shallow-line validation scans found no transition";
+    return result;
+  }
+  if (result.steep_check.residual_crosstalk > opt.max_residual_crosstalk) {
+    result.reason = "residual VP2 -> dot 1 cross-talk " +
+                    std::to_string(result.steep_check.residual_crosstalk) +
+                    " exceeds tolerance";
+    return result;
+  }
+  if (result.shallow_check.residual_crosstalk > opt.max_residual_crosstalk) {
+    result.reason = "residual VP1 -> dot 2 cross-talk " +
+                    std::to_string(result.shallow_check.residual_crosstalk) +
+                    " exceeds tolerance";
+    return result;
+  }
+  result.accepted = true;
+  result.reason = "orthogonal control verified";
+  return result;
+}
+
+}  // namespace qvg

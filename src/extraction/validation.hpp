@@ -1,0 +1,64 @@
+// On-device validation of an extracted virtualization matrix.
+//
+// After extraction, an experimentalist verifies "one-to-one" control by
+// scanning along each *virtual* axis and checking that only the intended
+// dot's transition moves. This module automates that check cheaply: it
+// takes two short line scans in virtual coordinates across each transition
+// line and measures how far the crossing point shifts when the *other*
+// virtual gate changes. With perfect compensation the shift is zero; the
+// residual cross-talk ratio approximates the error in the compensation
+// coefficients. Costs O(points) probes — far cheaper than re-acquiring a
+// diagram.
+#pragma once
+
+#include "common/error.hpp"
+#include "extraction/virtualization.hpp"
+#include "grid/axis.hpp"
+#include "probe/current_source.hpp"
+
+#include <string>
+
+namespace qvg {
+
+struct ValidationOptions {
+  /// Points per line scan.
+  std::size_t points_per_scan = 40;
+  /// Separation between the two parallel scans, as a fraction of the window.
+  double scan_separation_fraction = 0.25;
+  /// Residual cross-talk ratio below which the matrix is accepted:
+  /// |crossing shift| / |virtual-gate step|.
+  double max_residual_crosstalk = 0.08;
+};
+
+struct LineScanCheck {
+  /// Crossing position (in the scanned virtual coordinate) at the two
+  /// offsets of the other virtual gate.
+  double crossing_low = 0.0;
+  double crossing_high = 0.0;
+  /// |crossing_high - crossing_low| / (other-gate step): residual coupling.
+  double residual_crosstalk = 0.0;
+  bool crossing_found = false;
+};
+
+struct ValidationResult {
+  bool accepted = false;
+  std::string reason;
+  /// Scan along V'1 (crossing the steep line): residual effect of V'2 on
+  /// dot 1 — checks alpha12.
+  LineScanCheck steep_check;
+  /// Scan along V'2 (crossing the shallow line): residual effect of V'1 on
+  /// dot 2 — checks alpha21.
+  LineScanCheck shallow_check;
+  long probes_used = 0;
+};
+
+/// Validate the pair's virtualization matrix against the device behind
+/// `source`. The scan window axes must match the extraction window; the
+/// `intersection` is the fitted triple point in physical voltage
+/// coordinates (used to place the line scans on both sides of it).
+[[nodiscard]] ValidationResult validate_virtual_gates(
+    CurrentSource& source, const VoltageAxis& x_axis, const VoltageAxis& y_axis,
+    const VirtualGatePair& gates, Point2 intersection,
+    const ValidationOptions& options = {});
+
+}  // namespace qvg

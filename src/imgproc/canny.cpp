@@ -1,0 +1,102 @@
+#include "imgproc/canny.hpp"
+
+#include "common/assert.hpp"
+#include "imgproc/filters.hpp"
+#include "imgproc/sobel.hpp"
+#include "linalg/stats.hpp"
+
+#include <cmath>
+#include <numbers>
+#include <vector>
+
+namespace qvg {
+
+namespace {
+
+/// Quantize the gradient direction into one of 4 sectors (0°, 45°, 90°, 135°)
+/// and return the two neighbor offsets along the gradient.
+std::pair<std::pair<int, int>, std::pair<int, int>> gradient_neighbors(
+    double gx, double gy) {
+  const double angle = std::atan2(gy, gx);  // [-pi, pi]
+  double deg = angle * 180.0 / std::numbers::pi;
+  if (deg < 0) deg += 180.0;  // direction is modulo 180
+  if (deg < 22.5 || deg >= 157.5) return {{1, 0}, {-1, 0}};     // horizontal
+  if (deg < 67.5) return {{1, 1}, {-1, -1}};                    // diagonal /
+  if (deg < 112.5) return {{0, 1}, {0, -1}};                    // vertical
+  return {{-1, 1}, {1, -1}};                                    // diagonal \.
+}
+
+}  // namespace
+
+GridU8 canny(const GridD& image, const CannyOptions& opt) {
+  QVG_EXPECTS(image.width() >= 3 && image.height() >= 3);
+
+  const GridD smoothed = gaussian_blur(image, opt.gaussian_sigma);
+  const GradientField grad = sobel_gradients(smoothed);
+
+  // Resolve thresholds.
+  double low = opt.low_threshold;
+  double high = opt.high_threshold;
+  if (low < 0.0 || high < 0.0) {
+    std::vector<double> nonzero;
+    nonzero.reserve(grad.magnitude.raw().size());
+    for (double m : grad.magnitude.raw())
+      if (m > 1e-12) nonzero.push_back(m);
+    if (nonzero.empty()) return GridU8(image.width(), image.height(), 0);
+    if (low < 0.0) low = percentile(nonzero, opt.low_quantile * 100.0);
+    if (high < 0.0) high = percentile(nonzero, opt.high_quantile * 100.0);
+  }
+  QVG_ENSURES(high >= low);
+
+  const auto w = image.width();
+  const auto h = image.height();
+
+  // Non-maximum suppression.
+  GridD thinned(w, h, 0.0);
+  for (std::size_t y = 0; y < h; ++y) {
+    for (std::size_t x = 0; x < w; ++x) {
+      const double m = grad.magnitude(x, y);
+      if (m < low) continue;
+      const auto [n1, n2] = gradient_neighbors(grad.gx(x, y), grad.gy(x, y));
+      const double m1 = grad.magnitude.clamped(
+          static_cast<std::ptrdiff_t>(x) + n1.first,
+          static_cast<std::ptrdiff_t>(y) + n1.second);
+      const double m2 = grad.magnitude.clamped(
+          static_cast<std::ptrdiff_t>(x) + n2.first,
+          static_cast<std::ptrdiff_t>(y) + n2.second);
+      if (m >= m1 && m >= m2) thinned(x, y) = m;
+    }
+  }
+
+  // Hysteresis: strong pixels seed a flood fill through weak pixels.
+  GridU8 edges(w, h, 0);
+  std::vector<std::pair<std::size_t, std::size_t>> stack;
+  for (std::size_t y = 0; y < h; ++y)
+    for (std::size_t x = 0; x < w; ++x)
+      if (thinned(x, y) >= high) {
+        edges(x, y) = 1;
+        stack.emplace_back(x, y);
+      }
+
+  while (!stack.empty()) {
+    const auto [cx, cy] = stack.back();
+    stack.pop_back();
+    for (int dy = -1; dy <= 1; ++dy) {
+      for (int dx = -1; dx <= 1; ++dx) {
+        if (dx == 0 && dy == 0) continue;
+        const auto nx = static_cast<std::ptrdiff_t>(cx) + dx;
+        const auto ny = static_cast<std::ptrdiff_t>(cy) + dy;
+        if (!edges.in_bounds(nx, ny)) continue;
+        const auto ux = static_cast<std::size_t>(nx);
+        const auto uy = static_cast<std::size_t>(ny);
+        if (edges(ux, uy) == 0 && thinned(ux, uy) >= low) {
+          edges(ux, uy) = 1;
+          stack.emplace_back(ux, uy);
+        }
+      }
+    }
+  }
+  return edges;
+}
+
+}  // namespace qvg

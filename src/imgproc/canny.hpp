@@ -1,0 +1,25 @@
+// Canny edge detector: Gaussian smoothing, Sobel gradients, non-maximum
+// suppression, double-threshold hysteresis. This is the edge-detection stage
+// of the paper's baseline (OpenCV Canny in the original evaluation).
+#pragma once
+
+#include "grid/grid2d.hpp"
+
+namespace qvg {
+
+struct CannyOptions {
+  double gaussian_sigma = 1.4;
+  /// Thresholds on the gradient magnitude expressed as quantiles of the
+  /// nonzero magnitude distribution, so the detector adapts to the CSD's
+  /// contrast (OpenCV users typically hand-tune absolute values instead).
+  double low_quantile = 0.80;
+  double high_quantile = 0.92;
+  /// Absolute thresholds override the quantiles when >= 0.
+  double low_threshold = -1.0;
+  double high_threshold = -1.0;
+};
+
+/// Returns a binary edge map (1 = edge pixel, 0 = background).
+[[nodiscard]] GridU8 canny(const GridD& image, const CannyOptions& options = {});
+
+}  // namespace qvg

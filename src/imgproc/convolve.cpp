@@ -1,0 +1,109 @@
+#include "imgproc/convolve.hpp"
+
+#include "common/assert.hpp"
+
+namespace qvg {
+
+namespace {
+
+double sample(const GridD& image, std::ptrdiff_t x, std::ptrdiff_t y,
+              BorderMode border) {
+  if (image.in_bounds(x, y))
+    return image(static_cast<std::size_t>(x), static_cast<std::size_t>(y));
+  switch (border) {
+    case BorderMode::kZero:
+      return 0.0;
+    case BorderMode::kReplicate:
+      return image.clamped(x, y);
+    case BorderMode::kReflect: {
+      const auto w = static_cast<std::ptrdiff_t>(image.width());
+      const auto h = static_cast<std::ptrdiff_t>(image.height());
+      auto reflect = [](std::ptrdiff_t v, std::ptrdiff_t n) {
+        // Reflect-101 style without repeating the border pixel.
+        while (v < 0 || v >= n) {
+          if (v < 0) v = -v;
+          if (v >= n) v = 2 * (n - 1) - v;
+        }
+        return v;
+      };
+      return image(static_cast<std::size_t>(reflect(x, w)),
+                   static_cast<std::size_t>(reflect(y, h)));
+    }
+  }
+  return 0.0;
+}
+
+}  // namespace
+
+GridD correlate(const GridD& image, const Kernel2D& kernel, BorderMode border) {
+  QVG_EXPECTS(!image.empty());
+  QVG_EXPECTS(!kernel.empty());
+  const auto kw = static_cast<std::ptrdiff_t>(kernel.width());
+  const auto kh = static_cast<std::ptrdiff_t>(kernel.height());
+  const std::ptrdiff_t ax = kw / 2;  // anchor: kernel center
+  const std::ptrdiff_t ay = kh / 2;
+
+  GridD out(image.width(), image.height());
+  for (std::size_t y = 0; y < image.height(); ++y) {
+    for (std::size_t x = 0; x < image.width(); ++x) {
+      double acc = 0.0;
+      for (std::ptrdiff_t ky = 0; ky < kh; ++ky) {
+        for (std::ptrdiff_t kx = 0; kx < kw; ++kx) {
+          const double w = kernel(static_cast<std::size_t>(kx),
+                                  static_cast<std::size_t>(ky));
+          if (w == 0.0) continue;
+          acc += w * sample(image, static_cast<std::ptrdiff_t>(x) + kx - ax,
+                            static_cast<std::ptrdiff_t>(y) + ky - ay, border);
+        }
+      }
+      out(x, y) = acc;
+    }
+  }
+  return out;
+}
+
+GridD convolve(const GridD& image, const Kernel2D& kernel, BorderMode border) {
+  // Convolution = correlation with a doubly flipped kernel.
+  Kernel2D flipped(kernel.width(), kernel.height());
+  for (std::size_t y = 0; y < kernel.height(); ++y)
+    for (std::size_t x = 0; x < kernel.width(); ++x)
+      flipped(x, y) = kernel(kernel.width() - 1 - x, kernel.height() - 1 - y);
+  return correlate(image, flipped, border);
+}
+
+GridD correlate_separable(const GridD& image, const std::vector<double>& taps_x,
+                          const std::vector<double>& taps_y, BorderMode border) {
+  QVG_EXPECTS(!taps_x.empty() && !taps_y.empty());
+  const auto rx = static_cast<std::ptrdiff_t>(taps_x.size()) / 2;
+  const auto ry = static_cast<std::ptrdiff_t>(taps_y.size()) / 2;
+
+  GridD tmp(image.width(), image.height());
+  for (std::size_t y = 0; y < image.height(); ++y) {
+    for (std::size_t x = 0; x < image.width(); ++x) {
+      double acc = 0.0;
+      for (std::size_t k = 0; k < taps_x.size(); ++k) {
+        acc += taps_x[k] * sample(image,
+                                  static_cast<std::ptrdiff_t>(x) +
+                                      static_cast<std::ptrdiff_t>(k) - rx,
+                                  static_cast<std::ptrdiff_t>(y), border);
+      }
+      tmp(x, y) = acc;
+    }
+  }
+  GridD out(image.width(), image.height());
+  for (std::size_t y = 0; y < image.height(); ++y) {
+    for (std::size_t x = 0; x < image.width(); ++x) {
+      double acc = 0.0;
+      for (std::size_t k = 0; k < taps_y.size(); ++k) {
+        acc += taps_y[k] * sample(tmp, static_cast<std::ptrdiff_t>(x),
+                                  static_cast<std::ptrdiff_t>(y) +
+                                      static_cast<std::ptrdiff_t>(k) - ry,
+                                  border);
+      }
+      out(x, y) = acc;
+    }
+  }
+  return out;
+}
+
+}  // namespace qvg

@@ -1,0 +1,33 @@
+// 2-D cross-correlation / convolution over Grid2D images.
+#pragma once
+
+#include "grid/grid2d.hpp"
+#include "imgproc/kernel.hpp"
+
+#include <vector>
+
+namespace qvg {
+
+enum class BorderMode {
+  kReplicate,  // clamp coordinates to the border (default)
+  kReflect,    // mirror across the border
+  kZero,       // treat outside pixels as 0
+};
+
+/// Cross-correlate `image` with `kernel` (no kernel flip; the paper's masks
+/// are specified in correlation form). The anchor is the kernel center
+/// (floor division for even sizes). Output has the same size as the input.
+[[nodiscard]] GridD correlate(const GridD& image, const Kernel2D& kernel,
+                              BorderMode border = BorderMode::kReplicate);
+
+/// True convolution (kernel flipped in both axes).
+[[nodiscard]] GridD convolve(const GridD& image, const Kernel2D& kernel,
+                             BorderMode border = BorderMode::kReplicate);
+
+/// Separable correlation with a horizontal then vertical 1-D tap vector.
+[[nodiscard]] GridD correlate_separable(const GridD& image,
+                                        const std::vector<double>& taps_x,
+                                        const std::vector<double>& taps_y,
+                                        BorderMode border = BorderMode::kReplicate);
+
+}  // namespace qvg

@@ -1,0 +1,21 @@
+#include "imgproc/sobel.hpp"
+
+#include "imgproc/convolve.hpp"
+#include "imgproc/kernel.hpp"
+
+#include <cmath>
+
+namespace qvg {
+
+GradientField sobel_gradients(const GridD& image) {
+  GradientField field;
+  field.gx = correlate(image, sobel_x_kernel(), BorderMode::kReplicate);
+  field.gy = correlate(image, sobel_y_kernel(), BorderMode::kReplicate);
+  field.magnitude = GridD(image.width(), image.height());
+  for (std::size_t i = 0; i < image.raw().size(); ++i)
+    field.magnitude.raw()[i] =
+        std::hypot(field.gx.raw()[i], field.gy.raw()[i]);
+  return field;
+}
+
+}  // namespace qvg

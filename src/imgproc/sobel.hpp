@@ -1,0 +1,16 @@
+// Sobel gradients: magnitude and direction fields used by Canny.
+#pragma once
+
+#include "grid/grid2d.hpp"
+
+namespace qvg {
+
+struct GradientField {
+  GridD gx;         // d/dx
+  GridD gy;         // d/dy
+  GridD magnitude;  // sqrt(gx^2 + gy^2)
+};
+
+[[nodiscard]] GradientField sobel_gradients(const GridD& image);
+
+}  // namespace qvg

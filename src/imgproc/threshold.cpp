@@ -1,0 +1,60 @@
+#include "imgproc/threshold.hpp"
+
+#include "common/assert.hpp"
+
+#include <algorithm>
+#include <array>
+
+namespace qvg {
+
+double otsu_threshold(const GridD& image) {
+  QVG_EXPECTS(!image.empty());
+  const auto [lo_it, hi_it] =
+      std::minmax_element(image.raw().begin(), image.raw().end());
+  const double lo = *lo_it;
+  const double hi = *hi_it;
+  if (hi - lo < 1e-300) return lo;
+
+  constexpr int kBins = 256;
+  std::array<int, kBins> hist{};
+  const double scale = (kBins - 1) / (hi - lo);
+  for (double v : image.raw()) {
+    auto bin = static_cast<int>((v - lo) * scale);
+    bin = std::clamp(bin, 0, kBins - 1);
+    ++hist[static_cast<std::size_t>(bin)];
+  }
+
+  const double total = static_cast<double>(image.raw().size());
+  double sum_all = 0.0;
+  for (int b = 0; b < kBins; ++b) sum_all += b * hist[static_cast<std::size_t>(b)];
+
+  double sum_bg = 0.0;
+  double weight_bg = 0.0;
+  double best_var = -1.0;
+  int best_bin = 0;
+  for (int b = 0; b < kBins; ++b) {
+    weight_bg += hist[static_cast<std::size_t>(b)];
+    if (weight_bg == 0.0) continue;
+    const double weight_fg = total - weight_bg;
+    if (weight_fg == 0.0) break;
+    sum_bg += b * hist[static_cast<std::size_t>(b)];
+    const double mean_bg = sum_bg / weight_bg;
+    const double mean_fg = (sum_all - sum_bg) / weight_fg;
+    const double between =
+        weight_bg * weight_fg * (mean_bg - mean_fg) * (mean_bg - mean_fg);
+    if (between > best_var) {
+      best_var = between;
+      best_bin = b;
+    }
+  }
+  return lo + (best_bin + 0.5) / scale;
+}
+
+GridU8 binarize(const GridD& image, double threshold) {
+  GridU8 out(image.width(), image.height(), 0);
+  for (std::size_t i = 0; i < image.raw().size(); ++i)
+    out.raw()[i] = image.raw()[i] > threshold ? 1 : 0;
+  return out;
+}
+
+}  // namespace qvg

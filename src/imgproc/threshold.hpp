@@ -1,0 +1,16 @@
+// Global thresholding utilities.
+#pragma once
+
+#include "grid/grid2d.hpp"
+
+namespace qvg {
+
+/// Otsu's method: threshold maximizing between-class variance over a
+/// 256-bin histogram of the (min..max normalized) image. Returns the
+/// threshold in original image units.
+[[nodiscard]] double otsu_threshold(const GridD& image);
+
+/// Binarize: 1 where image > threshold else 0.
+[[nodiscard]] GridU8 binarize(const GridD& image, double threshold);
+
+}  // namespace qvg

@@ -1,0 +1,117 @@
+#include "linalg/levenberg_marquardt.hpp"
+
+#include "common/assert.hpp"
+#include "common/error.hpp"
+#include "linalg/decomposition.hpp"
+#include "linalg/matrix.hpp"
+
+#include <cmath>
+
+namespace qvg {
+
+namespace {
+
+double cost_of(const std::vector<double>& r) {
+  double acc = 0.0;
+  for (double v : r) acc += v * v;
+  return 0.5 * acc;
+}
+
+Matrix numeric_jacobian(
+    const std::function<std::vector<double>(const std::vector<double>&)>& fn,
+    const std::vector<double>& x, const std::vector<double>& r0, double eps_rel) {
+  const std::size_t m = r0.size();
+  const std::size_t n = x.size();
+  Matrix j(m, n);
+  std::vector<double> xp = x;
+  for (std::size_t col = 0; col < n; ++col) {
+    const double h = eps_rel * (std::abs(x[col]) + 1.0);
+    xp[col] = x[col] + h;
+    const auto rp = fn(xp);
+    QVG_ASSERT(rp.size() == m);
+    for (std::size_t row = 0; row < m; ++row)
+      j(row, col) = (rp[row] - r0[row]) / h;
+    xp[col] = x[col];
+  }
+  return j;
+}
+
+}  // namespace
+
+LmResult minimize_levenberg_marquardt(
+    const std::function<std::vector<double>(const std::vector<double>&)>& residuals,
+    std::vector<double> x0, const LmOptions& opt) {
+  QVG_EXPECTS(!x0.empty());
+
+  LmResult result;
+  std::vector<double> x = std::move(x0);
+  std::vector<double> r = residuals(x);
+  QVG_EXPECTS(r.size() >= x.size());
+  double cost = cost_of(r);
+  double lambda = opt.initial_lambda;
+
+  const std::size_t n = x.size();
+  int iter = 0;
+  for (; iter < opt.max_iterations; ++iter) {
+    const Matrix j = numeric_jacobian(residuals, x, r, opt.jacobian_epsilon);
+    const Matrix jt = j.transposed();
+    const Matrix jtj = jt * j;
+    // g = J^T r
+    std::vector<double> g(n, 0.0);
+    for (std::size_t c = 0; c < n; ++c) {
+      double acc = 0.0;
+      for (std::size_t row = 0; row < r.size(); ++row) acc += j(row, c) * r[row];
+      g[c] = acc;
+    }
+
+    bool stepped = false;
+    for (int attempt = 0; attempt < 10 && !stepped; ++attempt) {
+      Matrix a = jtj;
+      for (std::size_t d = 0; d < n; ++d) a(d, d) += lambda * (jtj(d, d) + 1e-12);
+      std::vector<double> step;
+      try {
+        LuDecomposition lu(a);
+        std::vector<double> neg_g(n);
+        for (std::size_t d = 0; d < n; ++d) neg_g[d] = -g[d];
+        step = lu.solve(neg_g);
+      } catch (const NumericalError&) {
+        lambda *= opt.lambda_up;
+        continue;
+      }
+
+      std::vector<double> x_new(n);
+      for (std::size_t d = 0; d < n; ++d) x_new[d] = x[d] + step[d];
+      const auto r_new = residuals(x_new);
+      const double cost_new = cost_of(r_new);
+
+      if (cost_new < cost) {
+        const double step_norm = norm(step);
+        const double rel_drop = (cost - cost_new) / (cost + 1e-300);
+        x = std::move(x_new);
+        r = r_new;
+        cost = cost_new;
+        lambda = std::max(lambda * opt.lambda_down, 1e-12);
+        stepped = true;
+        if (rel_drop < opt.cost_tolerance || step_norm < opt.step_tolerance) {
+          result.converged = true;
+          ++iter;
+          goto done;
+        }
+      } else {
+        lambda *= opt.lambda_up;
+      }
+    }
+    if (!stepped) {
+      // Could not find a downhill step: treat as converged to a local minimum.
+      result.converged = true;
+      break;
+    }
+  }
+done:
+  result.x = std::move(x);
+  result.cost = cost;
+  result.iterations = iter;
+  return result;
+}
+
+}  // namespace qvg

@@ -1,0 +1,36 @@
+// Levenberg-Marquardt nonlinear least squares with a numeric Jacobian.
+// Used as the polishing step after Nelder-Mead in the piecewise-linear
+// transition-line fit, and available as a general substrate routine.
+#pragma once
+
+#include <functional>
+#include <vector>
+
+namespace qvg {
+
+struct LmOptions {
+  int max_iterations = 100;
+  double initial_lambda = 1e-3;
+  double lambda_up = 10.0;
+  double lambda_down = 0.1;
+  /// Stop when the relative reduction of the cost falls below this.
+  double cost_tolerance = 1e-12;
+  /// Stop when the step norm falls below this.
+  double step_tolerance = 1e-12;
+  /// Relative perturbation for the forward-difference Jacobian.
+  double jacobian_epsilon = 1e-7;
+};
+
+struct LmResult {
+  std::vector<double> x;
+  double cost = 0.0;  // 0.5 * sum of squared residuals
+  int iterations = 0;
+  bool converged = false;
+};
+
+/// Minimize 0.5*||r(x)||^2 where r: R^n -> R^m is the residual function.
+[[nodiscard]] LmResult minimize_levenberg_marquardt(
+    const std::function<std::vector<double>(const std::vector<double>&)>& residuals,
+    std::vector<double> x0, const LmOptions& options = {});
+
+}  // namespace qvg

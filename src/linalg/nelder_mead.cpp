@@ -1,0 +1,120 @@
+#include "linalg/nelder_mead.hpp"
+
+#include "common/assert.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+namespace qvg {
+
+namespace {
+
+struct Vertex {
+  std::vector<double> x;
+  double f = 0.0;
+};
+
+std::vector<double> centroid_excluding_worst(const std::vector<Vertex>& simplex) {
+  const std::size_t n = simplex[0].x.size();
+  std::vector<double> c(n, 0.0);
+  for (std::size_t i = 0; i + 1 < simplex.size(); ++i)
+    for (std::size_t d = 0; d < n; ++d) c[d] += simplex[i].x[d];
+  for (double& v : c) v /= static_cast<double>(simplex.size() - 1);
+  return c;
+}
+
+std::vector<double> affine(const std::vector<double>& base,
+                           const std::vector<double>& dir, double t) {
+  std::vector<double> out(base.size());
+  for (std::size_t d = 0; d < base.size(); ++d)
+    out[d] = base[d] + t * (dir[d] - base[d]);
+  return out;
+}
+
+double simplex_diameter(const std::vector<Vertex>& simplex) {
+  double worst = 0.0;
+  for (std::size_t i = 1; i < simplex.size(); ++i) {
+    double dist = 0.0;
+    for (std::size_t d = 0; d < simplex[0].x.size(); ++d) {
+      const double delta = simplex[i].x[d] - simplex[0].x[d];
+      dist += delta * delta;
+    }
+    worst = std::max(worst, std::sqrt(dist));
+  }
+  return worst;
+}
+
+}  // namespace
+
+NelderMeadResult minimize_nelder_mead(
+    const std::function<double(const std::vector<double>&)>& f,
+    std::vector<double> x0, const NelderMeadOptions& opt) {
+  QVG_EXPECTS(!x0.empty());
+  QVG_EXPECTS(opt.max_iterations > 0);
+
+  const std::size_t n = x0.size();
+  std::vector<Vertex> simplex;
+  simplex.reserve(n + 1);
+  simplex.push_back({x0, f(x0)});
+  for (std::size_t d = 0; d < n; ++d) {
+    std::vector<double> x = x0;
+    x[d] += opt.initial_step * (std::abs(x0[d]) + 1.0);
+    simplex.push_back({x, f(x)});
+  }
+
+  auto by_f = [](const Vertex& a, const Vertex& b) { return a.f < b.f; };
+  std::sort(simplex.begin(), simplex.end(), by_f);
+
+  NelderMeadResult result;
+  int iter = 0;
+  for (; iter < opt.max_iterations; ++iter) {
+    const double spread = simplex.back().f - simplex.front().f;
+    if (spread < opt.f_tolerance && simplex_diameter(simplex) < opt.x_tolerance) {
+      result.converged = true;
+      break;
+    }
+
+    const auto c = centroid_excluding_worst(simplex);
+    Vertex& worst = simplex.back();
+
+    // Reflection.
+    auto xr = affine(c, worst.x, -opt.alpha);
+    const double fr = f(xr);
+    if (fr < simplex.front().f) {
+      // Expansion.
+      auto xe = affine(c, worst.x, -opt.gamma);
+      const double fe = f(xe);
+      if (fe < fr) {
+        worst = {std::move(xe), fe};
+      } else {
+        worst = {std::move(xr), fr};
+      }
+    } else if (fr < simplex[simplex.size() - 2].f) {
+      worst = {std::move(xr), fr};
+    } else {
+      // Contraction (outside if reflected point improved on worst, else inside).
+      const bool outside = fr < worst.f;
+      auto xc = outside ? affine(c, xr, opt.rho) : affine(c, worst.x, opt.rho);
+      const double fc = f(xc);
+      const double bound = outside ? fr : worst.f;
+      if (fc < bound) {
+        worst = {std::move(xc), fc};
+      } else {
+        // Shrink toward the best vertex.
+        for (std::size_t i = 1; i < simplex.size(); ++i) {
+          simplex[i].x = affine(simplex.front().x, simplex[i].x, opt.sigma);
+          simplex[i].f = f(simplex[i].x);
+        }
+      }
+    }
+    std::sort(simplex.begin(), simplex.end(), by_f);
+  }
+
+  result.x = simplex.front().x;
+  result.f = simplex.front().f;
+  result.iterations = iter;
+  return result;
+}
+
+}  // namespace qvg

@@ -1,0 +1,41 @@
+// Nelder-Mead downhill simplex minimizer.
+//
+// Replaces SciPy's curve_fit in the paper's slope-extraction step (§4.3.3):
+// the 2-piece-wise linear model has exactly two free parameters (the
+// intersection point), a problem size where Nelder-Mead is robust and
+// derivative-free.
+#pragma once
+
+#include <functional>
+#include <vector>
+
+namespace qvg {
+
+struct NelderMeadOptions {
+  int max_iterations = 500;
+  /// Convergence: simplex function-value spread below this.
+  double f_tolerance = 1e-10;
+  /// Convergence: simplex diameter below this.
+  double x_tolerance = 1e-10;
+  /// Initial simplex step per coordinate (relative to |x0| + 1).
+  double initial_step = 0.05;
+  // Standard reflection/expansion/contraction/shrink coefficients.
+  double alpha = 1.0;
+  double gamma = 2.0;
+  double rho = 0.5;
+  double sigma = 0.5;
+};
+
+struct NelderMeadResult {
+  std::vector<double> x;
+  double f = 0.0;
+  int iterations = 0;
+  bool converged = false;
+};
+
+/// Minimize f over R^n starting at x0.
+[[nodiscard]] NelderMeadResult minimize_nelder_mead(
+    const std::function<double(const std::vector<double>&)>& f,
+    std::vector<double> x0, const NelderMeadOptions& options = {});
+
+}  // namespace qvg

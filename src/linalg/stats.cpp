@@ -1,0 +1,67 @@
+#include "linalg/stats.hpp"
+
+#include "common/assert.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace qvg {
+
+double mean(const std::vector<double>& v) {
+  QVG_EXPECTS(!v.empty());
+  double acc = 0.0;
+  for (double x : v) acc += x;
+  return acc / static_cast<double>(v.size());
+}
+
+double variance(const std::vector<double>& v) {
+  QVG_EXPECTS(!v.empty());
+  const double mu = mean(v);
+  double acc = 0.0;
+  for (double x : v) acc += (x - mu) * (x - mu);
+  return acc / static_cast<double>(v.size());
+}
+
+double stddev(const std::vector<double>& v) { return std::sqrt(variance(v)); }
+
+double median(std::vector<double> v) {
+  QVG_EXPECTS(!v.empty());
+  const std::size_t mid = v.size() / 2;
+  std::nth_element(v.begin(), v.begin() + static_cast<std::ptrdiff_t>(mid), v.end());
+  double hi = v[mid];
+  if (v.size() % 2 == 1) return hi;
+  double lo = *std::max_element(v.begin(), v.begin() + static_cast<std::ptrdiff_t>(mid));
+  return 0.5 * (lo + hi);
+}
+
+double mad_sigma(const std::vector<double>& v) {
+  QVG_EXPECTS(!v.empty());
+  const double med = median(std::vector<double>(v));
+  std::vector<double> dev(v.size());
+  for (std::size_t i = 0; i < v.size(); ++i) dev[i] = std::abs(v[i] - med);
+  return 1.4826 * median(std::move(dev));
+}
+
+double percentile(std::vector<double> v, double p) {
+  QVG_EXPECTS(!v.empty());
+  QVG_EXPECTS(p >= 0.0 && p <= 100.0);
+  std::sort(v.begin(), v.end());
+  if (v.size() == 1) return v[0];
+  const double pos = p / 100.0 * static_cast<double>(v.size() - 1);
+  const auto lo = static_cast<std::size_t>(pos);
+  const std::size_t hi = std::min(lo + 1, v.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return v[lo] * (1.0 - frac) + v[hi] * frac;
+}
+
+double min_value(const std::vector<double>& v) {
+  QVG_EXPECTS(!v.empty());
+  return *std::min_element(v.begin(), v.end());
+}
+
+double max_value(const std::vector<double>& v) {
+  QVG_EXPECTS(!v.empty());
+  return *std::max_element(v.begin(), v.end());
+}
+
+}  // namespace qvg

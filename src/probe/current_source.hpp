@@ -1,0 +1,29 @@
+// The experiment abstraction of the paper's Algorithm 1: every measurement
+// sets two plunger-gate voltages, waits a dwell time, and reads the charge
+// sensor. All extraction algorithms consume this interface only, so they run
+// identically against the physics simulator, a replayed dataset CSD, or
+// (in principle) a real instrument driver.
+#pragma once
+
+#include "probe/sim_clock.hpp"
+
+namespace qvg {
+
+class CurrentSource {
+ public:
+  virtual ~CurrentSource() = default;
+
+  /// Algorithm 1: set gate voltages to (v1, v2), wait the dwell time, return
+  /// the charge-sensor current. v1 is the x-axis (VP1) gate, v2 the y-axis
+  /// (VP2) gate.
+  virtual double get_current(double v1, double v2) = 0;
+
+  /// Simulated experiment clock; implementations charge dwell time to it.
+  [[nodiscard]] virtual SimClock& clock() = 0;
+  [[nodiscard]] virtual const SimClock& clock() const = 0;
+
+  /// Total number of get_current calls issued (before any caching).
+  [[nodiscard]] virtual long probe_count() const = 0;
+};
+
+}  // namespace qvg

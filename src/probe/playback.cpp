@@ -1,0 +1,20 @@
+#include "probe/playback.hpp"
+
+#include "common/assert.hpp"
+
+namespace qvg {
+
+CsdPlayback::CsdPlayback(const Csd& csd, double dwell_seconds)
+    : csd_(csd), clock_(dwell_seconds) {
+  QVG_EXPECTS(csd.width() > 0 && csd.height() > 0);
+}
+
+double CsdPlayback::get_current(double v1, double v2) {
+  ++probes_;
+  clock_.charge_probe();
+  const std::size_t x = csd_.x_axis().nearest_index(v1);
+  const std::size_t y = csd_.y_axis().nearest_index(v2);
+  return csd_.current(x, y);
+}
+
+}  // namespace qvg

@@ -1,0 +1,41 @@
+#include "probe/probe_cache.hpp"
+
+#include "common/assert.hpp"
+
+#include <cmath>
+
+namespace qvg {
+
+ProbeCache::ProbeCache(CurrentSource& source, double granularity)
+    : source_(source), granularity_(granularity) {
+  QVG_EXPECTS(granularity > 0.0);
+}
+
+std::uint64_t ProbeCache::key_of(double v1, double v2) const {
+  // Quantize to the voltage granularity; offset keeps keys positive for any
+  // realistic gate range.
+  const auto q1 =
+      static_cast<std::int64_t>(std::llround(v1 / granularity_)) + (1LL << 30);
+  const auto q2 =
+      static_cast<std::int64_t>(std::llround(v2 / granularity_)) + (1LL << 30);
+  QVG_ASSERT(q1 >= 0 && q2 >= 0);
+  return (static_cast<std::uint64_t>(q1) << 32) | static_cast<std::uint64_t>(q2);
+}
+
+double ProbeCache::get_current(double v1, double v2) {
+  ++requests_;
+  const std::uint64_t key = key_of(v1, v2);
+  if (auto it = cache_.find(key); it != cache_.end()) return it->second;
+  const double current = source_.get_current(v1, v2);
+  cache_.emplace(key, current);
+  log_.push_back({v1, v2});
+  return current;
+}
+
+void ProbeCache::reset_statistics() {
+  requests_ = 0;
+  cache_.clear();
+  log_.clear();
+}
+
+}  // namespace qvg

@@ -1,0 +1,61 @@
+// Memoizing wrapper around a CurrentSource.
+//
+// The fast-extraction sweeps evaluate the feature gradient (Algorithm 2) on
+// adjacent pixels, so neighbouring evaluations share probes. Like the
+// paper's evaluation, which reports *unique* voltage configurations probed,
+// the cache ensures each configuration costs dwell time exactly once. It
+// also records the probe log used to regenerate Figure 7.
+#pragma once
+
+#include "common/geometry.hpp"
+#include "probe/current_source.hpp"
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+namespace qvg {
+
+class ProbeCache final : public CurrentSource {
+ public:
+  /// Wrap an underlying source. `granularity` is the voltage quantum used to
+  /// key the cache (pass the pixel size delta of the scan; two requests
+  /// within half a quantum are the same configuration).
+  ProbeCache(CurrentSource& source, double granularity);
+
+  double get_current(double v1, double v2) override;
+
+  [[nodiscard]] SimClock& clock() override { return source_.clock(); }
+  [[nodiscard]] const SimClock& clock() const override { return source_.clock(); }
+
+  /// Calls issued to this wrapper (cache hits included).
+  [[nodiscard]] long probe_count() const override { return requests_; }
+
+  /// Unique voltage configurations forwarded to the underlying source —
+  /// the paper's "number of points probed".
+  [[nodiscard]] long unique_probe_count() const noexcept {
+    return static_cast<long>(log_.size());
+  }
+
+  [[nodiscard]] long cache_hits() const noexcept {
+    return requests_ - unique_probe_count();
+  }
+
+  /// Unique probed voltage configurations in probe order (for Figure 7).
+  [[nodiscard]] const std::vector<Point2>& probe_log() const noexcept {
+    return log_;
+  }
+
+  void reset_statistics();
+
+ private:
+  [[nodiscard]] std::uint64_t key_of(double v1, double v2) const;
+
+  CurrentSource& source_;
+  double granularity_;
+  long requests_ = 0;
+  std::unordered_map<std::uint64_t, double> cache_;
+  std::vector<Point2> log_;
+};
+
+}  // namespace qvg

@@ -1,0 +1,18 @@
+#include "probe/raster.hpp"
+
+namespace qvg {
+
+Csd acquire_full_csd(CurrentSource& source, const VoltageAxis& x_axis,
+                     const VoltageAxis& y_axis) {
+  Csd csd(x_axis, y_axis);
+  for (std::size_t y = 0; y < y_axis.count(); ++y) {
+    const double vy = y_axis.voltage(static_cast<double>(y));
+    for (std::size_t x = 0; x < x_axis.count(); ++x) {
+      const double vx = x_axis.voltage(static_cast<double>(x));
+      csd.grid()(x, y) = source.get_current(vx, vy);
+    }
+  }
+  return csd;
+}
+
+}  // namespace qvg

@@ -1,0 +1,16 @@
+// Full-CSD acquisition by raster scan — the data-collection stage of the
+// baseline method (every pixel is probed once).
+#pragma once
+
+#include "grid/csd.hpp"
+#include "probe/current_source.hpp"
+
+namespace qvg {
+
+/// Probe every pixel of the window defined by the two axes (row-major,
+/// bottom-to-top) and return the acquired diagram.
+[[nodiscard]] Csd acquire_full_csd(CurrentSource& source,
+                                   const VoltageAxis& x_axis,
+                                   const VoltageAxis& y_axis);
+
+}  // namespace qvg

@@ -1,0 +1,31 @@
+// Simulated experiment clock. The paper's runtime is dominated by the
+// per-probe dwell time (50 ms for charge-sensor devices, ref [30]); the
+// benches reproduce Table 1 runtimes by accounting dwell here and adding
+// measured algorithm compute time.
+#pragma once
+
+namespace qvg {
+
+class SimClock {
+ public:
+  explicit SimClock(double dwell_seconds = 0.050);
+
+  [[nodiscard]] double dwell_seconds() const noexcept { return dwell_; }
+  void set_dwell_seconds(double dwell);
+
+  /// Charge one probe (dwell) to the clock.
+  void charge_probe() noexcept { elapsed_ += dwell_; }
+
+  /// Charge an arbitrary duration (e.g. voltage ramp settling).
+  void charge(double seconds) noexcept { elapsed_ += seconds; }
+
+  [[nodiscard]] double elapsed_seconds() const noexcept { return elapsed_; }
+
+  void reset() noexcept { elapsed_ = 0.0; }
+
+ private:
+  double dwell_;
+  double elapsed_ = 0.0;
+};
+
+}  // namespace qvg

@@ -1,0 +1,76 @@
+#include "common/assert.hpp"
+#include "common/error.hpp"
+
+#include <gtest/gtest.h>
+
+namespace qvg {
+namespace {
+
+TEST(ExpectedTest, HoldsValue) {
+  Expected<int> e(42);
+  ASSERT_TRUE(e.has_value());
+  EXPECT_TRUE(static_cast<bool>(e));
+  EXPECT_EQ(*e, 42);
+  EXPECT_EQ(e.value(), 42);
+  EXPECT_TRUE(e.reason().empty());
+}
+
+TEST(ExpectedTest, FailureCarriesReason) {
+  auto e = Expected<int>::failure("nope");
+  EXPECT_FALSE(e.has_value());
+  EXPECT_EQ(e.reason(), "nope");
+}
+
+TEST(ExpectedTest, ValueOnFailureThrows) {
+  auto e = Expected<int>::failure("bad");
+  EXPECT_THROW((void)e.value(), ContractViolation);
+}
+
+TEST(ExpectedTest, ValueOrFallsBack) {
+  auto e = Expected<int>::failure("bad");
+  EXPECT_EQ(e.value_or(7), 7);
+  Expected<int> ok(3);
+  EXPECT_EQ(ok.value_or(7), 3);
+}
+
+TEST(ExpectedTest, MoveOutValue) {
+  Expected<std::string> e(std::string("payload"));
+  const std::string s = std::move(e).value();
+  EXPECT_EQ(s, "payload");
+}
+
+TEST(ExpectedTest, ArrowOperator) {
+  Expected<std::string> e(std::string("abc"));
+  EXPECT_EQ(e->size(), 3u);
+}
+
+TEST(ContractTest, ExpectsThrowsWithLocation) {
+  try {
+    QVG_EXPECTS(1 == 2);
+    FAIL() << "expected ContractViolation";
+  } catch (const ContractViolation& ex) {
+    const std::string what = ex.what();
+    EXPECT_NE(what.find("Precondition"), std::string::npos);
+    EXPECT_NE(what.find("1 == 2"), std::string::npos);
+  }
+}
+
+TEST(ContractTest, EnsuresThrows) {
+  EXPECT_THROW(QVG_ENSURES(false), ContractViolation);
+}
+
+TEST(ContractTest, PassingConditionsDoNotThrow) {
+  EXPECT_NO_THROW(QVG_EXPECTS(true));
+  EXPECT_NO_THROW(QVG_ENSURES(2 > 1));
+  EXPECT_NO_THROW(QVG_ASSERT(true));
+}
+
+TEST(ErrorHierarchyTest, AllDeriveFromError) {
+  EXPECT_THROW(throw IoError("io"), Error);
+  EXPECT_THROW(throw ParseError("parse"), Error);
+  EXPECT_THROW(throw NumericalError("num"), Error);
+  EXPECT_THROW(throw ContractViolation("contract"), Error);
+}
+
+}  // namespace
+}  // namespace qvg

@@ -1,0 +1,57 @@
+#include "common/logging.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace qvg {
+namespace {
+
+class LoggingTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    Logger::instance().set_stream(&capture_);
+    Logger::instance().set_level(LogLevel::kDebug);
+  }
+  void TearDown() override {
+    Logger::instance().set_stream(nullptr);
+    Logger::instance().set_level(LogLevel::kWarn);
+  }
+  std::ostringstream capture_;
+};
+
+TEST_F(LoggingTest, WritesTaggedLine) {
+  log_info() << "hello " << 42;
+  EXPECT_EQ(capture_.str(), "qvg [info ] hello 42\n");
+}
+
+TEST_F(LoggingTest, LevelFiltering) {
+  Logger::instance().set_level(LogLevel::kError);
+  log_debug() << "d";
+  log_info() << "i";
+  log_warn() << "w";
+  EXPECT_TRUE(capture_.str().empty());
+  log_error() << "e";
+  EXPECT_EQ(capture_.str(), "qvg [error] e\n");
+}
+
+TEST_F(LoggingTest, OffSilencesEverything) {
+  Logger::instance().set_level(LogLevel::kOff);
+  log_error() << "nope";
+  EXPECT_TRUE(capture_.str().empty());
+}
+
+TEST_F(LoggingTest, StreamInsertersCompose) {
+  log_warn() << "x=" << 1.5 << " y=" << 'c';
+  EXPECT_NE(capture_.str().find("x=1.5 y=c"), std::string::npos);
+}
+
+TEST_F(LoggingTest, MultipleLinesAccumulate) {
+  log_info() << "one";
+  log_info() << "two";
+  EXPECT_NE(capture_.str().find("one"), std::string::npos);
+  EXPECT_NE(capture_.str().find("two"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace qvg

@@ -1,0 +1,169 @@
+#include "dataset/csd_io.hpp"
+#include "dataset/qflow_synth.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+
+namespace qvg {
+namespace {
+
+class TempFile {
+ public:
+  explicit TempFile(const std::string& name)
+      : path_(::testing::TempDir() + name) {}
+  ~TempFile() { std::remove(path_.c_str()); }
+  [[nodiscard]] const std::string& path() const { return path_; }
+
+ private:
+  std::string path_;
+};
+
+Csd sample_csd() {
+  Csd csd(VoltageAxis(0.01, 0.002, 5), VoltageAxis(-0.01, 0.003, 4));
+  for (std::size_t y = 0; y < 4; ++y)
+    for (std::size_t x = 0; x < 5; ++x)
+      csd.grid()(x, y) = 0.1 * static_cast<double>(x) - 0.37 * static_cast<double>(y);
+  TransitionTruth truth;
+  truth.slope_steep = -4.2;
+  truth.slope_shallow = -0.21;
+  truth.triple_point = {0.015, -0.004};
+  csd.set_truth(truth);
+  return csd;
+}
+
+TEST(CsdIoTest, CsvRoundTripPreservesEverything) {
+  const Csd original = sample_csd();
+  TempFile file("roundtrip.csv");
+  save_csd_csv(original, file.path());
+  const Csd loaded = load_csd_csv(file.path());
+  EXPECT_EQ(loaded.width(), original.width());
+  EXPECT_EQ(loaded.height(), original.height());
+  EXPECT_EQ(loaded.x_axis(), original.x_axis());
+  EXPECT_EQ(loaded.y_axis(), original.y_axis());
+  EXPECT_EQ(loaded.grid(), original.grid());
+  ASSERT_TRUE(loaded.truth().has_value());
+  EXPECT_DOUBLE_EQ(loaded.truth()->slope_steep, -4.2);
+  EXPECT_DOUBLE_EQ(loaded.truth()->triple_point.x, 0.015);
+}
+
+TEST(CsdIoTest, MissingFileThrows) {
+  EXPECT_THROW(load_csd_csv("/nonexistent/path/x.csv"), IoError);
+}
+
+TEST(CsdIoTest, CorruptHeaderThrows) {
+  TempFile file("corrupt.csv");
+  std::ofstream(file.path()) << "not a csd header\n1,2\n";
+  EXPECT_THROW(load_csd_csv(file.path()), ParseError);
+}
+
+TEST(CsdIoTest, WrongFieldCountThrows) {
+  TempFile file("badrow.csv");
+  std::ofstream(file.path()) << "# qvg-csd 3 2 0 1 0 1\n1,2,3\n4,5\n";
+  EXPECT_THROW(load_csd_csv(file.path()), ParseError);
+}
+
+TEST(CsdIoTest, MissingRowsThrow) {
+  TempFile file("short.csv");
+  std::ofstream(file.path()) << "# qvg-csd 2 3 0 1 0 1\n1,2\n";
+  EXPECT_THROW(load_csd_csv(file.path()), ParseError);
+}
+
+TEST(CsdIoTest, BadNumberThrows) {
+  TempFile file("nan.csv");
+  std::ofstream(file.path()) << "# qvg-csd 2 1 0 1 0 1\n1,abc\n";
+  EXPECT_THROW(load_csd_csv(file.path()), ParseError);
+}
+
+TEST(CsdIoTest, PgmHasCorrectHeaderAndSize) {
+  const Csd csd = sample_csd();
+  TempFile file("image.pgm");
+  save_csd_pgm(csd, file.path());
+  std::ifstream is(file.path(), std::ios::binary);
+  std::string magic;
+  std::size_t w = 0;
+  std::size_t h = 0;
+  int maxval = 0;
+  is >> magic >> w >> h >> maxval;
+  EXPECT_EQ(magic, "P5");
+  EXPECT_EQ(w, 5u);
+  EXPECT_EQ(h, 4u);
+  EXPECT_EQ(maxval, 255);
+  is.get();  // single whitespace after header
+  std::string data((std::istreambuf_iterator<char>(is)),
+                   std::istreambuf_iterator<char>());
+  EXPECT_EQ(data.size(), 20u);
+}
+
+TEST(CsdIoTest, PointsCsvWritesHeaderAndRows) {
+  TempFile file("points.csv");
+  save_points_csv({{1.5, 2.5}, {3.0, 4.0}}, file.path());
+  std::ifstream is(file.path());
+  std::string line;
+  std::getline(is, line);
+  EXPECT_EQ(line, "x,y");
+  std::getline(is, line);
+  EXPECT_EQ(line, "1.5,2.5");
+}
+
+TEST(QflowSuiteTest, SpecsMatchTable1Sizes) {
+  const auto specs = qflow_suite_specs();
+  ASSERT_EQ(specs.size(), 12u);
+  EXPECT_EQ(specs[0].pixels, 200u);
+  EXPECT_EQ(specs[1].pixels, 200u);
+  EXPECT_EQ(specs[2].pixels, 63u);
+  EXPECT_EQ(specs[3].pixels, 63u);
+  EXPECT_EQ(specs[4].pixels, 63u);
+  for (int i = 5; i <= 10; ++i)
+    EXPECT_EQ(specs[static_cast<std::size_t>(i)].pixels, 100u);
+  EXPECT_EQ(specs[11].pixels, 200u);
+  for (std::size_t i = 0; i < 12; ++i)
+    EXPECT_EQ(specs[i].index, static_cast<int>(i) + 1);
+}
+
+TEST(QflowSuiteTest, NoiseTiersEncodeOutcomePattern) {
+  const auto specs = qflow_suite_specs();
+  // CSDs 1-2: heavy noise (both methods should fail).
+  EXPECT_GT(specs[0].white_sigma, 0.3);
+  EXPECT_GT(specs[1].white_sigma, 0.3);
+  // CSD 7: faint steep line (baseline-only failure).
+  EXPECT_LT(specs[6].dot0_sensitivity_scale, 0.5);
+  // Everything else: clean tiers.
+  for (std::size_t i : {2u, 3u, 4u, 5u, 7u, 8u, 9u, 10u, 11u})
+    EXPECT_LT(specs[i].white_sigma, 0.1);
+}
+
+TEST(QflowBenchmarkTest, BuildIsDeterministic) {
+  const auto specs = qflow_suite_specs();
+  const QflowBenchmark a = build_qflow_benchmark(specs[2]);
+  const QflowBenchmark b = build_qflow_benchmark(specs[2]);
+  EXPECT_EQ(a.csd.grid(), b.csd.grid());
+  EXPECT_EQ(a.name(), "csd3");
+}
+
+TEST(QflowBenchmarkTest, CsdHasTruthInsideWindow) {
+  const auto specs = qflow_suite_specs();
+  const QflowBenchmark benchmark = build_qflow_benchmark(specs[5]);
+  ASSERT_TRUE(benchmark.csd.truth().has_value());
+  const auto& truth = *benchmark.csd.truth();
+  EXPECT_LT(truth.slope_steep, -1.0);
+  EXPECT_GT(truth.slope_shallow, -1.0);
+  EXPECT_LT(truth.slope_shallow, 0.0);
+  EXPECT_TRUE(benchmark.csd.x_axis().in_range(truth.triple_point.x));
+  EXPECT_TRUE(benchmark.csd.y_axis().in_range(truth.triple_point.y));
+}
+
+TEST(QflowBenchmarkTest, PlaybackReplaysBenchmark) {
+  const auto specs = qflow_suite_specs();
+  const QflowBenchmark benchmark = build_qflow_benchmark(specs[2]);
+  auto playback = make_playback(benchmark);
+  const double v0 = benchmark.csd.x_axis().voltage(5);
+  const double v1 = benchmark.csd.y_axis().voltage(7);
+  EXPECT_DOUBLE_EQ(playback->get_current(v0, v1), benchmark.csd.current(5, 7));
+  EXPECT_DOUBLE_EQ(playback->clock().dwell_seconds(), 0.050);
+}
+
+}  // namespace
+}  // namespace qvg

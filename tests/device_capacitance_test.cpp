@@ -1,0 +1,121 @@
+#include "common/error.hpp"
+#include "device/capacitance.hpp"
+
+#include <gtest/gtest.h>
+
+namespace qvg {
+namespace {
+
+CapacitanceModel double_dot_model() {
+  // Lever arms (eV/V): diagonal dominant, 25% cross coupling.
+  const Matrix alpha{{0.10, 0.025}, {0.025, 0.10}};
+  const std::vector<double> charging{2.4e-3, 2.4e-3};
+  Matrix mutual(2, 2, 0.0);
+  mutual(0, 1) = mutual(1, 0) = 0.1e-3;
+  const std::vector<double> offsets{2.0e-3, 2.0e-3};
+  return CapacitanceModel(alpha, charging, mutual, offsets);
+}
+
+TEST(CapacitanceModelTest, Shape) {
+  const auto model = double_dot_model();
+  EXPECT_EQ(model.num_dots(), 2u);
+  EXPECT_EQ(model.num_gates(), 2u);
+}
+
+TEST(CapacitanceModelTest, DotDrivesLinearInVoltage) {
+  const auto model = double_dot_model();
+  const auto d0 = model.dot_drives({0.0, 0.0});
+  EXPECT_DOUBLE_EQ(d0[0], -2.0e-3);  // just the offset
+  const auto d1 = model.dot_drives({0.05, 0.0});
+  EXPECT_NEAR(d1[0] - d0[0], 0.10 * 0.05, 1e-15);
+  EXPECT_NEAR(d1[1] - d0[1], 0.025 * 0.05, 1e-15);
+}
+
+TEST(CapacitanceModelTest, EnergyOfEmptyStateIsZero) {
+  const auto model = double_dot_model();
+  const auto drives = model.dot_drives({0.03, 0.03});
+  EXPECT_DOUBLE_EQ(model.energy({0, 0}, drives), 0.0);
+}
+
+TEST(CapacitanceModelTest, EnergyChargingTerm) {
+  const auto model = double_dot_model();
+  const std::vector<double> drives{0.0, 0.0};
+  EXPECT_DOUBLE_EQ(model.energy({1, 0}, drives), 0.5 * 2.4e-3);
+  EXPECT_DOUBLE_EQ(model.energy({2, 0}, drives), 0.5 * 2.4e-3 * 4.0);
+  // Mutual coupling adds for joint occupation.
+  EXPECT_DOUBLE_EQ(model.energy({1, 1}, drives), 2.4e-3 + 0.1e-3);
+}
+
+TEST(CapacitanceModelTest, AdditionLineSlopesAreNegative) {
+  const auto model = double_dot_model();
+  const double steep = model.addition_line_slope(0, 0, 1);
+  const double shallow = model.addition_line_slope(1, 0, 1);
+  EXPECT_DOUBLE_EQ(steep, -0.10 / 0.025);
+  EXPECT_DOUBLE_EQ(shallow, -0.025 / 0.10);
+  EXPECT_LT(steep, shallow);  // steep more negative
+}
+
+TEST(CapacitanceModelTest, PairTruthSlopesAndTriplePoint) {
+  const auto model = double_dot_model();
+  const auto truth = model.pair_truth(0, 1, 0, 1, {0.0, 0.0});
+  EXPECT_DOUBLE_EQ(truth.slope_steep, -4.0);
+  EXPECT_DOUBLE_EQ(truth.slope_shallow, -0.25);
+  // At the triple point both addition conditions hold:
+  // alpha(d,:) . V = Ec/2 + offset for both dots.
+  const double vx = truth.triple_point.x;
+  const double vy = truth.triple_point.y;
+  EXPECT_NEAR(0.10 * vx + 0.025 * vy, 0.5 * 2.4e-3 + 2.0e-3, 1e-12);
+  EXPECT_NEAR(0.025 * vx + 0.10 * vy, 0.5 * 2.4e-3 + 2.0e-3, 1e-12);
+}
+
+TEST(CapacitanceModelTest, PairTruthAccountsForFixedGates) {
+  // A third gate at a fixed voltage shifts both lines but not their slopes.
+  const Matrix alpha{{0.10, 0.02, 0.01}, {0.02, 0.10, 0.03}, {0.01, 0.03, 0.10}};
+  const std::vector<double> charging{2e-3, 2e-3, 2e-3};
+  const Matrix mutual(3, 3, 0.0);
+  const std::vector<double> offsets{1e-3, 1e-3, 1e-3};
+  const CapacitanceModel model(alpha, charging, mutual, offsets);
+  const auto t0 = model.pair_truth(0, 1, 0, 1, {0.0, 0.0, 0.0});
+  const auto t1 = model.pair_truth(0, 1, 0, 1, {0.0, 0.0, 0.05});
+  EXPECT_DOUBLE_EQ(t0.slope_steep, t1.slope_steep);
+  EXPECT_DOUBLE_EQ(t0.slope_shallow, t1.slope_shallow);
+  EXPECT_LT(t1.triple_point.x, t0.triple_point.x);  // extra drive -> earlier
+}
+
+TEST(CapacitanceModelTest, IdealVirtualizationIsScaledLeverArms) {
+  const auto model = double_dot_model();
+  const Matrix m = model.ideal_virtualization();
+  EXPECT_DOUBLE_EQ(m(0, 0), 1.0);
+  EXPECT_DOUBLE_EQ(m(1, 1), 1.0);
+  EXPECT_DOUBLE_EQ(m(0, 1), 0.25);
+  EXPECT_DOUBLE_EQ(m(1, 0), 0.25);
+}
+
+TEST(CapacitanceModelTest, TruthAlphasMatchIdealVirtualization) {
+  // The slope-derived compensation coefficients must equal the exact
+  // matrix entries — the identity the whole method rests on.
+  const auto model = double_dot_model();
+  const auto truth = model.pair_truth(0, 1, 0, 1, {0.0, 0.0});
+  const Matrix m = model.ideal_virtualization();
+  EXPECT_NEAR(truth.alpha12(), m(0, 1), 1e-12);
+  EXPECT_NEAR(truth.alpha21(), m(1, 0), 1e-12);
+}
+
+TEST(CapacitanceModelTest, ValidationRejectsBadInput) {
+  const Matrix alpha{{0.1, 0.02}, {0.02, 0.1}};
+  const Matrix mutual(2, 2, 0.0);
+  // Wrong charging count.
+  EXPECT_THROW(CapacitanceModel(alpha, {1e-3}, mutual, {0.0, 0.0}),
+               ContractViolation);
+  // Negative charging energy.
+  EXPECT_THROW(CapacitanceModel(alpha, {-1e-3, 1e-3}, mutual, {0.0, 0.0}),
+               ContractViolation);
+  // Asymmetric mutual matrix.
+  Matrix bad_mutual(2, 2, 0.0);
+  bad_mutual(0, 1) = 1e-3;
+  EXPECT_THROW(CapacitanceModel(alpha, {1e-3, 1e-3}, bad_mutual, {0.0, 0.0}),
+               ContractViolation);
+}
+
+}  // namespace
+}  // namespace qvg

@@ -1,0 +1,113 @@
+#include "extraction/array_extractor.hpp"
+
+#include <gtest/gtest.h>
+
+namespace qvg {
+namespace {
+
+BuiltDevice array_device(std::size_t n_dots, std::uint64_t seed = 2) {
+  DotArrayParams params;
+  params.n_dots = n_dots;
+  params.jitter = 0.04;
+  Rng rng(seed);
+  return build_dot_array(params, &rng);
+}
+
+TEST(ArrayExtractorTest, DoubleDotSinglePair) {
+  const BuiltDevice device = array_device(2);
+  ArrayExtractionOptions opt;
+  const auto result = extract_array_virtualization(device, opt);
+  ASSERT_EQ(result.pairs.size(), 1u);
+  EXPECT_TRUE(result.success) << result.pairs[0].failure_reason;
+  EXPECT_EQ(result.matrix.rows(), 2u);
+  EXPECT_LT(result.band_max_error, 0.06);
+}
+
+TEST(ArrayExtractorTest, QuadDotNeedsThreePairs) {
+  // The paper's Figure 1 device: 4 dots -> n-1 = 3 sequential extractions.
+  const BuiltDevice device = array_device(4);
+  ArrayExtractionOptions opt;
+  opt.pixels_per_axis = 80;
+  const auto result = extract_array_virtualization(device, opt);
+  ASSERT_EQ(result.pairs.size(), 3u);
+  EXPECT_TRUE(result.success);
+  EXPECT_EQ(result.matrix.rows(), 4u);
+
+  // Band entries populated, off-band zero, diagonal 1.
+  for (std::size_t i = 0; i < 4; ++i) {
+    EXPECT_DOUBLE_EQ(result.matrix(i, i), 1.0);
+    for (std::size_t j = 0; j < 4; ++j) {
+      const auto dist = i > j ? i - j : j - i;
+      if (dist > 1) EXPECT_DOUBLE_EQ(result.matrix(i, j), 0.0);
+      if (dist == 1) EXPECT_GT(result.matrix(i, j), 0.0);
+    }
+  }
+  EXPECT_LT(result.band_max_error, 0.08);
+}
+
+TEST(ArrayExtractorTest, MatchesReferenceWithinTolerance) {
+  const BuiltDevice device = array_device(3, 9);
+  const auto result = extract_array_virtualization(device);
+  ASSERT_TRUE(result.success);
+  for (std::size_t i = 0; i + 1 < 3; ++i) {
+    EXPECT_NEAR(result.matrix(i, i + 1), result.reference(i, i + 1), 0.06);
+    EXPECT_NEAR(result.matrix(i + 1, i), result.reference(i + 1, i), 0.06);
+  }
+}
+
+TEST(ArrayExtractorTest, StatsAccumulateAcrossPairs) {
+  const BuiltDevice device = array_device(3);
+  const auto result = extract_array_virtualization(device);
+  long sum = 0;
+  for (const auto& pair : result.pairs) sum += pair.stats.unique_probes;
+  EXPECT_EQ(result.total_stats.unique_probes, sum);
+  EXPECT_GT(result.total_stats.simulated_seconds, 0.0);
+}
+
+TEST(ArrayExtractorTest, BaselineMethodAlsoWorks) {
+  const BuiltDevice device = array_device(2, 4);
+  ArrayExtractionOptions opt;
+  opt.method = ExtractionMethod::kHoughBaseline;
+  opt.pixels_per_axis = 64;
+  const auto result = extract_array_virtualization(device, opt);
+  ASSERT_EQ(result.pairs.size(), 1u);
+  EXPECT_TRUE(result.success) << result.pairs[0].failure_reason;
+  // Full raster per pair.
+  EXPECT_EQ(result.total_stats.unique_probes, 64 * 64);
+}
+
+TEST(ArrayExtractorTest, FastUsesFarFewerProbesThanBaseline) {
+  const BuiltDevice device = array_device(3, 6);
+  ArrayExtractionOptions fast_opt;
+  fast_opt.pixels_per_axis = 80;
+  const auto fast = extract_array_virtualization(device, fast_opt);
+  ArrayExtractionOptions base_opt;
+  base_opt.method = ExtractionMethod::kHoughBaseline;
+  base_opt.pixels_per_axis = 80;
+  const auto base = extract_array_virtualization(device, base_opt);
+  ASSERT_TRUE(fast.success);
+  EXPECT_LT(fast.total_stats.unique_probes,
+            base.total_stats.unique_probes / 4);
+}
+
+TEST(ArrayExtractorTest, NoisyPairReportsVerdicts) {
+  const BuiltDevice device = array_device(3, 8);
+  ArrayExtractionOptions opt;
+  opt.white_noise_sigma = 0.03;
+  const auto result = extract_array_virtualization(device, opt);
+  for (const auto& pair : result.pairs) {
+    if (pair.success) {
+      EXPECT_TRUE(pair.verdict.success) << pair.verdict.reason;
+    }
+  }
+}
+
+TEST(ArrayExtractorTest, ValidatesInput) {
+  const BuiltDevice device = array_device(2);
+  ArrayExtractionOptions opt;
+  opt.pixels_per_axis = 4;
+  EXPECT_THROW(extract_array_virtualization(device, opt), ContractViolation);
+}
+
+}  // namespace
+}  // namespace qvg

@@ -1,0 +1,225 @@
+#include "device/dot_array.hpp"
+#include "extraction/fast_extractor.hpp"
+#include "extraction/hough_baseline.hpp"
+#include "extraction/success.hpp"
+#include "probe/playback.hpp"
+#include "test_support.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+namespace qvg {
+namespace {
+
+BuiltDevice clean_device(std::uint64_t seed = 3, double cross = 0.25) {
+  DotArrayParams params;
+  params.n_dots = 2;
+  params.cross_ratio = cross;
+  params.jitter = 0.05;
+  Rng rng(seed);
+  return build_dot_array(params, &rng);
+}
+
+TEST(FastExtractorTest, SucceedsOnCleanLiveDevice) {
+  const BuiltDevice device = clean_device();
+  DeviceSimulator sim = make_pair_simulator(device);
+  const VoltageAxis axis = scan_axis(device, 100);
+  const auto result = run_fast_extraction(sim, axis, axis);
+  ASSERT_TRUE(result.success) << result.failure_reason;
+
+  const auto truth = sim.truth();
+  EXPECT_NEAR(result.virtual_gates.alpha12, truth.alpha12(),
+              0.15 * truth.alpha12());
+  EXPECT_NEAR(result.virtual_gates.alpha21, truth.alpha21(),
+              0.15 * truth.alpha21());
+}
+
+TEST(FastExtractorTest, ProbesSmallFractionOfDiagram) {
+  const BuiltDevice device = clean_device();
+  DeviceSimulator sim = make_pair_simulator(device);
+  const VoltageAxis axis = scan_axis(device, 100);
+  const auto result = run_fast_extraction(sim, axis, axis);
+  ASSERT_TRUE(result.success);
+  EXPECT_LT(result.stats.unique_probes, 2000);  // < 20% of 10000
+  EXPECT_GT(result.stats.unique_probes, 200);
+  EXPECT_EQ(result.stats.unique_probes,
+            static_cast<long>(result.probe_log.size()));
+  // Simulated time = unique probes x 50 ms.
+  EXPECT_NEAR(result.stats.simulated_seconds,
+              0.050 * static_cast<double>(result.stats.unique_probes), 1e-9);
+}
+
+TEST(FastExtractorTest, SucceedsWithModerateNoise) {
+  const BuiltDevice device = clean_device(11);
+  DeviceSimulator sim = make_pair_simulator(device, 0, 77);
+  sim.add_noise(std::make_unique<WhiteNoise>(0.03));
+  const VoltageAxis axis = scan_axis(device, 100);
+  const auto result = run_fast_extraction(sim, axis, axis);
+  ASSERT_TRUE(result.success) << result.failure_reason;
+  const Verdict verdict =
+      judge_extraction(result.success, result.virtual_gates, sim.truth());
+  EXPECT_TRUE(verdict.success) << verdict.reason;
+}
+
+TEST(FastExtractorTest, FailsGracefullyOnHeavyNoise) {
+  const BuiltDevice device = clean_device(5);
+  DeviceSimulator sim = make_pair_simulator(device, 0, 13);
+  sim.add_noise(std::make_unique<WhiteNoise>(0.8));
+  const VoltageAxis axis = scan_axis(device, 63);
+  const auto result = run_fast_extraction(sim, axis, axis);
+  const Verdict verdict =
+      judge_extraction(result.success, result.virtual_gates, sim.truth());
+  // Either the pipeline reports failure itself or the verdict rejects it;
+  // silent wrong answers are the only unacceptable outcome.
+  EXPECT_FALSE(verdict.success && verdict.alpha12_rel_error > 0.5);
+}
+
+TEST(FastExtractorTest, StageOutputsAreConsistent) {
+  const BuiltDevice device = clean_device();
+  DeviceSimulator sim = make_pair_simulator(device);
+  const VoltageAxis axis = scan_axis(device, 100);
+  const auto result = run_fast_extraction(sim, axis, axis);
+  ASSERT_TRUE(result.success);
+  EXPECT_FALSE(result.filtered_points.empty());
+  EXPECT_LE(result.filtered_points.size(),
+            result.sweeps.row_points.size() + result.sweeps.col_points.size());
+  // Fitted intersection lies inside the anchor box.
+  EXPECT_GT(result.fit.intersection.x, result.anchors.anchor_a.x);
+  EXPECT_LT(result.fit.intersection.x, result.anchors.anchor_b.x);
+  EXPECT_GT(result.fit.intersection.y, result.anchors.anchor_b.y);
+  EXPECT_LT(result.fit.intersection.y, result.anchors.anchor_a.y);
+  // Voltage-space slopes preserve the pixel-space ordering.
+  EXPECT_LT(result.slope_steep, result.slope_shallow);
+  EXPECT_LT(result.slope_shallow, 0.0);
+}
+
+TEST(FastExtractorTest, AblationRowSweepOnlyDegradesShallowLine) {
+  const BuiltDevice device = clean_device(21);
+  const VoltageAxis axis = scan_axis(device, 100);
+
+  DeviceSimulator sim_full = make_pair_simulator(device, 0, 9);
+  sim_full.add_noise(std::make_unique<WhiteNoise>(0.03));
+  const auto full = run_fast_extraction(sim_full, axis, axis);
+
+  DeviceSimulator sim_rows = make_pair_simulator(device, 0, 9);
+  sim_rows.add_noise(std::make_unique<WhiteNoise>(0.03));
+  FastExtractorOptions rows_only;
+  rows_only.enable_col_sweep = false;
+  const auto rows = run_fast_extraction(sim_rows, axis, axis, rows_only);
+
+  ASSERT_TRUE(full.success);
+  if (rows.success) {
+    const auto truth = sim_full.truth();
+    const double full_err =
+        std::abs(full.virtual_gates.alpha21 - truth.alpha21());
+    const double rows_err =
+        std::abs(rows.virtual_gates.alpha21 - truth.alpha21());
+    EXPECT_LE(full_err, rows_err + 0.02);
+  }
+}
+
+TEST(FastExtractorTest, WorksOnReplayedSyntheticCsd) {
+  testsupport::SyntheticCsdSpec spec;
+  spec.noise_sigma = 0.02;
+  const Csd csd = testsupport::make_synthetic_csd(spec);
+  CsdPlayback playback(csd);
+  const auto result =
+      run_fast_extraction(playback, csd.x_axis(), csd.y_axis());
+  ASSERT_TRUE(result.success) << result.failure_reason;
+  EXPECT_NEAR(result.slope_shallow, spec.slope_shallow, 0.08);
+  EXPECT_NEAR(result.slope_steep, spec.slope_steep, 1.2);
+}
+
+TEST(HoughBaselineTest, SucceedsOnCleanDevice) {
+  const BuiltDevice device = clean_device();
+  DeviceSimulator sim = make_pair_simulator(device);
+  const VoltageAxis axis = scan_axis(device, 100);
+  const auto result = run_hough_baseline(sim, axis, axis);
+  ASSERT_TRUE(result.success) << result.failure_reason;
+  const auto truth = sim.truth();
+  EXPECT_NEAR(result.virtual_gates.alpha12, truth.alpha12(), 0.06);
+  EXPECT_NEAR(result.virtual_gates.alpha21, truth.alpha21(), 0.06);
+}
+
+TEST(HoughBaselineTest, ProbesEveryPixel) {
+  const BuiltDevice device = clean_device();
+  DeviceSimulator sim = make_pair_simulator(device);
+  const VoltageAxis axis = scan_axis(device, 63);
+  const auto result = run_hough_baseline(sim, axis, axis);
+  EXPECT_EQ(result.stats.unique_probes, 63 * 63);
+  EXPECT_NEAR(result.stats.simulated_seconds, 63 * 63 * 0.050, 1e-6);
+}
+
+TEST(HoughBaselineTest, FastBeatsBaselineOnSimulatedTime) {
+  const BuiltDevice device = clean_device();
+  const VoltageAxis axis = scan_axis(device, 100);
+  DeviceSimulator sim1 = make_pair_simulator(device);
+  const auto fast = run_fast_extraction(sim1, axis, axis);
+  DeviceSimulator sim2 = make_pair_simulator(device);
+  const auto baseline = run_hough_baseline(sim2, axis, axis);
+  ASSERT_TRUE(fast.success);
+  ASSERT_TRUE(baseline.success);
+  EXPECT_GT(baseline.stats.simulated_seconds / fast.stats.simulated_seconds,
+            5.0);
+}
+
+TEST(HoughBaselineTest, MissesFaintSteepLine) {
+  // The engineered CSD-7 failure mode: a faint steep line below the fixed
+  // Canny thresholds is invisible to the baseline.
+  BuiltDevice device = clean_device(31);
+  device.sensor.gamma[0] *= 0.2;
+  DeviceSimulator sim(device.model, device.sensor, device.base_voltages,
+                      ScanPair{0, 1, 0, 1}, 55);
+  sim.add_noise(std::make_unique<WhiteNoise>(0.03));
+  const VoltageAxis axis = scan_axis(device, 100);
+  const auto result = run_hough_baseline(sim, axis, axis);
+  EXPECT_FALSE(result.success);
+  EXPECT_NE(result.failure_reason.find("steep"), std::string::npos);
+}
+
+TEST(HoughBaselineTest, AnalyzeCsdSharedAcquisition) {
+  const BuiltDevice device = clean_device();
+  DeviceSimulator sim = make_pair_simulator(device);
+  const VoltageAxis axis = scan_axis(device, 80);
+  const Csd csd = sim.generate_csd(axis, axis);
+  const auto result = analyze_csd_with_hough(csd);
+  ASSERT_TRUE(result.success) << result.failure_reason;
+  EXPECT_GT(result.edge_pixels, 50);
+}
+
+TEST(VerdictTest, ExactExtractionPasses) {
+  TransitionTruth truth;
+  truth.slope_steep = -4.0;
+  truth.slope_shallow = -0.25;
+  VirtualGatePair exact{truth.alpha12(), truth.alpha21()};
+  const Verdict verdict = judge_extraction(true, exact, truth);
+  EXPECT_TRUE(verdict.success);
+  EXPECT_NEAR(verdict.virtualized_angle_deg, 90.0, 1e-9);
+  EXPECT_NEAR(verdict.alpha12_rel_error, 0.0, 1e-12);
+}
+
+TEST(VerdictTest, MethodFailurePropagates) {
+  TransitionTruth truth;
+  truth.slope_steep = -4.0;
+  truth.slope_shallow = -0.25;
+  const Verdict verdict = judge_extraction(false, VirtualGatePair{}, truth);
+  EXPECT_FALSE(verdict.success);
+  EXPECT_EQ(verdict.reason, "method reported failure");
+}
+
+TEST(VerdictTest, ToleranceBoundary) {
+  TransitionTruth truth;
+  truth.slope_steep = -4.0;
+  truth.slope_shallow = -0.25;
+  VerdictOptions opt;
+  opt.alpha_tolerance = 0.25;
+  opt.min_virtualized_angle_deg = 0.0;  // isolate the alpha check
+  VirtualGatePair off_by_20{truth.alpha12() * 1.2, truth.alpha21() * 0.8};
+  EXPECT_TRUE(judge_extraction(true, off_by_20, truth, opt).success);
+  VirtualGatePair off_by_30{truth.alpha12() * 1.3, truth.alpha21()};
+  EXPECT_FALSE(judge_extraction(true, off_by_30, truth, opt).success);
+}
+
+}  // namespace
+}  // namespace qvg

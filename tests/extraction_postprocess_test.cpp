@@ -1,0 +1,99 @@
+#include "extraction/postprocess.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+namespace qvg {
+namespace {
+
+bool contains(const std::vector<Pixel>& points, Pixel p) {
+  return std::find(points.begin(), points.end(), p) != points.end();
+}
+
+TEST(PostprocessTest, LowestPerColumnKeepsMinY) {
+  const std::vector<Pixel> points{{1, 5}, {1, 3}, {1, 8}, {2, 2}, {3, 9}};
+  const auto filtered = keep_lowest_per_column(points);
+  ASSERT_EQ(filtered.size(), 3u);
+  EXPECT_TRUE(contains(filtered, {1, 3}));
+  EXPECT_TRUE(contains(filtered, {2, 2}));
+  EXPECT_TRUE(contains(filtered, {3, 9}));
+}
+
+TEST(PostprocessTest, LeftmostPerRowKeepsMinX) {
+  const std::vector<Pixel> points{{5, 1}, {3, 1}, {8, 1}, {2, 2}};
+  const auto filtered = keep_leftmost_per_row(points);
+  ASSERT_EQ(filtered.size(), 2u);
+  EXPECT_TRUE(contains(filtered, {3, 1}));
+  EXPECT_TRUE(contains(filtered, {2, 2}));
+}
+
+TEST(PostprocessTest, EmptyInput) {
+  EXPECT_TRUE(postprocess_transition_points({}).empty());
+  EXPECT_TRUE(keep_lowest_per_column({}).empty());
+  EXPECT_TRUE(keep_leftmost_per_row({}).empty());
+}
+
+TEST(PostprocessTest, UnionDeduplicates) {
+  // A point that survives both filters appears once.
+  const std::vector<Pixel> points{{1, 1}, {2, 2}};
+  const auto merged = postprocess_transition_points(points);
+  EXPECT_EQ(merged.size(), 2u);
+}
+
+TEST(PostprocessTest, OutputSortedByXThenY) {
+  const std::vector<Pixel> points{{5, 1}, {1, 7}, {3, 2}, {1, 4}};
+  const auto merged = postprocess_transition_points(points);
+  EXPECT_TRUE(std::is_sorted(merged.begin(), merged.end()));
+}
+
+TEST(PostprocessTest, RemovesVetoedOutliers) {
+  // Erroneous points are vetoed when they share a column with a lower true
+  // point (filter 1) and a row with a lefter true point (filter 2). In the
+  // real sweeps every row and column in range carries a point, so outliers
+  // always have such companions.
+  std::vector<Pixel> points;
+  for (int y = 10; y <= 24; ++y) points.push_back({50, y});   // steep line
+  for (int x = 10; x <= 45; x += 5)
+    points.push_back({x, 25 + (45 - x) / 12});                // shallow line
+  points.push_back({12, 27});  // lefter companions for the outlier rows
+  points.push_back({14, 26});
+  const std::vector<Pixel> outliers{{30, 27}, {40, 26}};
+  points.insert(points.end(), outliers.begin(), outliers.end());
+
+  const auto merged = postprocess_transition_points(points);
+  // Column 30 holds the true (30, 26) below (30, 27); row 27 holds (12, 27)
+  // to its left -> both filters veto it. Same for (40, 26).
+  EXPECT_FALSE(contains(merged, {30, 27}));
+  EXPECT_FALSE(contains(merged, {40, 26}));
+  // All steep points survive (each is leftmost in its row).
+  for (int y = 10; y <= 24; ++y) EXPECT_TRUE(contains(merged, {50, y}));
+}
+
+TEST(PostprocessTest, SteepLinePointsSurviveViaRowFilter) {
+  // Multiple true steep points share a column; filter 1 keeps only the
+  // lowest, but filter 2 restores each (leftmost in its own row).
+  std::vector<Pixel> points;
+  for (int y = 0; y < 8; ++y) points.push_back({40, y});
+  const auto merged = postprocess_transition_points(points);
+  EXPECT_EQ(merged.size(), 8u);
+}
+
+TEST(PostprocessTest, ShallowLinePointsSurviveViaColumnFilter) {
+  std::vector<Pixel> points;
+  for (int x = 0; x < 8; ++x) points.push_back({x, 30});
+  const auto merged = postprocess_transition_points(points);
+  EXPECT_EQ(merged.size(), 8u);
+}
+
+TEST(PostprocessTest, IdempotentOnFilteredSet) {
+  std::vector<Pixel> points;
+  for (int y = 10; y <= 20; ++y) points.push_back({50 - (y - 10) / 4, y});
+  for (int x = 10; x <= 45; x += 3) points.push_back({x, 25 - x / 20});
+  const auto once = postprocess_transition_points(points);
+  const auto twice = postprocess_transition_points(once);
+  EXPECT_EQ(once, twice);
+}
+
+}  // namespace
+}  // namespace qvg

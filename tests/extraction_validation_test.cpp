@@ -1,0 +1,107 @@
+#include "device/dot_array.hpp"
+#include "extraction/fast_extractor.hpp"
+#include "extraction/validation.hpp"
+#include "probe/playback.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+namespace qvg {
+namespace {
+
+struct TestRig {
+  BuiltDevice device;
+  VoltageAxis axis;
+  TransitionTruth truth;
+};
+
+TestRig make_setup(std::uint64_t seed = 3) {
+  DotArrayParams params;
+  params.n_dots = 2;
+  params.cross_ratio = 0.25;
+  params.jitter = 0.05;
+  Rng rng(seed);
+  BuiltDevice device = build_dot_array(params, &rng);
+  VoltageAxis axis = scan_axis(device, 100);
+  TransitionTruth truth =
+      device.model.pair_truth(0, 1, 0, 1, device.base_voltages);
+  return {std::move(device), axis, truth};
+}
+
+TEST(ValidationTest, AcceptsExactMatrix) {
+  const TestRig rig = make_setup();
+  DeviceSimulator sim = make_pair_simulator(rig.device);
+  VirtualGatePair exact{rig.truth.alpha12(), rig.truth.alpha21()};
+  const auto result = validate_virtual_gates(
+      sim, rig.axis, rig.axis, exact, rig.truth.triple_point);
+  EXPECT_TRUE(result.accepted) << result.reason;
+  EXPECT_LT(result.steep_check.residual_crosstalk, 0.05);
+  EXPECT_LT(result.shallow_check.residual_crosstalk, 0.05);
+}
+
+TEST(ValidationTest, RejectsIdentityMatrixOnCoupledDevice) {
+  // No compensation at all: the crossings must shift by about the true
+  // cross-capacitance ratio (~0.25), far over tolerance.
+  const TestRig rig = make_setup();
+  DeviceSimulator sim = make_pair_simulator(rig.device);
+  VirtualGatePair identity{0.0, 0.0};
+  const auto result = validate_virtual_gates(
+      sim, rig.axis, rig.axis, identity, rig.truth.triple_point);
+  EXPECT_FALSE(result.accepted);
+  EXPECT_GT(result.steep_check.residual_crosstalk +
+                result.shallow_check.residual_crosstalk,
+            0.15);
+}
+
+TEST(ValidationTest, AcceptsFastExtractionResult) {
+  // End-to-end: extract, then validate on the same live device.
+  const TestRig rig = make_setup(9);
+  DeviceSimulator sim = make_pair_simulator(rig.device, 0, 17);
+  sim.add_noise(std::make_unique<WhiteNoise>(0.02));
+  const auto extraction = run_fast_extraction(sim, rig.axis, rig.axis);
+  ASSERT_TRUE(extraction.success) << extraction.failure_reason;
+  const auto validation = validate_virtual_gates(
+      sim, rig.axis, rig.axis, extraction.virtual_gates,
+      extraction.intersection_voltage);
+  EXPECT_TRUE(validation.accepted) << validation.reason;
+}
+
+TEST(ValidationTest, CostsFarLessThanExtraction) {
+  const TestRig rig = make_setup();
+  DeviceSimulator sim = make_pair_simulator(rig.device);
+  VirtualGatePair exact{rig.truth.alpha12(), rig.truth.alpha21()};
+  ValidationOptions opt;
+  const auto result = validate_virtual_gates(
+      sim, rig.axis, rig.axis, exact, rig.truth.triple_point, opt);
+  EXPECT_EQ(result.probes_used, 4 * static_cast<long>(opt.points_per_scan));
+  EXPECT_LT(result.probes_used, 200);
+}
+
+TEST(ValidationTest, ReportsMissingTransition) {
+  // Validating against a flat (transition-free) playback: scans find no
+  // crossing and the result says so instead of accepting.
+  Csd flat(VoltageAxis(0.0, 0.001, 100), VoltageAxis(0.0, 0.001, 100));
+  flat.grid().fill(0.5);
+  CsdPlayback playback(flat);
+  VirtualGatePair gates{0.25, 0.25};
+  const auto result =
+      validate_virtual_gates(playback, flat.x_axis(), flat.y_axis(), gates,
+                             {0.05, 0.05});
+  EXPECT_FALSE(result.accepted);
+  EXPECT_NE(result.reason.find("no transition"), std::string::npos);
+}
+
+TEST(ValidationTest, OptionValidation) {
+  const TestRig rig = make_setup();
+  DeviceSimulator sim = make_pair_simulator(rig.device);
+  VirtualGatePair gates{0.25, 0.25};
+  ValidationOptions bad;
+  bad.points_per_scan = 4;
+  EXPECT_THROW(validate_virtual_gates(sim, rig.axis, rig.axis, gates,
+                                      rig.truth.triple_point, bad),
+               ContractViolation);
+}
+
+}  // namespace
+}  // namespace qvg

@@ -1,0 +1,147 @@
+#include "common/random.hpp"
+#include "imgproc/canny.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace qvg {
+namespace {
+
+/// Bright lower-left, dark upper-right, split by x = c + m*y (a steep
+/// negatively sloped boundary like a charge transition line).
+GridD step_image(std::size_t n, double x0, double slope_dx_per_dy,
+                 double bright = 1.0, double dark = 0.0) {
+  GridD image(n, n, bright);
+  for (std::size_t y = 0; y < n; ++y)
+    for (std::size_t x = 0; x < n; ++x)
+      if (static_cast<double>(x) >
+          x0 + slope_dx_per_dy * static_cast<double>(y))
+        image(x, y) = dark;
+  return image;
+}
+
+long edge_count(const GridU8& edges) {
+  long count = 0;
+  for (auto v : edges.raw()) count += v != 0 ? 1 : 0;
+  return count;
+}
+
+TEST(CannyTest, CleanStepProducesThinEdge) {
+  const GridD image = step_image(40, 20.0, 0.0);
+  const GridU8 edges = canny(image);
+  const long count = edge_count(edges);
+  // A vertical edge across 40 rows: roughly one pixel per row, thinned.
+  EXPECT_GE(count, 30);
+  EXPECT_LE(count, 100);
+  // All edges near x = 20.
+  for (std::size_t y = 0; y < 40; ++y)
+    for (std::size_t x = 0; x < 40; ++x)
+      if (edges(x, y) != 0) {
+        EXPECT_NEAR(static_cast<double>(x), 20.0, 3.0);
+      }
+}
+
+TEST(CannyTest, FlatImageHasNoEdges) {
+  const GridD image(30, 30, 0.5);
+  EXPECT_EQ(edge_count(canny(image)), 0);
+}
+
+TEST(CannyTest, SlopedEdgeFollowsLine) {
+  const GridD image = step_image(50, 35.0, -0.25);
+  const GridU8 edges = canny(image);
+  EXPECT_GT(edge_count(edges), 30);
+  for (std::size_t y = 2; y < 48; ++y)
+    for (std::size_t x = 0; x < 50; ++x)
+      if (edges(x, y) != 0)
+        EXPECT_NEAR(static_cast<double>(x),
+                    35.0 - 0.25 * static_cast<double>(y), 3.0);
+}
+
+TEST(CannyTest, NoiseRobustnessWithModerateNoise) {
+  Rng rng(7);
+  GridD image = step_image(50, 25.0, 0.0);
+  for (double& v : image.raw()) v += rng.normal(0.0, 0.05);
+  const GridU8 edges = canny(image);
+  long on_edge = 0;
+  long off_edge = 0;
+  for (std::size_t y = 0; y < 50; ++y)
+    for (std::size_t x = 0; x < 50; ++x)
+      if (edges(x, y) != 0) {
+        if (std::abs(static_cast<double>(x) - 25.0) <= 3.0)
+          ++on_edge;
+        else
+          ++off_edge;
+      }
+  EXPECT_GT(on_edge, 30);
+  EXPECT_LT(off_edge, on_edge / 2);
+}
+
+TEST(CannyTest, FixedThresholdsSuppressFaintEdge) {
+  // Two boundaries: strong (step 1.0) and faint (step 0.15). With fixed
+  // absolute thresholds the faint one disappears — the baseline failure
+  // mode engineered for benchmark CSD 7.
+  GridD image(60, 60, 1.0);
+  for (std::size_t y = 0; y < 60; ++y)
+    for (std::size_t x = 0; x < 60; ++x) {
+      if (x > 40) image(x, y) = 0.0;        // strong edge at x=40
+      else if (x > 20) image(x, y) = 0.85;  // faint edge at x=20
+    }
+  CannyOptions fixed;
+  fixed.low_threshold = 0.25;
+  fixed.high_threshold = 0.45;
+  const GridU8 edges = canny(image, fixed);
+  long faint = 0;
+  long strong = 0;
+  for (std::size_t y = 0; y < 60; ++y)
+    for (std::size_t x = 0; x < 60; ++x)
+      if (edges(x, y) != 0) {
+        if (std::abs(static_cast<double>(x) - 20.0) <= 3.0) ++faint;
+        if (std::abs(static_cast<double>(x) - 40.0) <= 3.0) ++strong;
+      }
+  EXPECT_EQ(faint, 0);
+  EXPECT_GT(strong, 40);
+}
+
+TEST(CannyTest, QuantileThresholdsKeepFaintEdge) {
+  GridD image(60, 60, 1.0);
+  for (std::size_t y = 0; y < 60; ++y)
+    for (std::size_t x = 0; x < 60; ++x)
+      if (x > 20) image(x, y) = 0.85;
+  const GridU8 edges = canny(image);  // adaptive quantile thresholds
+  long faint = 0;
+  for (std::size_t y = 0; y < 60; ++y)
+    for (std::size_t x = 0; x < 60; ++x)
+      if (edges(x, y) != 0 && std::abs(static_cast<double>(x) - 20.0) <= 3.0)
+        ++faint;
+  EXPECT_GT(faint, 40);
+}
+
+TEST(CannyTest, HysteresisConnectsWeakSegments) {
+  // An edge whose contrast fades along its length: hysteresis should keep
+  // the weak continuation connected to the strong part.
+  GridD image(40, 40, 0.0);
+  for (std::size_t y = 0; y < 40; ++y) {
+    const double contrast = y < 20 ? 1.0 : 0.45;
+    for (std::size_t x = 0; x < 40; ++x)
+      if (x > 20) image(x, y) = 0.0;
+      else image(x, y) = contrast;
+  }
+  CannyOptions opt;
+  opt.low_threshold = 0.05;
+  opt.high_threshold = 0.5;
+  const GridU8 edges = canny(image, opt);
+  long upper_half = 0;  // the faint half (y >= 22)
+  for (std::size_t y = 22; y < 40; ++y)
+    for (std::size_t x = 0; x < 40; ++x)
+      if (edges(x, y) != 0) ++upper_half;
+  EXPECT_GT(upper_half, 10);
+}
+
+TEST(CannyTest, TinyImageRejected) {
+  const GridD image(2, 2, 0.0);
+  EXPECT_THROW(canny(image), ContractViolation);
+}
+
+}  // namespace
+}  // namespace qvg

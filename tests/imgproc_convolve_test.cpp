@@ -1,0 +1,97 @@
+#include "imgproc/convolve.hpp"
+
+#include <gtest/gtest.h>
+
+namespace qvg {
+namespace {
+
+GridD ramp_image() {
+  GridD image(5, 4);
+  for (std::size_t y = 0; y < 4; ++y)
+    for (std::size_t x = 0; x < 5; ++x)
+      image(x, y) = static_cast<double>(x + 10 * y);
+  return image;
+}
+
+TEST(CorrelateTest, IdentityKernel) {
+  const GridD image = ramp_image();
+  Kernel2D id(1, 1);
+  id(0, 0) = 1.0;
+  EXPECT_EQ(correlate(image, id), image);
+}
+
+TEST(CorrelateTest, ShiftKernelMovesImage) {
+  const GridD image = ramp_image();
+  // 3x1 kernel with weight on the right tap: output(x) = image(x+1).
+  Kernel2D shift(3, 1, 0.0);
+  shift(2, 0) = 1.0;
+  const GridD out = correlate(image, shift, BorderMode::kZero);
+  EXPECT_DOUBLE_EQ(out(1, 2), image(2, 2));
+  EXPECT_DOUBLE_EQ(out(4, 0), 0.0);  // shifted-in zero border
+}
+
+TEST(CorrelateTest, BoxKernelAveragesConstantRegion) {
+  GridD image(6, 6, 3.0);
+  Kernel2D box(3, 3, 1.0 / 9.0);
+  const GridD out = correlate(image, box, BorderMode::kReplicate);
+  for (double v : out.raw()) EXPECT_NEAR(v, 3.0, 1e-12);
+}
+
+TEST(CorrelateTest, ZeroBorderDampensEdges) {
+  GridD image(4, 4, 1.0);
+  Kernel2D box(3, 3, 1.0);
+  const GridD out = correlate(image, box, BorderMode::kZero);
+  EXPECT_DOUBLE_EQ(out(1, 1), 9.0);  // interior: all taps inside
+  EXPECT_DOUBLE_EQ(out(0, 0), 4.0);  // corner: only 2x2 inside
+}
+
+TEST(CorrelateTest, ReflectBorderPreservesConstant) {
+  GridD image(4, 4, 2.0);
+  Kernel2D box(5, 5, 1.0 / 25.0);
+  const GridD out = correlate(image, box, BorderMode::kReflect);
+  for (double v : out.raw()) EXPECT_NEAR(v, 2.0, 1e-12);
+}
+
+TEST(ConvolveTest, FlipsKernel) {
+  const GridD image = ramp_image();
+  Kernel2D asym(3, 1, 0.0);
+  asym(0, 0) = 1.0;  // correlation: left tap; convolution flips to right tap
+  const GridD corr = correlate(image, asym, BorderMode::kReplicate);
+  const GridD conv = convolve(image, asym, BorderMode::kReplicate);
+  EXPECT_DOUBLE_EQ(corr(2, 1), image(1, 1));
+  EXPECT_DOUBLE_EQ(conv(2, 1), image(3, 1));
+}
+
+TEST(ConvolveTest, SymmetricKernelMatchesCorrelate) {
+  const GridD image = ramp_image();
+  const Kernel2D g = gaussian_kernel(0.8, 1);
+  const GridD a = correlate(image, g, BorderMode::kReflect);
+  const GridD b = convolve(image, g, BorderMode::kReflect);
+  for (std::size_t i = 0; i < a.raw().size(); ++i)
+    EXPECT_NEAR(a.raw()[i], b.raw()[i], 1e-12);
+}
+
+TEST(SeparableTest, MatchesFull2DGaussian) {
+  GridD image(9, 9, 0.0);
+  image(4, 4) = 1.0;
+  image(2, 6) = -0.5;
+  const auto taps = gaussian_taps(1.0, 2);
+  const GridD sep = correlate_separable(image, taps, taps, BorderMode::kZero);
+  const GridD full = correlate(image, gaussian_kernel(1.0, 2), BorderMode::kZero);
+  for (std::size_t i = 0; i < sep.raw().size(); ++i)
+    EXPECT_NEAR(sep.raw()[i], full.raw()[i], 1e-12);
+}
+
+TEST(SeparableTest, AnisotropicTaps) {
+  GridD image(7, 7, 0.0);
+  image(3, 3) = 1.0;
+  const std::vector<double> tx{0.25, 0.5, 0.25};
+  const std::vector<double> ty{1.0};
+  const GridD out = correlate_separable(image, tx, ty, BorderMode::kZero);
+  EXPECT_DOUBLE_EQ(out(3, 3), 0.5);
+  EXPECT_DOUBLE_EQ(out(2, 3), 0.25);
+  EXPECT_DOUBLE_EQ(out(3, 2), 0.0);  // no vertical spread
+}
+
+}  // namespace
+}  // namespace qvg

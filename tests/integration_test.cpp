@@ -1,0 +1,133 @@
+// End-to-end integration tests over the synthetic qflow-like benchmark
+// suite: these pin the headline result shapes of the paper's Table 1 so a
+// regression in any pipeline stage surfaces here.
+#include "dataset/qflow_synth.hpp"
+#include "extraction/fast_extractor.hpp"
+#include "extraction/hough_baseline.hpp"
+#include "extraction/success.hpp"
+
+#include <gtest/gtest.h>
+
+namespace qvg {
+namespace {
+
+const QflowBenchmarkSpec& spec_for(int index) {
+  static const auto specs = qflow_suite_specs();
+  return specs[static_cast<std::size_t>(index - 1)];
+}
+
+struct Outcome {
+  bool fast_ok = false;
+  bool base_ok = false;
+  long fast_probes = 0;
+  long base_probes = 0;
+  double fast_seconds = 0.0;
+  double base_seconds = 0.0;
+};
+
+Outcome run_benchmark(int index) {
+  const QflowBenchmark benchmark = build_qflow_benchmark(spec_for(index));
+  const auto& truth = *benchmark.csd.truth();
+  Outcome outcome;
+  {
+    auto playback = make_playback(benchmark);
+    const auto result = run_fast_extraction(*playback, benchmark.csd.x_axis(),
+                                            benchmark.csd.y_axis());
+    outcome.fast_ok =
+        judge_extraction(result.success, result.virtual_gates, truth).success;
+    outcome.fast_probes = result.stats.unique_probes;
+    outcome.fast_seconds = result.stats.total_seconds();
+  }
+  {
+    auto playback = make_playback(benchmark);
+    const auto result = run_hough_baseline(*playback, benchmark.csd.x_axis(),
+                                           benchmark.csd.y_axis());
+    outcome.base_ok =
+        judge_extraction(result.success, result.virtual_gates, truth).success;
+    outcome.base_probes = result.stats.unique_probes;
+    outcome.base_seconds = result.stats.total_seconds();
+  }
+  return outcome;
+}
+
+TEST(IntegrationTest, HeavyNoiseBenchmark1FailsBothMethods) {
+  const Outcome o = run_benchmark(1);
+  EXPECT_FALSE(o.fast_ok);
+  EXPECT_FALSE(o.base_ok);
+}
+
+TEST(IntegrationTest, SmallCleanBenchmark3SucceedsBoth) {
+  const Outcome o = run_benchmark(3);
+  EXPECT_TRUE(o.fast_ok);
+  EXPECT_TRUE(o.base_ok);
+  EXPECT_EQ(o.base_probes, 63 * 63);
+  EXPECT_LT(o.fast_probes, o.base_probes / 5);
+}
+
+TEST(IntegrationTest, MediumBenchmark6MatchesPaperShape) {
+  const Outcome o = run_benchmark(6);
+  EXPECT_TRUE(o.fast_ok);
+  EXPECT_TRUE(o.base_ok);
+  // ~10% of pixels probed, ~10x speedup (paper: 10.02%, 9.97x).
+  EXPECT_GT(o.fast_probes, 500);
+  EXPECT_LT(o.fast_probes, 1500);
+  const double speedup = o.base_seconds / o.fast_seconds;
+  EXPECT_GT(speedup, 6.0);
+  EXPECT_LT(speedup, 16.0);
+}
+
+TEST(IntegrationTest, Benchmark7DefeatsOnlyTheBaseline) {
+  const Outcome o = run_benchmark(7);
+  EXPECT_TRUE(o.fast_ok);
+  EXPECT_FALSE(o.base_ok);
+}
+
+TEST(IntegrationTest, LargeCleanBenchmark12HasLargestSpeedup) {
+  const Outcome o = run_benchmark(12);
+  EXPECT_TRUE(o.fast_ok);
+  EXPECT_TRUE(o.base_ok);
+  // Paper: 5.17% probed, 19.34x speedup on the 200x200 diagram.
+  EXPECT_LT(o.fast_probes, 40000 / 10);
+  EXPECT_GT(o.base_seconds / o.fast_seconds, 12.0);
+}
+
+TEST(IntegrationTest, FastProbesRoughlyTenPercentAcrossMediumSuite) {
+  double total_fraction = 0.0;
+  int counted = 0;
+  for (int index : {6, 8, 9, 10, 11}) {
+    const Outcome o = run_benchmark(index);
+    total_fraction +=
+        static_cast<double>(o.fast_probes) / (100.0 * 100.0);
+    ++counted;
+  }
+  const double average = total_fraction / counted;
+  EXPECT_GT(average, 0.05);
+  EXPECT_LT(average, 0.15);
+}
+
+TEST(IntegrationTest, ReplayedAndLiveExtractionAgree) {
+  // Running against the recorded diagram and against the live (noise-free)
+  // simulator must produce compatible virtualization matrices.
+  DotArrayParams params;
+  params.n_dots = 2;
+  const BuiltDevice device = build_dot_array(params);
+  const VoltageAxis axis = scan_axis(device, 100);
+
+  DeviceSimulator live = make_pair_simulator(device);
+  const auto live_result = run_fast_extraction(live, axis, axis);
+
+  DeviceSimulator recorder = make_pair_simulator(device);
+  const Csd csd = recorder.generate_csd(axis, axis);
+  CsdPlayback playback(csd);
+  const auto replay_result = run_fast_extraction(playback, axis, axis);
+
+  ASSERT_TRUE(live_result.success);
+  ASSERT_TRUE(replay_result.success);
+  EXPECT_NEAR(live_result.virtual_gates.alpha12,
+              replay_result.virtual_gates.alpha12, 1e-9);
+  EXPECT_NEAR(live_result.virtual_gates.alpha21,
+              replay_result.virtual_gates.alpha21, 1e-9);
+}
+
+}  // namespace
+}  // namespace qvg

@@ -1,0 +1,106 @@
+#include "common/error.hpp"
+#include "linalg/matrix.hpp"
+
+#include <gtest/gtest.h>
+
+namespace qvg {
+namespace {
+
+TEST(MatrixTest, ConstructionAndShape) {
+  Matrix m(2, 3, 1.5);
+  EXPECT_EQ(m.rows(), 2u);
+  EXPECT_EQ(m.cols(), 3u);
+  EXPECT_FALSE(m.is_square());
+  EXPECT_DOUBLE_EQ(m(1, 2), 1.5);
+}
+
+TEST(MatrixTest, InitializerList) {
+  Matrix m{{1, 2}, {3, 4}};
+  EXPECT_TRUE(m.is_square());
+  EXPECT_DOUBLE_EQ(m(0, 1), 2.0);
+  EXPECT_DOUBLE_EQ(m(1, 0), 3.0);
+}
+
+TEST(MatrixTest, RaggedInitializerThrows) {
+  EXPECT_THROW((Matrix{{1, 2}, {3}}), ContractViolation);
+}
+
+TEST(MatrixTest, Identity) {
+  const Matrix i = Matrix::identity(3);
+  for (std::size_t r = 0; r < 3; ++r)
+    for (std::size_t c = 0; c < 3; ++c)
+      EXPECT_DOUBLE_EQ(i(r, c), r == c ? 1.0 : 0.0);
+}
+
+TEST(MatrixTest, AtBoundsChecked) {
+  Matrix m(2, 2);
+  EXPECT_THROW((void)m.at(2, 0), ContractViolation);
+  EXPECT_THROW((void)m.at(0, 2), ContractViolation);
+  EXPECT_NO_THROW((void)m.at(1, 1));
+}
+
+TEST(MatrixTest, Transpose) {
+  const Matrix m{{1, 2, 3}, {4, 5, 6}};
+  const Matrix t = m.transposed();
+  EXPECT_EQ(t.rows(), 3u);
+  EXPECT_EQ(t.cols(), 2u);
+  EXPECT_DOUBLE_EQ(t(2, 1), 6.0);
+  EXPECT_EQ(t.transposed(), m);
+}
+
+TEST(MatrixTest, AddSubtractScale) {
+  const Matrix a{{1, 2}, {3, 4}};
+  const Matrix b{{4, 3}, {2, 1}};
+  EXPECT_EQ(a + b, (Matrix{{5, 5}, {5, 5}}));
+  EXPECT_EQ(a - b, (Matrix{{-3, -1}, {1, 3}}));
+  EXPECT_EQ(a * 2.0, (Matrix{{2, 4}, {6, 8}}));
+  EXPECT_EQ(2.0 * a, a * 2.0);
+}
+
+TEST(MatrixTest, ShapeMismatchThrows) {
+  Matrix a(2, 2);
+  const Matrix b(2, 3);
+  EXPECT_THROW(a += b, ContractViolation);
+}
+
+TEST(MatrixTest, Product) {
+  const Matrix a{{1, 2}, {3, 4}};
+  const Matrix b{{5, 6}, {7, 8}};
+  EXPECT_EQ(a * b, (Matrix{{19, 22}, {43, 50}}));
+}
+
+TEST(MatrixTest, ProductWithIdentity) {
+  const Matrix a{{1, 2}, {3, 4}};
+  EXPECT_EQ(a * Matrix::identity(2), a);
+  EXPECT_EQ(Matrix::identity(2) * a, a);
+}
+
+TEST(MatrixTest, ProductDimensionMismatchThrows) {
+  const Matrix a(2, 3);
+  const Matrix b(2, 3);
+  EXPECT_THROW(a * b, ContractViolation);
+}
+
+TEST(MatrixTest, ApplyVector) {
+  const Matrix a{{1, 2}, {3, 4}};
+  const auto y = a.apply({1.0, 1.0});
+  ASSERT_EQ(y.size(), 2u);
+  EXPECT_DOUBLE_EQ(y[0], 3.0);
+  EXPECT_DOUBLE_EQ(y[1], 7.0);
+}
+
+TEST(MatrixTest, Norms) {
+  const Matrix a{{3, 0}, {0, 4}};
+  EXPECT_DOUBLE_EQ(a.norm(), 5.0);
+  const Matrix b{{3, 0}, {0, 5}};
+  EXPECT_DOUBLE_EQ(a.max_abs_diff(b), 1.0);
+}
+
+TEST(VectorOpsTest, DotAndNorm) {
+  EXPECT_DOUBLE_EQ(dot({1, 2, 3}, {4, 5, 6}), 32.0);
+  EXPECT_DOUBLE_EQ(norm({3.0, 4.0}), 5.0);
+  EXPECT_THROW((void)dot({1.0}, {1.0, 2.0}), ContractViolation);
+}
+
+}  // namespace
+}  // namespace qvg

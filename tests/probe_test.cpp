@@ -1,0 +1,143 @@
+#include "grid/csd.hpp"
+#include "probe/playback.hpp"
+#include "probe/probe_cache.hpp"
+#include "probe/raster.hpp"
+
+#include <gtest/gtest.h>
+
+namespace qvg {
+namespace {
+
+Csd ramp_csd() {
+  Csd csd(VoltageAxis(0.0, 0.001, 10), VoltageAxis(0.0, 0.001, 10));
+  for (std::size_t y = 0; y < 10; ++y)
+    for (std::size_t x = 0; x < 10; ++x)
+      csd.grid()(x, y) = static_cast<double>(x + 100 * y);
+  return csd;
+}
+
+TEST(SimClockTest, AccumulatesDwell) {
+  SimClock clock(0.050);
+  clock.charge_probe();
+  clock.charge_probe();
+  clock.charge(0.5);
+  EXPECT_DOUBLE_EQ(clock.elapsed_seconds(), 0.6);
+  clock.reset();
+  EXPECT_DOUBLE_EQ(clock.elapsed_seconds(), 0.0);
+}
+
+TEST(SimClockTest, NegativeDwellRejected) {
+  EXPECT_THROW(SimClock{-1.0}, ContractViolation);
+  SimClock clock(0.05);
+  EXPECT_THROW(clock.set_dwell_seconds(-0.1), ContractViolation);
+}
+
+TEST(PlaybackTest, ReturnsStoredPixel) {
+  const Csd csd = ramp_csd();
+  CsdPlayback playback(csd);
+  EXPECT_DOUBLE_EQ(playback.get_current(0.003, 0.002), 203.0);
+  EXPECT_DOUBLE_EQ(playback.get_current(0.0, 0.0), 0.0);
+}
+
+TEST(PlaybackTest, NearestNeighbourLookup) {
+  const Csd csd = ramp_csd();
+  CsdPlayback playback(csd);
+  EXPECT_DOUBLE_EQ(playback.get_current(0.0031, 0.0), 3.0);
+  EXPECT_DOUBLE_EQ(playback.get_current(0.0036, 0.0), 4.0);
+}
+
+TEST(PlaybackTest, ClampsOutsideWindow) {
+  const Csd csd = ramp_csd();
+  CsdPlayback playback(csd);
+  EXPECT_DOUBLE_EQ(playback.get_current(-1.0, -1.0), csd.grid()(0, 0));
+  EXPECT_DOUBLE_EQ(playback.get_current(1.0, 1.0), csd.grid()(9, 9));
+}
+
+TEST(PlaybackTest, CostsDwellPerProbe) {
+  const Csd csd = ramp_csd();
+  CsdPlayback playback(csd, 0.050);
+  playback.get_current(0.0, 0.0);
+  playback.get_current(0.0, 0.0);  // repeated probe still costs (no cache)
+  EXPECT_EQ(playback.probe_count(), 2);
+  EXPECT_DOUBLE_EQ(playback.clock().elapsed_seconds(), 0.100);
+}
+
+TEST(ProbeCacheTest, DeduplicatesConfigurations) {
+  const Csd csd = ramp_csd();
+  CsdPlayback playback(csd, 0.050);
+  ProbeCache cache(playback, 0.001);
+  cache.get_current(0.002, 0.003);
+  cache.get_current(0.002, 0.003);
+  cache.get_current(0.002, 0.003);
+  EXPECT_EQ(cache.probe_count(), 3);
+  EXPECT_EQ(cache.unique_probe_count(), 1);
+  EXPECT_EQ(cache.cache_hits(), 2);
+  // Only the unique probe cost dwell time.
+  EXPECT_DOUBLE_EQ(playback.clock().elapsed_seconds(), 0.050);
+}
+
+TEST(ProbeCacheTest, QuantizesWithinHalfGranule) {
+  const Csd csd = ramp_csd();
+  CsdPlayback playback(csd);
+  ProbeCache cache(playback, 0.001);
+  cache.get_current(0.0020, 0.0030);
+  cache.get_current(0.00204, 0.00296);  // same pixel after rounding
+  EXPECT_EQ(cache.unique_probe_count(), 1);
+  cache.get_current(0.0030, 0.0030);  // different pixel
+  EXPECT_EQ(cache.unique_probe_count(), 2);
+}
+
+TEST(ProbeCacheTest, ProbeLogRecordsOrder) {
+  const Csd csd = ramp_csd();
+  CsdPlayback playback(csd);
+  ProbeCache cache(playback, 0.001);
+  cache.get_current(0.001, 0.002);
+  cache.get_current(0.004, 0.005);
+  cache.get_current(0.001, 0.002);  // cache hit: not logged again
+  const auto& log = cache.probe_log();
+  ASSERT_EQ(log.size(), 2u);
+  EXPECT_DOUBLE_EQ(log[0].x, 0.001);
+  EXPECT_DOUBLE_EQ(log[1].y, 0.005);
+}
+
+TEST(ProbeCacheTest, ResetStatisticsClearsEverything) {
+  const Csd csd = ramp_csd();
+  CsdPlayback playback(csd);
+  ProbeCache cache(playback, 0.001);
+  cache.get_current(0.001, 0.001);
+  cache.reset_statistics();
+  EXPECT_EQ(cache.probe_count(), 0);
+  EXPECT_EQ(cache.unique_probe_count(), 0);
+  EXPECT_TRUE(cache.probe_log().empty());
+}
+
+TEST(ProbeCacheTest, NegativeVoltagesSupported) {
+  Csd csd(VoltageAxis(-0.005, 0.001, 10), VoltageAxis(-0.005, 0.001, 10));
+  csd.grid()(0, 0) = 7.0;
+  CsdPlayback playback(csd);
+  ProbeCache cache(playback, 0.001);
+  EXPECT_DOUBLE_EQ(cache.get_current(-0.005, -0.005), 7.0);
+  EXPECT_EQ(cache.unique_probe_count(), 1);
+}
+
+TEST(RasterTest, AcquiresEveryPixelOnce) {
+  const Csd csd = ramp_csd();
+  CsdPlayback playback(csd, 0.050);
+  const Csd acquired =
+      acquire_full_csd(playback, csd.x_axis(), csd.y_axis());
+  EXPECT_EQ(playback.probe_count(), 100);
+  EXPECT_NEAR(playback.clock().elapsed_seconds(), 5.0, 1e-9);
+  EXPECT_EQ(acquired.grid(), csd.grid());
+}
+
+TEST(RasterTest, SubWindowAcquisition) {
+  const Csd csd = ramp_csd();
+  CsdPlayback playback(csd);
+  const VoltageAxis sub(0.002, 0.001, 3);
+  const Csd acquired = acquire_full_csd(playback, sub, sub);
+  EXPECT_EQ(acquired.width(), 3u);
+  EXPECT_DOUBLE_EQ(acquired.grid()(0, 0), csd.grid()(2, 2));
+}
+
+}  // namespace
+}  // namespace qvg

@@ -1,0 +1,60 @@
+// Shared helpers for the extraction tests: an analytically generated CSD
+// with a 2-piecewise transition boundary (steep + shallow line meeting at a
+// triple point), bright below-left and dark above-right, plus optional
+// deterministic noise.
+#pragma once
+
+#include "common/random.hpp"
+#include "grid/csd.hpp"
+
+namespace qvg::testsupport {
+
+struct SyntheticCsdSpec {
+  std::size_t pixels = 100;
+  double slope_steep = -4.0;    // pixel units
+  double slope_shallow = -0.25; // pixel units
+  double triple_x = 55.0;       // pixel coordinates of the intersection
+  double triple_y = 45.0;
+  double bright = 0.7;
+  double dark = 0.3;
+  /// Gentle background tilt (current decreases toward upper right), like
+  /// the sensor crosstalk on real devices.
+  double background_per_pixel = -0.001;
+  double noise_sigma = 0.0;
+  std::uint64_t seed = 1234;
+};
+
+/// Pixel (x, y) is inside the bright (0,0) region when it lies left of the
+/// steep line and below the shallow line.
+inline bool in_bright_region(const SyntheticCsdSpec& spec, double x, double y) {
+  const double steep_x_at_y =
+      spec.triple_x + (y - spec.triple_y) / spec.slope_steep;
+  const double shallow_y_at_x =
+      spec.triple_y + spec.slope_shallow * (x - spec.triple_x);
+  return x < steep_x_at_y && y < shallow_y_at_x;
+}
+
+inline Csd make_synthetic_csd(const SyntheticCsdSpec& spec) {
+  // 1 mV per pixel keeps pixel and voltage slopes identical.
+  const VoltageAxis axis(0.0, 0.001, spec.pixels);
+  Csd csd(axis, axis);
+  Rng rng(spec.seed);
+  for (std::size_t y = 0; y < spec.pixels; ++y) {
+    for (std::size_t x = 0; x < spec.pixels; ++x) {
+      const double fx = static_cast<double>(x);
+      const double fy = static_cast<double>(y);
+      double value = in_bright_region(spec, fx, fy) ? spec.bright : spec.dark;
+      value += spec.background_per_pixel * (fx + fy);
+      if (spec.noise_sigma > 0.0) value += rng.normal(0.0, spec.noise_sigma);
+      csd.grid()(x, y) = value;
+    }
+  }
+  TransitionTruth truth;
+  truth.slope_steep = spec.slope_steep;
+  truth.slope_shallow = spec.slope_shallow;
+  truth.triple_point = {axis.voltage(spec.triple_x), axis.voltage(spec.triple_y)};
+  csd.set_truth(truth);
+  return csd;
+}
+
+}  // namespace qvg::testsupport
