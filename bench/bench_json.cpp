@@ -1,0 +1,284 @@
+// Machine-readable perf harness seeding the repo's BENCH_*.json trajectory.
+//
+// Runs three scenario families and emits one JSON document:
+//   bench_micro   — dense-raster evaluation (naive vs incremental vs
+//                   parallel, the PR's headline ablation), per-solve
+//                   charge-state solver timings, and the image pipeline.
+//   bench_table1  — one fast extraction + one Canny/Hough baseline run
+//                   (unique probes, cache hit rate, compute/simulated time).
+//   bench_scaling — 3-dot array virtualization, fast vs baseline.
+//
+// Usage: bench_json [output.json]   (default: BENCH_PR1.json in the CWD)
+#include "common/stopwatch.hpp"
+#include "common/thread_pool.hpp"
+#include "device/dot_array.hpp"
+#include "extraction/array_extractor.hpp"
+#include "extraction/fast_extractor.hpp"
+#include "extraction/hough_baseline.hpp"
+#include "imgproc/canny.hpp"
+#include "imgproc/filters.hpp"
+#include "imgproc/hough.hpp"
+#include "probe/probe_cache.hpp"
+#include "probe/raster.hpp"
+
+#include <fstream>
+#include <iostream>
+#include <limits>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace {
+
+using namespace qvg;
+
+/// Best-of-`reps` wall-clock seconds of `fn`.
+template <typename Fn>
+double time_best(int reps, Fn&& fn) {
+  double best = std::numeric_limits<double>::infinity();
+  for (int r = 0; r < reps; ++r) {
+    Stopwatch w;
+    fn();
+    best = std::min(best, w.elapsed_seconds());
+  }
+  return best;
+}
+
+struct JsonWriter {
+  std::ostringstream out;
+  bool first_scenario = true;
+
+  void begin() { out << "{\n  \"bench\": \"PR1\",\n  \"scenarios\": [\n"; }
+  void end() {
+    out << "\n  ]\n}\n";
+  }
+  void begin_scenario(const std::string& name) {
+    if (!first_scenario) out << ",\n";
+    first_scenario = false;
+    out << "    {\"name\": \"" << name << "\"";
+  }
+  void field(const std::string& key, double value) {
+    out << ", \"" << key << "\": " << value;
+  }
+  void field(const std::string& key, long value) {
+    out << ", \"" << key << "\": " << value;
+  }
+  void field(const std::string& key, bool value) {
+    out << ", \"" << key << "\": " << (value ? "true" : "false");
+  }
+  void end_scenario() { out << "}"; }
+};
+
+GridD make_test_image(std::size_t n) {
+  Rng rng(99);
+  GridD image(n, n);
+  for (std::size_t y = 0; y < n; ++y)
+    for (std::size_t x = 0; x < n; ++x)
+      image(x, y) = (x > n / 2 ? 0.2 : 0.8) + 0.05 * rng.normal();
+  return image;
+}
+
+void bench_dense_raster(JsonWriter& json) {
+  // The headline ablation: every pixel of a 100x100 window evaluated
+  // through the naive per-pixel path vs the incremental/batched path. The
+  // solver share of the per-pixel cost grows with dot count, so the
+  // multi-dot scenarios show the full algorithmic gain.
+  for (std::size_t n_dots : {2u, 3u, 4u}) {
+    DotArrayParams params;
+    params.n_dots = n_dots;
+    const BuiltDevice device = build_dot_array(params);
+    const DeviceSimulator sim = make_pair_simulator(device);
+    const VoltageAxis axis = scan_axis(device, 100);
+
+    RasterEvalOptions naive{RasterEvalMode::kNaive, false};
+    RasterEvalOptions fast_serial{RasterEvalMode::kFast, false};
+    RasterEvalOptions fast_parallel{RasterEvalMode::kFast, true};
+
+    GridD naive_grid, fast_grid;
+    const double naive_s = time_best(
+        3, [&] { naive_grid = sim.evaluate_raster(axis, axis, naive); });
+    const double serial_s = time_best(
+        5, [&] { fast_grid = sim.evaluate_raster(axis, axis, fast_serial); });
+    const bool identical = naive_grid == fast_grid;
+    GridD parallel_grid;
+    const double parallel_s = time_best(5, [&] {
+      parallel_grid = sim.evaluate_raster(axis, axis, fast_parallel);
+    });
+
+    json.begin_scenario("micro_dense_raster_100x100_" +
+                        std::to_string(n_dots) + "dot");
+    json.field("pixels", static_cast<long>(axis.count() * axis.count()));
+    json.field("naive_seconds", naive_s);
+    json.field("fast_serial_seconds", serial_s);
+    json.field("fast_parallel_seconds", parallel_s);
+    json.field("speedup_serial", naive_s / serial_s);
+    json.field("speedup_parallel", naive_s / parallel_s);
+    json.field("results_identical", identical && fast_grid == parallel_grid);
+    json.field("threads", static_cast<long>(ThreadPool::global().size()));
+    json.end_scenario();
+  }
+}
+
+void bench_solver(JsonWriter& json) {
+  for (std::size_t n_dots : {2u, 3u, 4u}) {
+    DotArrayParams params;
+    params.n_dots = n_dots;
+    const BuiltDevice device = build_dot_array(params);
+    Rng rng(7 + n_dots);
+    const int solves = 2000;
+    std::vector<std::vector<double>> drive_sets;
+    drive_sets.reserve(solves);
+    std::vector<double> voltages(n_dots);
+    for (int s = 0; s < solves; ++s) {
+      for (auto& v : voltages) v = rng.uniform(0.0, 0.06);
+      drive_sets.push_back(device.model.dot_drives(voltages));
+    }
+
+    const double naive_s = time_best(3, [&] {
+      for (const auto& d : drive_sets)
+        (void)ground_state_exhaustive(device.model, d, 4);
+    });
+    IncrementalGroundStateSolver solver(device.model);
+    const double fast_s = time_best(3, [&] {
+      for (const auto& d : drive_sets) (void)solver.solve(d, 4);
+    });
+
+    json.begin_scenario("micro_solver_" + std::to_string(n_dots) + "dot");
+    json.field("solves", static_cast<long>(solves));
+    json.field("naive_us_per_solve", naive_s / solves * 1e6);
+    json.field("incremental_us_per_solve", fast_s / solves * 1e6);
+    json.field("speedup", naive_s / fast_s);
+    json.end_scenario();
+  }
+}
+
+void bench_imgproc(JsonWriter& json) {
+  const GridD image = make_test_image(200);
+  set_parallelism_enabled(false);
+  const double blur_serial = time_best(3, [&] { (void)gaussian_blur(image, 1.4); });
+  const double canny_serial = time_best(3, [&] { (void)canny(image); });
+  const GridU8 edges = canny(image);
+  const double hough_serial = time_best(3, [&] { (void)hough_lines(edges); });
+  set_parallelism_enabled(true);
+  const double blur_parallel = time_best(3, [&] { (void)gaussian_blur(image, 1.4); });
+  const double canny_parallel = time_best(3, [&] { (void)canny(image); });
+  const double hough_parallel = time_best(3, [&] { (void)hough_lines(edges); });
+
+  json.begin_scenario("micro_imgproc_200px");
+  json.field("gaussian_blur_serial_ms", blur_serial * 1e3);
+  json.field("gaussian_blur_parallel_ms", blur_parallel * 1e3);
+  json.field("canny_serial_ms", canny_serial * 1e3);
+  json.field("canny_parallel_ms", canny_parallel * 1e3);
+  json.field("hough_serial_ms", hough_serial * 1e3);
+  json.field("hough_parallel_ms", hough_parallel * 1e3);
+  json.field("threads", static_cast<long>(ThreadPool::global().size()));
+  json.end_scenario();
+}
+
+void bench_extraction(JsonWriter& json) {
+  const BuiltDevice device = build_dot_array(DotArrayParams{});
+  const VoltageAxis axis = scan_axis(device, 100);
+
+  {
+    DeviceSimulator sim = make_pair_simulator(device);
+    Stopwatch w;
+    const auto fast = run_fast_extraction(sim, axis, axis);
+    const double wall = w.elapsed_seconds();
+    json.begin_scenario("table1_fast_extraction_100px");
+    json.field("success", fast.success);
+    json.field("unique_probes", fast.stats.unique_probes);
+    json.field("total_requests", fast.stats.total_requests);
+    json.field("probe_fraction",
+               static_cast<double>(fast.stats.unique_probes) /
+                   static_cast<double>(axis.count() * axis.count()));
+    json.field("compute_seconds", fast.stats.compute_seconds);
+    json.field("simulated_seconds", fast.stats.simulated_seconds);
+    json.field("wall_seconds", wall);
+    json.end_scenario();
+  }
+  {
+    DeviceSimulator sim = make_pair_simulator(device);
+    Stopwatch w;
+    const auto base = run_hough_baseline(sim, axis, axis);
+    const double wall = w.elapsed_seconds();
+    json.begin_scenario("table1_hough_baseline_100px");
+    json.field("success", base.success);
+    json.field("unique_probes", base.stats.unique_probes);
+    json.field("compute_seconds", base.stats.compute_seconds);
+    json.field("simulated_seconds", base.stats.simulated_seconds);
+    json.field("wall_seconds", wall);
+    json.end_scenario();
+  }
+  {
+    // ProbeCache behaviour on a dense double raster: the second pass is
+    // entirely cache hits.
+    DeviceSimulator sim = make_pair_simulator(device);
+    ProbeCache cache(sim, axis.step());
+    cache.reserve(axis.count() * axis.count());
+    (void)acquire_full_csd(cache, axis, axis);
+    (void)acquire_full_csd(cache, axis, axis);
+    json.begin_scenario("probe_cache_double_raster_100px");
+    json.field("requests", cache.probe_count());
+    json.field("unique_probes", cache.unique_probe_count());
+    json.field("cache_hit_rate", cache.cache_hit_rate());
+    json.end_scenario();
+  }
+}
+
+void bench_scaling(JsonWriter& json) {
+  DotArrayParams params;
+  params.n_dots = 3;
+  const BuiltDevice device = build_dot_array(params);
+
+  ArrayExtractionOptions fast_opt;
+  fast_opt.pixels_per_axis = 100;
+  Stopwatch wf;
+  const auto fast = extract_array_virtualization(device, fast_opt);
+  const double fast_wall = wf.elapsed_seconds();
+
+  ArrayExtractionOptions base_opt = fast_opt;
+  base_opt.method = ExtractionMethod::kHoughBaseline;
+  Stopwatch wb;
+  const auto base = extract_array_virtualization(device, base_opt);
+  const double base_wall = wb.elapsed_seconds();
+
+  json.begin_scenario("scaling_array_3dot");
+  json.field("fast_success", fast.success);
+  json.field("fast_unique_probes", fast.total_stats.unique_probes);
+  json.field("fast_total_seconds", fast.total_stats.total_seconds());
+  json.field("fast_wall_seconds", fast_wall);
+  json.field("baseline_success", base.success);
+  json.field("baseline_unique_probes", base.total_stats.unique_probes);
+  json.field("baseline_total_seconds", base.total_stats.total_seconds());
+  json.field("baseline_wall_seconds", base_wall);
+  json.field("probe_ratio",
+             static_cast<double>(fast.total_stats.unique_probes) /
+                 static_cast<double>(base.total_stats.unique_probes));
+  json.end_scenario();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::string out_path = argc > 1 ? argv[1] : "BENCH_PR1.json";
+
+  JsonWriter json;
+  json.out.precision(6);
+  json.begin();
+  bench_dense_raster(json);
+  bench_solver(json);
+  bench_imgproc(json);
+  bench_extraction(json);
+  bench_scaling(json);
+  json.end();
+
+  std::ofstream file(out_path);
+  if (!file) {
+    std::cerr << "cannot open " << out_path << "\n";
+    return 1;
+  }
+  file << json.out.str();
+  std::cout << json.out.str();
+  std::cout << "wrote " << out_path << "\n";
+  return 0;
+}

@@ -64,6 +64,32 @@ void BM_IdealCurrent(benchmark::State& state) {
 }
 BENCHMARK(BM_IdealCurrent);
 
+void BM_DenseRasterNaive(benchmark::State& state) {
+  // Pre-optimization reference path: per-pixel allocations + full-recompute
+  // exhaustive solver (the ablation baseline for BM_DenseRasterFast).
+  DotArrayParams params;
+  params.n_dots = static_cast<std::size_t>(state.range(0));
+  const auto device = build_dot_array(params);
+  const auto sim = make_pair_simulator(device);
+  const auto axis = scan_axis(device, 100);
+  for (auto _ : state)
+    benchmark::DoNotOptimize(
+        sim.evaluate_raster(axis, axis, {RasterEvalMode::kNaive, false}));
+}
+BENCHMARK(BM_DenseRasterNaive)->Arg(2)->Arg(3)->Arg(4)->Unit(benchmark::kMillisecond);
+
+void BM_DenseRasterFast(benchmark::State& state) {
+  // Incremental solver + warm starts + row-parallel batched evaluation.
+  DotArrayParams params;
+  params.n_dots = static_cast<std::size_t>(state.range(0));
+  const auto device = build_dot_array(params);
+  const auto sim = make_pair_simulator(device);
+  const auto axis = scan_axis(device, 100);
+  for (auto _ : state)
+    benchmark::DoNotOptimize(sim.evaluate_raster(axis, axis));
+}
+BENCHMARK(BM_DenseRasterFast)->Arg(2)->Arg(3)->Arg(4)->Unit(benchmark::kMillisecond);
+
 void BM_PiecewiseFit(benchmark::State& state) {
   // Synthetic points along a 2-piecewise path.
   std::vector<Pixel> points;

@@ -1,0 +1,12 @@
+#!/usr/bin/env bash
+# Build Release and refresh the perf-trajectory snapshot (BENCH_PR1.json at
+# the repo root). Usage: scripts/run_bench.sh [output.json]
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "$0")/.." && pwd)"
+out="${1:-$repo_root/BENCH_PR1.json}"
+build_dir="$repo_root/build-release"
+
+cmake -B "$build_dir" -S "$repo_root" -DCMAKE_BUILD_TYPE=Release
+cmake --build "$build_dir" --target bench_json -j"$(nproc)"
+"$build_dir/bench_json" "$out"

@@ -1,0 +1,168 @@
+#include "common/thread_pool.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <condition_variable>
+#include <exception>
+#include <mutex>
+
+namespace qvg {
+
+namespace {
+
+std::atomic<bool> g_parallel_enabled{true};
+
+// Depth of parallel_for frames on this thread: nested calls run inline so a
+// chunk that itself fans out cannot deadlock the (single) job slot.
+thread_local int t_parallel_depth = 0;
+
+}  // namespace
+
+void set_parallelism_enabled(bool enabled) noexcept {
+  g_parallel_enabled.store(enabled, std::memory_order_relaxed);
+}
+
+bool parallelism_enabled() noexcept {
+  return g_parallel_enabled.load(std::memory_order_relaxed);
+}
+
+struct ThreadPool::Job {
+  RangeFn fn;
+  std::atomic<std::size_t> next{0};
+  std::size_t end = 0;
+  std::size_t chunk = 1;
+  std::atomic<std::size_t> pending{0};  // chunks not yet finished
+  std::exception_ptr error;
+  std::mutex error_mutex;
+
+  /// Claim and run one chunk. Returns false when the range is exhausted.
+  bool run_one() {
+    const std::size_t lo = next.fetch_add(chunk, std::memory_order_relaxed);
+    if (lo >= end) return false;
+    const std::size_t hi = std::min(lo + chunk, end);
+    try {
+      fn(lo, hi);
+    } catch (...) {
+      std::lock_guard<std::mutex> lock(error_mutex);
+      if (!error) error = std::current_exception();
+    }
+    pending.fetch_sub(1, std::memory_order_acq_rel);
+    return true;
+  }
+};
+
+struct ThreadPool::State {
+  std::mutex mutex;
+  std::condition_variable work_cv;  // workers wait here for a job
+  std::condition_variable done_cv;  // parallel_for waits here for completion
+  bool stop = false;
+};
+
+ThreadPool::ThreadPool(std::size_t thread_count)
+    : state_(std::make_unique<State>()) {
+  if (thread_count == 0) {
+    const unsigned hw = std::thread::hardware_concurrency();
+    thread_count = hw > 1 ? hw - 1 : 0;
+  }
+  workers_.reserve(thread_count);
+  for (std::size_t i = 0; i < thread_count; ++i)
+    workers_.emplace_back([this] { worker_loop(); });
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(state_->mutex);
+    state_->stop = true;
+  }
+  state_->work_cv.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+void ThreadPool::worker_loop() {
+  t_parallel_depth = 1;  // chunks running here must not re-enter the pool
+  for (;;) {
+    std::shared_ptr<Job> job;
+    {
+      std::unique_lock<std::mutex> lock(state_->mutex);
+      state_->work_cv.wait(lock, [&] { return state_->stop || job_; });
+      if (state_->stop) return;
+      job = job_;
+    }
+    while (job->run_one()) {
+    }
+    // Range exhausted. The thread that finished the last chunk wakes the
+    // caller; notifying under the mutex avoids the lost-wakeup race with the
+    // caller's predicate check.
+    std::unique_lock<std::mutex> lock(state_->mutex);
+    if (job->pending.load(std::memory_order_acquire) == 0)
+      state_->done_cv.notify_all();
+    // Wait for the job slot to change before re-polling.
+    state_->work_cv.wait(lock, [&] { return state_->stop || job_ != job; });
+    if (state_->stop) return;
+  }
+}
+
+void ThreadPool::parallel_for(std::size_t begin, std::size_t end,
+                              const RangeFn& fn, std::size_t min_chunk) {
+  if (begin >= end) return;
+  const std::size_t count = end - begin;
+  min_chunk = std::max<std::size_t>(min_chunk, 1);
+  if (workers_.empty() || t_parallel_depth > 0 || count <= min_chunk) {
+    fn(begin, end);
+    return;
+  }
+
+  auto job = std::make_shared<Job>();
+  job->fn = [&fn, begin](std::size_t lo, std::size_t hi) {
+    fn(begin + lo, begin + hi);
+  };
+  // Oversubscribe chunks ~4x the pool size for load balance, subject to the
+  // caller's minimum chunk size.
+  const std::size_t target_chunks =
+      std::min(count, std::max<std::size_t>(1, size() * 4));
+  job->chunk = std::max(min_chunk, (count + target_chunks - 1) / target_chunks);
+  job->end = count;
+  job->pending.store((count + job->chunk - 1) / job->chunk,
+                     std::memory_order_relaxed);
+
+  {
+    std::lock_guard<std::mutex> lock(state_->mutex);
+    job_ = job;
+  }
+  state_->work_cv.notify_all();
+
+  ++t_parallel_depth;
+  while (job->run_one()) {
+  }
+  --t_parallel_depth;
+
+  {
+    std::unique_lock<std::mutex> lock(state_->mutex);
+    state_->done_cv.wait(lock, [&] {
+      return job->pending.load(std::memory_order_acquire) == 0;
+    });
+    job_ = nullptr;
+  }
+  state_->work_cv.notify_all();
+
+  if (job->error) std::rethrow_exception(job->error);
+}
+
+ThreadPool& ThreadPool::global() {
+  static ThreadPool pool;
+  return pool;
+}
+
+void parallel_for_rows(std::size_t count, const ThreadPool::RangeFn& fn,
+                       std::size_t min_per_thread) {
+  if (count == 0) return;
+  ThreadPool& pool = ThreadPool::global();
+  if (!parallelism_enabled() || pool.size() == 1 ||
+      count < min_per_thread * 2) {
+    fn(0, count);
+    return;
+  }
+  pool.parallel_for(0, count, fn, min_per_thread);
+}
+
+}  // namespace qvg

@@ -1,0 +1,67 @@
+// Fixed-size thread pool with a blocking `parallel_for` over contiguous
+// index ranges. No work stealing, no task futures: one range-job runs at a
+// time and the calling thread participates, so a single-threaded pool
+// degrades to a plain serial loop. Used to row-parallelize the batched
+// raster evaluation (DeviceSimulator::evaluate_raster) and the dense image
+// scans of the Canny/Hough baseline.
+//
+// All users split work so that each index writes disjoint output, which
+// keeps parallel results bit-identical to serial ones regardless of thread
+// count or chunk schedule.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <memory>
+#include <thread>
+#include <vector>
+
+namespace qvg {
+
+class ThreadPool {
+ public:
+  /// Spawn `thread_count` workers in addition to the calling thread;
+  /// 0 means hardware_concurrency - 1 (so pool size == core count).
+  explicit ThreadPool(std::size_t thread_count = 0);
+  ~ThreadPool();
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Workers plus the participating caller.
+  [[nodiscard]] std::size_t size() const noexcept { return workers_.size() + 1; }
+
+  using RangeFn = std::function<void(std::size_t, std::size_t)>;
+
+  /// Run fn(lo, hi) over disjoint chunks covering [begin, end). Blocks until
+  /// every chunk has finished; the calling thread executes chunks too. The
+  /// first exception thrown by `fn` is rethrown here. Nested calls from
+  /// inside a chunk run serially inline.
+  void parallel_for(std::size_t begin, std::size_t end, const RangeFn& fn,
+                    std::size_t min_chunk = 1);
+
+  /// Shared process-wide pool sized to the hardware.
+  static ThreadPool& global();
+
+ private:
+  struct Job;
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::shared_ptr<Job> job_;  // guarded by the job mutex inside Job machinery
+  struct State;
+  std::unique_ptr<State> state_;
+};
+
+/// Process-wide kill switch: when disabled, every parallel_for runs serially
+/// on the calling thread. Used by the equivalence tests and the bench
+/// harness's serial-vs-parallel ablation.
+void set_parallelism_enabled(bool enabled) noexcept;
+[[nodiscard]] bool parallelism_enabled() noexcept;
+
+/// Convenience: chunked parallel loop over [0, count) on the global pool.
+/// Serial when parallelism is disabled, the pool has one thread, or the
+/// range is smaller than `min_per_thread`.
+void parallel_for_rows(std::size_t count, const ThreadPool::RangeFn& fn,
+                       std::size_t min_per_thread = 8);
+
+}  // namespace qvg

@@ -49,6 +49,11 @@ class CapacitanceModel {
   [[nodiscard]] std::vector<double> dot_drives(
       const std::vector<double>& gate_voltages) const;
 
+  /// Allocation-free variant for the per-pixel probe path: writes the drives
+  /// into `out` (resized to num_dots()).
+  void dot_drives_into(const std::vector<double>& gate_voltages,
+                       std::vector<double>& out) const;
+
   /// Total electrostatic energy of occupation `n` at the given drives.
   [[nodiscard]] double energy(const std::vector<int>& occupation,
                               const std::vector<double>& drives) const;

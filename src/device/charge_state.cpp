@@ -72,12 +72,129 @@ std::vector<int> ground_state_greedy(const CapacitanceModel& model,
   return occupation;
 }
 
+void IncrementalGroundStateSolver::bind(const CapacitanceModel& model) {
+  model_ = &model;
+  n_ = model.num_dots();
+  occupation_.assign(n_, 0);
+  best_.assign(n_, 0);
+  coupling_.assign(n_, 0.0);
+  charging_ = model.charging_energies();
+  mutual_flat_.resize(n_ * n_);
+  const Matrix& mutual = model.mutual_coupling();
+  for (std::size_t i = 0; i < n_; ++i)
+    for (std::size_t k = 0; k < n_; ++k)
+      mutual_flat_[i * n_ + k] = mutual(i, k);
+  q0_.clear();
+}
+
+const std::vector<int>& IncrementalGroundStateSolver::solve(
+    const std::vector<double>& drives, int max_electrons_per_dot,
+    const std::vector<int>* warm_start) {
+  QVG_EXPECTS(model_ != nullptr);
+  QVG_EXPECTS(max_electrons_per_dot >= 0);
+  const std::size_t n = n_;
+  QVG_EXPECTS(drives.size() == n);
+  const auto m = static_cast<std::size_t>(max_electrons_per_dot) + 1;
+
+  // Dot 0 is the innermost odometer digit: while it spins, no coupling sum
+  // changes (its own coupling_[0] depends only on the other dots), so each
+  // inner state costs O(1) — a table lookup and one fused multiply-add.
+  // Outer digits advance once every m states and pay the O(n) coupling
+  // update there, giving O(m^n + m^(n-1) n) total work instead of the
+  // reference's O(m^n n^2).
+  if (q0_.size() != m) {
+    q0_.resize(m);
+    for (std::size_t c = 0; c < m; ++c)
+      q0_[c] = 0.5 * charging_[0] * static_cast<double>(c) *
+               static_cast<double>(c);
+  }
+
+  // Start from the all-zero state (energy 0), the reference solver's
+  // initial incumbent. The running best is tracked as an enumeration index
+  // (digit j of base m = dot j's occupancy) — no vector copies in the loop.
+  std::fill(occupation_.begin(), occupation_.end(), 0);
+  std::fill(coupling_.begin(), coupling_.end(), 0.0);
+  double base = 0.0;  // energy of the current outer state with dot 0 empty
+  double best_energy = 0.0;
+  unsigned long long best_index = 0;
+  bool warm_is_best = false;
+
+  if (warm_start != nullptr && !warm_start->empty()) {
+    QVG_EXPECTS(warm_start->size() == n);
+    // Inline quadratic energy against the flat parameter copies (cheaper
+    // than CapacitanceModel::energy, which re-validates per call).
+    double warm_energy = 0.0;
+    for (std::size_t j = 0; j < n; ++j) {
+      const auto wj = static_cast<double>((*warm_start)[j]);
+      warm_energy += 0.5 * charging_[j] * wj * wj - wj * drives[j];
+      const double* row = mutual_flat_.data() + j * n;
+      for (std::size_t k = j + 1; k < n; ++k)
+        warm_energy += row[k] * wj * static_cast<double>((*warm_start)[k]);
+    }
+    if (warm_energy < best_energy) {
+      best_energy = warm_energy;
+      warm_is_best = true;
+    }
+  }
+
+  // Move outer dot j (>= 1) to occupancy b, updating the base energy and
+  // every dot's coupling sum:
+  //   dE = Ec_j/2 (b^2 - a^2) - (b - a) drives[j] + (b - a) coupling_[j].
+  auto apply_outer_move = [&](std::size_t j, int b) {
+    const auto a = static_cast<double>(occupation_[j]);
+    const auto db = static_cast<double>(b);
+    base += 0.5 * charging_[j] * (db * db - a * a) - (db - a) * drives[j] +
+            (db - a) * coupling_[j];
+    occupation_[j] = b;
+    const double shift = db - a;
+    const double* row = mutual_flat_.data() + j * n;
+    for (std::size_t k = 0; k < n; ++k) coupling_[k] += row[k] * shift;
+  };
+
+  unsigned long long index_base = 0;  // enumeration index of (0, outer...)
+  const double drive0 = drives[0];
+  while (true) {
+    // Inner sweep over dot 0 at the current outer state. Enumeration order
+    // (and therefore tie-breaking) matches the reference odometer exactly.
+    const double e0 = drive0 - coupling_[0];
+    for (std::size_t c = 0; c < m; ++c) {
+      const double e = base + q0_[c] - static_cast<double>(c) * e0;
+      if (e < best_energy) {
+        best_energy = e;
+        best_index = index_base + c;
+        warm_is_best = false;
+      }
+    }
+    // Advance the outer odometer (dots 1..n-1).
+    std::size_t d = 1;
+    while (d < n && occupation_[d] == max_electrons_per_dot) {
+      apply_outer_move(d, 0);
+      ++d;
+    }
+    if (d >= n) break;
+    apply_outer_move(d, occupation_[d] + 1);
+    index_base += m;
+  }
+
+  if (warm_is_best) {
+    best_ = *warm_start;
+  } else {
+    for (std::size_t j = 0; j < n; ++j) {
+      best_[j] = static_cast<int>(best_index % m);
+      best_index /= m;
+    }
+  }
+  return best_;
+}
+
 std::vector<int> ground_state(const CapacitanceModel& model,
                               const std::vector<double>& gate_voltages,
                               const ChargeSolverOptions& options) {
   const auto drives = model.dot_drives(gate_voltages);
-  if (model.num_dots() <= options.exhaustive_dot_limit)
-    return ground_state_exhaustive(model, drives, options.max_electrons_per_dot);
+  if (model.num_dots() <= options.exhaustive_dot_limit) {
+    IncrementalGroundStateSolver solver(model);
+    return solver.solve(drives, options.max_electrons_per_dot);
+  }
   return ground_state_greedy(model, drives, options.max_electrons_per_dot);
 }
 

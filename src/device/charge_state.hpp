@@ -1,7 +1,32 @@
 // Ground-state charge configuration solvers for the constant-interaction
-// model. The exhaustive solver enumerates all occupations up to a per-dot
-// maximum (exact, fine for <= 4-5 dots); the greedy solver uses iterated
-// conditional updates for larger arrays.
+// model.
+//
+// Solver choice and complexity (n dots, m = max_electrons_per_dot + 1
+// occupancy levels per dot, so m^n candidate states):
+//
+//   ground_state_exhaustive  — reference implementation. Enumerates all m^n
+//     states and recomputes the full quadratic energy for each: O(m^n * n^2).
+//     Exact. Keep for <= 4-5 dots and as the equivalence oracle for the
+//     optimized paths.
+//
+//   IncrementalGroundStateSolver — optimized exhaustive solver. Enumerates
+//     the same m^n states in the same odometer order but updates the energy
+//     by the delta of the single dot that changed (maintaining per-dot
+//     mutual-coupling sums), so each state costs O(n) instead of O(n^2),
+//     and all scratch buffers are reused across solves (no allocation on
+//     the hot path): O(m^n * n) with ~zero constant overhead. Exact; ties
+//     between degenerate ground states break in enumeration order exactly
+//     like the reference, except that a warm-start seed (previous raster
+//     pixel) wins exact ties against later-enumerated states. Use this for
+//     per-pixel raster evaluation.
+//
+//   ground_state_greedy — iterated conditional modes: O(sweeps * n^2 * m)
+//     with a handful of sweeps in practice. Exact for diagonal-dominant
+//     couplings in practice but not guaranteed; use for arrays too large to
+//     enumerate (> exhaustive_dot_limit dots).
+//
+// ground_state() dispatches: IncrementalGroundStateSolver up to
+// ChargeSolverOptions::exhaustive_dot_limit dots, greedy above.
 #pragma once
 
 #include "device/capacitance.hpp"
@@ -21,7 +46,8 @@ struct ChargeSolverOptions {
     const CapacitanceModel& model, const std::vector<double>& gate_voltages,
     const ChargeSolverOptions& options = {});
 
-/// Exhaustive minimizer over {0..max}^n (exact).
+/// Exhaustive minimizer over {0..max}^n (exact). Reference implementation:
+/// full O(n^2) energy recompute per enumerated state.
 [[nodiscard]] std::vector<int> ground_state_exhaustive(
     const CapacitanceModel& model, const std::vector<double>& drives,
     int max_electrons_per_dot);
@@ -32,5 +58,48 @@ struct ChargeSolverOptions {
 [[nodiscard]] std::vector<int> ground_state_greedy(
     const CapacitanceModel& model, const std::vector<double>& drives,
     int max_electrons_per_dot);
+
+/// Allocation-free exhaustive solver with incremental delta-energy
+/// evaluation. Bind it to a model once, then call solve() per pixel; the
+/// returned reference stays valid until the next solve()/bind().
+///
+/// Not thread-safe: give each thread its own instance (see
+/// DeviceSimulator::evaluate_raster).
+class IncrementalGroundStateSolver {
+ public:
+  IncrementalGroundStateSolver() = default;
+  explicit IncrementalGroundStateSolver(const CapacitanceModel& model) {
+    bind(model);
+  }
+
+  /// (Re)bind to a model and size the scratch buffers. The model must
+  /// outlive the solver.
+  void bind(const CapacitanceModel& model);
+
+  /// Exact ground state over {0..max}^n for the given per-dot drives.
+  /// `warm_start` (e.g. the previous raster pixel's occupation) seeds the
+  /// incumbent: it never changes the result when the minimum is unique, and
+  /// in exact-tie cases it is preferred over later-enumerated states.
+  const std::vector<int>& solve(const std::vector<double>& drives,
+                                int max_electrons_per_dot,
+                                const std::vector<int>* warm_start = nullptr);
+
+  [[nodiscard]] bool bound() const noexcept { return model_ != nullptr; }
+
+ private:
+  const CapacitanceModel* model_ = nullptr;
+  std::size_t n_ = 0;
+  std::vector<int> occupation_;
+  std::vector<int> best_;
+  /// coupling_[d] = sum_k mutual(d, k) * occupation_[k], maintained
+  /// incrementally as the outer-odometer digits advance.
+  std::vector<double> coupling_;
+  /// Flat copies of the model's parameters (row-major mutual matrix) so the
+  /// inner loop never goes through accessor indirection.
+  std::vector<double> mutual_flat_;
+  std::vector<double> charging_;
+  /// Quadratic self-energy table for dot 0: q0_[c] = Ec_0/2 * c^2.
+  std::vector<double> q0_;
+};
 
 }  // namespace qvg

@@ -1,7 +1,7 @@
 #include "device/simulator.hpp"
 
 #include "common/assert.hpp"
-#include "probe/raster.hpp"
+#include "common/thread_pool.hpp"
 
 namespace qvg {
 
@@ -29,30 +29,69 @@ void DeviceSimulator::set_scan_pair(ScanPair pair) {
   QVG_EXPECTS(pair.dot_y < model_.num_dots());
   QVG_EXPECTS(pair.dot_x != pair.dot_y);
   pair_ = pair;
+  scratch_.has_warm = false;  // different plane: previous pixel is stale
 }
 
 void DeviceSimulator::set_base_voltage(std::size_t gate, double voltage) {
   QVG_EXPECTS(gate < base_voltages_.size());
   base_voltages_[gate] = voltage;
+  scratch_.has_warm = false;
 }
 
 void DeviceSimulator::add_noise(std::unique_ptr<NoiseProcess> process) {
   noise_.add(std::move(process));
 }
 
+const std::vector<int>& DeviceSimulator::occupation_with(ProbeScratch& ws,
+                                                         double v1,
+                                                         double v2) const {
+  ws.voltages.assign(base_voltages_.begin(), base_voltages_.end());
+  ws.voltages[pair_.gate_x] = v1;
+  ws.voltages[pair_.gate_y] = v2;
+  model_.dot_drives_into(ws.voltages, ws.drives);
+  if (model_.num_dots() <= solver_options_.exhaustive_dot_limit) {
+    if (!ws.solver.bound()) ws.solver.bind(model_);
+    const auto& occ =
+        ws.solver.solve(ws.drives, solver_options_.max_electrons_per_dot,
+                        ws.has_warm ? &ws.warm : nullptr);
+    ws.warm = occ;
+    ws.has_warm = true;
+    return occ;
+  }
+  // Large array: greedy solver (same dispatch as the reference path; no
+  // warm start, so results match ground_state() exactly).
+  ws.warm = ground_state_greedy(model_, ws.drives,
+                                solver_options_.max_electrons_per_dot);
+  ws.has_warm = false;
+  return ws.warm;
+}
+
+double DeviceSimulator::probe_with(ProbeScratch& ws, double v1,
+                                   double v2) const {
+  const auto& occupation = occupation_with(ws, v1, v2);
+  return sensor_.current(ws.voltages, occupation);
+}
+
 double DeviceSimulator::ideal_current(double v1, double v2) const {
+  return probe_with(scratch_, v1, v2);
+}
+
+double DeviceSimulator::ideal_current_naive(double v1, double v2) const {
   std::vector<double> v = base_voltages_;
   v[pair_.gate_x] = v1;
   v[pair_.gate_y] = v2;
-  const auto occupation = ground_state(model_, v, solver_options_);
+  const auto drives = model_.dot_drives(v);
+  const auto occupation =
+      model_.num_dots() <= solver_options_.exhaustive_dot_limit
+          ? ground_state_exhaustive(model_, drives,
+                                    solver_options_.max_electrons_per_dot)
+          : ground_state_greedy(model_, drives,
+                                solver_options_.max_electrons_per_dot);
   return sensor_.current(v, occupation);
 }
 
 std::vector<int> DeviceSimulator::occupation_at(double v1, double v2) const {
-  std::vector<double> v = base_voltages_;
-  v[pair_.gate_x] = v1;
-  v[pair_.gate_y] = v2;
-  return ground_state(model_, v, solver_options_);
+  return occupation_with(scratch_, v1, v2);
 }
 
 double DeviceSimulator::get_current(double v1, double v2) {
@@ -60,6 +99,40 @@ double DeviceSimulator::get_current(double v1, double v2) {
   clock_.charge_probe();
   const double ideal = ideal_current(v1, v2);
   return ideal + noise_.next(clock_.dwell_seconds(), rng_);
+}
+
+GridD DeviceSimulator::evaluate_raster(const VoltageAxis& x_axis,
+                                       const VoltageAxis& y_axis,
+                                       const RasterEvalOptions& opts) const {
+  GridD out(x_axis.count(), y_axis.count());
+
+  if (opts.mode == RasterEvalMode::kNaive) {
+    for (std::size_t y = 0; y < y_axis.count(); ++y) {
+      const double vy = y_axis.voltage(static_cast<double>(y));
+      for (std::size_t x = 0; x < x_axis.count(); ++x)
+        out(x, y) = ideal_current_naive(x_axis.voltage(static_cast<double>(x)),
+                                        vy);
+    }
+    return out;
+  }
+
+  auto eval_rows = [&](std::size_t y0, std::size_t y1) {
+    ProbeScratch ws;
+    for (std::size_t y = y0; y < y1; ++y) {
+      // Warm start resets at each row so serial and parallel schedules make
+      // identical per-pixel decisions.
+      ws.has_warm = false;
+      const double vy = y_axis.voltage(static_cast<double>(y));
+      for (std::size_t x = 0; x < x_axis.count(); ++x)
+        out(x, y) = probe_with(ws, x_axis.voltage(static_cast<double>(x)), vy);
+    }
+  };
+
+  if (opts.parallel)
+    parallel_for_rows(y_axis.count(), eval_rows, 1);
+  else
+    eval_rows(0, y_axis.count());
+  return out;
 }
 
 TransitionTruth DeviceSimulator::truth() const {
@@ -70,7 +143,19 @@ TransitionTruth DeviceSimulator::truth() const {
 Csd DeviceSimulator::generate_csd(const VoltageAxis& x_axis,
                                   const VoltageAxis& y_axis,
                                   const std::string& name) {
-  Csd csd = acquire_full_csd(*this, x_axis, y_axis);
+  // Batched (possibly parallel) physics, then temporal noise applied in
+  // probe order — byte-for-byte the diagram acquire_full_csd would produce,
+  // with identical probe and clock accounting.
+  const GridD ideal = evaluate_raster(x_axis, y_axis);
+  Csd csd(x_axis, y_axis);
+  for (std::size_t y = 0; y < y_axis.count(); ++y) {
+    for (std::size_t x = 0; x < x_axis.count(); ++x) {
+      ++probes_;
+      clock_.charge_probe();
+      csd.grid()(x, y) =
+          ideal(x, y) + noise_.next(clock_.dwell_seconds(), rng_);
+    }
+  }
   csd.set_truth(truth());
   csd.set_name(name);
   return csd;
@@ -81,6 +166,7 @@ void DeviceSimulator::reset() {
   probes_ = 0;
   noise_.reset();
   rng_.reseed(noise_seed_);
+  scratch_.has_warm = false;
 }
 
 }  // namespace qvg

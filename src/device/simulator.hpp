@@ -25,6 +25,25 @@ struct ScanPair {
   std::size_t dot_y = 1;   // dot whose addition line is shallow
 };
 
+/// How evaluate_raster computes each pixel.
+enum class RasterEvalMode {
+  /// Incremental solver, reused scratch buffers, warm-started from the
+  /// previous pixel in the row. The production path.
+  kFast,
+  /// The pre-optimization reference path: fresh voltage/drive vectors per
+  /// pixel and full O(n^2)-per-state energy recomputes. Kept for the
+  /// equivalence tests and the bench harness's before/after ablation.
+  kNaive,
+};
+
+struct RasterEvalOptions {
+  RasterEvalMode mode = RasterEvalMode::kFast;
+  /// Row-parallel evaluation on the global ThreadPool (kFast only; results
+  /// are bit-identical to serial because rows are independent and warm
+  /// starts reset at each row).
+  bool parallel = true;
+};
+
 class DeviceSimulator final : public CurrentSource {
  public:
   DeviceSimulator(CapacitanceModel model, SensorConfig sensor_config,
@@ -42,18 +61,31 @@ class DeviceSimulator final : public CurrentSource {
   [[nodiscard]] long probe_count() const override { return probes_; }
 
   /// Noise-free current at a voltage pair (reference for tests and SNR
-  /// calibration).
+  /// calibration). Allocation-free: reuses an internal scratch workspace,
+  /// so concurrent calls on the same simulator are not safe — use
+  /// evaluate_raster for batched/parallel evaluation.
   [[nodiscard]] double ideal_current(double v1, double v2) const;
 
-  /// Ground-state occupation at a voltage pair.
+  /// Ground-state occupation at a voltage pair. Shares the internal scratch
+  /// workspace with ideal_current: not safe to call concurrently on the
+  /// same simulator.
   [[nodiscard]] std::vector<int> occupation_at(double v1, double v2) const;
+
+  /// Batched noise-free evaluation of every pixel of the window (the
+  /// dense-raster hot path). Probe-free: does not touch the clock, probe
+  /// counter, or noise state.
+  [[nodiscard]] GridD evaluate_raster(const VoltageAxis& x_axis,
+                                      const VoltageAxis& y_axis,
+                                      const RasterEvalOptions& opts = {}) const;
 
   /// Analytic transition-line ground truth for the scanned pair.
   [[nodiscard]] TransitionTruth truth() const;
 
   /// Acquire a full CSD over the given axes (raster scan through this
   /// simulator, so it costs probes and simulated time) and stamp it with the
-  /// ground truth. `name` labels the diagram for reports.
+  /// ground truth. `name` labels the diagram for reports. Internally uses
+  /// the batched evaluate_raster path, then applies temporal noise in probe
+  /// order — identical output to probing pixel-by-pixel via get_current.
   [[nodiscard]] Csd generate_csd(const VoltageAxis& x_axis,
                                  const VoltageAxis& y_axis,
                                  const std::string& name = {});
@@ -77,6 +109,22 @@ class DeviceSimulator final : public CurrentSource {
   void reset();
 
  private:
+  /// Per-thread scratch for the allocation-free probe path.
+  struct ProbeScratch {
+    std::vector<double> voltages;
+    std::vector<double> drives;
+    std::vector<int> warm;
+    bool has_warm = false;
+    IncrementalGroundStateSolver solver;
+  };
+
+  /// Ground-state occupation via the scratch workspace (no allocation after
+  /// the first call); leaves the full voltage vector in ws.voltages.
+  const std::vector<int>& occupation_with(ProbeScratch& ws, double v1,
+                                          double v2) const;
+  [[nodiscard]] double probe_with(ProbeScratch& ws, double v1, double v2) const;
+  [[nodiscard]] double ideal_current_naive(double v1, double v2) const;
+
   CapacitanceModel model_;
   ChargeSensor sensor_;
   std::vector<double> base_voltages_;
@@ -87,6 +135,7 @@ class DeviceSimulator final : public CurrentSource {
   std::uint64_t noise_seed_;
   SimClock clock_;
   long probes_ = 0;
+  mutable ProbeScratch scratch_;
 };
 
 }  // namespace qvg

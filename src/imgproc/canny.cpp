@@ -1,6 +1,7 @@
 #include "imgproc/canny.hpp"
 
 #include "common/assert.hpp"
+#include "common/thread_pool.hpp"
 #include "imgproc/filters.hpp"
 #include "imgproc/sobel.hpp"
 #include "linalg/stats.hpp"
@@ -51,22 +52,25 @@ GridU8 canny(const GridD& image, const CannyOptions& opt) {
   const auto w = image.width();
   const auto h = image.height();
 
-  // Non-maximum suppression.
+  // Non-maximum suppression. Pure per-pixel function of the gradient field,
+  // so the row-parallel scan is bit-identical to the serial one.
   GridD thinned(w, h, 0.0);
-  for (std::size_t y = 0; y < h; ++y) {
-    for (std::size_t x = 0; x < w; ++x) {
-      const double m = grad.magnitude(x, y);
-      if (m < low) continue;
-      const auto [n1, n2] = gradient_neighbors(grad.gx(x, y), grad.gy(x, y));
-      const double m1 = grad.magnitude.clamped(
-          static_cast<std::ptrdiff_t>(x) + n1.first,
-          static_cast<std::ptrdiff_t>(y) + n1.second);
-      const double m2 = grad.magnitude.clamped(
-          static_cast<std::ptrdiff_t>(x) + n2.first,
-          static_cast<std::ptrdiff_t>(y) + n2.second);
-      if (m >= m1 && m >= m2) thinned(x, y) = m;
+  parallel_for_rows(h, [&](std::size_t y0, std::size_t y1) {
+    for (std::size_t y = y0; y < y1; ++y) {
+      for (std::size_t x = 0; x < w; ++x) {
+        const double m = grad.magnitude(x, y);
+        if (m < low) continue;
+        const auto [n1, n2] = gradient_neighbors(grad.gx(x, y), grad.gy(x, y));
+        const double m1 = grad.magnitude.clamped(
+            static_cast<std::ptrdiff_t>(x) + n1.first,
+            static_cast<std::ptrdiff_t>(y) + n1.second);
+        const double m2 = grad.magnitude.clamped(
+            static_cast<std::ptrdiff_t>(x) + n2.first,
+            static_cast<std::ptrdiff_t>(y) + n2.second);
+        if (m >= m1 && m >= m2) thinned(x, y) = m;
+      }
     }
-  }
+  });
 
   // Hysteresis: strong pixels seed a flood fill through weak pixels.
   GridU8 edges(w, h, 0);

@@ -1,6 +1,7 @@
 #include "imgproc/convolve.hpp"
 
 #include "common/assert.hpp"
+#include "common/thread_pool.hpp"
 
 namespace qvg {
 
@@ -33,42 +34,74 @@ double sample(const GridD& image, std::ptrdiff_t x, std::ptrdiff_t y,
   return 0.0;
 }
 
-}  // namespace
-
-GridD correlate(const GridD& image, const Kernel2D& kernel, BorderMode border) {
+/// Shared correlation core. `flip` selects true convolution (kernel mirrored
+/// in both axes) as a view — no flipped copy is materialized. Row-parallel:
+/// every output row is written by exactly one chunk, and interior pixels
+/// (full kernel window in bounds) skip the border-handling sampler. The
+/// per-pixel accumulation order is identical on every path, so results are
+/// bit-identical to the straightforward serial implementation.
+GridD correlate_impl(const GridD& image, const Kernel2D& kernel,
+                     BorderMode border, bool flip) {
   QVG_EXPECTS(!image.empty());
   QVG_EXPECTS(!kernel.empty());
   const auto kw = static_cast<std::ptrdiff_t>(kernel.width());
   const auto kh = static_cast<std::ptrdiff_t>(kernel.height());
   const std::ptrdiff_t ax = kw / 2;  // anchor: kernel center
   const std::ptrdiff_t ay = kh / 2;
+  const auto width = static_cast<std::ptrdiff_t>(image.width());
+  const auto height = static_cast<std::ptrdiff_t>(image.height());
+
+  auto weight = [&](std::ptrdiff_t kx, std::ptrdiff_t ky) {
+    if (flip) {
+      kx = kw - 1 - kx;
+      ky = kh - 1 - ky;
+    }
+    return kernel(static_cast<std::size_t>(kx), static_cast<std::size_t>(ky));
+  };
 
   GridD out(image.width(), image.height());
-  for (std::size_t y = 0; y < image.height(); ++y) {
-    for (std::size_t x = 0; x < image.width(); ++x) {
-      double acc = 0.0;
-      for (std::ptrdiff_t ky = 0; ky < kh; ++ky) {
-        for (std::ptrdiff_t kx = 0; kx < kw; ++kx) {
-          const double w = kernel(static_cast<std::size_t>(kx),
-                                  static_cast<std::size_t>(ky));
-          if (w == 0.0) continue;
-          acc += w * sample(image, static_cast<std::ptrdiff_t>(x) + kx - ax,
-                            static_cast<std::ptrdiff_t>(y) + ky - ay, border);
+  parallel_for_rows(image.height(), [&](std::size_t y0, std::size_t y1) {
+    for (std::size_t y = y0; y < y1; ++y) {
+      const auto sy = static_cast<std::ptrdiff_t>(y);
+      const bool y_interior = sy - ay >= 0 && sy - ay + kh <= height;
+      for (std::size_t x = 0; x < image.width(); ++x) {
+        const auto sx = static_cast<std::ptrdiff_t>(x);
+        double acc = 0.0;
+        if (y_interior && sx - ax >= 0 && sx - ax + kw <= width) {
+          for (std::ptrdiff_t ky = 0; ky < kh; ++ky) {
+            for (std::ptrdiff_t kx = 0; kx < kw; ++kx) {
+              const double w = weight(kx, ky);
+              if (w == 0.0) continue;
+              acc += w * image(static_cast<std::size_t>(sx + kx - ax),
+                               static_cast<std::size_t>(sy + ky - ay));
+            }
+          }
+        } else {
+          for (std::ptrdiff_t ky = 0; ky < kh; ++ky) {
+            for (std::ptrdiff_t kx = 0; kx < kw; ++kx) {
+              const double w = weight(kx, ky);
+              if (w == 0.0) continue;
+              acc += w * sample(image, sx + kx - ax, sy + ky - ay, border);
+            }
+          }
         }
+        out(x, y) = acc;
       }
-      out(x, y) = acc;
     }
-  }
+  });
   return out;
 }
 
+}  // namespace
+
+GridD correlate(const GridD& image, const Kernel2D& kernel, BorderMode border) {
+  return correlate_impl(image, kernel, border, /*flip=*/false);
+}
+
 GridD convolve(const GridD& image, const Kernel2D& kernel, BorderMode border) {
-  // Convolution = correlation with a doubly flipped kernel.
-  Kernel2D flipped(kernel.width(), kernel.height());
-  for (std::size_t y = 0; y < kernel.height(); ++y)
-    for (std::size_t x = 0; x < kernel.width(); ++x)
-      flipped(x, y) = kernel(kernel.width() - 1 - x, kernel.height() - 1 - y);
-  return correlate(image, flipped, border);
+  // Convolution = correlation with a doubly flipped kernel, applied as an
+  // index view instead of allocating and flipping a copy per call.
+  return correlate_impl(image, kernel, border, /*flip=*/true);
 }
 
 GridD correlate_separable(const GridD& image, const std::vector<double>& taps_x,
@@ -76,33 +109,58 @@ GridD correlate_separable(const GridD& image, const std::vector<double>& taps_x,
   QVG_EXPECTS(!taps_x.empty() && !taps_y.empty());
   const auto rx = static_cast<std::ptrdiff_t>(taps_x.size()) / 2;
   const auto ry = static_cast<std::ptrdiff_t>(taps_y.size()) / 2;
+  const auto width = static_cast<std::ptrdiff_t>(image.width());
+  const auto height = static_cast<std::ptrdiff_t>(image.height());
 
   GridD tmp(image.width(), image.height());
-  for (std::size_t y = 0; y < image.height(); ++y) {
-    for (std::size_t x = 0; x < image.width(); ++x) {
-      double acc = 0.0;
-      for (std::size_t k = 0; k < taps_x.size(); ++k) {
-        acc += taps_x[k] * sample(image,
-                                  static_cast<std::ptrdiff_t>(x) +
-                                      static_cast<std::ptrdiff_t>(k) - rx,
-                                  static_cast<std::ptrdiff_t>(y), border);
+  parallel_for_rows(image.height(), [&](std::size_t y0, std::size_t y1) {
+    for (std::size_t y = y0; y < y1; ++y) {
+      const auto sy = static_cast<std::ptrdiff_t>(y);
+      for (std::size_t x = 0; x < image.width(); ++x) {
+        const auto sx = static_cast<std::ptrdiff_t>(x);
+        double acc = 0.0;
+        if (sx - rx >= 0 &&
+            sx - rx + static_cast<std::ptrdiff_t>(taps_x.size()) <= width) {
+          for (std::size_t k = 0; k < taps_x.size(); ++k)
+            acc += taps_x[k] *
+                   image(static_cast<std::size_t>(
+                             sx + static_cast<std::ptrdiff_t>(k) - rx),
+                         y);
+        } else {
+          for (std::size_t k = 0; k < taps_x.size(); ++k)
+            acc += taps_x[k] *
+                   sample(image, sx + static_cast<std::ptrdiff_t>(k) - rx, sy,
+                          border);
+        }
+        tmp(x, y) = acc;
       }
-      tmp(x, y) = acc;
     }
-  }
+  });
+
   GridD out(image.width(), image.height());
-  for (std::size_t y = 0; y < image.height(); ++y) {
-    for (std::size_t x = 0; x < image.width(); ++x) {
-      double acc = 0.0;
-      for (std::size_t k = 0; k < taps_y.size(); ++k) {
-        acc += taps_y[k] * sample(tmp, static_cast<std::ptrdiff_t>(x),
-                                  static_cast<std::ptrdiff_t>(y) +
-                                      static_cast<std::ptrdiff_t>(k) - ry,
-                                  border);
+  parallel_for_rows(image.height(), [&](std::size_t y0, std::size_t y1) {
+    for (std::size_t y = y0; y < y1; ++y) {
+      const auto sy = static_cast<std::ptrdiff_t>(y);
+      const bool y_interior =
+          sy - ry >= 0 &&
+          sy - ry + static_cast<std::ptrdiff_t>(taps_y.size()) <= height;
+      for (std::size_t x = 0; x < image.width(); ++x) {
+        double acc = 0.0;
+        if (y_interior) {
+          for (std::size_t k = 0; k < taps_y.size(); ++k)
+            acc += taps_y[k] *
+                   tmp(x, static_cast<std::size_t>(
+                              sy + static_cast<std::ptrdiff_t>(k) - ry));
+        } else {
+          for (std::size_t k = 0; k < taps_y.size(); ++k)
+            acc += taps_y[k] *
+                   sample(tmp, static_cast<std::ptrdiff_t>(x),
+                          sy + static_cast<std::ptrdiff_t>(k) - ry, border);
+        }
+        out(x, y) = acc;
       }
-      out(x, y) = acc;
     }
-  }
+  });
   return out;
 }
 

@@ -1,10 +1,12 @@
 #include "imgproc/hough.hpp"
 
 #include "common/assert.hpp"
+#include "common/thread_pool.hpp"
 
 #include <algorithm>
 #include <cmath>
 #include <numbers>
+#include <utility>
 
 namespace qvg {
 
@@ -47,20 +49,27 @@ HoughAccumulator hough_accumulate(const GridU8& edges, const HoughOptions& opt) 
     sin_t[t] = std::sin(theta);
   }
 
-  for (std::size_t y = 0; y < edges.height(); ++y) {
-    for (std::size_t x = 0; x < edges.width(); ++x) {
-      if (edges(x, y) == 0) continue;
-      const auto fx = static_cast<double>(x);
-      const auto fy = static_cast<double>(y);
-      for (std::size_t t = 0; t < n_theta; ++t) {
+  // Gather the (usually sparse) edge pixels once, then vote theta-parallel:
+  // each chunk owns a disjoint set of theta columns of the accumulator, so
+  // the scan is race-free and the integer vote counts are identical to the
+  // serial pixel-major loop.
+  std::vector<std::pair<double, double>> points;
+  for (std::size_t y = 0; y < edges.height(); ++y)
+    for (std::size_t x = 0; x < edges.width(); ++x)
+      if (edges(x, y) != 0)
+        points.emplace_back(static_cast<double>(x), static_cast<double>(y));
+
+  parallel_for_rows(n_theta, [&](std::size_t t0, std::size_t t1) {
+    for (const auto& [fx, fy] : points) {
+      for (std::size_t t = t0; t < t1; ++t) {
         const double rho = fx * cos_t[t] + fy * sin_t[t];
-        const auto bin =
-            static_cast<std::ptrdiff_t>(std::round((rho - acc.rho_min) / acc.rho_step));
+        const auto bin = static_cast<std::ptrdiff_t>(
+            std::round((rho - acc.rho_min) / acc.rho_step));
         if (bin < 0 || static_cast<std::size_t>(bin) >= n_rho) continue;
         ++acc.votes(t, static_cast<std::size_t>(bin));
       }
     }
-  }
+  });
   return acc;
 }
 

@@ -11,8 +11,15 @@ ProbeCache::ProbeCache(CurrentSource& source, double granularity)
   QVG_EXPECTS(granularity > 0.0);
 }
 
+void ProbeCache::reserve(std::size_t expected_unique_probes) {
+  cache_.reserve(expected_unique_probes);
+  log_.reserve(expected_unique_probes);
+}
+
 std::uint64_t ProbeCache::key_of(double v1, double v2) const {
-  // Quantize to the voltage granularity; offset keeps keys positive for any
+  // Quantize with llround (symmetric around zero — truncation would fold
+  // (-0.5g, 0.5g) onto the same key and alias negative-voltage probes) to a
+  // single mixed 64-bit key; the offset keeps both halves positive for any
   // realistic gate range.
   const auto q1 =
       static_cast<std::int64_t>(std::llround(v1 / granularity_)) + (1LL << 30);

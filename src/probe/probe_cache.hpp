@@ -23,6 +23,11 @@ class ProbeCache final : public CurrentSource {
   /// within half a quantum are the same configuration).
   ProbeCache(CurrentSource& source, double granularity);
 
+  /// Pre-size the hash map and probe log for an expected number of unique
+  /// probes (the sweeps know roughly how many pixels they will touch;
+  /// reserving up front avoids rehashing mid-extraction).
+  void reserve(std::size_t expected_unique_probes);
+
   double get_current(double v1, double v2) override;
 
   [[nodiscard]] SimClock& clock() override { return source_.clock(); }
@@ -39,6 +44,15 @@ class ProbeCache final : public CurrentSource {
 
   [[nodiscard]] long cache_hits() const noexcept {
     return requests_ - unique_probe_count();
+  }
+
+  /// Fraction of requests served from the cache (0 when nothing was
+  /// requested yet). Reported by the bench harness.
+  [[nodiscard]] double cache_hit_rate() const noexcept {
+    return requests_ == 0
+               ? 0.0
+               : static_cast<double>(cache_hits()) /
+                     static_cast<double>(requests_);
   }
 
   /// Unique probed voltage configurations in probe order (for Figure 7).

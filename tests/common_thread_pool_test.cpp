@@ -1,0 +1,122 @@
+#include "common/thread_pool.hpp"
+
+#include "common/error.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <vector>
+
+namespace qvg {
+namespace {
+
+TEST(ThreadPoolTest, CoversRangeExactlyOnce) {
+  ThreadPool pool(3);
+  std::vector<std::atomic<int>> hits(1000);
+  pool.parallel_for(0, hits.size(), [&](std::size_t lo, std::size_t hi) {
+    for (std::size_t i = lo; i < hi; ++i) hits[i].fetch_add(1);
+  });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPoolTest, SubrangeRespectsBounds) {
+  ThreadPool pool(2);
+  std::vector<int> hits(100, 0);
+  std::mutex m;
+  pool.parallel_for(10, 60, [&](std::size_t lo, std::size_t hi) {
+    std::lock_guard<std::mutex> lock(m);
+    for (std::size_t i = lo; i < hi; ++i) ++hits[i];
+  });
+  for (std::size_t i = 0; i < hits.size(); ++i)
+    EXPECT_EQ(hits[i], i >= 10 && i < 60 ? 1 : 0) << "index " << i;
+}
+
+TEST(ThreadPoolTest, EmptyRangeIsANoop) {
+  ThreadPool pool(2);
+  bool called = false;
+  pool.parallel_for(5, 5, [&](std::size_t, std::size_t) { called = true; });
+  EXPECT_FALSE(called);
+}
+
+TEST(ThreadPoolTest, SingleThreadPoolRunsInline) {
+  ThreadPool pool(0);  // may still spawn workers on multicore hosts
+  ThreadPool serial_pool{1};
+  long sum = 0;  // no synchronization: must be safe if chunks run one at a time
+  std::mutex m;
+  serial_pool.parallel_for(0, 100, [&](std::size_t lo, std::size_t hi) {
+    std::lock_guard<std::mutex> lock(m);
+    for (std::size_t i = lo; i < hi; ++i) sum += static_cast<long>(i);
+  });
+  EXPECT_EQ(sum, 4950);
+}
+
+TEST(ThreadPoolTest, ParallelSumMatchesSerial) {
+  ThreadPool pool(4);
+  std::vector<double> values(10000);
+  std::iota(values.begin(), values.end(), 0.0);
+  std::vector<double> partial(values.size(), 0.0);
+  pool.parallel_for(0, values.size(), [&](std::size_t lo, std::size_t hi) {
+    for (std::size_t i = lo; i < hi; ++i) partial[i] = values[i] * 2.0;
+  });
+  double sum = 0.0;
+  for (double v : partial) sum += v;
+  EXPECT_DOUBLE_EQ(sum, 9999.0 * 10000.0);
+}
+
+TEST(ThreadPoolTest, ReusableAcrossManyJobs) {
+  ThreadPool pool(2);
+  for (int round = 0; round < 50; ++round) {
+    std::atomic<int> count{0};
+    pool.parallel_for(0, 64, [&](std::size_t lo, std::size_t hi) {
+      count.fetch_add(static_cast<int>(hi - lo));
+    });
+    ASSERT_EQ(count.load(), 64);
+  }
+}
+
+TEST(ThreadPoolTest, PropagatesFirstException) {
+  ThreadPool pool(2);
+  EXPECT_THROW(
+      pool.parallel_for(0, 16,
+                        [&](std::size_t lo, std::size_t) {
+                          if (lo == 0) throw Error("boom");
+                        }),
+      Error);
+  // Pool stays usable after an exception.
+  std::atomic<int> count{0};
+  pool.parallel_for(0, 8, [&](std::size_t lo, std::size_t hi) {
+    count.fetch_add(static_cast<int>(hi - lo));
+  });
+  EXPECT_EQ(count.load(), 8);
+}
+
+TEST(ThreadPoolTest, NestedParallelForRunsInline) {
+  ThreadPool pool(2);
+  std::atomic<int> inner_total{0};
+  pool.parallel_for(0, 4, [&](std::size_t lo, std::size_t hi) {
+    for (std::size_t i = lo; i < hi; ++i) {
+      pool.parallel_for(0, 10, [&](std::size_t ilo, std::size_t ihi) {
+        inner_total.fetch_add(static_cast<int>(ihi - ilo));
+      });
+    }
+  });
+  EXPECT_EQ(inner_total.load(), 40);
+}
+
+TEST(ThreadPoolTest, ParallelismKillSwitchForcesSerial) {
+  set_parallelism_enabled(false);
+  long sum = 0;  // unsynchronized on purpose: must be serial now
+  parallel_for_rows(1000, [&](std::size_t lo, std::size_t hi) {
+    for (std::size_t i = lo; i < hi; ++i) sum += static_cast<long>(i);
+  });
+  set_parallelism_enabled(true);
+  EXPECT_EQ(sum, 499500);
+}
+
+TEST(ThreadPoolTest, GlobalPoolHasAtLeastOneThread) {
+  EXPECT_GE(ThreadPool::global().size(), 1u);
+}
+
+}  // namespace
+}  // namespace qvg

@@ -1,5 +1,9 @@
 #include "imgproc/convolve.hpp"
 
+#include "common/random.hpp"
+#include "common/thread_pool.hpp"
+#include "imgproc/kernel.hpp"
+
 #include <gtest/gtest.h>
 
 namespace qvg {
@@ -80,6 +84,27 @@ TEST(SeparableTest, MatchesFull2DGaussian) {
   const GridD full = correlate(image, gaussian_kernel(1.0, 2), BorderMode::kZero);
   for (std::size_t i = 0; i < sep.raw().size(); ++i)
     EXPECT_NEAR(sep.raw()[i], full.raw()[i], 1e-12);
+}
+
+TEST(ParallelEquivalenceTest, CorrelateBitIdenticalSerialVsParallel) {
+  Rng rng(314);
+  GridD image(97, 64);  // odd width: exercises uneven row chunks
+  for (auto& v : image.raw()) v = rng.normal();
+  const Kernel2D mask = paper_mask_x();
+  const auto taps = gaussian_taps(1.4);
+
+  set_parallelism_enabled(false);
+  const GridD corr_serial = correlate(image, mask, BorderMode::kReflect);
+  const GridD conv_serial = convolve(image, mask, BorderMode::kReplicate);
+  const GridD sep_serial = correlate_separable(image, taps, taps);
+  set_parallelism_enabled(true);
+  const GridD corr_parallel = correlate(image, mask, BorderMode::kReflect);
+  const GridD conv_parallel = convolve(image, mask, BorderMode::kReplicate);
+  const GridD sep_parallel = correlate_separable(image, taps, taps);
+
+  EXPECT_EQ(corr_serial, corr_parallel);
+  EXPECT_EQ(conv_serial, conv_parallel);
+  EXPECT_EQ(sep_serial, sep_parallel);
 }
 
 TEST(SeparableTest, AnisotropicTaps) {

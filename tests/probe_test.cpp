@@ -120,6 +120,48 @@ TEST(ProbeCacheTest, NegativeVoltagesSupported) {
   EXPECT_EQ(cache.unique_probe_count(), 1);
 }
 
+TEST(ProbeCacheTest, NegativeQuantizationIsSymmetric) {
+  // llround keys: +0.7g and -0.7g round to bins +1 and -1. Truncation would
+  // fold both onto bin 0 and alias them with the origin.
+  Csd csd(VoltageAxis(-0.005, 0.001, 10), VoltageAxis(-0.005, 0.001, 10));
+  CsdPlayback playback(csd);
+  ProbeCache cache(playback, 0.001);
+  cache.get_current(0.0007, 0.0);
+  cache.get_current(-0.0007, 0.0);
+  cache.get_current(0.0, 0.0);
+  EXPECT_EQ(cache.unique_probe_count(), 3);
+  // And the symmetric halves stay distinct across both coordinates.
+  cache.get_current(0.0, 0.0007);
+  cache.get_current(0.0, -0.0007);
+  EXPECT_EQ(cache.unique_probe_count(), 5);
+}
+
+TEST(ProbeCacheTest, CacheHitRate) {
+  const Csd csd = ramp_csd();
+  CsdPlayback playback(csd);
+  ProbeCache cache(playback, 0.001);
+  EXPECT_DOUBLE_EQ(cache.cache_hit_rate(), 0.0);  // no requests yet
+  cache.get_current(0.001, 0.001);
+  EXPECT_DOUBLE_EQ(cache.cache_hit_rate(), 0.0);
+  cache.get_current(0.001, 0.001);
+  cache.get_current(0.001, 0.001);
+  cache.get_current(0.002, 0.001);
+  EXPECT_DOUBLE_EQ(cache.cache_hit_rate(), 0.5);
+}
+
+TEST(ProbeCacheTest, ReserveDoesNotChangeAccounting) {
+  const Csd csd = ramp_csd();
+  CsdPlayback playback(csd);
+  ProbeCache cache(playback, 0.001);
+  cache.reserve(1024);
+  cache.get_current(0.001, 0.002);
+  cache.get_current(0.001, 0.002);
+  EXPECT_EQ(cache.probe_count(), 2);
+  EXPECT_EQ(cache.unique_probe_count(), 1);
+  ASSERT_EQ(cache.probe_log().size(), 1u);
+  EXPECT_DOUBLE_EQ(cache.probe_log()[0].x, 0.001);
+}
+
 TEST(RasterTest, AcquiresEveryPixelOnce) {
   const Csd csd = ramp_csd();
   CsdPlayback playback(csd, 0.050);
