@@ -1,16 +1,30 @@
 // Machine-readable perf harness seeding the repo's BENCH_*.json trajectory.
 //
-// Runs three scenario families and emits one JSON document:
-//   bench_micro   — dense-raster evaluation (naive vs incremental vs
-//                   parallel, the PR's headline ablation), per-solve
-//                   charge-state solver timings, and the image pipeline.
-//   bench_table1  — one fast extraction + one Canny/Hough baseline run
-//                   (unique probes, cache hit rate, compute/simulated time).
-//   bench_scaling — 3-dot array virtualization, fast vs baseline.
+// Scenario families (PR 1 kept reproducible, PR 2 added on top):
+//   bench_micro       — dense-raster evaluation (naive vs incremental vs
+//                       parallel), per-solve charge-state solver timings,
+//                       and the image pipeline.                       (PR 1)
+//   bench_table1      — one fast extraction + one Canny/Hough baseline run
+//                       (unique probes, cache hit rate, timings).     (PR 1)
+//   bench_scaling     — 3-dot array virtualization, fast vs baseline. (PR 1)
+//   solver_scaling    — 5-7 dot ground-state solves: exhaustive reference vs
+//                       unpruned incremental vs branch-and-bound (cold and
+//                       warm-started) vs delta-ICM greedy (single and
+//                       multi-start), with visited/pruned state counts and
+//                       exactness fractions.                          (PR 2)
+//   array_scaling     — 3-8 dot array virtualization, serial vs parallel
+//                       pair loop (bit-identical check) and fast vs
+//                       baseline probe costs.                         (PR 2)
+//   suite_generation  — the 12-diagram qflow suite, serial vs parallel
+//                       build (bit-identical check).                  (PR 2)
 //
-// Usage: bench_json [output.json]   (default: BENCH_PR1.json in the CWD)
+// Every scenario records the effective thread count (set QVG_THREADS=N to
+// re-measure on multi-core hardware in one variable).
+//
+// Usage: bench_json [output.json]   (default: BENCH_PR2.json in the CWD)
 #include "common/stopwatch.hpp"
 #include "common/thread_pool.hpp"
+#include "dataset/qflow_synth.hpp"
 #include "device/dot_array.hpp"
 #include "extraction/array_extractor.hpp"
 #include "extraction/fast_extractor.hpp"
@@ -48,7 +62,7 @@ struct JsonWriter {
   std::ostringstream out;
   bool first_scenario = true;
 
-  void begin() { out << "{\n  \"bench\": \"PR1\",\n  \"scenarios\": [\n"; }
+  void begin() { out << "{\n  \"bench\": \"PR2\",\n  \"scenarios\": [\n"; }
   void end() {
     out << "\n  ]\n}\n";
   }
@@ -56,6 +70,7 @@ struct JsonWriter {
     if (!first_scenario) out << ",\n";
     first_scenario = false;
     out << "    {\"name\": \"" << name << "\"";
+    field("threads", static_cast<long>(ThreadPool::global().size()));
   }
   void field(const std::string& key, double value) {
     out << ", \"" << key << "\": " << value;
@@ -79,7 +94,7 @@ GridD make_test_image(std::size_t n) {
 }
 
 void bench_dense_raster(JsonWriter& json) {
-  // The headline ablation: every pixel of a 100x100 window evaluated
+  // The PR 1 headline ablation: every pixel of a 100x100 window evaluated
   // through the naive per-pixel path vs the incremental/batched path. The
   // solver share of the per-pixel cost grows with dot count, so the
   // multi-dot scenarios show the full algorithmic gain.
@@ -114,7 +129,6 @@ void bench_dense_raster(JsonWriter& json) {
     json.field("speedup_serial", naive_s / serial_s);
     json.field("speedup_parallel", naive_s / parallel_s);
     json.field("results_identical", identical && fast_grid == parallel_grid);
-    json.field("threads", static_cast<long>(ThreadPool::global().size()));
     json.end_scenario();
   }
 }
@@ -140,14 +154,128 @@ void bench_solver(JsonWriter& json) {
     });
     IncrementalGroundStateSolver solver(device.model);
     const double fast_s = time_best(3, [&] {
-      for (const auto& d : drive_sets) (void)solver.solve(d, 4);
+      for (const auto& d : drive_sets)
+        (void)solver.solve(d, 4, nullptr, ExhaustiveStrategy::kFullEnumeration);
+    });
+    const double bb_s = time_best(3, [&] {
+      for (const auto& d : drive_sets)
+        (void)solver.solve(d, 4, nullptr, ExhaustiveStrategy::kBranchAndBound);
     });
 
     json.begin_scenario("micro_solver_" + std::to_string(n_dots) + "dot");
     json.field("solves", static_cast<long>(solves));
     json.field("naive_us_per_solve", naive_s / solves * 1e6);
     json.field("incremental_us_per_solve", fast_s / solves * 1e6);
+    json.field("bb_us_per_solve", bb_s / solves * 1e6);
     json.field("speedup", naive_s / fast_s);
+    json.field("speedup_bb", naive_s / bb_s);
+    json.end_scenario();
+  }
+}
+
+// PR 2: the exact-solver frontier. Branch-and-bound makes exhaustive solves
+// tractable where PR 1's full enumeration walks m^n states, and the
+// delta-ICM greedy replaces the copy-based reference for arrays beyond the
+// exhaustive limit. Accuracy fractions compare every approximate result
+// against the exact ground state.
+void bench_solver_scaling(JsonWriter& json) {
+  for (std::size_t n_dots : {5u, 6u, 7u}) {
+    DotArrayParams params;
+    params.n_dots = n_dots;
+    const BuiltDevice device = build_dot_array(params);
+    Rng rng(31 + n_dots);
+    const int solves = n_dots >= 7 ? 20 : 60;
+    std::vector<std::vector<double>> drive_sets;
+    drive_sets.reserve(solves);
+    std::vector<double> voltages(n_dots);
+    for (int s = 0; s < solves; ++s) {
+      for (auto& v : voltages) v = rng.uniform(0.0, 0.06);
+      drive_sets.push_back(device.model.dot_drives(voltages));
+    }
+
+    const double naive_s = time_best(2, [&] {
+      for (const auto& d : drive_sets)
+        (void)ground_state_exhaustive(device.model, d, 4);
+    });
+    IncrementalGroundStateSolver solver(device.model);
+    const double full_s = time_best(2, [&] {
+      for (const auto& d : drive_sets)
+        (void)solver.solve(d, 4, nullptr, ExhaustiveStrategy::kFullEnumeration);
+    });
+    const double bb_s = time_best(2, [&] {
+      for (const auto& d : drive_sets)
+        (void)solver.solve(d, 4, nullptr, ExhaustiveStrategy::kBranchAndBound);
+    });
+    // Warm-started chain: each solve seeds the next (the raster pattern),
+    // which is where the incumbent-driven pruning pays most.
+    const double bb_warm_s = time_best(2, [&] {
+      std::vector<int> prev;
+      for (const auto& d : drive_sets) {
+        prev = solver.solve(d, 4, prev.empty() ? nullptr : &prev,
+                            ExhaustiveStrategy::kBranchAndBound);
+      }
+    });
+
+    const double greedy_ref_s = time_best(2, [&] {
+      for (const auto& d : drive_sets)
+        (void)ground_state_greedy_reference(device.model, d, 4);
+    });
+    const double greedy_s = time_best(2, [&] {
+      for (const auto& d : drive_sets)
+        (void)ground_state_greedy(device.model, d, 4);
+    });
+    const int restarts = 8;
+    const double multistart_s = time_best(2, [&] {
+      for (const auto& d : drive_sets)
+        (void)ground_state_greedy_multistart(device.model, d, 4, restarts);
+    });
+
+    // Exactness + pruning accounting (outside the timed loops).
+    bool bb_matches_full = true;
+    bool greedy_matches_reference = true;
+    long greedy_exact = 0;
+    long multistart_exact = 0;
+    double visited_fraction_sum = 0.0;
+    std::uint64_t total_states = 1;
+    for (std::size_t j = 0; j < n_dots; ++j) total_states *= 5;  // m = 5
+    for (const auto& d : drive_sets) {
+      const auto exact = solver.solve(d, 4, nullptr,
+                                      ExhaustiveStrategy::kBranchAndBound);
+      visited_fraction_sum +=
+          static_cast<double>(solver.last_stats().states_visited) /
+          static_cast<double>(total_states);
+      if (exact !=
+          solver.solve(d, 4, nullptr, ExhaustiveStrategy::kFullEnumeration))
+        bb_matches_full = false;
+      const auto greedy = ground_state_greedy(device.model, d, 4);
+      if (greedy != ground_state_greedy_reference(device.model, d, 4))
+        greedy_matches_reference = false;
+      if (greedy == exact) ++greedy_exact;
+      if (ground_state_greedy_multistart(device.model, d, 4, restarts) == exact)
+        ++multistart_exact;
+    }
+
+    json.begin_scenario("solver_scaling_" + std::to_string(n_dots) + "dot");
+    json.field("solves", static_cast<long>(solves));
+    json.field("states_total", static_cast<long>(total_states));
+    json.field("naive_us_per_solve", naive_s / solves * 1e6);
+    json.field("incremental_us_per_solve", full_s / solves * 1e6);
+    json.field("bb_us_per_solve", bb_s / solves * 1e6);
+    json.field("bb_warm_us_per_solve", bb_warm_s / solves * 1e6);
+    json.field("bb_speedup_vs_incremental", full_s / bb_s);
+    json.field("bb_warm_speedup_vs_incremental", full_s / bb_warm_s);
+    json.field("bb_states_visited_fraction", visited_fraction_sum / solves);
+    json.field("bb_matches_incremental", bb_matches_full);
+    json.field("greedy_reference_us_per_solve", greedy_ref_s / solves * 1e6);
+    json.field("greedy_delta_us_per_solve", greedy_s / solves * 1e6);
+    json.field("greedy_delta_speedup", greedy_ref_s / greedy_s);
+    json.field("greedy_matches_reference", greedy_matches_reference);
+    json.field("greedy_exact_fraction",
+               static_cast<double>(greedy_exact) / solves);
+    json.field("multistart_restarts", static_cast<long>(restarts));
+    json.field("multistart_us_per_solve", multistart_s / solves * 1e6);
+    json.field("multistart_exact_fraction",
+               static_cast<double>(multistart_exact) / solves);
     json.end_scenario();
   }
 }
@@ -171,7 +299,6 @@ void bench_imgproc(JsonWriter& json) {
   json.field("canny_parallel_ms", canny_parallel * 1e3);
   json.field("hough_serial_ms", hough_serial * 1e3);
   json.field("hough_parallel_ms", hough_parallel * 1e3);
-  json.field("threads", static_cast<long>(ThreadPool::global().size()));
   json.end_scenario();
 }
 
@@ -257,19 +384,125 @@ void bench_scaling(JsonWriter& json) {
   json.end_scenario();
 }
 
+/// Deterministic extraction fields only (compute_seconds is wall time and
+/// legitimately varies run to run).
+bool array_results_identical(const ArrayExtractionResult& a,
+                             const ArrayExtractionResult& b) {
+  if (a.success != b.success || a.pairs.size() != b.pairs.size()) return false;
+  if (a.band_max_error != b.band_max_error) return false;
+  for (std::size_t i = 0; i < a.pairs.size(); ++i) {
+    const auto& pa = a.pairs[i];
+    const auto& pb = b.pairs[i];
+    if (pa.pair_index != pb.pair_index || pa.success != pb.success ||
+        pa.failure_reason != pb.failure_reason ||
+        pa.gates.alpha12 != pb.gates.alpha12 ||
+        pa.gates.alpha21 != pb.gates.alpha21 ||
+        pa.stats.unique_probes != pb.stats.unique_probes ||
+        pa.stats.total_requests != pb.stats.total_requests ||
+        pa.stats.simulated_seconds != pb.stats.simulated_seconds)
+      return false;
+  }
+  for (std::size_t i = 0; i < a.matrix.rows(); ++i)
+    for (std::size_t j = 0; j < a.matrix.cols(); ++j)
+      if (a.matrix(i, j) != b.matrix(i, j)) return false;
+  return true;
+}
+
+// PR 2: the paper's n-1 sequential pair extractions fanned out over the
+// pool, 3-8 dots. Serial vs parallel must be bit-identical; the baseline
+// comparison (full rasters per pair) runs at <= 5 dots where its cost stays
+// reasonable on one core.
+void bench_array_scaling(JsonWriter& json) {
+  for (std::size_t n_dots : {3u, 4u, 5u, 6u, 7u, 8u}) {
+    DotArrayParams params;
+    params.n_dots = n_dots;
+    const BuiltDevice device = build_dot_array(params);
+
+    ArrayExtractionOptions serial_opt;
+    serial_opt.pixels_per_axis = 64;
+    serial_opt.parallel = false;
+    ArrayExtractionOptions parallel_opt = serial_opt;
+    parallel_opt.parallel = true;
+
+    ArrayExtractionResult serial_result, parallel_result;
+    const double serial_s = time_best(2, [&] {
+      serial_result = extract_array_virtualization(device, serial_opt);
+    });
+    const double parallel_s = time_best(2, [&] {
+      parallel_result = extract_array_virtualization(device, parallel_opt);
+    });
+
+    json.begin_scenario("array_scaling_" + std::to_string(n_dots) + "dot");
+    json.field("pairs", static_cast<long>(n_dots - 1));
+    json.field("fast_success", serial_result.success);
+    json.field("fast_unique_probes", serial_result.total_stats.unique_probes);
+    json.field("fast_serial_seconds", serial_s);
+    json.field("fast_parallel_seconds", parallel_s);
+    json.field("fast_parallel_speedup", serial_s / parallel_s);
+    json.field("serial_parallel_identical",
+               array_results_identical(serial_result, parallel_result));
+    if (n_dots <= 5) {
+      ArrayExtractionOptions base_opt = parallel_opt;
+      base_opt.method = ExtractionMethod::kHoughBaseline;
+      ArrayExtractionResult base_result;
+      const double base_s = time_best(2, [&] {
+        base_result = extract_array_virtualization(device, base_opt);
+      });
+      json.field("baseline_success", base_result.success);
+      json.field("baseline_unique_probes",
+                 base_result.total_stats.unique_probes);
+      json.field("baseline_seconds", base_s);
+      json.field("probe_ratio",
+                 static_cast<double>(serial_result.total_stats.unique_probes) /
+                     static_cast<double>(base_result.total_stats.unique_probes));
+    }
+    json.end_scenario();
+  }
+}
+
+// PR 2: the 12-diagram qflow suite built serially vs fanned out over the
+// pool (each diagram is deterministic given its spec).
+void bench_suite_generation(JsonWriter& json) {
+  std::vector<QflowBenchmark> serial_suite, parallel_suite;
+  const double serial_s =
+      time_best(2, [&] { serial_suite = build_qflow_suite(false); });
+  const double parallel_s =
+      time_best(2, [&] { parallel_suite = build_qflow_suite(true); });
+
+  long pixels = 0;
+  for (const auto& benchmark : serial_suite)
+    pixels += static_cast<long>(benchmark.csd.width() *
+                                benchmark.csd.height());
+  bool identical = serial_suite.size() == parallel_suite.size();
+  for (std::size_t i = 0; identical && i < serial_suite.size(); ++i)
+    identical = serial_suite[i].csd.grid() == parallel_suite[i].csd.grid();
+
+  json.begin_scenario("suite_generation_12csd");
+  json.field("diagrams", static_cast<long>(serial_suite.size()));
+  json.field("pixels", pixels);
+  json.field("serial_seconds", serial_s);
+  json.field("parallel_seconds", parallel_s);
+  json.field("parallel_speedup", serial_s / parallel_s);
+  json.field("serial_parallel_identical", identical);
+  json.end_scenario();
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
-  const std::string out_path = argc > 1 ? argv[1] : "BENCH_PR1.json";
+  const std::string out_path = argc > 1 ? argv[1] : "BENCH_PR2.json";
 
   JsonWriter json;
   json.out.precision(6);
   json.begin();
   bench_dense_raster(json);
   bench_solver(json);
+  bench_solver_scaling(json);
   bench_imgproc(json);
   bench_extraction(json);
   bench_scaling(json);
+  bench_array_scaling(json);
+  bench_suite_generation(json);
   json.end();
 
   std::ofstream file(out_path);

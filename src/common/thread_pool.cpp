@@ -3,8 +3,10 @@
 #include <algorithm>
 #include <atomic>
 #include <condition_variable>
+#include <cstdlib>
 #include <exception>
 #include <mutex>
+#include <string>
 
 namespace qvg {
 
@@ -15,6 +17,20 @@ std::atomic<bool> g_parallel_enabled{true};
 // Depth of parallel_for frames on this thread: nested calls run inline so a
 // chunk that itself fans out cannot deadlock the (single) job slot.
 thread_local int t_parallel_depth = 0;
+
+/// QVG_THREADS (total threads including the caller) when set to a positive
+/// integer, else 0 meaning "not configured". Clamped so a typo'd value (or
+/// strtol saturation) cannot make the constructor spawn thousands of
+/// threads and die on resource exhaustion.
+std::size_t env_thread_override() {
+  const char* env = std::getenv("QVG_THREADS");
+  if (env == nullptr || *env == '\0') return 0;
+  char* end = nullptr;
+  const long value = std::strtol(env, &end, 10);
+  if (end == nullptr || *end != '\0' || value < 1) return 0;
+  constexpr long kMaxThreads = 1024;
+  return static_cast<std::size_t>(std::min(value, kMaxThreads));
+}
 
 }  // namespace
 
@@ -61,8 +77,12 @@ struct ThreadPool::State {
 ThreadPool::ThreadPool(std::size_t thread_count)
     : state_(std::make_unique<State>()) {
   if (thread_count == 0) {
-    const unsigned hw = std::thread::hardware_concurrency();
-    thread_count = hw > 1 ? hw - 1 : 0;
+    if (const std::size_t total = env_thread_override(); total > 0) {
+      thread_count = total - 1;  // caller participates as the extra thread
+    } else {
+      const unsigned hw = std::thread::hardware_concurrency();
+      thread_count = hw > 1 ? hw - 1 : 0;
+    }
   }
   workers_.reserve(thread_count);
   for (std::size_t i = 0; i < thread_count; ++i)

@@ -21,7 +21,13 @@ namespace qvg {
 class ThreadPool {
  public:
   /// Spawn `thread_count` workers in addition to the calling thread;
-  /// 0 means hardware_concurrency - 1 (so pool size == core count).
+  /// 0 means auto: the QVG_THREADS environment variable (total threads
+  /// including the caller, clamped to 1024) when set to a positive
+  /// integer, otherwise hardware_concurrency - 1 (so pool size == core
+  /// count). QVG_THREADS makes multi-core re-measurement a one-variable
+  /// experiment: QVG_THREADS=4 bench_json records threads=4 in every
+  /// scenario. Malformed or non-positive values fall back to hardware
+  /// sizing.
   explicit ThreadPool(std::size_t thread_count = 0);
   ~ThreadPool();
   ThreadPool(const ThreadPool&) = delete;

@@ -1,8 +1,10 @@
 #include "dataset/qflow_synth.hpp"
 
 #include "common/assert.hpp"
+#include "common/thread_pool.hpp"
 
 #include <memory>
+#include <optional>
 
 namespace qvg {
 
@@ -19,7 +21,7 @@ std::vector<QflowBenchmarkSpec> qflow_suite_specs() {
     s.cross_ratio = cross_ratio;
     s.dot0_sensitivity_scale = dot0_scale;
     s.note = std::move(note);
-    return specs.push_back(std::move(s));
+    specs.push_back(std::move(s));
   };
 
   // Sizes match Table 1. Noise tiers engineer the paper's outcome pattern:
@@ -40,7 +42,8 @@ std::vector<QflowBenchmarkSpec> qflow_suite_specs() {
   add(11, 100, 0.022, 0.009, 0.21, 1.0, "medium scan");
   add(12, 200, 0.015, 0.006, 0.25, 1.0, "large clean scan");
 
-  specs[7].telegraph_amplitude = 0.02;  // benchmark 8 (index 8): mild RTS
+  for (auto& spec : specs)
+    if (spec.index == 8) spec.telegraph_amplitude = 0.02;  // mild RTS
   return specs;
 }
 
@@ -78,10 +81,27 @@ QflowBenchmark build_qflow_benchmark(const QflowBenchmarkSpec& spec) {
   return benchmark;
 }
 
-std::vector<QflowBenchmark> build_qflow_suite() {
+std::vector<QflowBenchmark> build_qflow_suite(bool parallel) {
+  const auto specs = qflow_suite_specs();
+
+  // Each benchmark is built from its spec alone (own jitter Rng, own
+  // simulator and noise stream), so the 12 builds fan out over the pool.
+  // Slots are preallocated and filled by index: the suite is bit-identical
+  // to a serial build regardless of thread count. std::optional bridges
+  // QflowBenchmark's lack of a default constructor.
+  std::vector<std::optional<QflowBenchmark>> built(specs.size());
+  auto build_range = [&](std::size_t lo, std::size_t hi) {
+    for (std::size_t i = lo; i < hi; ++i)
+      built[i].emplace(build_qflow_benchmark(specs[i]));
+  };
+  if (parallel)
+    parallel_for_rows(specs.size(), build_range, 1);
+  else
+    build_range(0, specs.size());
+
   std::vector<QflowBenchmark> suite;
-  for (const auto& spec : qflow_suite_specs())
-    suite.push_back(build_qflow_benchmark(spec));
+  suite.reserve(built.size());
+  for (auto& benchmark : built) suite.push_back(std::move(*benchmark));
   return suite;
 }
 

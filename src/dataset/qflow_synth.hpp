@@ -78,7 +78,11 @@ struct QflowBenchmark {
 [[nodiscard]] QflowBenchmark build_qflow_benchmark(const QflowBenchmarkSpec& spec);
 
 /// Build the whole suite (12 diagrams; the 200x200 entries dominate cost).
-[[nodiscard]] std::vector<QflowBenchmark> build_qflow_suite();
+/// Benchmarks build concurrently on the global ThreadPool by default; the
+/// result is bit-identical to a serial build (each diagram is deterministic
+/// given its spec, and slots are filled by index).
+[[nodiscard]] std::vector<QflowBenchmark> build_qflow_suite(
+    bool parallel = true);
 
 /// A playback CurrentSource over a benchmark's stored diagram, with the
 /// paper's 50 ms dwell. (This mirrors §5.1: algorithms call the simulated

@@ -1,7 +1,9 @@
 #include "device/charge_state.hpp"
 
 #include "common/assert.hpp"
+#include "common/random.hpp"
 
+#include <cmath>
 #include <limits>
 
 namespace qvg {
@@ -36,9 +38,77 @@ std::vector<int> ground_state_exhaustive(const CapacitanceModel& model,
   return best;
 }
 
+namespace {
+
+/// One ICM relaxation to a fixed point, in place, on delta energies. For dot
+/// d with the others fixed, every candidate occupancy ranks by the partial
+/// energy g(c) = Ec_d/2 * c^2 - c * (drives[d] - coupling[d]) where
+/// coupling[d] = sum_k Em_dk * occ_k — the rest of the full energy is a
+/// constant across candidates, so no model.energy() recompute and no trial
+/// vector copy are needed. An accepted move updates the n coupling sums.
+/// `coupling` must be sized n; it is (re)initialized from `occupation`.
+/// Sweep order and tie-breaking (smallest occupancy among exact ties) match
+/// ground_state_greedy_reference.
+void icm_relax(const CapacitanceModel& model, const std::vector<double>& drives,
+               int max_electrons_per_dot, std::vector<int>& occupation,
+               std::vector<double>& coupling) {
+  const std::size_t n = model.num_dots();
+  const Matrix& mutual = model.mutual_coupling();
+  const std::vector<double>& charging = model.charging_energies();
+
+  for (std::size_t d = 0; d < n; ++d) {
+    double acc = 0.0;
+    for (std::size_t k = 0; k < n; ++k)
+      acc += mutual(d, k) * static_cast<double>(occupation[k]);
+    coupling[d] = acc;
+  }
+
+  bool changed = true;
+  int guard = 0;
+  while (changed) {
+    QVG_ASSERT(++guard < 10000);
+    changed = false;
+    for (std::size_t d = 0; d < n; ++d) {
+      const double t = drives[d] - coupling[d];
+      const double ec = charging[d];
+      double best_g = std::numeric_limits<double>::infinity();
+      int best_nd = occupation[d];
+      for (int nd = 0; nd <= max_electrons_per_dot; ++nd) {
+        const auto c = static_cast<double>(nd);
+        const double g = 0.5 * ec * c * c - c * t;
+        if (g < best_g) {
+          best_g = g;
+          best_nd = nd;
+        }
+      }
+      if (best_nd != occupation[d]) {
+        const double shift =
+            static_cast<double>(best_nd) - static_cast<double>(occupation[d]);
+        occupation[d] = best_nd;
+        for (std::size_t k = 0; k < n; ++k)
+          coupling[k] += mutual(d, k) * shift;
+        changed = true;
+      }
+    }
+  }
+}
+
+}  // namespace
+
 std::vector<int> ground_state_greedy(const CapacitanceModel& model,
                                      const std::vector<double>& drives,
                                      int max_electrons_per_dot) {
+  QVG_EXPECTS(max_electrons_per_dot >= 0);
+  const std::size_t n = model.num_dots();
+  std::vector<int> occupation(n, 0);
+  std::vector<double> coupling(n, 0.0);
+  icm_relax(model, drives, max_electrons_per_dot, occupation, coupling);
+  return occupation;
+}
+
+std::vector<int> ground_state_greedy_reference(const CapacitanceModel& model,
+                                               const std::vector<double>& drives,
+                                               int max_electrons_per_dot) {
   QVG_EXPECTS(max_electrons_per_dot >= 0);
   const std::size_t n = model.num_dots();
   std::vector<int> occupation(n, 0);
@@ -72,6 +142,36 @@ std::vector<int> ground_state_greedy(const CapacitanceModel& model,
   return occupation;
 }
 
+std::vector<int> ground_state_greedy_multistart(
+    const CapacitanceModel& model, const std::vector<double>& drives,
+    int max_electrons_per_dot, int restarts, std::uint64_t seed) {
+  QVG_EXPECTS(max_electrons_per_dot >= 0);
+  QVG_EXPECTS(restarts >= 1);
+  const std::size_t n = model.num_dots();
+  Rng rng(seed);
+
+  std::vector<int> occupation(n, 0);
+  std::vector<double> coupling(n, 0.0);
+  std::vector<int> best;
+  double best_energy = std::numeric_limits<double>::infinity();
+
+  for (int r = 0; r < restarts; ++r) {
+    if (r == 0) {
+      std::fill(occupation.begin(), occupation.end(), 0);
+    } else {
+      for (auto& c : occupation)
+        c = static_cast<int>(rng.uniform_int(0, max_electrons_per_dot));
+    }
+    icm_relax(model, drives, max_electrons_per_dot, occupation, coupling);
+    const double e = model.energy(occupation, drives);
+    if (e < best_energy) {
+      best_energy = e;
+      best = occupation;
+    }
+  }
+  return best;
+}
+
 void IncrementalGroundStateSolver::bind(const CapacitanceModel& model) {
   model_ = &model;
   n_ = model.num_dots();
@@ -85,105 +185,187 @@ void IncrementalGroundStateSolver::bind(const CapacitanceModel& model) {
     for (std::size_t k = 0; k < n_; ++k)
       mutual_flat_[i * n_ + k] = mutual(i, k);
   q0_.clear();
+  pow_m_.clear();
 }
 
-const std::vector<int>& IncrementalGroundStateSolver::solve(
-    const std::vector<double>& drives, int max_electrons_per_dot,
-    const std::vector<int>* warm_start) {
-  QVG_EXPECTS(model_ != nullptr);
-  QVG_EXPECTS(max_electrons_per_dot >= 0);
-  const std::size_t n = n_;
-  QVG_EXPECTS(drives.size() == n);
-  const auto m = static_cast<std::size_t>(max_electrons_per_dot) + 1;
-
-  // Dot 0 is the innermost odometer digit: while it spins, no coupling sum
-  // changes (its own coupling_[0] depends only on the other dots), so each
-  // inner state costs O(1) — a table lookup and one fused multiply-add.
-  // Outer digits advance once every m states and pay the O(n) coupling
-  // update there, giving O(m^n + m^(n-1) n) total work instead of the
-  // reference's O(m^n n^2).
-  if (q0_.size() != m) {
-    q0_.resize(m);
-    for (std::size_t c = 0; c < m; ++c)
-      q0_[c] = 0.5 * charging_[0] * static_cast<double>(c) *
-               static_cast<double>(c);
-  }
-
+void IncrementalGroundStateSolver::seed_incumbent(
+    const std::vector<double>& drives, const std::vector<int>* warm_start) {
   // Start from the all-zero state (energy 0), the reference solver's
   // initial incumbent. The running best is tracked as an enumeration index
   // (digit j of base m = dot j's occupancy) — no vector copies in the loop.
   std::fill(occupation_.begin(), occupation_.end(), 0);
   std::fill(coupling_.begin(), coupling_.end(), 0.0);
-  double base = 0.0;  // energy of the current outer state with dot 0 empty
-  double best_energy = 0.0;
-  unsigned long long best_index = 0;
-  bool warm_is_best = false;
+  base_ = 0.0;  // energy of the current outer state with dot 0 empty
+  best_energy_ = 0.0;
+  best_index_ = 0;
+  warm_is_best_ = false;
+  stats_ = SolveStats{};
 
   if (warm_start != nullptr && !warm_start->empty()) {
-    QVG_EXPECTS(warm_start->size() == n);
+    QVG_EXPECTS(warm_start->size() == n_);
     // Inline quadratic energy against the flat parameter copies (cheaper
     // than CapacitanceModel::energy, which re-validates per call).
     double warm_energy = 0.0;
-    for (std::size_t j = 0; j < n; ++j) {
+    for (std::size_t j = 0; j < n_; ++j) {
       const auto wj = static_cast<double>((*warm_start)[j]);
       warm_energy += 0.5 * charging_[j] * wj * wj - wj * drives[j];
-      const double* row = mutual_flat_.data() + j * n;
-      for (std::size_t k = j + 1; k < n; ++k)
+      const double* row = mutual_flat_.data() + j * n_;
+      for (std::size_t k = j + 1; k < n_; ++k)
         warm_energy += row[k] * wj * static_cast<double>((*warm_start)[k]);
     }
-    if (warm_energy < best_energy) {
-      best_energy = warm_energy;
-      warm_is_best = true;
+    if (warm_energy < best_energy_) {
+      best_energy_ = warm_energy;
+      warm_is_best_ = true;
     }
   }
+}
 
-  // Move outer dot j (>= 1) to occupancy b, updating the base energy and
-  // every dot's coupling sum:
-  //   dE = Ec_j/2 (b^2 - a^2) - (b - a) drives[j] + (b - a) coupling_[j].
-  auto apply_outer_move = [&](std::size_t j, int b) {
-    const auto a = static_cast<double>(occupation_[j]);
-    const auto db = static_cast<double>(b);
-    base += 0.5 * charging_[j] * (db * db - a * a) - (db - a) * drives[j] +
-            (db - a) * coupling_[j];
-    occupation_[j] = b;
-    const double shift = db - a;
-    const double* row = mutual_flat_.data() + j * n;
-    for (std::size_t k = 0; k < n; ++k) coupling_[k] += row[k] * shift;
-  };
+void IncrementalGroundStateSolver::apply_outer_move(
+    std::size_t j, int b, const std::vector<double>& drives) {
+  // dE = Ec_j/2 (b^2 - a^2) - (b - a) drives[j] + (b - a) coupling_[j].
+  const auto a = static_cast<double>(occupation_[j]);
+  const auto db = static_cast<double>(b);
+  base_ += 0.5 * charging_[j] * (db * db - a * a) - (db - a) * drives[j] +
+           (db - a) * coupling_[j];
+  occupation_[j] = b;
+  const double shift = db - a;
+  const double* row = mutual_flat_.data() + j * n_;
+  for (std::size_t k = 0; k < n_; ++k) coupling_[k] += row[k] * shift;
+}
 
-  unsigned long long index_base = 0;  // enumeration index of (0, outer...)
-  const double drive0 = drives[0];
-  while (true) {
-    // Inner sweep over dot 0 at the current outer state. Enumeration order
-    // (and therefore tie-breaking) matches the reference odometer exactly.
-    const double e0 = drive0 - coupling_[0];
-    for (std::size_t c = 0; c < m; ++c) {
-      const double e = base + q0_[c] - static_cast<double>(c) * e0;
-      if (e < best_energy) {
-        best_energy = e;
-        best_index = index_base + c;
-        warm_is_best = false;
-      }
+double IncrementalGroundStateSolver::free_dot_min(
+    std::size_t d, const std::vector<double>& drives,
+    int max_electrons_per_dot) const {
+  // min over integer c in [0, max] of g(c) = Ec_d/2 c^2 - c t. g is convex
+  // (Ec_d > 0), so the minimum sits at one of the two integers bracketing
+  // the continuous minimizer t / Ec_d, clamped into range: O(1).
+  const double t = drives[d] - coupling_[d];
+  const double cont = t / charging_[d];
+  const double max_c = static_cast<double>(max_electrons_per_dot);
+  auto g = [&](double c) { return 0.5 * charging_[d] * c * c - c * t; };
+  const double lo = std::min(std::max(std::floor(cont), 0.0), max_c);
+  const double hi = std::min(lo + 1.0, max_c);
+  return std::min(g(lo), g(hi));
+}
+
+void IncrementalGroundStateSolver::inner_sweep(const std::vector<double>& drives,
+                                               std::size_t m,
+                                               std::uint64_t index_base) {
+  // Dot 0 is the innermost odometer digit: while it spins, no coupling sum
+  // changes (its own coupling_[0] depends only on the other dots), so each
+  // inner state costs O(1) — a table lookup and one fused multiply-add.
+  // Enumeration order (and therefore tie-breaking) matches the reference
+  // odometer exactly.
+  const double e0 = drives[0] - coupling_[0];
+  for (std::size_t c = 0; c < m; ++c) {
+    const double e = base_ + q0_[c] - static_cast<double>(c) * e0;
+    if (e < best_energy_) {
+      best_energy_ = e;
+      best_index_ = index_base + c;
+      warm_is_best_ = false;
     }
+  }
+  stats_.states_visited += m;
+}
+
+void IncrementalGroundStateSolver::descend(std::size_t level,
+                                           std::uint64_t index_base,
+                                           const std::vector<double>& drives,
+                                           int max_electrons_per_dot) {
+  // Invariant: dots level..n-1 hold their fixed digits, dots 0..level-1 are
+  // all zero, and base_ is the energy of exactly that configuration.
+  //
+  // Lower bound on any completion of the free dots: every mutual coupling is
+  // >= 0 and occupations are >= 0, so dropping the free-free coupling terms
+  // only lowers the energy and the remaining free-dot contributions decouple
+  // into independent one-dot convex minimizations against the fixed-dot
+  // coupling sums. If even that bound cannot beat the incumbent, no state in
+  // the m^level subtree can, and — because the incumbent only ever updates
+  // on strictly smaller energies — skipping it preserves enumeration-order
+  // tie-breaking exactly.
+  double lower = base_;
+  for (std::size_t d = 0; d < level; ++d)
+    lower += free_dot_min(d, drives, max_electrons_per_dot);
+  if (lower >= best_energy_) {
+    ++stats_.subtrees_pruned;
+    stats_.states_pruned += pow_m_[level];
+    return;
+  }
+
+  if (level == 1) {
+    inner_sweep(drives, pow_m_[1], index_base);
+    return;
+  }
+
+  // Walk digit level-1 through 0..max (it is already 0 on entry) and wrap it
+  // back to 0 on exit — the same move sequence the flat odometer performs.
+  const std::size_t digit = level - 1;
+  for (int c = 0; c <= max_electrons_per_dot; ++c) {
+    if (c > 0) apply_outer_move(digit, c, drives);
+    descend(digit, index_base + static_cast<std::uint64_t>(c) * pow_m_[digit],
+            drives, max_electrons_per_dot);
+  }
+  apply_outer_move(digit, 0, drives);
+}
+
+void IncrementalGroundStateSolver::solve_full_enumeration(
+    const std::vector<double>& drives, int max_electrons_per_dot) {
+  const std::size_t m = pow_m_[1];
+  std::uint64_t index_base = 0;  // enumeration index of (0, outer...)
+  while (true) {
+    inner_sweep(drives, m, index_base);
     // Advance the outer odometer (dots 1..n-1).
     std::size_t d = 1;
-    while (d < n && occupation_[d] == max_electrons_per_dot) {
-      apply_outer_move(d, 0);
+    while (d < n_ && occupation_[d] == max_electrons_per_dot) {
+      apply_outer_move(d, 0, drives);
       ++d;
     }
-    if (d >= n) break;
-    apply_outer_move(d, occupation_[d] + 1);
+    if (d >= n_) break;
+    apply_outer_move(d, occupation_[d] + 1, drives);
     index_base += m;
   }
+}
 
-  if (warm_is_best) {
+void IncrementalGroundStateSolver::finish(std::size_t m,
+                                          const std::vector<int>* warm_start) {
+  if (warm_is_best_) {
     best_ = *warm_start;
   } else {
-    for (std::size_t j = 0; j < n; ++j) {
-      best_[j] = static_cast<int>(best_index % m);
-      best_index /= m;
+    std::uint64_t index = best_index_;
+    for (std::size_t j = 0; j < n_; ++j) {
+      best_[j] = static_cast<int>(index % m);
+      index /= m;
     }
   }
+}
+
+const std::vector<int>& IncrementalGroundStateSolver::solve(
+    const std::vector<double>& drives, int max_electrons_per_dot,
+    const std::vector<int>* warm_start, ExhaustiveStrategy strategy) {
+  QVG_EXPECTS(model_ != nullptr);
+  QVG_EXPECTS(max_electrons_per_dot >= 0);
+  QVG_EXPECTS(drives.size() == n_);
+  const auto m = static_cast<std::size_t>(max_electrons_per_dot) + 1;
+
+  if (q0_.size() != m) {
+    q0_.resize(m);
+    for (std::size_t c = 0; c < m; ++c)
+      q0_[c] = 0.5 * charging_[0] * static_cast<double>(c) *
+               static_cast<double>(c);
+    pow_m_.clear();
+  }
+  if (pow_m_.size() != n_ + 1) {
+    pow_m_.resize(n_ + 1);
+    pow_m_[0] = 1;
+    for (std::size_t j = 1; j <= n_; ++j) pow_m_[j] = pow_m_[j - 1] * m;
+  }
+
+  seed_incumbent(drives, warm_start);
+  if (strategy == ExhaustiveStrategy::kBranchAndBound)
+    descend(n_, 0, drives, max_electrons_per_dot);
+  else
+    solve_full_enumeration(drives, max_electrons_per_dot);
+  finish(m, warm_start);
   return best_;
 }
 

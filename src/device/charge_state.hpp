@@ -20,25 +20,50 @@
 //     pixel) wins exact ties against later-enumerated states. Use this for
 //     per-pixel raster evaluation.
 //
-//   ground_state_greedy — iterated conditional modes: O(sweeps * n^2 * m)
-//     with a handful of sweeps in practice. Exact for diagonal-dominant
-//     couplings in practice but not guaranteed; use for arrays too large to
-//     enumerate (> exhaustive_dot_limit dots).
+//     With ExhaustiveStrategy::kBranchAndBound (the default) the same
+//     enumeration becomes a depth-first search with incumbent-driven
+//     subtree elimination: because every mutual coupling is >= 0, the best
+//     possible completion of the d innermost (still-free) digits decomposes
+//     into d independent one-dot convex minimizations, each solvable in
+//     O(1). Whenever that lower bound cannot beat the incumbent, the whole
+//     m^d-state subtree is skipped. Pruning only discards states that are
+//     >= the incumbent, so the result — including enumeration-order
+//     tie-breaking — is bit-identical to the full enumeration, while a good
+//     warm start (the previous raster pixel) lets most of the tree vanish.
+//     This is what makes exhaustive solves tractable at 6-8 dots. (Sole
+//     caveat, relevant only to artificially degenerate models whose minima
+//     tie to the last ulp: the full enumeration's accumulated energies carry
+//     ~1 ulp of odometer wrap-cycle residue, so on exact ties it can settle
+//     on a different member of the tied set than the residue-free pruned
+//     walk. Both are energy-optimal; see the degenerate-tie test.)
 //
-// ground_state() dispatches: IncrementalGroundStateSolver up to
-// ChargeSolverOptions::exhaustive_dot_limit dots, greedy above.
+//   ground_state_greedy — iterated conditional modes on the same flat
+//     delta-energy machinery as the incremental solver: each per-dot sweep
+//     is O(m) against a maintained coupling sum and an accepted move costs
+//     O(n), so a sweep is O(n * (m + n)) and no vectors are copied. Exact
+//     for diagonal-dominant couplings in practice but not guaranteed; use
+//     for arrays too large to enumerate (> exhaustive_dot_limit dots).
+//     ground_state_greedy_reference keeps the original copy-based
+//     implementation as the equivalence oracle, and
+//     ground_state_greedy_multistart adds deterministic random restarts so
+//     large-array accuracy can be benchmarked against exact results.
+//
+// ground_state() dispatches: IncrementalGroundStateSolver (branch-and-bound)
+// up to ChargeSolverOptions::exhaustive_dot_limit dots, greedy above.
 #pragma once
 
 #include "device/capacitance.hpp"
 
+#include <cstdint>
 #include <vector>
 
 namespace qvg {
 
 struct ChargeSolverOptions {
   int max_electrons_per_dot = 4;
-  /// Use the exhaustive solver up to this many dots, greedy above.
-  std::size_t exhaustive_dot_limit = 5;
+  /// Use the exhaustive solver up to this many dots, greedy above. The
+  /// branch-and-bound solver keeps exact enumeration tractable at this size.
+  std::size_t exhaustive_dot_limit = 7;
 };
 
 /// Ground-state occupation at the given gate voltages.
@@ -52,16 +77,54 @@ struct ChargeSolverOptions {
     const CapacitanceModel& model, const std::vector<double>& drives,
     int max_electrons_per_dot);
 
-/// Iterated conditional modes: repeatedly relax one dot at a time until a
-/// fixed point. Exact for diagonal-dominant couplings in practice; used for
-/// arrays too large to enumerate.
+/// Iterated conditional modes on flat delta-energy updates: repeatedly relax
+/// one dot at a time until a fixed point. Exact for diagonal-dominant
+/// couplings in practice; used for arrays too large to enumerate.
 [[nodiscard]] std::vector<int> ground_state_greedy(
     const CapacitanceModel& model, const std::vector<double>& drives,
     int max_electrons_per_dot);
 
+/// The pre-optimization copy-based ICM (fresh trial vector and full
+/// O(n^2) energy recompute per candidate). Kept as the equivalence oracle
+/// and the bench harness's before/after ablation.
+[[nodiscard]] std::vector<int> ground_state_greedy_reference(
+    const CapacitanceModel& model, const std::vector<double>& drives,
+    int max_electrons_per_dot);
+
+/// Multi-start ICM: restart 0 relaxes from the all-zero state (identical to
+/// ground_state_greedy); each further restart relaxes from a deterministic
+/// random occupation drawn from Rng(seed). Returns the lowest-energy fixed
+/// point (earliest restart wins exact ties), which recovers the exact ground
+/// state far more often than a single ICM run on frustrated large arrays.
+[[nodiscard]] std::vector<int> ground_state_greedy_multistart(
+    const CapacitanceModel& model, const std::vector<double>& drives,
+    int max_electrons_per_dot, int restarts, std::uint64_t seed = 0x1c3ULL);
+
+/// How IncrementalGroundStateSolver::solve walks the m^n state tree.
+enum class ExhaustiveStrategy {
+  /// Visit every state (the PR 1 flat odometer). Ablation reference.
+  kFullEnumeration,
+  /// Depth-first odometer with incumbent-driven subtree elimination.
+  /// Bit-identical results, visits only subtrees whose lower bound beats
+  /// the incumbent. The production default.
+  kBranchAndBound,
+};
+
+/// Counters from the most recent IncrementalGroundStateSolver::solve call.
+struct SolveStats {
+  /// States whose energy was actually evaluated (m^n for full enumeration).
+  std::uint64_t states_visited = 0;
+  /// Subtrees eliminated by the bound test, weighted by nothing — each
+  /// counted once regardless of how many states it contained.
+  std::uint64_t subtrees_pruned = 0;
+  /// States contained in the pruned subtrees (never evaluated).
+  std::uint64_t states_pruned = 0;
+};
+
 /// Allocation-free exhaustive solver with incremental delta-energy
-/// evaluation. Bind it to a model once, then call solve() per pixel; the
-/// returned reference stays valid until the next solve()/bind().
+/// evaluation and optional branch-and-bound pruning. Bind it to a model
+/// once, then call solve() per pixel; the returned reference stays valid
+/// until the next solve()/bind().
 ///
 /// Not thread-safe: give each thread its own instance (see
 /// DeviceSimulator::evaluate_raster).
@@ -79,14 +142,41 @@ class IncrementalGroundStateSolver {
   /// Exact ground state over {0..max}^n for the given per-dot drives.
   /// `warm_start` (e.g. the previous raster pixel's occupation) seeds the
   /// incumbent: it never changes the result when the minimum is unique, and
-  /// in exact-tie cases it is preferred over later-enumerated states.
-  const std::vector<int>& solve(const std::vector<double>& drives,
-                                int max_electrons_per_dot,
-                                const std::vector<int>* warm_start = nullptr);
+  /// in exact-tie cases it is preferred over later-enumerated states. Under
+  /// branch-and-bound a good warm start also drives the pruning.
+  const std::vector<int>& solve(
+      const std::vector<double>& drives, int max_electrons_per_dot,
+      const std::vector<int>* warm_start = nullptr,
+      ExhaustiveStrategy strategy = ExhaustiveStrategy::kBranchAndBound);
 
   [[nodiscard]] bool bound() const noexcept { return model_ != nullptr; }
 
+  /// Counters from the most recent solve().
+  [[nodiscard]] const SolveStats& last_stats() const noexcept { return stats_; }
+
  private:
+  /// Seed the incumbent from the zero state and the optional warm start.
+  void seed_incumbent(const std::vector<double>& drives,
+                      const std::vector<int>* warm_start);
+  /// Move outer dot j (>= 1) to occupancy b, updating the running base
+  /// energy and every dot's coupling sum.
+  void apply_outer_move(std::size_t j, int b, const std::vector<double>& drives);
+  /// Minimum over c in {0..max} of the one-dot completion energy
+  /// 0.5 * Ec_d * c^2 - c * (drives[d] - coupling_[d]) (convex in c: O(1)).
+  [[nodiscard]] double free_dot_min(std::size_t d,
+                                    const std::vector<double>& drives,
+                                    int max_electrons_per_dot) const;
+  /// Evaluate the m inner (dot 0) states of the current outer configuration.
+  void inner_sweep(const std::vector<double>& drives, std::size_t m,
+                   std::uint64_t index_base);
+  /// Branch-and-bound DFS: dots level..n-1 are fixed in occupation_, dots
+  /// 0..level-1 are free (all currently zero).
+  void descend(std::size_t level, std::uint64_t index_base,
+               const std::vector<double>& drives, int max_electrons_per_dot);
+  void solve_full_enumeration(const std::vector<double>& drives,
+                              int max_electrons_per_dot);
+  void finish(std::size_t m, const std::vector<int>* warm_start);
+
   const CapacitanceModel* model_ = nullptr;
   std::size_t n_ = 0;
   std::vector<int> occupation_;
@@ -100,6 +190,15 @@ class IncrementalGroundStateSolver {
   std::vector<double> charging_;
   /// Quadratic self-energy table for dot 0: q0_[c] = Ec_0/2 * c^2.
   std::vector<double> q0_;
+  /// pow_m_[j] = m^j, the enumeration-index stride of digit j.
+  std::vector<std::uint64_t> pow_m_;
+
+  // Per-solve state (valid during and after a solve() call).
+  double base_ = 0.0;  // energy of the current outer state with free dots 0
+  double best_energy_ = 0.0;
+  std::uint64_t best_index_ = 0;
+  bool warm_is_best_ = false;
+  SolveStats stats_;
 };
 
 }  // namespace qvg

@@ -1,11 +1,49 @@
 #include "extraction/array_extractor.hpp"
 
 #include "common/assert.hpp"
+#include "common/thread_pool.hpp"
 
 #include <cmath>
 #include <memory>
 
 namespace qvg {
+
+namespace {
+
+/// Run one pair extraction. Self-contained: builds the pair's simulator from
+/// its index (own noise stream, own probe cache), so concurrent calls for
+/// different pairs never share mutable state.
+PairExtraction extract_pair(const BuiltDevice& device,
+                            const ArrayExtractionOptions& opt,
+                            std::size_t pair_index) {
+  DeviceSimulator sim = make_pair_simulator(
+      device, pair_index, opt.noise_seed + pair_index, opt.dwell_seconds);
+  if (opt.white_noise_sigma > 0.0)
+    sim.add_noise(std::make_unique<WhiteNoise>(opt.white_noise_sigma));
+  const VoltageAxis axis = scan_axis(device, opt.pixels_per_axis);
+
+  PairExtraction pair;
+  pair.pair_index = pair_index;
+
+  if (opt.method == ExtractionMethod::kFast) {
+    const auto extraction = run_fast_extraction(sim, axis, axis, opt.fast);
+    pair.success = extraction.success;
+    pair.failure_reason = extraction.failure_reason;
+    pair.gates = extraction.virtual_gates;
+    pair.stats = extraction.stats;
+  } else {
+    const auto extraction = run_hough_baseline(sim, axis, axis, opt.baseline);
+    pair.success = extraction.success;
+    pair.failure_reason = extraction.failure_reason;
+    pair.gates = extraction.virtual_gates;
+    pair.stats = extraction.stats;
+  }
+  pair.verdict = judge_extraction(pair.success, pair.gates, sim.truth(),
+                                  opt.verdict);
+  return pair;
+}
+
+}  // namespace
 
 ArrayExtractionResult extract_array_virtualization(
     const BuiltDevice& device, const ArrayExtractionOptions& opt) {
@@ -19,48 +57,34 @@ ArrayExtractionResult extract_array_virtualization(
   // Reference: nearest-neighbour band of the exact compensation matrix.
   result.reference = device.model.ideal_virtualization();
 
-  std::vector<VirtualGatePair> pairs_for_compose;
+  // The paper's n-1 sequential pair extractions are independent given their
+  // per-pair simulators, so they fan out over the pool; each pair writes
+  // only its own preallocated slot.
+  result.pairs.resize(n - 1);
+  auto run_pairs = [&](std::size_t lo, std::size_t hi) {
+    for (std::size_t pair_index = lo; pair_index < hi; ++pair_index)
+      result.pairs[pair_index] = extract_pair(device, opt, pair_index);
+  };
+  if (opt.parallel)
+    parallel_for_rows(result.pairs.size(), run_pairs, 1);
+  else
+    run_pairs(0, result.pairs.size());
+
+  // Compose the matrix and totals in pair order (deterministic regardless of
+  // the parallel schedule above).
   bool all_ok = true;
-
-  for (std::size_t pair_index = 0; pair_index + 1 < n; ++pair_index) {
-    DeviceSimulator sim = make_pair_simulator(
-        device, pair_index, opt.noise_seed + pair_index, opt.dwell_seconds);
-    if (opt.white_noise_sigma > 0.0)
-      sim.add_noise(std::make_unique<WhiteNoise>(opt.white_noise_sigma));
-    const VoltageAxis axis = scan_axis(device, opt.pixels_per_axis);
-
-    PairExtraction pair;
-    pair.pair_index = pair_index;
-
-    if (opt.method == ExtractionMethod::kFast) {
-      const auto extraction = run_fast_extraction(sim, axis, axis, opt.fast);
-      pair.success = extraction.success;
-      pair.failure_reason = extraction.failure_reason;
-      pair.gates = extraction.virtual_gates;
-      pair.stats = extraction.stats;
-    } else {
-      const auto extraction = run_hough_baseline(sim, axis, axis, opt.baseline);
-      pair.success = extraction.success;
-      pair.failure_reason = extraction.failure_reason;
-      pair.gates = extraction.virtual_gates;
-      pair.stats = extraction.stats;
-    }
-    pair.verdict = judge_extraction(pair.success, pair.gates, sim.truth(),
-                                    opt.verdict);
-
+  for (const auto& pair : result.pairs) {
     result.total_stats.unique_probes += pair.stats.unique_probes;
     result.total_stats.total_requests += pair.stats.total_requests;
     result.total_stats.simulated_seconds += pair.stats.simulated_seconds;
     result.total_stats.compute_seconds += pair.stats.compute_seconds;
 
     if (pair.success) {
-      result.matrix(pair_index, pair_index + 1) = pair.gates.alpha12;
-      result.matrix(pair_index + 1, pair_index) = pair.gates.alpha21;
-      pairs_for_compose.push_back(pair.gates);
+      result.matrix(pair.pair_index, pair.pair_index + 1) = pair.gates.alpha12;
+      result.matrix(pair.pair_index + 1, pair.pair_index) = pair.gates.alpha21;
     } else {
       all_ok = false;
     }
-    result.pairs.push_back(std::move(pair));
   }
 
   // Band error vs the reference compensation matrix.

@@ -26,6 +26,11 @@ struct ArrayExtractionOptions {
   std::uint64_t noise_seed = 42;
   /// White-noise sigma added to each pair scan (sensor current units).
   double white_noise_sigma = 0.0;
+  /// Run the n-1 pair extractions concurrently on the global ThreadPool.
+  /// Each pair owns its simulator and derives its noise seed from its index,
+  /// and results are composed in pair order afterwards, so the output is
+  /// bit-identical to the serial walk regardless of thread count.
+  bool parallel = true;
   FastExtractorOptions fast;
   HoughBaselineOptions baseline;
   VerdictOptions verdict;

@@ -5,6 +5,7 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <cstdlib>
 #include <numeric>
 #include <vector>
 
@@ -116,6 +117,35 @@ TEST(ThreadPoolTest, ParallelismKillSwitchForcesSerial) {
 
 TEST(ThreadPoolTest, GlobalPoolHasAtLeastOneThread) {
   EXPECT_GE(ThreadPool::global().size(), 1u);
+}
+
+TEST(ThreadPoolTest, QvgThreadsEnvOverridesAutoSize) {
+  // QVG_THREADS names the total thread count (workers + caller), so that
+  // `QVG_THREADS=4 bench_json` means four threads regardless of core count.
+  ASSERT_EQ(setenv("QVG_THREADS", "3", /*overwrite=*/1), 0);
+  {
+    ThreadPool pool(0);
+    EXPECT_EQ(pool.size(), 3u);
+  }
+  ASSERT_EQ(setenv("QVG_THREADS", "1", 1), 0);
+  {
+    ThreadPool pool(0);
+    EXPECT_EQ(pool.size(), 1u);
+  }
+  // Malformed or non-positive values fall back to hardware sizing.
+  ASSERT_EQ(setenv("QVG_THREADS", "zero", 1), 0);
+  {
+    ThreadPool pool(0);
+    EXPECT_GE(pool.size(), 1u);
+  }
+  ASSERT_EQ(unsetenv("QVG_THREADS"), 0);
+}
+
+TEST(ThreadPoolTest, ExplicitCountIgnoresQvgThreadsEnv) {
+  ASSERT_EQ(setenv("QVG_THREADS", "7", 1), 0);
+  ThreadPool pool(2);
+  EXPECT_EQ(pool.size(), 3u);  // 2 workers + caller
+  ASSERT_EQ(unsetenv("QVG_THREADS"), 0);
 }
 
 }  // namespace

@@ -3,12 +3,16 @@
 
 #include <gtest/gtest.h>
 
+#include "test_support.hpp"
+
 #include <cstdio>
 #include <fstream>
 #include <string>
 
 namespace qvg {
 namespace {
+
+const bool g_force_threads = testsupport::force_multithread_pool();
 
 class TempFile {
  public:
@@ -153,6 +157,28 @@ TEST(QflowBenchmarkTest, CsdHasTruthInsideWindow) {
   EXPECT_LT(truth.slope_shallow, 0.0);
   EXPECT_TRUE(benchmark.csd.x_axis().in_range(truth.triple_point.x));
   EXPECT_TRUE(benchmark.csd.y_axis().in_range(truth.triple_point.y));
+}
+
+TEST(QflowSuiteTest, RtsTweakTargetsBenchmarkEight) {
+  // The telegraph-noise tier is looked up by spec.index, not list position.
+  for (const auto& spec : qflow_suite_specs()) {
+    if (spec.index == 8)
+      EXPECT_GT(spec.telegraph_amplitude, 0.0);
+    else
+      EXPECT_EQ(spec.telegraph_amplitude, 0.0);
+  }
+}
+
+TEST(QflowSuiteTest, ParallelBuildMatchesSerialBitIdentically) {
+  // Every diagram is deterministic given its spec (own jitter Rng, own
+  // noise stream), so the pool fan-out must reproduce the serial build.
+  const auto serial = build_qflow_suite(/*parallel=*/false);
+  const auto parallel = build_qflow_suite(/*parallel=*/true);
+  ASSERT_EQ(serial.size(), parallel.size());
+  for (std::size_t i = 0; i < serial.size(); ++i) {
+    EXPECT_EQ(serial[i].spec.index, parallel[i].spec.index);
+    EXPECT_EQ(serial[i].csd.grid(), parallel[i].csd.grid()) << serial[i].name();
+  }
 }
 
 TEST(QflowBenchmarkTest, PlaybackReplaysBenchmark) {

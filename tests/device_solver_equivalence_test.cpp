@@ -9,12 +9,16 @@
 #include "device/simulator.hpp"
 #include "probe/raster.hpp"
 
+#include "test_support.hpp"
+
 #include <gtest/gtest.h>
 
 #include <vector>
 
 namespace qvg {
 namespace {
+
+const bool g_force_threads = testsupport::force_multithread_pool();
 
 /// Random diagonal-dominant model with n dots (and n gates).
 CapacitanceModel random_model(std::size_t n, Rng& rng) {
@@ -89,6 +93,161 @@ TEST(IncrementalSolverTest, MatchesExhaustiveForSmallElectronCaps) {
       ASSERT_EQ(solver.solve(drives, max_e),
                 ground_state_exhaustive(model, drives, max_e));
     }
+  }
+}
+
+TEST(BranchAndBoundTest, MatchesExhaustiveOnFiveAndSixDotModels) {
+  // The paper-scale claim: incumbent-driven subtree elimination keeps the
+  // solver exact (bit-identical incumbent, enumeration-order tie-breaking)
+  // while visiting a fraction of the m^n states.
+  Rng rng(4242);
+  std::uint64_t pruned_total = 0;
+  for (std::size_t n : {5u, 6u}) {
+    for (int trial = 0; trial < 8; ++trial) {
+      const auto model = random_model(n, rng);
+      IncrementalGroundStateSolver solver(model);
+      for (int probe = 0; probe < 6; ++probe) {
+        const auto drives = random_drives(model, rng);
+        const auto reference = ground_state_exhaustive(model, drives, 4);
+        const auto bb = solver.solve(drives, 4, nullptr,
+                                     ExhaustiveStrategy::kBranchAndBound);
+        ASSERT_EQ(bb, reference) << "n=" << n << " trial=" << trial;
+        pruned_total += solver.last_stats().subtrees_pruned;
+        ASSERT_EQ(solver.solve(drives, 4, nullptr,
+                               ExhaustiveStrategy::kFullEnumeration),
+                  reference);
+      }
+    }
+  }
+  // The bound must actually fire on realistic models, not just stay exact.
+  EXPECT_GT(pruned_total, 0u);
+}
+
+TEST(BranchAndBoundTest, WarmStartKeepsResultAndDrivesPruning) {
+  Rng rng(91);
+  for (std::size_t n : {5u, 6u}) {
+    const auto model = random_model(n, rng);
+    IncrementalGroundStateSolver cold(model);
+    IncrementalGroundStateSolver warm(model);
+    for (int probe = 0; probe < 10; ++probe) {
+      const auto drives = random_drives(model, rng);
+      const auto answer = cold.solve(drives, 4, nullptr,
+                                     ExhaustiveStrategy::kBranchAndBound);
+      // Seeding with the exact answer must not change it, and must prune at
+      // least as many states as the cold solve (the incumbent starts
+      // optimal, so no bound that fired cold can fail warm).
+      ASSERT_EQ(warm.solve(drives, 4, &answer,
+                           ExhaustiveStrategy::kBranchAndBound),
+                answer);
+      EXPECT_GE(warm.last_stats().states_pruned,
+                cold.last_stats().states_pruned);
+      std::vector<int> seed(n);
+      for (auto& s : seed) s = static_cast<int>(rng.uniform_int(0, 4));
+      ASSERT_EQ(warm.solve(drives, 4, &seed,
+                           ExhaustiveStrategy::kBranchAndBound),
+                answer);
+    }
+  }
+}
+
+TEST(BranchAndBoundTest, EveryStateIsVisitedOrPruned) {
+  // states_visited + states_pruned must account for the full m^n tree: the
+  // DFS either expands a subtree or prunes it whole, never drops one.
+  Rng rng(17);
+  for (std::size_t n : {3u, 5u, 6u}) {
+    const auto model = random_model(n, rng);
+    IncrementalGroundStateSolver solver(model);
+    for (int probe = 0; probe < 5; ++probe) {
+      for (int max_e : {2, 4}) {
+        const auto drives = random_drives(model, rng);
+        (void)solver.solve(drives, max_e, nullptr,
+                           ExhaustiveStrategy::kBranchAndBound);
+        std::uint64_t total = 1;
+        for (std::size_t j = 0; j < n; ++j)
+          total *= static_cast<std::uint64_t>(max_e) + 1;
+        EXPECT_EQ(solver.last_stats().states_visited +
+                      solver.last_stats().states_pruned,
+                  total);
+      }
+    }
+  }
+}
+
+TEST(BranchAndBoundTest, DegenerateTiesStayEnergyOptimalUnderPruning) {
+  // Fully symmetric model: identical dots, uniform coupling, drives at the
+  // 0<->1 degeneracy — exponentially many states tie for the minimum. On
+  // such tie-saturated inputs the full enumeration's incrementally
+  // accumulated energies carry ~1 ulp of wrap-cycle residue, so it may
+  // "improve" onto a different member of the tied set than the pruned DFS
+  // (whose bound is residue-free). What pruning must preserve is energy
+  // optimality: both winners must have exactly the minimal energy under the
+  // reference O(n^2) evaluation. (On non-degenerate inputs — every random
+  // model above — the two strategies are bit-identical.)
+  const std::size_t n = 5;
+  const double ec = 2.0e-3;
+  Matrix alpha(n, n, 0.02);
+  for (std::size_t i = 0; i < n; ++i) alpha(i, i) = 0.1;
+  Matrix mutual(n, n, 0.1e-3);
+  for (std::size_t i = 0; i < n; ++i) mutual(i, i) = 0.0;
+  const CapacitanceModel model(alpha, std::vector<double>(n, ec), mutual,
+                               std::vector<double>(n, 0.0));
+  IncrementalGroundStateSolver solver(model);
+  for (const double drive : {0.5 * ec, 0.5 * ec + 0.1e-3, 1.5 * ec}) {
+    const std::vector<double> drives(n, drive);
+    const std::vector<int> full = solver.solve(
+        drives, 4, nullptr, ExhaustiveStrategy::kFullEnumeration);
+    const std::vector<int> bb = solver.solve(
+        drives, 4, nullptr, ExhaustiveStrategy::kBranchAndBound);
+    EXPECT_EQ(model.energy(bb, drives), model.energy(full, drives))
+        << "drive=" << drive;
+    // The O(n^2) reference's own summation order can rank a tied state an
+    // ulp lower still; its winner's energy agrees to ~1e8 ulps of slack
+    // (1e-12 eV on ~1e-4 eV energies, far below any physical gap).
+    const auto reference = ground_state_exhaustive(model, drives, 4);
+    EXPECT_NEAR(model.energy(bb, drives), model.energy(reference, drives),
+                1e-12)
+        << "drive=" << drive;
+  }
+  // At exactly drive = Ec/2 the minimum energy is exactly 0.0 and the
+  // residue-free bound prunes the whole tree at the root: the initial
+  // all-zero incumbent (the reference's first-enumerated tied state) wins.
+  const std::vector<double> degenerate(n, 0.5 * ec);
+  const auto winner = solver.solve(degenerate, 4, nullptr,
+                                   ExhaustiveStrategy::kBranchAndBound);
+  EXPECT_EQ(winner, std::vector<int>(n, 0));
+  EXPECT_EQ(solver.last_stats().states_visited, 0u);
+}
+
+TEST(GreedyEquivalenceTest, DeltaIcmMatchesCopyBasedReference) {
+  // The rewritten greedy ranks per-dot candidates by partial energies
+  // against maintained coupling sums; sweep order, acceptance rule, and
+  // tie-breaking are unchanged, so the fixed point must match the
+  // copy-based reference exactly.
+  Rng rng(314);
+  for (std::size_t n : {2u, 3u, 6u, 10u}) {
+    for (int trial = 0; trial < 15; ++trial) {
+      const auto model = random_model(n, rng);
+      for (int probe = 0; probe < 6; ++probe) {
+        const auto drives = random_drives(model, rng);
+        ASSERT_EQ(ground_state_greedy(model, drives, 4),
+                  ground_state_greedy_reference(model, drives, 4))
+            << "n=" << n << " trial=" << trial;
+      }
+    }
+  }
+}
+
+TEST(GreedyEquivalenceTest, MultistartExtendsPlainGreedy) {
+  Rng rng(2718);
+  for (int trial = 0; trial < 10; ++trial) {
+    const auto model = random_model(6, rng);
+    const auto drives = random_drives(model, rng);
+    const auto plain = ground_state_greedy(model, drives, 4);
+    // Restart 0 is the all-zero start: one restart IS plain greedy.
+    EXPECT_EQ(ground_state_greedy_multistart(model, drives, 4, 1), plain);
+    // More restarts can only improve the energy.
+    const auto multi = ground_state_greedy_multistart(model, drives, 4, 8);
+    EXPECT_LE(model.energy(multi, drives), model.energy(plain, drives));
   }
 }
 

@@ -1,9 +1,13 @@
 #include "extraction/array_extractor.hpp"
 
+#include "test_support.hpp"
+
 #include <gtest/gtest.h>
 
 namespace qvg {
 namespace {
+
+const bool g_force_threads = testsupport::force_multithread_pool();
 
 BuiltDevice array_device(std::size_t n_dots, std::uint64_t seed = 2) {
   DotArrayParams params;
@@ -100,6 +104,55 @@ TEST(ArrayExtractorTest, NoisyPairReportsVerdicts) {
       EXPECT_TRUE(pair.verdict.success) << pair.verdict.reason;
     }
   }
+}
+
+TEST(ArrayExtractorTest, ParallelMatchesSerialBitIdentically) {
+  // Each pair owns its simulator and derives its noise seed from its index,
+  // and slots are composed in pair order, so the parallel fan-out must
+  // reproduce the serial walk exactly (compute_seconds excepted: wall time).
+  const BuiltDevice device = array_device(4, 12);
+  ArrayExtractionOptions serial_opt;
+  serial_opt.pixels_per_axis = 64;
+  serial_opt.white_noise_sigma = 0.01;
+  serial_opt.parallel = false;
+  ArrayExtractionOptions parallel_opt = serial_opt;
+  parallel_opt.parallel = true;
+
+  const auto serial = extract_array_virtualization(device, serial_opt);
+  const auto parallel = extract_array_virtualization(device, parallel_opt);
+
+  EXPECT_EQ(serial.success, parallel.success);
+  EXPECT_EQ(serial.band_max_error, parallel.band_max_error);
+  ASSERT_EQ(serial.pairs.size(), parallel.pairs.size());
+  for (std::size_t i = 0; i < serial.pairs.size(); ++i) {
+    const auto& s = serial.pairs[i];
+    const auto& p = parallel.pairs[i];
+    EXPECT_EQ(s.pair_index, p.pair_index);
+    EXPECT_EQ(s.success, p.success);
+    EXPECT_EQ(s.failure_reason, p.failure_reason);
+    EXPECT_EQ(s.gates.alpha12, p.gates.alpha12);
+    EXPECT_EQ(s.gates.alpha21, p.gates.alpha21);
+    EXPECT_EQ(s.stats.unique_probes, p.stats.unique_probes);
+    EXPECT_EQ(s.stats.total_requests, p.stats.total_requests);
+    EXPECT_EQ(s.stats.simulated_seconds, p.stats.simulated_seconds);
+    EXPECT_EQ(s.verdict.success, p.verdict.success);
+  }
+  for (std::size_t i = 0; i < serial.matrix.rows(); ++i)
+    for (std::size_t j = 0; j < serial.matrix.cols(); ++j)
+      EXPECT_EQ(serial.matrix(i, j), parallel.matrix(i, j))
+          << "entry (" << i << ", " << j << ")";
+}
+
+TEST(ArrayExtractorTest, SixDotArrayUsesBranchAndBoundTractably) {
+  // 6 dots sit above the old exhaustive_dot_limit of 5: the raised limit
+  // plus branch-and-bound keeps per-pixel solves exact at this size.
+  const BuiltDevice device = array_device(6, 21);
+  ArrayExtractionOptions opt;
+  opt.pixels_per_axis = 48;
+  const auto result = extract_array_virtualization(device, opt);
+  ASSERT_EQ(result.pairs.size(), 5u);
+  for (const auto& pair : result.pairs)
+    EXPECT_GT(pair.stats.unique_probes, 0);
 }
 
 TEST(ArrayExtractorTest, ValidatesInput) {

@@ -7,7 +7,23 @@
 #include "common/random.hpp"
 #include "grid/csd.hpp"
 
+#include <cstdlib>
+
 namespace qvg::testsupport {
+
+/// Force a multi-thread global pool even on 1-core CI machines, so that
+/// parallel-vs-serial equivalence tests exercise real worker threads instead
+/// of degrading to a serial walk compared against itself. Call from a
+/// namespace-scope initializer (static-init time, before the first
+/// ThreadPool::global() construction):
+///
+///   const bool g_force_threads = qvg::testsupport::force_multithread_pool();
+///
+/// An explicitly exported QVG_THREADS still wins (overwrite=0).
+inline bool force_multithread_pool() {
+  setenv("QVG_THREADS", "3", /*overwrite=*/0);
+  return true;
+}
 
 struct SyntheticCsdSpec {
   std::size_t pixels = 100;
