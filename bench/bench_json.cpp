@@ -1,6 +1,6 @@
 // Machine-readable perf harness seeding the repo's BENCH_*.json trajectory.
 //
-// Scenario families (PR 1 kept reproducible, PR 2 added on top):
+// Scenario families (PR 1/2 kept reproducible, PR 3 added on top):
 //   bench_micro       — dense-raster evaluation (naive vs incremental vs
 //                       parallel), per-solve charge-state solver timings,
 //                       and the image pipeline.                       (PR 1)
@@ -17,23 +17,32 @@
 //                       baseline probe costs.                         (PR 2)
 //   suite_generation  — the 12-diagram qflow suite, serial vs parallel
 //                       build (bit-identical check).                  (PR 2)
+//   probe_path        — full-CSD acquisition through the batched
+//                       get_currents interface vs the scalar per-pixel
+//                       loop, on the simulator and on playback
+//                       (bit-identical check).                        (PR 3)
+//   engine_overhead   — ExtractionEngine façade vs calling the extraction
+//                       entry points directly, plus serial-vs-parallel
+//                       batch submission.                             (PR 3)
+//
+// Extraction scenarios run through the ExtractionEngine façade (PR 3); the
+// micro solver/imgproc scenarios have no extraction to route.
 //
 // Every scenario records the effective thread count (set QVG_THREADS=N to
 // re-measure on multi-core hardware in one variable).
 //
-// Usage: bench_json [output.json]   (default: BENCH_PR2.json in the CWD)
+// Usage: bench_json [output.json]   (default: BENCH_PR3.json in the CWD)
 #include "common/stopwatch.hpp"
 #include "common/thread_pool.hpp"
 #include "dataset/qflow_synth.hpp"
 #include "device/dot_array.hpp"
-#include "extraction/array_extractor.hpp"
-#include "extraction/fast_extractor.hpp"
-#include "extraction/hough_baseline.hpp"
 #include "imgproc/canny.hpp"
 #include "imgproc/filters.hpp"
 #include "imgproc/hough.hpp"
+#include "probe/playback.hpp"
 #include "probe/probe_cache.hpp"
 #include "probe/raster.hpp"
+#include "service/extraction_engine.hpp"
 
 #include <fstream>
 #include <iostream>
@@ -62,7 +71,7 @@ struct JsonWriter {
   std::ostringstream out;
   bool first_scenario = true;
 
-  void begin() { out << "{\n  \"bench\": \"PR2\",\n  \"scenarios\": [\n"; }
+  void begin() { out << "{\n  \"bench\": \"PR3\",\n  \"scenarios\": [\n"; }
   void end() {
     out << "\n  ]\n}\n";
   }
@@ -306,13 +315,18 @@ void bench_extraction(JsonWriter& json) {
   const BuiltDevice device = build_dot_array(DotArrayParams{});
   const VoltageAxis axis = scan_axis(device, 100);
 
+  // PR 3: both Table-1 scenarios are served by the ExtractionEngine (results
+  // are equivalence-tested bit-identical to the direct entry points).
+  ExtractionEngine engine;
+  ExtractionRequest request;
+  request.device.device = &device;
+  request.device.pixels_per_axis = 100;
+
   {
-    DeviceSimulator sim = make_pair_simulator(device);
-    Stopwatch w;
-    const auto fast = run_fast_extraction(sim, axis, axis);
-    const double wall = w.elapsed_seconds();
+    request.method = ExtractionMethod::kFast;
+    const ExtractionReport fast = engine.run(request);
     json.begin_scenario("table1_fast_extraction_100px");
-    json.field("success", fast.success);
+    json.field("success", fast.success());
     json.field("unique_probes", fast.stats.unique_probes);
     json.field("total_requests", fast.stats.total_requests);
     json.field("probe_fraction",
@@ -320,20 +334,18 @@ void bench_extraction(JsonWriter& json) {
                    static_cast<double>(axis.count() * axis.count()));
     json.field("compute_seconds", fast.stats.compute_seconds);
     json.field("simulated_seconds", fast.stats.simulated_seconds);
-    json.field("wall_seconds", wall);
+    json.field("wall_seconds", fast.wall_seconds);
     json.end_scenario();
   }
   {
-    DeviceSimulator sim = make_pair_simulator(device);
-    Stopwatch w;
-    const auto base = run_hough_baseline(sim, axis, axis);
-    const double wall = w.elapsed_seconds();
+    request.method = ExtractionMethod::kHoughBaseline;
+    const ExtractionReport base = engine.run(request);
     json.begin_scenario("table1_hough_baseline_100px");
-    json.field("success", base.success);
+    json.field("success", base.success());
     json.field("unique_probes", base.stats.unique_probes);
     json.field("compute_seconds", base.stats.compute_seconds);
     json.field("simulated_seconds", base.stats.simulated_seconds);
-    json.field("wall_seconds", wall);
+    json.field("wall_seconds", base.wall_seconds);
     json.end_scenario();
   }
   {
@@ -356,25 +368,26 @@ void bench_scaling(JsonWriter& json) {
   DotArrayParams params;
   params.n_dots = 3;
   const BuiltDevice device = build_dot_array(params);
+  const ExtractionEngine engine;
 
   ArrayExtractionOptions fast_opt;
   fast_opt.pixels_per_axis = 100;
   Stopwatch wf;
-  const auto fast = extract_array_virtualization(device, fast_opt);
+  const auto fast = engine.run_array(device, fast_opt);
   const double fast_wall = wf.elapsed_seconds();
 
   ArrayExtractionOptions base_opt = fast_opt;
   base_opt.method = ExtractionMethod::kHoughBaseline;
   Stopwatch wb;
-  const auto base = extract_array_virtualization(device, base_opt);
+  const auto base = engine.run_array(device, base_opt);
   const double base_wall = wb.elapsed_seconds();
 
   json.begin_scenario("scaling_array_3dot");
-  json.field("fast_success", fast.success);
+  json.field("fast_success", fast.success());
   json.field("fast_unique_probes", fast.total_stats.unique_probes);
   json.field("fast_total_seconds", fast.total_stats.total_seconds());
   json.field("fast_wall_seconds", fast_wall);
-  json.field("baseline_success", base.success);
+  json.field("baseline_success", base.success());
   json.field("baseline_unique_probes", base.total_stats.unique_probes);
   json.field("baseline_total_seconds", base.total_stats.total_seconds());
   json.field("baseline_wall_seconds", base_wall);
@@ -388,13 +401,13 @@ void bench_scaling(JsonWriter& json) {
 /// legitimately varies run to run).
 bool array_results_identical(const ArrayExtractionResult& a,
                              const ArrayExtractionResult& b) {
-  if (a.success != b.success || a.pairs.size() != b.pairs.size()) return false;
+  if (a.success() != b.success() || a.pairs.size() != b.pairs.size()) return false;
   if (a.band_max_error != b.band_max_error) return false;
   for (std::size_t i = 0; i < a.pairs.size(); ++i) {
     const auto& pa = a.pairs[i];
     const auto& pb = b.pairs[i];
-    if (pa.pair_index != pb.pair_index || pa.success != pb.success ||
-        pa.failure_reason != pb.failure_reason ||
+    if (pa.pair_index != pb.pair_index || pa.success() != pb.success() ||
+        pa.failure_reason() != pb.failure_reason() ||
         pa.gates.alpha12 != pb.gates.alpha12 ||
         pa.gates.alpha21 != pb.gates.alpha21 ||
         pa.stats.unique_probes != pb.stats.unique_probes ||
@@ -424,17 +437,18 @@ void bench_array_scaling(JsonWriter& json) {
     ArrayExtractionOptions parallel_opt = serial_opt;
     parallel_opt.parallel = true;
 
+    const ExtractionEngine engine;
     ArrayExtractionResult serial_result, parallel_result;
     const double serial_s = time_best(2, [&] {
-      serial_result = extract_array_virtualization(device, serial_opt);
+      serial_result = engine.run_array(device, serial_opt);
     });
     const double parallel_s = time_best(2, [&] {
-      parallel_result = extract_array_virtualization(device, parallel_opt);
+      parallel_result = engine.run_array(device, parallel_opt);
     });
 
     json.begin_scenario("array_scaling_" + std::to_string(n_dots) + "dot");
     json.field("pairs", static_cast<long>(n_dots - 1));
-    json.field("fast_success", serial_result.success);
+    json.field("fast_success", serial_result.success());
     json.field("fast_unique_probes", serial_result.total_stats.unique_probes);
     json.field("fast_serial_seconds", serial_s);
     json.field("fast_parallel_seconds", parallel_s);
@@ -446,9 +460,9 @@ void bench_array_scaling(JsonWriter& json) {
       base_opt.method = ExtractionMethod::kHoughBaseline;
       ArrayExtractionResult base_result;
       const double base_s = time_best(2, [&] {
-        base_result = extract_array_virtualization(device, base_opt);
+        base_result = engine.run_array(device, base_opt);
       });
-      json.field("baseline_success", base_result.success);
+      json.field("baseline_success", base_result.success());
       json.field("baseline_unique_probes",
                  base_result.total_stats.unique_probes);
       json.field("baseline_seconds", base_s);
@@ -458,6 +472,111 @@ void bench_array_scaling(JsonWriter& json) {
     }
     json.end_scenario();
   }
+}
+
+// PR 3: full-CSD acquisition through the batched get_currents probe path vs
+// the pre-redesign scalar per-pixel loop, on both backends. The simulator
+// case shows the interface-level win (parallel physics behind the same
+// CurrentSource API); playback shows the amortized-dispatch floor.
+void bench_probe_path(JsonWriter& json) {
+  const BuiltDevice device = build_dot_array(DotArrayParams{});
+  const VoltageAxis axis = scan_axis(device, 100);
+
+  // The scalar reference: what acquire_full_csd did before the batched
+  // interface (per-pixel virtual get_current calls).
+  auto acquire_scalar = [&](CurrentSource& source) {
+    Csd csd(axis, axis);
+    for (std::size_t y = 0; y < axis.count(); ++y) {
+      const double vy = axis.voltage(static_cast<double>(y));
+      for (std::size_t x = 0; x < axis.count(); ++x)
+        csd.grid()(x, y) =
+            source.get_current(axis.voltage(static_cast<double>(x)), vy);
+    }
+    return csd;
+  };
+
+  {
+    Csd scalar_csd, batched_csd;
+    const double scalar_s = time_best(3, [&] {
+      DeviceSimulator sim = make_pair_simulator(device);
+      scalar_csd = acquire_scalar(sim);
+    });
+    const double batched_s = time_best(3, [&] {
+      DeviceSimulator sim = make_pair_simulator(device);
+      batched_csd = acquire_full_csd(sim, axis, axis);
+    });
+    json.begin_scenario("probe_path_simulator_100px");
+    json.field("pixels", static_cast<long>(axis.count() * axis.count()));
+    json.field("scalar_seconds", scalar_s);
+    json.field("batched_seconds", batched_s);
+    json.field("batched_speedup", scalar_s / batched_s);
+    json.field("results_identical", scalar_csd.grid() == batched_csd.grid());
+    json.end_scenario();
+  }
+  {
+    DeviceSimulator sim = make_pair_simulator(device);
+    const Csd recorded = sim.generate_csd(axis, axis, "probe_path");
+    Csd scalar_csd, batched_csd;
+    const double scalar_s = time_best(3, [&] {
+      CsdPlayback playback(recorded);
+      scalar_csd = acquire_scalar(playback);
+    });
+    const double batched_s = time_best(3, [&] {
+      CsdPlayback playback(recorded);
+      batched_csd = acquire_full_csd(playback, axis, axis);
+    });
+    json.begin_scenario("probe_path_playback_100px");
+    json.field("pixels", static_cast<long>(axis.count() * axis.count()));
+    json.field("scalar_seconds", scalar_s);
+    json.field("batched_seconds", batched_s);
+    json.field("batched_speedup", scalar_s / batched_s);
+    json.field("results_identical", scalar_csd.grid() == batched_csd.grid());
+    json.end_scenario();
+  }
+}
+
+// PR 3: what the ExtractionEngine façade costs over calling the extraction
+// entry points directly (request validation + backend construction +
+// report assembly), and what batch submission buys.
+void bench_engine_overhead(JsonWriter& json) {
+  const BuiltDevice device = build_dot_array(DotArrayParams{});
+  const VoltageAxis axis = scan_axis(device, 64);
+
+  const double direct_s = time_best(5, [&] {
+    DeviceSimulator sim = make_pair_simulator(device);
+    (void)run_fast_extraction(sim, axis, axis);
+  });
+
+  ExtractionEngine engine;
+  ExtractionRequest request;
+  request.device.device = &device;
+  request.device.pixels_per_axis = 64;
+  const double engine_s = time_best(5, [&] { (void)engine.run(request); });
+
+  // Batch of one request per nearest-neighbour method/seed combination.
+  std::vector<ExtractionRequest> batch;
+  for (std::uint64_t seed = 42; seed < 46; ++seed) {
+    ExtractionRequest r = request;
+    r.device.noise_seed = seed;
+    batch.push_back(r);
+  }
+  const ExtractionEngine serial_engine(EngineOptions{.parallel_batch = false});
+  const double batch_serial_s =
+      time_best(3, [&] { (void)serial_engine.run_batch(batch); });
+  const ExtractionEngine parallel_engine(EngineOptions{.parallel_batch = true});
+  const double batch_parallel_s =
+      time_best(3, [&] { (void)parallel_engine.run_batch(batch); });
+
+  json.begin_scenario("engine_overhead_fast_64px");
+  json.field("direct_seconds", direct_s);
+  json.field("engine_seconds", engine_s);
+  json.field("overhead_seconds", engine_s - direct_s);
+  json.field("overhead_fraction", engine_s / direct_s - 1.0);
+  json.field("batch_requests", static_cast<long>(batch.size()));
+  json.field("batch_serial_seconds", batch_serial_s);
+  json.field("batch_parallel_seconds", batch_parallel_s);
+  json.field("batch_parallel_speedup", batch_serial_s / batch_parallel_s);
+  json.end_scenario();
 }
 
 // PR 2: the 12-diagram qflow suite built serially vs fanned out over the
@@ -490,7 +609,7 @@ void bench_suite_generation(JsonWriter& json) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  const std::string out_path = argc > 1 ? argv[1] : "BENCH_PR2.json";
+  const std::string out_path = argc > 1 ? argv[1] : "BENCH_PR3.json";
 
   JsonWriter json;
   json.out.precision(6);
@@ -503,6 +622,8 @@ int main(int argc, char** argv) {
   bench_scaling(json);
   bench_array_scaling(json);
   bench_suite_generation(json);
+  bench_probe_path(json);
+  bench_engine_overhead(json);
   json.end();
 
   std::ofstream file(out_path);

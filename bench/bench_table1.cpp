@@ -11,9 +11,7 @@
 // diagram size.
 #include "common/strings.hpp"
 #include "dataset/qflow_synth.hpp"
-#include "extraction/fast_extractor.hpp"
-#include "extraction/hough_baseline.hpp"
-#include "extraction/success.hpp"
+#include "service/extraction_engine.hpp"
 
 #include <iostream>
 #include <string>
@@ -48,44 +46,46 @@ int main() {
   int fast_successes = 0;
   int base_successes = 0;
 
-  for (const auto& spec : qflow_suite_specs()) {
-    const QflowBenchmark benchmark = build_qflow_benchmark(spec);
-    const auto& truth = *benchmark.csd.truth();
-    const VoltageAxis& x_axis = benchmark.csd.x_axis();
-    const VoltageAxis& y_axis = benchmark.csd.y_axis();
+  // The whole table is one engine batch: per benchmark CSD, one fast and
+  // one baseline playback request (each builds its own replayed getCurrent,
+  // so the batch fans out deterministically).
+  const std::vector<QflowBenchmark> suite = build_qflow_suite();
+  ExtractionEngine engine;
+  for (const auto& benchmark : suite) {
+    for (const auto method :
+         {ExtractionMethod::kFast, ExtractionMethod::kHoughBaseline}) {
+      ExtractionRequest request;
+      request.method = method;
+      request.playback.csd = &benchmark.csd;
+      request.label = benchmark.name();
+      engine.submit(request);
+    }
+  }
+  const std::vector<ExtractionReport> reports = engine.run_all();
+
+  for (std::size_t i = 0; i < suite.size(); ++i) {
+    const QflowBenchmarkSpec& spec = suite[i].spec;
+    const ExtractionReport& fast = reports[2 * i];
+    const ExtractionReport& base = reports[2 * i + 1];
 
     Row row{};
     row.index = spec.index;
     row.size = spec.pixels;
 
-    // Fast extraction on the replayed diagram.
-    {
-      auto playback = make_playback(benchmark);
-      const auto result = run_fast_extraction(*playback, x_axis, y_axis);
-      const Verdict verdict =
-          judge_extraction(result.success, result.virtual_gates, truth);
-      row.fast_ok = verdict.success;
-      row.fast_probes = result.stats.unique_probes;
-      row.fast_seconds = result.stats.total_seconds();
-      row.fast_note = verdict.success ? "" : verdict.reason;
-      fast_successes += verdict.success ? 1 : 0;
-    }
+    row.fast_ok = fast.verdict.success;
+    row.fast_probes = fast.stats.unique_probes;
+    row.fast_seconds = fast.stats.total_seconds();
+    row.fast_note = fast.verdict.success ? "" : fast.verdict.reason;
+    fast_successes += fast.verdict.success ? 1 : 0;
 
-    // Baseline on the same replayed diagram.
-    {
-      auto playback = make_playback(benchmark);
-      const auto result = run_hough_baseline(*playback, x_axis, y_axis);
-      const Verdict verdict =
-          judge_extraction(result.success, result.virtual_gates, truth);
-      row.base_ok = verdict.success;
-      row.base_probes = result.stats.unique_probes;
-      row.base_seconds = result.stats.total_seconds();
-      row.base_note = verdict.success
-                          ? ""
-                          : (result.success ? verdict.reason
-                                            : result.failure_reason);
-      base_successes += verdict.success ? 1 : 0;
-    }
+    row.base_ok = base.verdict.success;
+    row.base_probes = base.stats.unique_probes;
+    row.base_seconds = base.stats.total_seconds();
+    row.base_note = base.verdict.success
+                        ? ""
+                        : (base.success() ? base.verdict.reason
+                                          : base.status.message());
+    base_successes += base.verdict.success ? 1 : 0;
 
     rows.push_back(row);
   }

@@ -8,7 +8,7 @@
 // virtualization matrix next to the exact compensation matrix derived from
 // the device's lever arms.
 #include "common/strings.hpp"
-#include "extraction/array_extractor.hpp"
+#include "service/extraction_engine.hpp"
 
 #include <iostream>
 
@@ -44,13 +44,13 @@ int main() {
 
   std::cout << "Virtualizing a 4-dot array: " << params.n_dots - 1
             << " sequential pair extractions...\n\n";
-  const ArrayExtractionResult result =
-      extract_array_virtualization(device, options);
+  const ExtractionEngine engine;
+  const ArrayExtractionResult result = engine.run_array(device, options);
 
   for (const auto& pair : result.pairs) {
     std::cout << "pair P" << pair.pair_index + 1 << "-P" << pair.pair_index + 2
               << ": "
-              << (pair.success ? "success" : "FAILED: " + pair.failure_reason)
+              << (pair.success() ? "success" : "FAILED: " + pair.failure_reason())
               << " (" << pair.stats.unique_probes << " probes, "
               << format_fixed(pair.stats.simulated_seconds, 1)
               << " s simulated; verdict "
@@ -63,17 +63,27 @@ int main() {
                "observable part):",
                result.reference);
 
+  // The composed result aggregates every pair's ProbeStats: unique voltage
+  // configurations, raw requests (cache hits included), simulated dwell
+  // time, and algorithm compute time across the whole array walk.
+  const ProbeStats& total = result.total_stats;
   std::cout << "\nmax error on the nearest-neighbour band: "
             << format_fixed(result.band_max_error, 4) << "\n"
-            << "total experiment cost: " << result.total_stats.unique_probes
-            << " probes, "
-            << format_fixed(result.total_stats.total_seconds() / 60.0, 1)
-            << " simulated minutes (a full-CSD baseline would need "
+            << "total experiment cost: " << total.unique_probes
+            << " unique probes (" << total.total_requests << " requests, "
+            << format_fixed(100.0 * static_cast<double>(total.unique_probes) /
+                                static_cast<double>(total.total_requests),
+                            1)
+            << "% unique), "
+            << format_fixed(total.simulated_seconds / 60.0, 1)
+            << " simulated minutes + "
+            << format_fixed(total.compute_seconds, 2)
+            << " s compute (a full-CSD baseline would need "
             << 3 * options.pixels_per_axis * options.pixels_per_axis
             << " probes, "
             << format_fixed(3 * options.pixels_per_axis *
                                 options.pixels_per_axis * 0.050 / 60.0,
                             1)
             << " minutes)\n";
-  return result.success ? 0 : 1;
+  return result.success() ? 0 : 1;
 }

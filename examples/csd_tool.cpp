@@ -12,11 +12,7 @@
 // Generate inputs with examples/device_playground or dataset tooling:
 //   ./device_playground && ./csd_tool playground_clean.csv
 #include "common/strings.hpp"
-#include "dataset/csd_io.hpp"
-#include "extraction/fast_extractor.hpp"
-#include "extraction/hough_baseline.hpp"
-#include "extraction/success.hpp"
-#include "probe/playback.hpp"
+#include "service/extraction_engine.hpp"
 
 #include <iostream>
 #include <string>
@@ -50,58 +46,51 @@ int main(int argc, char** argv) {
   }
   if (method != "fast" && method != "hough") return usage();
 
-  Csd csd;
-  try {
-    csd = load_csd_csv(path);
-  } catch (const Error& error) {
-    std::cerr << "error: " << error.what() << "\n";
+  // Typed load: missing and malformed files are ordinary Status failures.
+  const Result<Csd> loaded = try_load_csd_csv(path);
+  if (!loaded) {
+    std::cerr << "error [" << error_code_name(loaded.status().code())
+              << "]: " << loaded.status().detail() << "\n";
     return 1;
   }
+  const Csd& csd = *loaded;
   std::cout << "loaded " << path << ": " << csd.width() << "x" << csd.height()
             << " pixels, VP1 " << csd.x_axis().start() << ".."
             << csd.x_axis().end() << " V, VP2 " << csd.y_axis().start()
             << ".." << csd.y_axis().end() << " V\n";
 
-  CsdPlayback playback(csd, dwell);
+  ExtractionRequest request;
+  request.method = method == "fast" ? ExtractionMethod::kFast
+                                    : ExtractionMethod::kHoughBaseline;
+  request.playback.csd = &csd;
+  request.playback.dwell_seconds = dwell;
+  request.label = path;
 
-  bool success = false;
-  std::string failure;
-  VirtualGatePair gates;
-  ProbeStats stats;
-  if (method == "fast") {
-    const auto result =
-        run_fast_extraction(playback, csd.x_axis(), csd.y_axis());
-    success = result.success;
-    failure = result.failure_reason;
-    gates = result.virtual_gates;
-    stats = result.stats;
-  } else {
-    const auto result =
-        run_hough_baseline(playback, csd.x_axis(), csd.y_axis());
-    success = result.success;
-    failure = result.failure_reason;
-    gates = result.virtual_gates;
-    stats = result.stats;
-  }
+  const ExtractionEngine engine;
+  const ExtractionReport report = engine.run(request);
 
-  if (!success) {
-    std::cout << "extraction FAILED: " << failure << "\n";
+  if (!report.success()) {
+    std::cout << "extraction FAILED ["
+              << error_code_name(report.status.code())
+              << "]: " << report.status.message() << "\n";
     return 1;
   }
+  const VirtualGatePair& gates = report.virtual_gates;
   std::cout << "extraction succeeded (" << method << " method)\n"
             << "  alpha12 = " << gates.alpha12
             << ", alpha21 = " << gates.alpha21 << "\n"
             << "  virtualization matrix [[1, " << gates.alpha12 << "], ["
             << gates.alpha21 << ", 1]]\n"
-            << "  probes: " << stats.unique_probes << " ("
-            << format_fixed(100.0 * static_cast<double>(stats.unique_probes) /
+            << "  probes: " << report.stats.unique_probes << " ("
+            << format_fixed(100.0 *
+                                static_cast<double>(report.stats.unique_probes) /
                                 static_cast<double>(csd.width() * csd.height()),
                             2)
             << "% of the diagram), simulated experiment time "
-            << format_fixed(stats.simulated_seconds, 2) << " s\n";
+            << format_fixed(report.stats.simulated_seconds, 2) << " s\n";
 
-  if (csd.truth()) {
-    const Verdict verdict = judge_extraction(true, gates, *csd.truth());
+  if (report.has_verdict) {
+    const Verdict& verdict = report.verdict;
     std::cout << "  vs ground truth: "
               << (verdict.success ? "within tolerance" : verdict.reason)
               << " (a12 err "

@@ -7,13 +7,10 @@
 // setup: the dwell time trades linearly against the noise sigma of each
 // probe.
 #include "common/strings.hpp"
-#include "device/dot_array.hpp"
-#include "extraction/fast_extractor.hpp"
-#include "extraction/success.hpp"
+#include "service/extraction_engine.hpp"
 
 #include <functional>
 #include <iostream>
-#include <memory>
 #include <vector>
 
 int main() {
@@ -25,39 +22,57 @@ int main() {
   params.jitter = 0.04;
   Rng jitter(5);
   const BuiltDevice device = build_dot_array(params, &jitter);
-  const VoltageAxis axis = scan_axis(device, 100);
   const TransitionTruth truth =
       device.model.pair_truth(0, 1, 0, 1, device.base_voltages);
 
+  // One engine request per (family, level): the backend's noise tier is part
+  // of the request, so the whole sweep is a declarative batch the engine
+  // fans out over the thread pool.
   struct NoiseFamily {
     std::string name;
-    std::function<std::unique_ptr<NoiseProcess>(double)> make;
+    std::function<void(DeviceBackend&, double)> apply;
   };
   const std::vector<NoiseFamily> families{
-      {"white", [](double s) { return std::make_unique<WhiteNoise>(s); }},
+      {"white",
+       [](DeviceBackend& b, double s) { b.white_noise_sigma = s; }},
       {"1/f (pink)",
-       [](double s) { return std::make_unique<PinkNoise>(s, 0.2, 30.0); }},
+       [](DeviceBackend& b, double s) { b.pink_noise_sigma = s; }},
       {"telegraph 0.5 Hz",
-       [](double s) { return std::make_unique<TelegraphNoise>(s, 0.5); }},
+       [](DeviceBackend& b, double s) {
+         b.telegraph_amplitude = s;
+         b.telegraph_rate_hz = 0.5;
+       }},
   };
   const std::vector<double> levels{0.01, 0.03, 0.06, 0.10, 0.20};
 
+  ExtractionEngine engine;
+  for (const auto& family : families) {
+    for (double level : levels) {
+      ExtractionRequest request;
+      request.device.device = &device;
+      request.device.noise_seed = 31;
+      request.device.pixels_per_axis = 100;
+      family.apply(request.device, level);
+      engine.submit(request);
+    }
+  }
+  const std::vector<ExtractionReport> reports = engine.run_all();
+
+  std::size_t job = 0;
   for (const auto& family : families) {
     std::vector<std::vector<std::string>> rows;
     for (double level : levels) {
-      DeviceSimulator sim = make_pair_simulator(device, 0, 31);
-      sim.add_noise(family.make(level));
-      const auto result = run_fast_extraction(sim, axis, axis);
+      const ExtractionReport& report = reports[job++];
       const Verdict verdict =
-          judge_extraction(result.success, result.virtual_gates, truth);
+          judge_extraction(report.success(), report.virtual_gates, truth);
       rows.push_back(
           {format_fixed(level, 2),
            verdict.success ? "success" : "fail",
-           result.success ? format_fixed(100.0 * verdict.alpha12_rel_error, 1) + "%"
+           report.success() ? format_fixed(100.0 * verdict.alpha12_rel_error, 1) + "%"
                           : "-",
-           result.success ? format_fixed(100.0 * verdict.alpha21_rel_error, 1) + "%"
+           report.success() ? format_fixed(100.0 * verdict.alpha21_rel_error, 1) + "%"
                           : "-",
-           std::to_string(result.stats.unique_probes)});
+           std::to_string(report.stats.unique_probes)});
     }
     std::cout << family.name << " noise (sensor peak current = 1.0):\n"
               << render_table({"sigma/amp", "verdict", "a12 err", "a21 err",

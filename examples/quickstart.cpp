@@ -1,15 +1,13 @@
 // Quickstart: extract virtual gates for a simulated double quantum dot.
 //
-// Builds a double-dot device with the constant-interaction model, runs the
-// paper's fast extraction against it live (probing only ~10% of the pixels
-// a full diagram would need), and compares the result with the conventional
-// full-CSD + Canny + Hough baseline and with the analytic ground truth.
+// Builds a double-dot device with the constant-interaction model, then asks
+// the ExtractionEngine — the library's one public entry point — to run the
+// paper's fast extraction against it live (probing only ~10% of the pixels a
+// full diagram would need) and the conventional full-CSD + Canny + Hough
+// baseline, comparing both with the analytic ground truth.
 #include "common/strings.hpp"
-#include "device/dot_array.hpp"
-#include "extraction/fast_extractor.hpp"
-#include "extraction/hough_baseline.hpp"
-#include "extraction/success.hpp"
 #include "extraction/validation.hpp"
+#include "service/extraction_engine.hpp"
 
 #include <iostream>
 #include <memory>
@@ -25,24 +23,40 @@ int main() {
   params.jitter = 0.05;
   const BuiltDevice device = build_dot_array(params, &jitter);
 
-  DeviceSimulator sim = make_pair_simulator(device, /*pair_index=*/0,
-                                            /*noise_seed=*/123);
-  sim.add_noise(std::make_unique<WhiteNoise>(0.02));
-
   const VoltageAxis axis = scan_axis(device, /*pixels=*/100);
-  const TransitionTruth truth = sim.truth();
+  const TransitionTruth truth =
+      device.model.pair_truth(0, 1, 0, 1, device.base_voltages);
 
   std::cout << "Ground truth:    m_steep = " << truth.slope_steep
             << ", m_shallow = " << truth.slope_shallow
             << ", alpha12 = " << truth.alpha12()
             << ", alpha21 = " << truth.alpha21() << "\n\n";
 
-  // 2. Fast extraction (the paper's method).
-  const FastExtractionResult fast = run_fast_extraction(sim, axis, axis);
+  // 2. One request per method against the same simulated backend. Each
+  //    request is self-contained (the engine builds the device's simulator
+  //    with the given seed and noise tier), so both can be submitted
+  //    together and fanned out over the thread pool.
+  ExtractionRequest request;
+  request.device.device = &device;
+  request.device.noise_seed = 123;
+  request.device.pixels_per_axis = 100;
+  request.device.white_noise_sigma = 0.02;
+
+  ExtractionEngine engine;
+  request.method = ExtractionMethod::kFast;
+  request.label = "fast";
+  engine.submit(request);
+  request.method = ExtractionMethod::kHoughBaseline;
+  request.label = "hough";
+  engine.submit(request);
+  const std::vector<ExtractionReport> reports = engine.run_all();
+  const ExtractionReport& fast = reports[0];
+  const ExtractionReport& baseline = reports[1];
+
   std::cout << "Fast extraction: "
-            << (fast.success ? "success" : "FAILED: " + fast.failure_reason)
+            << (fast.success() ? "success" : "FAILED: " + fast.status.message())
             << "\n";
-  if (fast.success) {
+  if (fast.success()) {
     std::cout << "  slopes: steep " << fast.slope_steep << ", shallow "
               << fast.slope_shallow << "\n"
               << "  alpha12 = " << fast.virtual_gates.alpha12
@@ -54,18 +68,18 @@ int main() {
                             2)
             << "% of the full diagram), simulated time "
             << format_fixed(fast.stats.simulated_seconds, 2) << " s\n";
-  const Verdict fast_verdict =
-      judge_extraction(fast.success, fast.virtual_gates, truth);
   std::cout << "  verdict vs truth: "
-            << (fast_verdict.success ? "success" : fast_verdict.reason)
+            << (fast.verdict.success ? "success" : fast.verdict.reason)
             << " (virtualized angle "
-            << format_fixed(fast_verdict.virtualized_angle_deg, 1) << " deg)\n\n";
+            << format_fixed(fast.verdict.virtualized_angle_deg, 1) << " deg)\n\n";
 
   // 3. Validate the extracted matrix on-device with four cheap line scans
   //    along the virtual axes (far cheaper than re-acquiring a diagram).
-  if (fast.success) {
+  if (fast.success()) {
+    DeviceSimulator sim = make_pair_simulator(device, 0, /*noise_seed=*/123);
+    sim.add_noise(std::make_unique<WhiteNoise>(0.02));
     const ValidationResult validation = validate_virtual_gates(
-        sim, axis, axis, fast.virtual_gates, fast.intersection_voltage);
+        sim, axis, axis, fast.virtual_gates, fast.fast.intersection_voltage);
     std::cout << "On-device validation: "
               << (validation.accepted ? "accepted" : validation.reason)
               << " (residual cross-talk "
@@ -75,14 +89,13 @@ int main() {
               << ", " << validation.probes_used << " extra probes)\n\n";
   }
 
-  // 4. Baseline: full CSD + Canny + Hough.
-  sim.reset();
-  const HoughBaselineResult baseline = run_hough_baseline(sim, axis, axis);
+  // 4. Baseline: full CSD + Canny + Hough (ran as the second batch job).
   std::cout << "Hough baseline:  "
-            << (baseline.success ? "success"
-                                 : "FAILED: " + baseline.failure_reason)
+            << (baseline.success()
+                    ? "success"
+                    : "FAILED: " + baseline.status.message())
             << "\n";
-  if (baseline.success) {
+  if (baseline.success()) {
     std::cout << "  slopes: steep " << baseline.slope_steep << ", shallow "
               << baseline.slope_shallow << "\n"
               << "  alpha12 = " << baseline.virtual_gates.alpha12
@@ -91,10 +104,9 @@ int main() {
   std::cout << "  probes: " << baseline.stats.unique_probes
             << " unique (100%), simulated time "
             << format_fixed(baseline.stats.simulated_seconds, 2) << " s\n";
-  const Verdict base_verdict =
-      judge_extraction(baseline.success, baseline.virtual_gates, truth);
   std::cout << "  verdict vs truth: "
-            << (base_verdict.success ? "success" : base_verdict.reason) << "\n\n";
+            << (baseline.verdict.success ? "success" : baseline.verdict.reason)
+            << "\n\n";
 
   if (fast.stats.simulated_seconds > 0.0) {
     std::cout << "Speedup (simulated experiment time): "
@@ -103,5 +115,5 @@ int main() {
                               2)
               << "x\n";
   }
-  return fast_verdict.success ? 0 : 1;
+  return fast.verdict.success ? 0 : 1;
 }

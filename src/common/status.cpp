@@ -1,0 +1,36 @@
+#include "common/status.hpp"
+
+namespace qvg {
+
+const char* error_code_name(ErrorCode code) noexcept {
+  switch (code) {
+    case ErrorCode::kOk: return "ok";
+    case ErrorCode::kInvalidRequest: return "invalid_request";
+    case ErrorCode::kAnchorNotFound: return "anchor_not_found";
+    case ErrorCode::kInsufficientPoints: return "insufficient_points";
+    case ErrorCode::kFitFailed: return "fit_failed";
+    case ErrorCode::kDegenerateVirtualization:
+      return "degenerate_virtualization";
+    case ErrorCode::kLineNotFound: return "line_not_found";
+    case ErrorCode::kPairFailed: return "pair_failed";
+    case ErrorCode::kIoError: return "io_error";
+    case ErrorCode::kParseError: return "parse_error";
+    case ErrorCode::kInternal: return "internal";
+  }
+  return "unknown";
+}
+
+Status Status::failure(ErrorCode code, std::string stage, std::string detail) {
+  if (code == ErrorCode::kOk)
+    throw ContractViolation("Status::failure called with ErrorCode::kOk");
+  return Status(code, std::move(stage), std::move(detail));
+}
+
+std::string Status::message() const {
+  if (ok()) return {};
+  if (stage_.empty()) return detail_;
+  if (detail_.empty()) return stage_;
+  return stage_ + ": " + detail_;
+}
+
+}  // namespace qvg

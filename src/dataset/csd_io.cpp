@@ -92,6 +92,16 @@ Csd load_csd_csv(const std::string& path) {
   return csd;
 }
 
+Result<Csd> try_load_csd_csv(const std::string& path) {
+  try {
+    return load_csd_csv(path);
+  } catch (const ParseError& error) {
+    return Status::failure(ErrorCode::kParseError, "csd_io", error.what());
+  } catch (const IoError& error) {
+    return Status::failure(ErrorCode::kIoError, "csd_io", error.what());
+  }
+}
+
 void save_csd_pgm(const Csd& csd, const std::string& path) {
   std::ofstream os(path, std::ios::binary);
   if (!os) throw IoError("cannot open for writing: " + path);

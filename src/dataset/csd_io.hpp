@@ -2,6 +2,7 @@
 // and 8-bit PGM (for eyeballing diagrams in any image viewer).
 #pragma once
 
+#include "common/status.hpp"
 #include "grid/csd.hpp"
 
 #include <string>
@@ -16,6 +17,12 @@ void save_csd_csv(const Csd& csd, const std::string& path);
 
 /// Read a CSD written by save_csd_csv. Throws IoError / ParseError.
 [[nodiscard]] Csd load_csd_csv(const std::string& path);
+
+/// Non-throwing variant for callers (CLI tools, the extraction service) that
+/// treat a missing or malformed file as an ordinary reportable outcome:
+/// failures come back as a typed Status (kIoError / kParseError) instead of
+/// an exception.
+[[nodiscard]] Result<Csd> try_load_csd_csv(const std::string& path);
 
 /// Write the diagram as a binary 8-bit PGM, min..max scaled; y = 0 is the
 /// bottom image row (flipped for display convention).

@@ -101,6 +101,28 @@ double DeviceSimulator::get_current(double v1, double v2) {
   return ideal + noise_.next(clock_.dwell_seconds(), rng_);
 }
 
+void DeviceSimulator::get_currents(std::span<const Point2> points,
+                                   std::span<double> out) {
+  QVG_EXPECTS(points.size() == out.size());
+
+  // Ideal physics first, in parallel chunks with per-chunk scratch. The
+  // small-batch threshold keeps sweep-sized segments off the pool.
+  auto eval_chunk = [&](std::size_t lo, std::size_t hi) {
+    ProbeScratch ws;
+    for (std::size_t i = lo; i < hi; ++i)
+      out[i] = probe_with(ws, points[i].x, points[i].y);
+  };
+  parallel_for_rows(points.size(), eval_chunk, 256);
+
+  // Temporal noise in probe order — the sequential part that makes the batch
+  // indistinguishable from scalar probing.
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    ++probes_;
+    clock_.charge_probe();
+    out[i] += noise_.next(clock_.dwell_seconds(), rng_);
+  }
+}
+
 GridD DeviceSimulator::evaluate_raster(const VoltageAxis& x_axis,
                                        const VoltageAxis& y_axis,
                                        const RasterEvalOptions& opts) const {

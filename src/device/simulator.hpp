@@ -56,6 +56,15 @@ class DeviceSimulator final : public CurrentSource {
 
   // CurrentSource interface (Algorithm 1).
   double get_current(double v1, double v2) override;
+
+  /// Batched probes: the noise-free physics of the whole batch evaluates in
+  /// parallel chunks on the global ThreadPool (the raster path's machinery;
+  /// chunking is bit-identical to the scalar chain because the exact solver's
+  /// result does not depend on its warm start), then temporal noise is
+  /// applied in probe order. Output, probe count, clock, and noise state
+  /// match the scalar get_current loop exactly.
+  void get_currents(std::span<const Point2> points,
+                    std::span<double> out) override;
   [[nodiscard]] SimClock& clock() override { return clock_; }
   [[nodiscard]] const SimClock& clock() const override { return clock_; }
   [[nodiscard]] long probe_count() const override { return probes_; }

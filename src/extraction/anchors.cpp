@@ -11,35 +11,61 @@ namespace qvg {
 
 namespace {
 
-/// Probe the pixel (clamped to the window) and return its current.
-double probe_pixel(CurrentSource& source, const VoltageAxis& x_axis,
-                   const VoltageAxis& y_axis, std::ptrdiff_t x,
-                   std::ptrdiff_t y) {
+/// The window-clamped voltage of a (possibly out-of-range) pixel.
+Point2 clamped_voltage(const VoltageAxis& x_axis, const VoltageAxis& y_axis,
+                       std::ptrdiff_t x, std::ptrdiff_t y) {
   const auto w = static_cast<std::ptrdiff_t>(x_axis.count());
   const auto h = static_cast<std::ptrdiff_t>(y_axis.count());
   const auto cx = std::clamp<std::ptrdiff_t>(x, 0, w - 1);
   const auto cy = std::clamp<std::ptrdiff_t>(y, 0, h - 1);
-  return source.get_current(x_axis.voltage(static_cast<double>(cx)),
-                            y_axis.voltage(static_cast<double>(cy)));
+  return {x_axis.voltage(static_cast<double>(cx)),
+          y_axis.voltage(static_cast<double>(cy))};
 }
 
-/// Cross-correlate a mask centred at pixel (px, py).
-double mask_response(CurrentSource& source, const VoltageAxis& x_axis,
-                     const VoltageAxis& y_axis, const Kernel2D& mask,
-                     std::ptrdiff_t px, std::ptrdiff_t py) {
+/// Batched mask sweep: cross-correlate `mask` at every centre pixel in
+/// `centers`. Every non-zero mask tap of every centre goes out as one
+/// get_currents request, in the same (centre-major, row-major tap) order the
+/// scalar sweep probed them, so results are bit-identical.
+std::vector<double> mask_responses(CurrentSource& source,
+                                   const VoltageAxis& x_axis,
+                                   const VoltageAxis& y_axis,
+                                   const Kernel2D& mask,
+                                   const std::vector<Pixel>& centers) {
   const auto rx = static_cast<std::ptrdiff_t>(mask.width()) / 2;
   const auto ry = static_cast<std::ptrdiff_t>(mask.height()) / 2;
-  double acc = 0.0;
-  for (std::size_t my = 0; my < mask.height(); ++my) {
-    for (std::size_t mx = 0; mx < mask.width(); ++mx) {
-      const double w = mask(mx, my);
-      if (w == 0.0) continue;
-      acc += w * probe_pixel(source, x_axis, y_axis,
-                             px + static_cast<std::ptrdiff_t>(mx) - rx,
-                             py + static_cast<std::ptrdiff_t>(my) - ry);
+
+  std::vector<Point2> probes;
+  std::vector<double> weights;
+  probes.reserve(centers.size() * mask.width() * mask.height());
+  weights.reserve(probes.capacity());
+  std::vector<std::size_t> offsets;  // per-centre start into probes
+  offsets.reserve(centers.size() + 1);
+  for (const Pixel& center : centers) {
+    offsets.push_back(probes.size());
+    for (std::size_t my = 0; my < mask.height(); ++my) {
+      for (std::size_t mx = 0; mx < mask.width(); ++mx) {
+        const double w = mask(mx, my);
+        if (w == 0.0) continue;
+        probes.push_back(clamped_voltage(
+            x_axis, y_axis, center.x + static_cast<std::ptrdiff_t>(mx) - rx,
+            center.y + static_cast<std::ptrdiff_t>(my) - ry));
+        weights.push_back(w);
+      }
     }
   }
-  return acc;
+  offsets.push_back(probes.size());
+
+  std::vector<double> currents(probes.size());
+  source.get_currents(probes, currents);
+
+  std::vector<double> responses(centers.size());
+  for (std::size_t i = 0; i < centers.size(); ++i) {
+    double acc = 0.0;
+    for (std::size_t k = offsets[i]; k < offsets[i + 1]; ++k)
+      acc += weights[k] * currents[k];
+    responses[i] = acc;
+  }
+  return responses;
 }
 
 /// Gaussian prior over [0, n), centred at the sweep *start* with
@@ -72,20 +98,30 @@ Expected<AnchorResult> find_anchor_points(CurrentSource& source,
 
   AnchorResult result;
 
-  // 1. Diagonal probe: ten equally spaced points, find the brightest.
-  Pixel brightest{0, 0};
-  double brightest_current = -1e300;
+  // 1. Diagonal probe: ten equally spaced points (one batched request), find
+  //    the brightest.
   const int nd = opt.num_diagonal_points;
+  std::vector<Pixel> diagonal;
+  diagonal.reserve(static_cast<std::size_t>(nd));
+  std::vector<Point2> diagonal_probes;
+  diagonal_probes.reserve(static_cast<std::size_t>(nd));
   for (int k = 0; k < nd; ++k) {
     const double frac = static_cast<double>(k) / static_cast<double>(nd - 1);
     const auto px = static_cast<std::ptrdiff_t>(
         std::llround(frac * static_cast<double>(w - 1)));
     const auto py = static_cast<std::ptrdiff_t>(
         std::llround(frac * static_cast<double>(h - 1)));
-    const double c = probe_pixel(source, x_axis, y_axis, px, py);
-    if (c > brightest_current) {
-      brightest_current = c;
-      brightest = {static_cast<int>(px), static_cast<int>(py)};
+    diagonal.push_back({static_cast<int>(px), static_cast<int>(py)});
+    diagonal_probes.push_back(clamped_voltage(x_axis, y_axis, px, py));
+  }
+  std::vector<double> diagonal_currents(diagonal_probes.size());
+  source.get_currents(diagonal_probes, diagonal_currents);
+  Pixel brightest{0, 0};
+  double brightest_current = -1e300;
+  for (std::size_t k = 0; k < diagonal.size(); ++k) {
+    if (diagonal_currents[k] > brightest_current) {
+      brightest_current = diagonal_currents[k];
+      brightest = diagonal[k];
     }
   }
 
@@ -110,11 +146,11 @@ Expected<AnchorResult> find_anchor_points(CurrentSource& source,
     if (x_hi <= x_lo)
       return Expected<AnchorResult>::failure("empty Mask_x sweep range");
     const auto n = static_cast<std::size_t>(x_hi - x_lo + 1);
-    result.response_x.resize(n);
+    std::vector<Pixel> centers(n);
     for (std::size_t i = 0; i < n; ++i)
-      result.response_x[i] =
-          mask_response(source, x_axis, y_axis, mask_x,
-                        x_lo + static_cast<std::ptrdiff_t>(i), result.start.y);
+      centers[i] = {static_cast<int>(x_lo + static_cast<std::ptrdiff_t>(i)),
+                    result.start.y};
+    result.response_x = mask_responses(source, x_axis, y_axis, mask_x, centers);
     const auto prior = gaussian_prior(n, opt.gaussian_sigma_fraction);
     std::size_t best = 0;
     double best_value = -1e300;
@@ -136,11 +172,11 @@ Expected<AnchorResult> find_anchor_points(CurrentSource& source,
     if (y_hi <= y_lo)
       return Expected<AnchorResult>::failure("empty Mask_y sweep range");
     const auto n = static_cast<std::size_t>(y_hi - y_lo + 1);
-    result.response_y.resize(n);
+    std::vector<Pixel> centers(n);
     for (std::size_t i = 0; i < n; ++i)
-      result.response_y[i] =
-          mask_response(source, x_axis, y_axis, mask_y, result.start.x,
-                        y_lo + static_cast<std::ptrdiff_t>(i));
+      centers[i] = {result.start.x,
+                    static_cast<int>(y_lo + static_cast<std::ptrdiff_t>(i))};
+    result.response_y = mask_responses(source, x_axis, y_axis, mask_y, centers);
     const auto prior = gaussian_prior(n, opt.gaussian_sigma_fraction);
     std::size_t best = 0;
     double best_value = -1e300;
@@ -158,36 +194,44 @@ Expected<AnchorResult> find_anchor_points(CurrentSource& source,
   // Snap each anchor to the nearby feature-gradient maximum so the fit's
   // fixed endpoints use the same bright-side pixel convention as the sweeps.
   if (opt.snap_radius > 0) {
-    auto gradient_at = [&](int px, int py) {
-      return feature_gradient(source,
-                              x_axis.voltage(static_cast<double>(px)),
-                              y_axis.voltage(static_cast<double>(py)),
-                              x_axis.step(), y_axis.step());
-    };
+    FeatureGradientBatch batch;
     {
-      int best_dy = 0;
-      double best_g = -1e300;
+      std::vector<int> candidates;
       for (int dy = -opt.snap_radius; dy <= opt.snap_radius; ++dy) {
         const int y = result.anchor_a.y + dy;
         if (y < 0 || y >= static_cast<int>(h)) continue;
-        const double g = gradient_at(result.anchor_a.x, y);
-        if (g > best_g) {
-          best_g = g;
-          best_dy = dy;
+        candidates.push_back(dy);
+        batch.add(x_axis.voltage(static_cast<double>(result.anchor_a.x)),
+                  y_axis.voltage(static_cast<double>(y)));
+      }
+      const auto gradients = batch.evaluate(source, x_axis.step(), y_axis.step());
+      int best_dy = 0;
+      double best_g = -1e300;
+      for (std::size_t i = 0; i < candidates.size(); ++i) {
+        if (gradients[i] > best_g) {
+          best_g = gradients[i];
+          best_dy = candidates[i];
         }
       }
       result.anchor_a.y += best_dy;
     }
     {
-      int best_dx = 0;
-      double best_g = -1e300;
+      batch.clear();
+      std::vector<int> candidates;
       for (int dx = -opt.snap_radius; dx <= opt.snap_radius; ++dx) {
         const int x = result.anchor_b.x + dx;
         if (x < 0 || x >= static_cast<int>(w)) continue;
-        const double g = gradient_at(x, result.anchor_b.y);
-        if (g > best_g) {
-          best_g = g;
-          best_dx = dx;
+        candidates.push_back(dx);
+        batch.add(x_axis.voltage(static_cast<double>(x)),
+                  y_axis.voltage(static_cast<double>(result.anchor_b.y)));
+      }
+      const auto gradients = batch.evaluate(source, x_axis.step(), y_axis.step());
+      int best_dx = 0;
+      double best_g = -1e300;
+      for (std::size_t i = 0; i < candidates.size(); ++i) {
+        if (gradients[i] > best_g) {
+          best_g = gradients[i];
+          best_dx = candidates[i];
         }
       }
       result.anchor_b.x += best_dx;

@@ -5,17 +5,16 @@
 
 #include <cmath>
 #include <memory>
+#include <string>
 
 namespace qvg {
 
-namespace {
-
-/// Run one pair extraction. Self-contained: builds the pair's simulator from
-/// its index (own noise stream, own probe cache), so concurrent calls for
-/// different pairs never share mutable state.
-PairExtraction extract_pair(const BuiltDevice& device,
-                            const ArrayExtractionOptions& opt,
-                            std::size_t pair_index) {
+// KEEP IN SYNC with ExtractionEngine::run_array's request builder
+// (service/extraction_engine.cpp), which mirrors this construction as a
+// DeviceBackend; the engine==direct equivalence test relies on it.
+PairExtraction extract_array_pair(const BuiltDevice& device,
+                                  const ArrayExtractionOptions& opt,
+                                  std::size_t pair_index) {
   DeviceSimulator sim = make_pair_simulator(
       device, pair_index, opt.noise_seed + pair_index, opt.dwell_seconds);
   if (opt.white_noise_sigma > 0.0)
@@ -27,63 +26,47 @@ PairExtraction extract_pair(const BuiltDevice& device,
 
   if (opt.method == ExtractionMethod::kFast) {
     const auto extraction = run_fast_extraction(sim, axis, axis, opt.fast);
-    pair.success = extraction.success;
-    pair.failure_reason = extraction.failure_reason;
+    pair.status = extraction.status;
     pair.gates = extraction.virtual_gates;
     pair.stats = extraction.stats;
   } else {
     const auto extraction = run_hough_baseline(sim, axis, axis, opt.baseline);
-    pair.success = extraction.success;
-    pair.failure_reason = extraction.failure_reason;
+    pair.status = extraction.status;
     pair.gates = extraction.virtual_gates;
     pair.stats = extraction.stats;
   }
-  pair.verdict = judge_extraction(pair.success, pair.gates, sim.truth(),
+  pair.verdict = judge_extraction(pair.status.ok(), pair.gates, sim.truth(),
                                   opt.verdict);
   return pair;
 }
 
-}  // namespace
-
-ArrayExtractionResult extract_array_virtualization(
-    const BuiltDevice& device, const ArrayExtractionOptions& opt) {
+ArrayExtractionResult compose_array_result(const BuiltDevice& device,
+                                           std::vector<PairExtraction> pairs) {
   const std::size_t n = device.model.num_dots();
   QVG_EXPECTS(n >= 2);
-  QVG_EXPECTS(opt.pixels_per_axis >= 16);
+  QVG_EXPECTS(pairs.size() == n - 1);
 
   ArrayExtractionResult result;
+  result.pairs = std::move(pairs);
   result.matrix = Matrix::identity(n);
 
   // Reference: nearest-neighbour band of the exact compensation matrix.
   result.reference = device.model.ideal_virtualization();
 
-  // The paper's n-1 sequential pair extractions are independent given their
-  // per-pair simulators, so they fan out over the pool; each pair writes
-  // only its own preallocated slot.
-  result.pairs.resize(n - 1);
-  auto run_pairs = [&](std::size_t lo, std::size_t hi) {
-    for (std::size_t pair_index = lo; pair_index < hi; ++pair_index)
-      result.pairs[pair_index] = extract_pair(device, opt, pair_index);
-  };
-  if (opt.parallel)
-    parallel_for_rows(result.pairs.size(), run_pairs, 1);
-  else
-    run_pairs(0, result.pairs.size());
-
   // Compose the matrix and totals in pair order (deterministic regardless of
-  // the parallel schedule above).
-  bool all_ok = true;
+  // how the pair extractions were scheduled).
+  std::size_t failed = 0;
   for (const auto& pair : result.pairs) {
     result.total_stats.unique_probes += pair.stats.unique_probes;
     result.total_stats.total_requests += pair.stats.total_requests;
     result.total_stats.simulated_seconds += pair.stats.simulated_seconds;
     result.total_stats.compute_seconds += pair.stats.compute_seconds;
 
-    if (pair.success) {
+    if (pair.status.ok()) {
       result.matrix(pair.pair_index, pair.pair_index + 1) = pair.gates.alpha12;
       result.matrix(pair.pair_index + 1, pair.pair_index) = pair.gates.alpha21;
     } else {
-      all_ok = false;
+      ++failed;
     }
   }
 
@@ -96,8 +79,35 @@ ArrayExtractionResult extract_array_virtualization(
                                      result.reference(i + 1, i)));
   }
   result.band_max_error = worst;
-  result.success = all_ok;
+  if (failed > 0) {
+    result.status = Status::failure(
+        ErrorCode::kPairFailed, "array",
+        std::to_string(failed) + " of " + std::to_string(n - 1) +
+            " pair extractions failed");
+  }
   return result;
+}
+
+ArrayExtractionResult extract_array_virtualization(
+    const BuiltDevice& device, const ArrayExtractionOptions& opt) {
+  const std::size_t n = device.model.num_dots();
+  QVG_EXPECTS(n >= 2);
+  QVG_EXPECTS(opt.pixels_per_axis >= 16);
+
+  // The paper's n-1 sequential pair extractions are independent given their
+  // per-pair simulators, so they fan out over the pool; each pair writes
+  // only its own preallocated slot.
+  std::vector<PairExtraction> pairs(n - 1);
+  auto run_pairs = [&](std::size_t lo, std::size_t hi) {
+    for (std::size_t pair_index = lo; pair_index < hi; ++pair_index)
+      pairs[pair_index] = extract_array_pair(device, opt, pair_index);
+  };
+  if (opt.parallel)
+    parallel_for_rows(pairs.size(), run_pairs, 1);
+  else
+    run_pairs(0, pairs.size());
+
+  return compose_array_result(device, std::move(pairs));
 }
 
 }  // namespace qvg

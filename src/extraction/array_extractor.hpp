@@ -6,6 +6,7 @@
 // and composes the full n x n virtualization matrix.
 #pragma once
 
+#include "common/status.hpp"
 #include "device/dot_array.hpp"
 #include "extraction/fast_extractor.hpp"
 #include "extraction/hough_baseline.hpp"
@@ -38,15 +39,21 @@ struct ArrayExtractionOptions {
 
 struct PairExtraction {
   std::size_t pair_index = 0;
-  bool success = false;
-  std::string failure_reason;
+  /// The pair's own extraction status (the method's internal outcome).
+  Status status;
   VirtualGatePair gates;
   Verdict verdict;
   ProbeStats stats;
+
+  // Thin compat accessors over the pre-Status convention (remove next PR).
+  [[nodiscard]] bool success() const noexcept { return status.ok(); }
+  [[nodiscard]] std::string failure_reason() const { return status.message(); }
 };
 
 struct ArrayExtractionResult {
-  bool success = false;  // every pair succeeded
+  /// ok() when every pair succeeded; kPairFailed otherwise, with the failed
+  /// pair count in the detail.
+  Status status;
   std::vector<PairExtraction> pairs;
   /// Composed n x n virtualization matrix (identity entries where a pair
   /// failed).
@@ -55,11 +62,33 @@ struct ArrayExtractionResult {
   Matrix reference;
   /// Max absolute error over the nearest-neighbour band vs the reference.
   double band_max_error = 0.0;
+  /// Per-pair ProbeStats summed in pair order: unique probes, raw requests,
+  /// simulated dwell seconds, and compute seconds across the whole array.
   ProbeStats total_stats;
+
+  // Thin compat accessors over the pre-Status convention (remove next PR).
+  [[nodiscard]] bool success() const noexcept { return status.ok(); }
+  [[nodiscard]] std::string failure_reason() const { return status.message(); }
 };
 
 /// Extract virtual gates for every nearest-neighbour pair of the array.
 [[nodiscard]] ArrayExtractionResult extract_array_virtualization(
     const BuiltDevice& device, const ArrayExtractionOptions& options = {});
+
+/// Run ONE pair extraction of the array walk. Self-contained and
+/// deterministic: the pair's simulator is built from `pair_index` (own noise
+/// stream seeded opt.noise_seed + pair_index, own probe cache), so calls for
+/// different pairs never share mutable state. This is the unit the service
+/// layer fans out.
+[[nodiscard]] PairExtraction extract_array_pair(
+    const BuiltDevice& device, const ArrayExtractionOptions& options,
+    std::size_t pair_index);
+
+/// Compose per-pair extractions (in pair order) into the full array result:
+/// n x n matrix, reference band, band error, summed ProbeStats, and overall
+/// status. Deterministic given `pairs`, so serial, parallel, and
+/// engine-batched walks compose bit-identically.
+[[nodiscard]] ArrayExtractionResult compose_array_result(
+    const BuiltDevice& device, std::vector<PairExtraction> pairs);
 
 }  // namespace qvg

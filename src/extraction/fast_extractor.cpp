@@ -22,9 +22,8 @@ FastExtractionResult run_fast_extraction(CurrentSource& source,
   // covers the typical 4-17% unique-probe fraction without rehashing.
   cache.reserve((x_axis.count() + y_axis.count()) * 8);
 
-  auto finish = [&](bool success, std::string reason = {}) {
-    result.success = success;
-    result.failure_reason = std::move(reason);
+  auto finish = [&](Status status) {
+    result.status = std::move(status);
     result.stats.unique_probes = cache.unique_probe_count();
     result.stats.total_requests = cache.probe_count();
     result.stats.simulated_seconds =
@@ -36,7 +35,9 @@ FastExtractionResult run_fast_extraction(CurrentSource& source,
 
   // Stage 1: anchor preprocessing (§4.4).
   auto anchors = find_anchor_points(cache, x_axis, y_axis, opt.anchors);
-  if (!anchors) return finish(false, "anchors: " + anchors.reason());
+  if (!anchors)
+    return finish(Status::failure(ErrorCode::kAnchorNotFound, "anchors",
+                                  anchors.reason()));
   result.anchors = std::move(anchors).value();
 
   // Stage 2: triangle sweeps (§4.3.2, Algorithm 3).
@@ -51,7 +52,8 @@ FastExtractionResult run_fast_extraction(CurrentSource& source,
   if (opt.enable_col_sweep)
     for (const auto& p : result.sweeps.col_points) raw_points.push_back(p.pixel);
   if (raw_points.size() < 3)
-    return finish(false, "sweeps located fewer than 3 transition points");
+    return finish(Status::failure(ErrorCode::kInsufficientPoints, "sweeps",
+                                  "located fewer than 3 transition points"));
 
   // Stage 3: post-processing filter (Algorithm 3, PostProcess).
   result.filtered_points = opt.enable_postprocess
@@ -62,7 +64,8 @@ FastExtractionResult run_fast_extraction(CurrentSource& source,
   auto fit = fit_piecewise_linear(result.filtered_points,
                                   result.anchors.anchor_a,
                                   result.anchors.anchor_b, opt.fit);
-  if (!fit) return finish(false, "fit: " + fit.reason());
+  if (!fit)
+    return finish(Status::failure(ErrorCode::kFitFailed, "fit", fit.reason()));
   result.fit = std::move(fit).value();
 
   // Convert pixel-space slopes and intersection to voltage units.
@@ -75,10 +78,12 @@ FastExtractionResult run_fast_extraction(CurrentSource& source,
   // Stage 5: virtualization matrix (§2.3).
   auto pair =
       virtualization_from_slopes(result.slope_steep, result.slope_shallow);
-  if (!pair) return finish(false, "virtualization: " + pair.reason());
+  if (!pair)
+    return finish(Status::failure(ErrorCode::kDegenerateVirtualization,
+                                  "virtualization", pair.reason()));
   result.virtual_gates = *pair;
 
-  return finish(true);
+  return finish(Status{});
 }
 
 }  // namespace qvg

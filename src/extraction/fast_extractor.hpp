@@ -9,6 +9,7 @@
 
 #include "common/error.hpp"
 #include "common/geometry.hpp"
+#include "common/status.hpp"
 #include "extraction/anchors.hpp"
 #include "extraction/piecewise_fit.hpp"
 #include "extraction/sweep.hpp"
@@ -44,8 +45,9 @@ struct ProbeStats {
 };
 
 struct FastExtractionResult {
-  bool success = false;
-  std::string failure_reason;
+  /// ok() when the pipeline ran to completion; otherwise the typed failure
+  /// (code + stage + detail) of the stage that stopped it.
+  Status status;
 
   // Stage outputs (valid as far as the pipeline got).
   AnchorResult anchors;
@@ -62,6 +64,10 @@ struct FastExtractionResult {
   ProbeStats stats;
   /// Unique probed voltage configurations, in probe order (Figure 7).
   std::vector<Point2> probe_log;
+
+  // Thin compat accessors over the pre-Status convention (remove next PR).
+  [[nodiscard]] bool success() const noexcept { return status.ok(); }
+  [[nodiscard]] std::string failure_reason() const { return status.message(); }
 };
 
 /// Run the full fast extraction over the scan window given by the axes.

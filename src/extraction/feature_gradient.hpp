@@ -16,6 +16,9 @@
 
 #include "probe/current_source.hpp"
 
+#include <span>
+#include <vector>
+
 namespace qvg {
 
 /// Evaluate the feature gradient at gate voltages (v1, v2) = (x, y) with
@@ -24,5 +27,29 @@ namespace qvg {
 [[nodiscard]] double feature_gradient(CurrentSource& source, double v1,
                                       double v2, double delta_x,
                                       double delta_y);
+
+/// Batched Algorithm 2: queue gradient centres with add(), then evaluate()
+/// issues all of their probes as ONE get_currents request — in the exact
+/// order the scalar feature_gradient loop would issue them, so results (and,
+/// through a ProbeCache, the probe log and statistics) are bit-identical to
+/// probing point by point. Buffers are reused across evaluate() calls; one
+/// instance per sweep keeps the hot loop allocation-free at steady state.
+class FeatureGradientBatch {
+ public:
+  void clear() { centers_.clear(); }
+  void add(double v1, double v2) { centers_.push_back({v1, v2}); }
+  [[nodiscard]] std::size_t size() const noexcept { return centers_.size(); }
+
+  /// Evaluate every queued centre; returns one gradient per centre, in add()
+  /// order. The returned span is valid until the next evaluate() call.
+  std::span<const double> evaluate(CurrentSource& source, double delta_x,
+                                   double delta_y);
+
+ private:
+  std::vector<Point2> centers_;
+  std::vector<Point2> probes_;
+  std::vector<double> currents_;
+  std::vector<double> gradients_;
+};
 
 }  // namespace qvg

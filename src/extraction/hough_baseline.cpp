@@ -90,11 +90,12 @@ HoughBaselineResult analyze_csd_with_hough(const Csd& csd,
                   min_votes, result.shallow_line);
 
   if (!have_steep || !have_shallow) {
-    result.failure_reason =
+    result.status = Status::failure(
+        ErrorCode::kLineNotFound, "hough",
         !have_steep && !have_shallow
-            ? "Hough found no transition line in either family"
-        : !have_steep ? "Hough found no steep (0,0)->(1,0) transition line"
-                      : "Hough found no shallow (0,0)->(0,1) transition line";
+            ? "found no transition line in either family"
+        : !have_steep ? "found no steep (0,0)->(1,0) transition line"
+                      : "found no shallow (0,0)->(0,1) transition line");
     result.stats.compute_seconds = wall.elapsed_seconds();
     return result;
   }
@@ -113,12 +114,12 @@ HoughBaselineResult analyze_csd_with_hough(const Csd& csd,
   auto pair =
       virtualization_from_slopes(result.slope_steep, result.slope_shallow);
   if (!pair) {
-    result.failure_reason = "virtualization: " + pair.reason();
+    result.status = Status::failure(ErrorCode::kDegenerateVirtualization,
+                                    "virtualization", pair.reason());
     result.stats.compute_seconds = wall.elapsed_seconds();
     return result;
   }
   result.virtual_gates = *pair;
-  result.success = true;
   result.stats.compute_seconds = wall.elapsed_seconds();
   return result;
 }

@@ -6,6 +6,7 @@
 #pragma once
 
 #include "common/error.hpp"
+#include "common/status.hpp"
 #include "extraction/fast_extractor.hpp"  // ProbeStats
 #include "extraction/virtualization.hpp"
 #include "grid/csd.hpp"
@@ -41,8 +42,8 @@ struct HoughBaselineOptions {
 };
 
 struct HoughBaselineResult {
-  bool success = false;
-  std::string failure_reason;
+  /// ok() when both line families were found and virtualized.
+  Status status;
 
   Csd acquired;            // the full CSD the baseline measured
   long edge_pixels = 0;    // Canny output size
@@ -55,6 +56,10 @@ struct HoughBaselineResult {
   VirtualGatePair virtual_gates;
 
   ProbeStats stats;
+
+  // Thin compat accessors over the pre-Status convention (remove next PR).
+  [[nodiscard]] bool success() const noexcept { return status.ok(); }
+  [[nodiscard]] std::string failure_reason() const { return status.message(); }
 };
 
 /// Run the baseline over the scan window given by the axes.

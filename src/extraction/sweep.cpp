@@ -18,17 +18,6 @@ std::vector<Pixel> SweepResult::all_pixels() const {
 
 namespace {
 
-struct GradientProbe {
-  CurrentSource& source;
-  const VoltageAxis& x_axis;
-  const VoltageAxis& y_axis;
-
-  double operator()(int px, int py) const {
-    return feature_gradient(source, x_axis.voltage(px), y_axis.voltage(py),
-                            x_axis.step(), y_axis.step());
-  }
-};
-
 /// Integer pixel range [lo, hi] covered by a continuous span, using pixel
 /// centres for the inside test (paper §4.3.2) and clamping to the window.
 std::pair<int, int> pixel_range(double span_lo, double span_hi, int window_hi) {
@@ -49,7 +38,10 @@ SweepResult run_sweeps(CurrentSource& source, const VoltageAxis& x_axis,
   QVG_EXPECTS(anchor_b.x < w && anchor_a.y < h);
   QVG_EXPECTS(anchor_a.x >= 0 && anchor_b.y >= 0);
 
-  const GradientProbe gradient{source, x_axis, y_axis};
+  // One batch per segment: every pixel's Algorithm-2 probes go out as a
+  // single get_currents request (same probe order as the scalar loop, so a
+  // wrapped ProbeCache sees identical traffic and backends batch the rest).
+  FeatureGradientBatch batch;
   SweepResult result;
 
   // --- Row-major sweep (bottom -> top), moving anchor B. -----------------
@@ -69,9 +61,13 @@ SweepResult run_sweeps(CurrentSource& source, const VoltageAxis& x_axis,
         if (x_hi - x_lo + 1 > limit) x_lo = x_hi - limit + 1;
       }
 
+      batch.clear();
+      for (int x = x_lo; x <= x_hi; ++x)
+        batch.add(x_axis.voltage(x), y_axis.voltage(row));
+      const auto gradients = batch.evaluate(source, x_axis.step(), y_axis.step());
       SweepPoint best{{x_lo, row}, -1e300};
       for (int x = x_lo; x <= x_hi; ++x) {
-        const double g = gradient(x, row);
+        const double g = gradients[static_cast<std::size_t>(x - x_lo)];
         if (g > best.gradient) best = {{x, row}, g};
       }
       result.row_points.push_back(best);
@@ -102,9 +98,13 @@ SweepResult run_sweeps(CurrentSource& source, const VoltageAxis& x_axis,
         if (y_hi - y_lo + 1 > limit) y_lo = y_hi - limit + 1;
       }
 
+      batch.clear();
+      for (int y = y_lo; y <= y_hi; ++y)
+        batch.add(x_axis.voltage(col), y_axis.voltage(y));
+      const auto gradients = batch.evaluate(source, x_axis.step(), y_axis.step());
       SweepPoint best{{col, y_lo}, -1e300};
       for (int y = y_lo; y <= y_hi; ++y) {
-        const double g = gradient(col, y);
+        const double g = gradients[static_cast<std::size_t>(y - y_lo)];
         if (g > best.gradient) best = {{col, y}, g};
       }
       result.col_points.push_back(best);

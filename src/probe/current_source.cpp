@@ -1,0 +1,14 @@
+#include "probe/current_source.hpp"
+
+#include "common/assert.hpp"
+
+namespace qvg {
+
+void CurrentSource::get_currents(std::span<const Point2> points,
+                                 std::span<double> out) {
+  QVG_EXPECTS(points.size() == out.size());
+  for (std::size_t i = 0; i < points.size(); ++i)
+    out[i] = get_current(points[i].x, points[i].y);
+}
+
+}  // namespace qvg

@@ -5,7 +5,10 @@
 // (in principle) a real instrument driver.
 #pragma once
 
+#include "common/geometry.hpp"
 #include "probe/sim_clock.hpp"
+
+#include <span>
 
 namespace qvg {
 
@@ -18,11 +21,26 @@ class CurrentSource {
   /// (VP2) gate.
   virtual double get_current(double v1, double v2) = 0;
 
+  /// Batched Algorithm 1: evaluate get_current at every (v1, v2) = (x, y) in
+  /// `points`, writing the currents into `out` (same length, same order).
+  ///
+  /// The contract is strict equivalence: every override must produce the
+  /// same currents, probe count, and clock charge — bit for bit — as calling
+  /// get_current once per point in order. (Temporal noise makes probe order
+  /// observable, so overrides may parallelize only order-independent work.)
+  /// The default implementation is the scalar loop; backends override it to
+  /// amortize per-probe dispatch and batch the underlying physics, which is
+  /// what lets the extraction hot loops and full-CSD rasters run batched on
+  /// any backend instead of only on the simulator.
+  virtual void get_currents(std::span<const Point2> points,
+                            std::span<double> out);
+
   /// Simulated experiment clock; implementations charge dwell time to it.
   [[nodiscard]] virtual SimClock& clock() = 0;
   [[nodiscard]] virtual const SimClock& clock() const = 0;
 
   /// Total number of get_current calls issued (before any caching).
+  /// Batched requests count one probe per point.
   [[nodiscard]] virtual long probe_count() const = 0;
 };
 

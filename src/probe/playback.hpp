@@ -22,6 +22,11 @@ class CsdPlayback final : public CurrentSource {
   /// that rails at its configured limits.
   double get_current(double v1, double v2) override;
 
+  /// Batched lookup with the same border clamp, bit-identical to the scalar
+  /// loop (probes and dwell are charged per point, in order).
+  void get_currents(std::span<const Point2> points,
+                    std::span<double> out) override;
+
   [[nodiscard]] SimClock& clock() override { return clock_; }
   [[nodiscard]] const SimClock& clock() const override { return clock_; }
   [[nodiscard]] long probe_count() const override { return probes_; }
@@ -29,6 +34,10 @@ class CsdPlayback final : public CurrentSource {
   [[nodiscard]] const Csd& csd() const noexcept { return csd_; }
 
  private:
+  /// The one probe implementation both entry points share (keeps batched
+  /// and scalar accounting identical by construction).
+  double probe_one(double v1, double v2);
+
   const Csd& csd_;
   SimClock clock_;
   long probes_ = 0;

@@ -39,6 +39,48 @@ double ProbeCache::get_current(double v1, double v2) {
   return current;
 }
 
+void ProbeCache::get_currents(std::span<const Point2> points,
+                              std::span<double> out) {
+  QVG_EXPECTS(points.size() == out.size());
+  requests_ += static_cast<long>(points.size());
+
+  // Pass 1: resolve hits, collect each new configuration once. A repeat
+  // within the batch maps to the first occurrence's miss slot — exactly the
+  // configuration the scalar loop would have cached by the time the repeat
+  // arrived. slot >= 0 marks "fill from miss_values_[slot]" in pass 2.
+  batch_slot_.assign(points.size(), -1);
+  miss_points_.clear();
+  miss_keys_.clear();
+  pending_.clear();
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    const std::uint64_t key = key_of(points[i].x, points[i].y);
+    if (auto it = cache_.find(key); it != cache_.end()) {
+      out[i] = it->second;
+      continue;
+    }
+    auto [pit, inserted] = pending_.try_emplace(key, miss_points_.size());
+    if (inserted) {
+      miss_points_.push_back(points[i]);
+      miss_keys_.push_back(key);
+    }
+    batch_slot_[i] = static_cast<std::ptrdiff_t>(pit->second);
+  }
+
+  if (!miss_points_.empty()) {
+    miss_values_.resize(miss_points_.size());
+    source_.get_currents(miss_points_, miss_values_);
+    for (std::size_t j = 0; j < miss_points_.size(); ++j) {
+      cache_.emplace(miss_keys_[j], miss_values_[j]);
+      log_.push_back(miss_points_[j]);
+    }
+  }
+
+  // Pass 2: fill the miss-backed outputs.
+  for (std::size_t i = 0; i < points.size(); ++i)
+    if (batch_slot_[i] >= 0)
+      out[i] = miss_values_[static_cast<std::size_t>(batch_slot_[i])];
+}
+
 void ProbeCache::reset_statistics() {
   requests_ = 0;
   cache_.clear();

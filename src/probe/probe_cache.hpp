@@ -30,6 +30,15 @@ class ProbeCache final : public CurrentSource {
 
   double get_current(double v1, double v2) override;
 
+  /// Batched requests resolve against the cache in order; the misses (first
+  /// occurrence of each new configuration) are forwarded to the underlying
+  /// source as ONE batched call, in the same order the scalar loop would
+  /// forward them — so currents, probe log, and statistics are bit-identical
+  /// to calling get_current per point, while the backend sees a batch it can
+  /// evaluate in parallel.
+  void get_currents(std::span<const Point2> points,
+                    std::span<double> out) override;
+
   [[nodiscard]] SimClock& clock() override { return source_.clock(); }
   [[nodiscard]] const SimClock& clock() const override { return source_.clock(); }
 
@@ -70,6 +79,14 @@ class ProbeCache final : public CurrentSource {
   long requests_ = 0;
   std::unordered_map<std::uint64_t, double> cache_;
   std::vector<Point2> log_;
+
+  // Reused get_currents scratch (keeps the batched hot path allocation-free
+  // at steady state).
+  std::vector<std::ptrdiff_t> batch_slot_;
+  std::vector<Point2> miss_points_;
+  std::vector<std::uint64_t> miss_keys_;
+  std::vector<double> miss_values_;
+  std::unordered_map<std::uint64_t, std::size_t> pending_;  // key -> miss slot
 };
 
 }  // namespace qvg

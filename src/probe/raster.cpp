@@ -1,17 +1,23 @@
 #include "probe/raster.hpp"
 
+#include <vector>
+
 namespace qvg {
 
 Csd acquire_full_csd(CurrentSource& source, const VoltageAxis& x_axis,
                      const VoltageAxis& y_axis) {
   Csd csd(x_axis, y_axis);
+  // One batched request for the whole window, in the raster's row-major
+  // bottom-to-top probe order. The grid is row-major with x fastest, so the
+  // batch writes straight into its storage.
+  std::vector<Point2> points;
+  points.reserve(x_axis.count() * y_axis.count());
   for (std::size_t y = 0; y < y_axis.count(); ++y) {
     const double vy = y_axis.voltage(static_cast<double>(y));
-    for (std::size_t x = 0; x < x_axis.count(); ++x) {
-      const double vx = x_axis.voltage(static_cast<double>(x));
-      csd.grid()(x, y) = source.get_current(vx, vy);
-    }
+    for (std::size_t x = 0; x < x_axis.count(); ++x)
+      points.push_back({x_axis.voltage(static_cast<double>(x)), vy});
   }
+  source.get_currents(points, csd.grid().raw());
   return csd;
 }
 

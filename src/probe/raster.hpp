@@ -8,7 +8,10 @@
 namespace qvg {
 
 /// Probe every pixel of the window defined by the two axes (row-major,
-/// bottom-to-top) and return the acquired diagram.
+/// bottom-to-top) and return the acquired diagram. Issued as one batched
+/// get_currents request, so backends with a parallel probe path (the device
+/// simulator) evaluate the physics concurrently — output stays bit-identical
+/// to the scalar pixel-by-pixel loop.
 [[nodiscard]] Csd acquire_full_csd(CurrentSource& source,
                                    const VoltageAxis& x_axis,
                                    const VoltageAxis& y_axis);

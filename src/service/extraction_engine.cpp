@@ -1,0 +1,206 @@
+#include "service/extraction_engine.hpp"
+
+#include "common/assert.hpp"
+#include "common/stopwatch.hpp"
+#include "common/thread_pool.hpp"
+#include "device/noise.hpp"
+#include "probe/playback.hpp"
+
+#include <memory>
+#include <utility>
+
+namespace qvg {
+
+namespace {
+
+/// Build the simulator a DeviceBackend describes: the pair's scan plane and
+/// nearest charge sensor, plus the requested noise tier (attachment order
+/// matches the qflow suite builder: white, pink, telegraph).
+DeviceSimulator make_backend_simulator(const DeviceBackend& backend) {
+  DeviceSimulator sim =
+      make_pair_simulator(*backend.device, backend.pair_index,
+                          backend.noise_seed, backend.dwell_seconds);
+  if (backend.white_noise_sigma > 0.0)
+    sim.add_noise(std::make_unique<WhiteNoise>(backend.white_noise_sigma));
+  if (backend.pink_noise_sigma > 0.0)
+    sim.add_noise(std::make_unique<PinkNoise>(backend.pink_noise_sigma,
+                                              /*tau_min=*/0.2,
+                                              /*tau_max=*/30.0));
+  if (backend.telegraph_amplitude > 0.0)
+    sim.add_noise(std::make_unique<TelegraphNoise>(
+        backend.telegraph_amplitude, backend.telegraph_rate_hz));
+  return sim;
+}
+
+/// Run the requested method against the constructed source and fill the
+/// method-specific halves of the report.
+void run_method(const ExtractionRequest& request, CurrentSource& source,
+                const VoltageAxis& x_axis, const VoltageAxis& y_axis,
+                ExtractionReport& report) {
+  if (request.method == ExtractionMethod::kFast) {
+    report.fast = run_fast_extraction(source, x_axis, y_axis, request.fast);
+    report.status = report.fast.status;
+    report.virtual_gates = report.fast.virtual_gates;
+    report.slope_steep = report.fast.slope_steep;
+    report.slope_shallow = report.fast.slope_shallow;
+    report.stats = report.fast.stats;
+  } else {
+    report.hough = run_hough_baseline(source, x_axis, y_axis, request.hough);
+    report.status = report.hough.status;
+    report.virtual_gates = report.hough.virtual_gates;
+    report.slope_steep = report.hough.slope_steep;
+    report.slope_shallow = report.hough.slope_shallow;
+    report.stats = report.hough.stats;
+  }
+}
+
+}  // namespace
+
+ExtractionEngine::ExtractionEngine(EngineOptions options)
+    : options_(options) {}
+
+ExtractionReport ExtractionEngine::run(const ExtractionRequest& request) const {
+  Stopwatch wall;
+  ExtractionReport report;
+  report.label = request.label;
+  report.method = request.method;
+  // Pre-mark both stage results as not-run; run_method replaces the one the
+  // request names. A default-constructed Status is ok, and an unpopulated
+  // stage result must never read as a successful extraction.
+  report.fast.status = Status::failure(ErrorCode::kInternal, "engine",
+                                       "fast pipeline not run");
+  report.hough.status = Status::failure(ErrorCode::kInternal, "engine",
+                                        "hough pipeline not run");
+
+  if (request.playback.csd != nullptr && request.device.device != nullptr) {
+    report.status = Status::failure(
+        ErrorCode::kInvalidRequest, "engine",
+        "request names both a playback CSD and a device backend; set "
+        "exactly one");
+  } else if (request.playback.csd != nullptr) {
+    const Csd& csd = *request.playback.csd;
+    CsdPlayback playback(csd, request.playback.dwell_seconds);
+    const VoltageAxis x = request.x_axis.value_or(csd.x_axis());
+    const VoltageAxis y = request.y_axis.value_or(csd.y_axis());
+    run_method(request, playback, x, y, report);
+    if (csd.truth()) {
+      report.verdict = judge_extraction(report.status.ok(),
+                                        report.virtual_gates, *csd.truth(),
+                                        request.verdict);
+      report.has_verdict = true;
+    }
+  } else if (request.device.device != nullptr) {
+    // Request *data* is caller input, not a programming contract: validate
+    // it here so a malformed request yields a typed report (and cannot
+    // abort a whole run_batch by throwing out of a pool worker).
+    const std::size_t n_dots = request.device.device->model.num_dots();
+    if (request.device.pair_index + 1 >= n_dots) {
+      report.status = Status::failure(
+          ErrorCode::kInvalidRequest, "engine",
+          "pair_index " + std::to_string(request.device.pair_index) +
+              " out of range for a " + std::to_string(n_dots) +
+              "-dot device");
+      report.wall_seconds = wall.elapsed_seconds();
+      return report;
+    }
+    if ((!request.x_axis || !request.y_axis) &&
+        request.device.pixels_per_axis < 16) {
+      report.status = Status::failure(
+          ErrorCode::kInvalidRequest, "engine",
+          "pixels_per_axis must be >= 16 (got " +
+              std::to_string(request.device.pixels_per_axis) + ")");
+      report.wall_seconds = wall.elapsed_seconds();
+      return report;
+    }
+    DeviceSimulator sim = make_backend_simulator(request.device);
+    const VoltageAxis default_axis =
+        scan_axis(*request.device.device, request.device.pixels_per_axis);
+    const VoltageAxis x = request.x_axis.value_or(default_axis);
+    const VoltageAxis y = request.y_axis.value_or(default_axis);
+    run_method(request, sim, x, y, report);
+    report.verdict = judge_extraction(report.status.ok(), report.virtual_gates,
+                                      sim.truth(), request.verdict);
+    report.has_verdict = true;
+  } else {
+    report.status = Status::failure(ErrorCode::kInvalidRequest, "engine",
+                                    "request names no backend (set "
+                                    "playback.csd or device.device)");
+  }
+
+  report.wall_seconds = wall.elapsed_seconds();
+  return report;
+}
+
+std::size_t ExtractionEngine::submit(ExtractionRequest request) {
+  const std::size_t job = queue_.size();
+  if (request.label.empty()) request.label = "job-" + std::to_string(job);
+  queue_.push_back(std::move(request));
+  return job;
+}
+
+std::vector<ExtractionReport> ExtractionEngine::run_all() {
+  std::vector<ExtractionRequest> batch = std::move(queue_);
+  queue_.clear();
+  return run_batch(batch);
+}
+
+std::vector<ExtractionReport> ExtractionEngine::run_batch(
+    std::span<const ExtractionRequest> requests) const {
+  // Each request builds its own backend source, so jobs share no mutable
+  // state; each writes only its preallocated slot, making the batch output
+  // independent of the pool schedule.
+  std::vector<ExtractionReport> reports(requests.size());
+  auto serve = [&](std::size_t lo, std::size_t hi) {
+    for (std::size_t i = lo; i < hi; ++i) reports[i] = run(requests[i]);
+  };
+  if (options_.parallel_batch)
+    parallel_for_rows(requests.size(), serve, 1);
+  else
+    serve(0, requests.size());
+  return reports;
+}
+
+ArrayExtractionResult ExtractionEngine::run_array(
+    const BuiltDevice& device, const ArrayExtractionOptions& opt) const {
+  const std::size_t n = device.model.num_dots();
+  QVG_EXPECTS(n >= 2);
+  QVG_EXPECTS(opt.pixels_per_axis >= 16);
+
+  // One request per nearest-neighbour pair, mirroring extract_array_pair's
+  // per-pair simulator construction exactly (seed derived from the pair
+  // index, white-noise tier, square window). KEEP IN SYNC with
+  // extract_array_pair (extraction/array_extractor.cpp): any new
+  // ArrayExtractionOptions field consumed there must be mapped into the
+  // request here, or the engine==direct bit-identity breaks.
+  std::vector<ExtractionRequest> requests(n - 1);
+  for (std::size_t pair_index = 0; pair_index + 1 < n; ++pair_index) {
+    ExtractionRequest& request = requests[pair_index];
+    request.method = opt.method;
+    request.device.device = &device;
+    request.device.pair_index = pair_index;
+    request.device.noise_seed = opt.noise_seed + pair_index;
+    request.device.dwell_seconds = opt.dwell_seconds;
+    request.device.pixels_per_axis = opt.pixels_per_axis;
+    request.device.white_noise_sigma = opt.white_noise_sigma;
+    request.fast = opt.fast;
+    request.hough = opt.baseline;
+    request.verdict = opt.verdict;
+    request.label = "pair-" + std::to_string(pair_index);
+  }
+
+  ExtractionEngine batch_engine(EngineOptions{.parallel_batch = opt.parallel});
+  const std::vector<ExtractionReport> reports =
+      batch_engine.run_batch(requests);
+
+  std::vector<PairExtraction> pairs(reports.size());
+  for (std::size_t i = 0; i < reports.size(); ++i) {
+    pairs[i].pair_index = i;
+    pairs[i].status = reports[i].status;
+    pairs[i].gates = reports[i].virtual_gates;
+    pairs[i].verdict = reports[i].verdict;
+    pairs[i].stats = reports[i].stats;
+  }
+  return compose_array_result(device, std::move(pairs));
+}
+
+}  // namespace qvg

@@ -81,6 +81,29 @@ TEST(CsdIoTest, BadNumberThrows) {
   EXPECT_THROW(load_csd_csv(file.path()), ParseError);
 }
 
+TEST(CsdIoTest, TryLoadReturnsValueOnSuccess) {
+  const Csd original = sample_csd();
+  TempFile file("tryload.csv");
+  save_csd_csv(original, file.path());
+  const Result<Csd> loaded = try_load_csd_csv(file.path());
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded->grid(), original.grid());
+}
+
+TEST(CsdIoTest, TryLoadReturnsTypedFailures) {
+  const Result<Csd> missing = try_load_csd_csv("/nonexistent/path/x.csv");
+  ASSERT_FALSE(missing.ok());
+  EXPECT_EQ(missing.status().code(), ErrorCode::kIoError);
+  EXPECT_EQ(missing.status().stage(), "csd_io");
+
+  TempFile file("trycorrupt.csv");
+  std::ofstream(file.path()) << "not a csd header\n1,2\n";
+  const Result<Csd> corrupt = try_load_csd_csv(file.path());
+  ASSERT_FALSE(corrupt.ok());
+  EXPECT_EQ(corrupt.status().code(), ErrorCode::kParseError);
+  EXPECT_FALSE(corrupt.reason().empty());
+}
+
 TEST(CsdIoTest, PgmHasCorrectHeaderAndSize) {
   const Csd csd = sample_csd();
   TempFile file("image.pgm");

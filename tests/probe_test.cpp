@@ -162,6 +162,102 @@ TEST(ProbeCacheTest, ReserveDoesNotChangeAccounting) {
   EXPECT_DOUBLE_EQ(cache.probe_log()[0].x, 0.001);
 }
 
+TEST(PlaybackTest, ClampsEveryRailAndCorner) {
+  // Out-of-window requests rail at the border: all four edges + corners.
+  const Csd csd = ramp_csd();  // window [0, 0.009]^2, value x + 100 y
+  CsdPlayback playback(csd);
+  // Rails (one coordinate out, the other in range).
+  EXPECT_DOUBLE_EQ(playback.get_current(-1.0, 0.004), csd.grid()(0, 4));
+  EXPECT_DOUBLE_EQ(playback.get_current(1.0, 0.004), csd.grid()(9, 4));
+  EXPECT_DOUBLE_EQ(playback.get_current(0.003, -1.0), csd.grid()(3, 0));
+  EXPECT_DOUBLE_EQ(playback.get_current(0.003, 1.0), csd.grid()(3, 9));
+  // Corners (both coordinates out).
+  EXPECT_DOUBLE_EQ(playback.get_current(-1.0, -1.0), csd.grid()(0, 0));
+  EXPECT_DOUBLE_EQ(playback.get_current(1.0, -1.0), csd.grid()(9, 0));
+  EXPECT_DOUBLE_EQ(playback.get_current(-1.0, 1.0), csd.grid()(0, 9));
+  EXPECT_DOUBLE_EQ(playback.get_current(1.0, 1.0), csd.grid()(9, 9));
+  // Every clamped probe still costs dwell + a probe count.
+  EXPECT_EQ(playback.probe_count(), 8);
+}
+
+TEST(PlaybackTest, BatchedMatchesScalarIncludingClamps) {
+  const Csd csd = ramp_csd();
+  CsdPlayback scalar(csd, 0.050);
+  CsdPlayback batched(csd, 0.050);
+
+  const std::vector<Point2> points{
+      {0.003, 0.002}, {-1.0, 0.004}, {1.0, 1.0},   {0.0041, 0.0},
+      {0.003, 0.002}, {-1.0, -1.0},  {0.009, 1.0}, {0.0, -0.5},
+  };
+  std::vector<double> scalar_out;
+  scalar_out.reserve(points.size());
+  for (const auto& p : points) scalar_out.push_back(scalar.get_current(p.x, p.y));
+
+  std::vector<double> batched_out(points.size());
+  batched.get_currents(points, batched_out);
+
+  for (std::size_t i = 0; i < points.size(); ++i)
+    EXPECT_DOUBLE_EQ(batched_out[i], scalar_out[i]) << "point " << i;
+  EXPECT_EQ(batched.probe_count(), scalar.probe_count());
+  EXPECT_DOUBLE_EQ(batched.clock().elapsed_seconds(),
+                   scalar.clock().elapsed_seconds());
+}
+
+TEST(ProbeCacheTest, BatchedMatchesScalarSemantics) {
+  const Csd csd = ramp_csd();
+  CsdPlayback scalar_playback(csd, 0.050);
+  ProbeCache scalar_cache(scalar_playback, 0.001);
+  CsdPlayback batched_playback(csd, 0.050);
+  ProbeCache batched_cache(batched_playback, 0.001);
+
+  // Mixed batch: fresh configurations, a within-batch repeat, and a repeat
+  // of an earlier scalar probe.
+  scalar_cache.get_current(0.002, 0.002);
+  batched_cache.get_current(0.002, 0.002);
+  const std::vector<Point2> points{
+      {0.001, 0.001}, {0.004, 0.005}, {0.001, 0.001},
+      {0.002, 0.002}, {0.005, 0.001},
+  };
+  std::vector<double> scalar_out;
+  scalar_out.reserve(points.size());
+  for (const auto& p : points)
+    scalar_out.push_back(scalar_cache.get_current(p.x, p.y));
+  std::vector<double> batched_out(points.size());
+  batched_cache.get_currents(points, batched_out);
+
+  for (std::size_t i = 0; i < points.size(); ++i)
+    EXPECT_DOUBLE_EQ(batched_out[i], scalar_out[i]) << "point " << i;
+  EXPECT_EQ(batched_cache.probe_count(), scalar_cache.probe_count());
+  EXPECT_EQ(batched_cache.unique_probe_count(),
+            scalar_cache.unique_probe_count());
+  EXPECT_EQ(batched_cache.cache_hits(), scalar_cache.cache_hits());
+  // The underlying source saw only the misses, once each, in order.
+  EXPECT_EQ(batched_playback.probe_count(), scalar_playback.probe_count());
+  ASSERT_EQ(batched_cache.probe_log().size(), scalar_cache.probe_log().size());
+  for (std::size_t i = 0; i < scalar_cache.probe_log().size(); ++i)
+    EXPECT_EQ(batched_cache.probe_log()[i], scalar_cache.probe_log()[i]);
+}
+
+TEST(ProbeCacheTest, BatchedForwardsMissesAsOneBatch) {
+  // 3 unique configurations out of 5 requests: exactly 3 probes reach the
+  // backend and the cache replays the rest.
+  const Csd csd = ramp_csd();
+  CsdPlayback playback(csd, 0.050);
+  ProbeCache cache(playback, 0.001);
+  const std::vector<Point2> points{
+      {0.001, 0.001}, {0.001, 0.001}, {0.002, 0.001},
+      {0.003, 0.001}, {0.002, 0.001},
+  };
+  std::vector<double> out(points.size());
+  cache.get_currents(points, out);
+  EXPECT_EQ(cache.probe_count(), 5);
+  EXPECT_EQ(cache.unique_probe_count(), 3);
+  EXPECT_EQ(playback.probe_count(), 3);
+  EXPECT_DOUBLE_EQ(playback.clock().elapsed_seconds(), 0.150);
+  EXPECT_DOUBLE_EQ(out[0], out[1]);
+  EXPECT_DOUBLE_EQ(out[2], out[4]);
+}
+
 TEST(RasterTest, AcquiresEveryPixelOnce) {
   const Csd csd = ramp_csd();
   CsdPlayback playback(csd, 0.050);

@@ -1,0 +1,308 @@
+// ExtractionEngine equivalence: the façade must be a zero-cost reroute —
+// every report bit-identical to calling the pre-redesign entry points
+// directly, on both methods, both backends, and both submission modes.
+#include "dataset/qflow_synth.hpp"
+#include "service/extraction_engine.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+namespace qvg {
+namespace {
+
+BuiltDevice test_device(std::size_t n_dots = 2) {
+  DotArrayParams params;
+  params.n_dots = n_dots;
+  params.cross_ratio = 0.25;
+  params.jitter = 0.05;
+  Rng jitter(7);
+  return build_dot_array(params, &jitter);
+}
+
+ExtractionRequest device_request(const BuiltDevice& device,
+                                 ExtractionMethod method,
+                                 double white_sigma = 0.02) {
+  ExtractionRequest request;
+  request.method = method;
+  request.device.device = &device;
+  request.device.noise_seed = 123;
+  request.device.pixels_per_axis = 64;
+  request.device.white_noise_sigma = white_sigma;
+  return request;
+}
+
+/// The direct-call twin of device_request's backend.
+DeviceSimulator direct_simulator(const BuiltDevice& device,
+                                 double white_sigma = 0.02) {
+  DeviceSimulator sim = make_pair_simulator(device, 0, 123);
+  if (white_sigma > 0.0)
+    sim.add_noise(std::make_unique<WhiteNoise>(white_sigma));
+  return sim;
+}
+
+void expect_stats_equal(const ProbeStats& a, const ProbeStats& b) {
+  EXPECT_EQ(a.unique_probes, b.unique_probes);
+  EXPECT_EQ(a.total_requests, b.total_requests);
+  EXPECT_DOUBLE_EQ(a.simulated_seconds, b.simulated_seconds);
+  // compute_seconds is wall time and legitimately varies.
+}
+
+TEST(ExtractionEngineTest, FastOnSimulatorMatchesDirectCall) {
+  const BuiltDevice device = test_device();
+  const VoltageAxis axis = scan_axis(device, 64);
+
+  DeviceSimulator sim = direct_simulator(device);
+  const FastExtractionResult direct = run_fast_extraction(sim, axis, axis);
+
+  ExtractionEngine engine;
+  const ExtractionReport report =
+      engine.run(device_request(device, ExtractionMethod::kFast));
+
+  EXPECT_EQ(report.status, direct.status);
+  EXPECT_EQ(report.virtual_gates.alpha12, direct.virtual_gates.alpha12);
+  EXPECT_EQ(report.virtual_gates.alpha21, direct.virtual_gates.alpha21);
+  EXPECT_EQ(report.slope_steep, direct.slope_steep);
+  EXPECT_EQ(report.slope_shallow, direct.slope_shallow);
+  expect_stats_equal(report.stats, direct.stats);
+  ASSERT_EQ(report.fast.probe_log.size(), direct.probe_log.size());
+  for (std::size_t i = 0; i < direct.probe_log.size(); ++i)
+    EXPECT_EQ(report.fast.probe_log[i], direct.probe_log[i]) << "probe " << i;
+  ASSERT_TRUE(report.has_verdict);
+  EXPECT_EQ(report.verdict.success,
+            judge_extraction(direct.success(), direct.virtual_gates,
+                             sim.truth())
+                .success);
+}
+
+TEST(ExtractionEngineTest, HoughOnSimulatorMatchesDirectCall) {
+  const BuiltDevice device = test_device();
+  const VoltageAxis axis = scan_axis(device, 64);
+
+  DeviceSimulator sim = direct_simulator(device);
+  const HoughBaselineResult direct = run_hough_baseline(sim, axis, axis);
+
+  ExtractionEngine engine;
+  const ExtractionReport report =
+      engine.run(device_request(device, ExtractionMethod::kHoughBaseline));
+
+  EXPECT_EQ(report.status, direct.status);
+  EXPECT_EQ(report.virtual_gates.alpha12, direct.virtual_gates.alpha12);
+  EXPECT_EQ(report.virtual_gates.alpha21, direct.virtual_gates.alpha21);
+  EXPECT_EQ(report.slope_steep, direct.slope_steep);
+  EXPECT_EQ(report.slope_shallow, direct.slope_shallow);
+  expect_stats_equal(report.stats, direct.stats);
+  EXPECT_EQ(report.hough.edge_pixels, direct.edge_pixels);
+  EXPECT_EQ(report.hough.lines.size(), direct.lines.size());
+  EXPECT_EQ(report.hough.acquired.grid(), direct.acquired.grid());
+}
+
+TEST(ExtractionEngineTest, PlaybackBackendMatchesDirectCall) {
+  // A recorded noisy diagram replayed through the paper's getCurrent.
+  const BuiltDevice device = test_device();
+  DeviceSimulator source_sim = direct_simulator(device);
+  const VoltageAxis axis = scan_axis(device, 64);
+  const Csd csd = source_sim.generate_csd(axis, axis, "replay");
+
+  for (const auto method :
+       {ExtractionMethod::kFast, ExtractionMethod::kHoughBaseline}) {
+    CsdPlayback playback(csd);
+    FastExtractionResult direct_fast;
+    HoughBaselineResult direct_hough;
+    if (method == ExtractionMethod::kFast)
+      direct_fast = run_fast_extraction(playback, csd.x_axis(), csd.y_axis());
+    else
+      direct_hough = run_hough_baseline(playback, csd.x_axis(), csd.y_axis());
+
+    ExtractionRequest request;
+    request.method = method;
+    request.playback.csd = &csd;
+    ExtractionEngine engine;
+    const ExtractionReport report = engine.run(request);
+
+    if (method == ExtractionMethod::kFast) {
+      EXPECT_EQ(report.status, direct_fast.status);
+      EXPECT_EQ(report.virtual_gates.alpha12,
+                direct_fast.virtual_gates.alpha12);
+      EXPECT_EQ(report.virtual_gates.alpha21,
+                direct_fast.virtual_gates.alpha21);
+      expect_stats_equal(report.stats, direct_fast.stats);
+    } else {
+      EXPECT_EQ(report.status, direct_hough.status);
+      EXPECT_EQ(report.virtual_gates.alpha12,
+                direct_hough.virtual_gates.alpha12);
+      EXPECT_EQ(report.virtual_gates.alpha21,
+                direct_hough.virtual_gates.alpha21);
+      expect_stats_equal(report.stats, direct_hough.stats);
+    }
+    // generate_csd stamps ground truth, so playback reports carry verdicts.
+    EXPECT_TRUE(report.has_verdict);
+  }
+}
+
+TEST(ExtractionEngineTest, BatchModeMatchesSerialRuns) {
+  const BuiltDevice device = test_device();
+  DeviceSimulator source_sim = direct_simulator(device);
+  const VoltageAxis axis = scan_axis(device, 64);
+  const Csd csd = source_sim.generate_csd(axis, axis, "replay");
+
+  std::vector<ExtractionRequest> requests;
+  requests.push_back(device_request(device, ExtractionMethod::kFast));
+  requests.push_back(device_request(device, ExtractionMethod::kHoughBaseline));
+  ExtractionRequest playback_fast;
+  playback_fast.method = ExtractionMethod::kFast;
+  playback_fast.playback.csd = &csd;
+  requests.push_back(playback_fast);
+  ExtractionRequest playback_hough = playback_fast;
+  playback_hough.method = ExtractionMethod::kHoughBaseline;
+  requests.push_back(playback_hough);
+
+  ExtractionEngine engine;
+  std::vector<ExtractionReport> serial;
+  serial.reserve(requests.size());
+  for (const auto& request : requests) serial.push_back(engine.run(request));
+
+  for (auto& request : requests) engine.submit(request);
+  EXPECT_EQ(engine.pending(), requests.size());
+  const std::vector<ExtractionReport> batch = engine.run_all();
+  EXPECT_EQ(engine.pending(), 0u);
+
+  ASSERT_EQ(batch.size(), serial.size());
+  for (std::size_t i = 0; i < serial.size(); ++i) {
+    EXPECT_EQ(batch[i].status, serial[i].status) << "request " << i;
+    EXPECT_EQ(batch[i].virtual_gates.alpha12, serial[i].virtual_gates.alpha12);
+    EXPECT_EQ(batch[i].virtual_gates.alpha21, serial[i].virtual_gates.alpha21);
+    EXPECT_EQ(batch[i].slope_steep, serial[i].slope_steep);
+    EXPECT_EQ(batch[i].slope_shallow, serial[i].slope_shallow);
+    expect_stats_equal(batch[i].stats, serial[i].stats);
+    EXPECT_EQ(batch[i].verdict.success, serial[i].verdict.success);
+  }
+  // Submitted jobs without labels get their job index as the label.
+  EXPECT_EQ(batch[0].label, "job-0");
+  EXPECT_EQ(batch[3].label, "job-3");
+}
+
+TEST(ExtractionEngineTest, RunArrayMatchesDirectArrayExtraction) {
+  const BuiltDevice device = test_device(4);
+
+  ArrayExtractionOptions options;
+  options.pixels_per_axis = 64;
+  options.white_noise_sigma = 0.02;
+
+  const ArrayExtractionResult direct =
+      extract_array_virtualization(device, options);
+  ExtractionEngine engine;
+  const ArrayExtractionResult via_engine = engine.run_array(device, options);
+
+  EXPECT_EQ(via_engine.status, direct.status);
+  EXPECT_EQ(via_engine.band_max_error, direct.band_max_error);
+  ASSERT_EQ(via_engine.pairs.size(), direct.pairs.size());
+  for (std::size_t i = 0; i < direct.pairs.size(); ++i) {
+    EXPECT_EQ(via_engine.pairs[i].status, direct.pairs[i].status);
+    EXPECT_EQ(via_engine.pairs[i].gates.alpha12, direct.pairs[i].gates.alpha12);
+    EXPECT_EQ(via_engine.pairs[i].gates.alpha21, direct.pairs[i].gates.alpha21);
+    EXPECT_EQ(via_engine.pairs[i].verdict.success,
+              direct.pairs[i].verdict.success);
+    expect_stats_equal(via_engine.pairs[i].stats, direct.pairs[i].stats);
+  }
+  for (std::size_t r = 0; r < direct.matrix.rows(); ++r)
+    for (std::size_t c = 0; c < direct.matrix.cols(); ++c)
+      EXPECT_EQ(via_engine.matrix(r, c), direct.matrix(r, c));
+  EXPECT_EQ(via_engine.total_stats.unique_probes,
+            direct.total_stats.unique_probes);
+
+  // And the serial composition is identical too.
+  ArrayExtractionOptions serial_options = options;
+  serial_options.parallel = false;
+  const ArrayExtractionResult serial = engine.run_array(device, serial_options);
+  EXPECT_EQ(serial.band_max_error, direct.band_max_error);
+  EXPECT_EQ(serial.total_stats.unique_probes,
+            direct.total_stats.unique_probes);
+}
+
+TEST(ExtractionEngineTest, RequestWithoutBackendFailsTyped) {
+  ExtractionEngine engine;
+  const ExtractionReport report = engine.run(ExtractionRequest{});
+  EXPECT_FALSE(report.success());
+  EXPECT_EQ(report.status.code(), ErrorCode::kInvalidRequest);
+  EXPECT_EQ(report.status.stage(), "engine");
+}
+
+TEST(ExtractionEngineTest, RequestWithBothBackendsFailsTyped) {
+  const BuiltDevice device = test_device();
+  DeviceSimulator source_sim = direct_simulator(device);
+  const VoltageAxis axis = scan_axis(device, 16);
+  const Csd csd = source_sim.generate_csd(axis, axis, "both");
+
+  ExtractionRequest request = device_request(device, ExtractionMethod::kFast);
+  request.playback.csd = &csd;  // ambiguous: names both backends
+  ExtractionEngine engine;
+  const ExtractionReport report = engine.run(request);
+  EXPECT_FALSE(report.success());
+  EXPECT_EQ(report.status.code(), ErrorCode::kInvalidRequest);
+}
+
+TEST(ExtractionEngineTest, MalformedRequestDataFailsTypedAndSparesTheBatch) {
+  const BuiltDevice device = test_device();  // 2 dots: only pair_index 0 valid
+  ExtractionRequest bad_pair = device_request(device, ExtractionMethod::kFast);
+  bad_pair.device.pair_index = 1;
+  ExtractionRequest bad_pixels = device_request(device, ExtractionMethod::kFast);
+  bad_pixels.device.pixels_per_axis = 8;
+  const ExtractionRequest good = device_request(device, ExtractionMethod::kFast);
+
+  ExtractionEngine engine;
+  engine.submit(bad_pair);
+  engine.submit(good);
+  engine.submit(bad_pixels);
+  const std::vector<ExtractionReport> reports = engine.run_all();
+
+  ASSERT_EQ(reports.size(), 3u);
+  EXPECT_EQ(reports[0].status.code(), ErrorCode::kInvalidRequest);
+  EXPECT_EQ(reports[2].status.code(), ErrorCode::kInvalidRequest);
+  // The malformed neighbours did not take the healthy request down.
+  EXPECT_EQ(reports[1].status, engine.run(good).status);
+}
+
+TEST(ExtractionEngineTest, UnpopulatedStageResultNeverReadsAsSuccess) {
+  const BuiltDevice device = test_device();
+  ExtractionEngine engine;
+  const ExtractionReport fast_report =
+      engine.run(device_request(device, ExtractionMethod::kFast));
+  EXPECT_TRUE(fast_report.fast.success());
+  EXPECT_FALSE(fast_report.hough.success());
+  EXPECT_EQ(fast_report.hough.status.code(), ErrorCode::kInternal);
+
+  const ExtractionReport hough_report =
+      engine.run(device_request(device, ExtractionMethod::kHoughBaseline));
+  EXPECT_FALSE(hough_report.fast.success());
+  EXPECT_EQ(hough_report.fast.status.code(), ErrorCode::kInternal);
+}
+
+TEST(ExtractionEngineTest, QflowPlaybackSuiteRunsThroughEngine) {
+  // One small qflow benchmark replayed through the engine: the report's
+  // verdict machinery and probe accounting match the direct Table-1 driver.
+  const auto specs = qflow_suite_specs();
+  const QflowBenchmarkSpec* smallest = &specs.front();
+  for (const auto& spec : specs)
+    if (spec.pixels < smallest->pixels) smallest = &spec;
+  const QflowBenchmark benchmark = build_qflow_benchmark(*smallest);
+
+  auto playback = make_playback(benchmark);
+  const FastExtractionResult direct = run_fast_extraction(
+      *playback, benchmark.csd.x_axis(), benchmark.csd.y_axis());
+
+  ExtractionRequest request;
+  request.playback.csd = &benchmark.csd;
+  request.label = benchmark.name();
+  ExtractionEngine engine;
+  const ExtractionReport report = engine.run(request);
+
+  EXPECT_EQ(report.label, benchmark.name());
+  EXPECT_EQ(report.status, direct.status);
+  EXPECT_EQ(report.virtual_gates.alpha12, direct.virtual_gates.alpha12);
+  expect_stats_equal(report.stats, direct.stats);
+  EXPECT_TRUE(report.has_verdict);
+}
+
+}  // namespace
+}  // namespace qvg
