@@ -82,10 +82,10 @@ int main() {
                               benchmark.csd.y_axis(), variant.options);
       const auto& truth = *benchmark.csd.truth();
       const Verdict verdict =
-          judge_extraction(result.success(), result.virtual_gates, truth);
+          judge_extraction(result.status.ok(), result.virtual_gates, truth);
       ++tally.runs;
       tally.successes += verdict.success ? 1 : 0;
-      if (result.success()) {
+      if (result.status.ok()) {
         tally.error_sum += 0.5 * (verdict.alpha12_rel_error +
                                   verdict.alpha21_rel_error);
       } else {

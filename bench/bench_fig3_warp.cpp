@@ -28,8 +28,8 @@ int main() {
   // Extract virtual gates with the fast method.
   sim.reset();
   const auto result = run_fast_extraction(sim, axis, axis);
-  if (!result.success()) {
-    std::cerr << "extraction failed: " << result.failure_reason() << "\n";
+  if (!result.status.ok()) {
+    std::cerr << "extraction failed: " << result.status.message() << "\n";
     return 1;
   }
 

@@ -55,7 +55,7 @@ int main() {
                      static_cast<double>(benchmark.spec.pixels *
                                          benchmark.spec.pixels)
               << "%), extraction "
-              << (result.success() ? "succeeded" : "failed") << " ---\n";
+              << (result.status.ok() ? "succeeded" : "failed") << " ---\n";
     render_probe_map(benchmark, result);
     std::cout << '\n';
 

@@ -24,6 +24,14 @@
 //   engine_overhead   — ExtractionEngine façade vs calling the extraction
 //                       entry points directly, plus serial-vs-parallel
 //                       batch submission.                             (PR 3)
+//   cancellation_check_overhead — context-checked (row-batched, per-row
+//                       interruption check) full-CSD acquisition vs the
+//                       PR 3 single-batch path, simulator and playback
+//                       (bit-identical check; expected <= 2% on the
+//                       simulator).                                   (PR 4)
+//   async_queue_throughput — N extraction jobs through the async JobQueue
+//                       at fixed worker counts vs a serial engine.run
+//                       loop (reports bit-identical).                 (PR 4)
 //
 // Extraction scenarios run through the ExtractionEngine façade (PR 3); the
 // micro solver/imgproc scenarios have no extraction to route.
@@ -31,7 +39,7 @@
 // Every scenario records the effective thread count (set QVG_THREADS=N to
 // re-measure on multi-core hardware in one variable).
 //
-// Usage: bench_json [output.json]   (default: BENCH_PR3.json in the CWD)
+// Usage: bench_json [output.json]   (default: BENCH_PR4.json in the CWD)
 #include "common/stopwatch.hpp"
 #include "common/thread_pool.hpp"
 #include "dataset/qflow_synth.hpp"
@@ -42,7 +50,7 @@
 #include "probe/playback.hpp"
 #include "probe/probe_cache.hpp"
 #include "probe/raster.hpp"
-#include "service/extraction_engine.hpp"
+#include "service/job_queue.hpp"
 
 #include <fstream>
 #include <iostream>
@@ -71,7 +79,7 @@ struct JsonWriter {
   std::ostringstream out;
   bool first_scenario = true;
 
-  void begin() { out << "{\n  \"bench\": \"PR3\",\n  \"scenarios\": [\n"; }
+  void begin() { out << "{\n  \"bench\": \"PR4\",\n  \"scenarios\": [\n"; }
   void end() {
     out << "\n  ]\n}\n";
   }
@@ -326,7 +334,7 @@ void bench_extraction(JsonWriter& json) {
     request.method = ExtractionMethod::kFast;
     const ExtractionReport fast = engine.run(request);
     json.begin_scenario("table1_fast_extraction_100px");
-    json.field("success", fast.success());
+    json.field("success", fast.status.ok());
     json.field("unique_probes", fast.stats.unique_probes);
     json.field("total_requests", fast.stats.total_requests);
     json.field("probe_fraction",
@@ -341,7 +349,7 @@ void bench_extraction(JsonWriter& json) {
     request.method = ExtractionMethod::kHoughBaseline;
     const ExtractionReport base = engine.run(request);
     json.begin_scenario("table1_hough_baseline_100px");
-    json.field("success", base.success());
+    json.field("success", base.status.ok());
     json.field("unique_probes", base.stats.unique_probes);
     json.field("compute_seconds", base.stats.compute_seconds);
     json.field("simulated_seconds", base.stats.simulated_seconds);
@@ -383,11 +391,11 @@ void bench_scaling(JsonWriter& json) {
   const double base_wall = wb.elapsed_seconds();
 
   json.begin_scenario("scaling_array_3dot");
-  json.field("fast_success", fast.success());
+  json.field("fast_success", fast.status.ok());
   json.field("fast_unique_probes", fast.total_stats.unique_probes);
   json.field("fast_total_seconds", fast.total_stats.total_seconds());
   json.field("fast_wall_seconds", fast_wall);
-  json.field("baseline_success", base.success());
+  json.field("baseline_success", base.status.ok());
   json.field("baseline_unique_probes", base.total_stats.unique_probes);
   json.field("baseline_total_seconds", base.total_stats.total_seconds());
   json.field("baseline_wall_seconds", base_wall);
@@ -401,13 +409,12 @@ void bench_scaling(JsonWriter& json) {
 /// legitimately varies run to run).
 bool array_results_identical(const ArrayExtractionResult& a,
                              const ArrayExtractionResult& b) {
-  if (a.success() != b.success() || a.pairs.size() != b.pairs.size()) return false;
+  if (a.status != b.status || a.pairs.size() != b.pairs.size()) return false;
   if (a.band_max_error != b.band_max_error) return false;
   for (std::size_t i = 0; i < a.pairs.size(); ++i) {
     const auto& pa = a.pairs[i];
     const auto& pb = b.pairs[i];
-    if (pa.pair_index != pb.pair_index || pa.success() != pb.success() ||
-        pa.failure_reason() != pb.failure_reason() ||
+    if (pa.pair_index != pb.pair_index || pa.status != pb.status ||
         pa.gates.alpha12 != pb.gates.alpha12 ||
         pa.gates.alpha21 != pb.gates.alpha21 ||
         pa.stats.unique_probes != pb.stats.unique_probes ||
@@ -448,7 +455,7 @@ void bench_array_scaling(JsonWriter& json) {
 
     json.begin_scenario("array_scaling_" + std::to_string(n_dots) + "dot");
     json.field("pairs", static_cast<long>(n_dots - 1));
-    json.field("fast_success", serial_result.success());
+    json.field("fast_success", serial_result.status.ok());
     json.field("fast_unique_probes", serial_result.total_stats.unique_probes);
     json.field("fast_serial_seconds", serial_s);
     json.field("fast_parallel_seconds", parallel_s);
@@ -462,7 +469,7 @@ void bench_array_scaling(JsonWriter& json) {
       const double base_s = time_best(2, [&] {
         base_result = engine.run_array(device, base_opt);
       });
-      json.field("baseline_success", base_result.success());
+      json.field("baseline_success", base_result.status.ok());
       json.field("baseline_unique_probes",
                  base_result.total_stats.unique_probes);
       json.field("baseline_seconds", base_s);
@@ -579,6 +586,127 @@ void bench_engine_overhead(JsonWriter& json) {
   json.end_scenario();
 }
 
+// PR 4: what the cancellation machinery costs when nothing interrupts. A
+// limited AcquisitionContext turns the single-batch 100x100 acquisition into
+// row batches with one check (atomic load + steady_clock read) per row; the
+// results must stay bit-identical and the overhead on the simulator's
+// physics-dominated probe path is expected <= 2%. The playback variant shows
+// the worst case (amortized-dispatch floor: lookup-dominated, so fixed
+// per-row costs weigh the most).
+void bench_cancellation_overhead(JsonWriter& json) {
+  const BuiltDevice device = build_dot_array(DotArrayParams{});
+  const VoltageAxis axis = scan_axis(device, 100);
+
+  AcquisitionContext context;
+  context.cancel = CancelToken::make();  // limited, but never fires
+
+  {
+    Csd plain_csd, checked_csd;
+    const double plain_s = time_best(7, [&] {
+      DeviceSimulator sim = make_pair_simulator(device);
+      plain_csd = acquire_full_csd(sim, axis, axis);
+    });
+    const double checked_s = time_best(7, [&] {
+      DeviceSimulator sim = make_pair_simulator(device);
+      checked_csd = *acquire_full_csd(sim, axis, axis, context);
+    });
+    json.begin_scenario("cancellation_check_overhead_100px");
+    json.field("pixels", static_cast<long>(axis.count() * axis.count()));
+    json.field("plain_seconds", plain_s);
+    json.field("checked_seconds", checked_s);
+    json.field("overhead_fraction", checked_s / plain_s - 1.0);
+    json.field("results_identical", plain_csd.grid() == checked_csd.grid());
+    json.end_scenario();
+  }
+  {
+    DeviceSimulator sim = make_pair_simulator(device);
+    const Csd recorded = sim.generate_csd(axis, axis, "cancel_overhead");
+    Csd plain_csd, checked_csd;
+    const double plain_s = time_best(7, [&] {
+      CsdPlayback playback(recorded);
+      plain_csd = acquire_full_csd(playback, axis, axis);
+    });
+    const double checked_s = time_best(7, [&] {
+      CsdPlayback playback(recorded);
+      checked_csd = *acquire_full_csd(playback, axis, axis, context);
+    });
+    json.begin_scenario("cancellation_check_overhead_playback_100px");
+    json.field("pixels", static_cast<long>(axis.count() * axis.count()));
+    json.field("plain_seconds", plain_s);
+    json.field("checked_seconds", checked_s);
+    json.field("overhead_fraction", checked_s / plain_s - 1.0);
+    json.field("results_identical", plain_csd.grid() == checked_csd.grid());
+    json.end_scenario();
+  }
+}
+
+// PR 4: async JobQueue throughput. N self-contained fast-extraction jobs
+// drained through queues pinned to 1 and 4 workers vs a serial engine.run
+// loop; uncancelled async reports must be bit-identical to the synchronous
+// ones regardless of drain order.
+void bench_async_queue(JsonWriter& json) {
+  const BuiltDevice device = build_dot_array(DotArrayParams{});
+
+  constexpr int kJobs = 8;
+  std::vector<ExtractionRequest> requests;
+  for (int i = 0; i < kJobs; ++i) {
+    ExtractionRequest request;
+    request.device.device = &device;
+    request.device.pixels_per_axis = 64;
+    request.device.noise_seed = 42 + static_cast<std::uint64_t>(i);
+    request.device.white_noise_sigma = 0.02;
+    request.label = "throughput-" + std::to_string(i);
+    requests.push_back(std::move(request));
+  }
+
+  const ExtractionEngine engine;
+  std::vector<ExtractionReport> serial(requests.size());
+  const double serial_s = time_best(3, [&] {
+    for (std::size_t i = 0; i < requests.size(); ++i)
+      serial[i] = engine.run(requests[i]);
+  });
+
+  auto reports_identical = [&](const std::vector<ExtractionReport>& async) {
+    for (std::size_t i = 0; i < serial.size(); ++i) {
+      if (async[i].status != serial[i].status ||
+          async[i].virtual_gates.alpha12 != serial[i].virtual_gates.alpha12 ||
+          async[i].virtual_gates.alpha21 != serial[i].virtual_gates.alpha21 ||
+          async[i].stats.unique_probes != serial[i].stats.unique_probes ||
+          async[i].stats.simulated_seconds != serial[i].stats.simulated_seconds)
+        return false;
+    }
+    return true;
+  };
+
+  bool identical = true;
+  auto drain_with_pool = [&](ThreadPool& pool) {
+    JobQueue queue(EngineOptions{}, &pool);
+    std::vector<JobHandle> handles;
+    handles.reserve(requests.size());
+    for (const auto& request : requests) handles.push_back(queue.submit(request));
+    std::vector<ExtractionReport> reports;
+    reports.reserve(handles.size());
+    for (const auto& handle : handles) reports.push_back(handle.wait());
+    identical = identical && reports_identical(reports);
+  };
+  // Dedicated pools pin the concurrency independently of QVG_THREADS; they
+  // live outside the timed region so the scenario measures submit+drain
+  // throughput, not thread spawn/join.
+  ThreadPool pool1(1);
+  ThreadPool pool4(4);
+  const double queue1_s = time_best(3, [&] { drain_with_pool(pool1); });
+  const double queue4_s = time_best(3, [&] { drain_with_pool(pool4); });
+
+  json.begin_scenario("async_queue_throughput_8jobs_64px");
+  json.field("jobs", static_cast<long>(kJobs));
+  json.field("serial_seconds", serial_s);
+  json.field("queue_1worker_seconds", queue1_s);
+  json.field("queue_4worker_seconds", queue4_s);
+  json.field("queue_4worker_speedup", serial_s / queue4_s);
+  json.field("reports_identical", identical);
+  json.end_scenario();
+}
+
 // PR 2: the 12-diagram qflow suite built serially vs fanned out over the
 // pool (each diagram is deterministic given its spec).
 void bench_suite_generation(JsonWriter& json) {
@@ -609,7 +737,7 @@ void bench_suite_generation(JsonWriter& json) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  const std::string out_path = argc > 1 ? argv[1] : "BENCH_PR3.json";
+  const std::string out_path = argc > 1 ? argv[1] : "BENCH_PR4.json";
 
   JsonWriter json;
   json.out.precision(6);
@@ -624,6 +752,8 @@ int main(int argc, char** argv) {
   bench_suite_generation(json);
   bench_probe_path(json);
   bench_engine_overhead(json);
+  bench_cancellation_overhead(json);
+  bench_async_queue(json);
   json.end();
 
   std::ofstream file(out_path);

@@ -44,9 +44,9 @@ int main() {
         if (sigma > 0) sim.add_noise(std::make_unique<WhiteNoise>(sigma));
         const auto result = run_fast_extraction(sim, axis, axis);
         const Verdict verdict =
-            judge_extraction(result.success(), result.virtual_gates, truth);
+            judge_extraction(result.status.ok(), result.virtual_gates, truth);
         fast_ok += verdict.success ? 1 : 0;
-        fast_err += result.success()
+        fast_err += result.status.ok()
                         ? 0.5 * (verdict.alpha12_rel_error +
                                  verdict.alpha21_rel_error)
                         : 1.0;
@@ -58,9 +58,9 @@ int main() {
         if (sigma > 0) sim.add_noise(std::make_unique<WhiteNoise>(sigma));
         const auto result = run_hough_baseline(sim, axis, axis);
         const Verdict verdict =
-            judge_extraction(result.success(), result.virtual_gates, truth);
+            judge_extraction(result.status.ok(), result.virtual_gates, truth);
         base_ok += verdict.success ? 1 : 0;
-        base_err += result.success()
+        base_err += result.status.ok()
                         ? 0.5 * (verdict.alpha12_rel_error +
                                  verdict.alpha21_rel_error)
                         : 1.0;

@@ -37,7 +37,7 @@ int main() {
     const double base_minutes = base.total_stats.total_seconds() / 60.0;
     rows.push_back({std::to_string(n_dots),
                     std::to_string(n_dots - 1),
-                    std::string(fast.success() ? "yes" : "no"),
+                    std::string(fast.status.ok() ? "yes" : "no"),
                     std::to_string(fast.total_stats.unique_probes),
                     std::to_string(base.total_stats.unique_probes),
                     format_fixed(fast_minutes, 1) + " min",

@@ -50,7 +50,7 @@ int main() {
   // one baseline playback request (each builds its own replayed getCurrent,
   // so the batch fans out deterministically).
   const std::vector<QflowBenchmark> suite = build_qflow_suite();
-  ExtractionEngine engine;
+  std::vector<ExtractionRequest> requests;
   for (const auto& benchmark : suite) {
     for (const auto method :
          {ExtractionMethod::kFast, ExtractionMethod::kHoughBaseline}) {
@@ -58,10 +58,11 @@ int main() {
       request.method = method;
       request.playback.csd = &benchmark.csd;
       request.label = benchmark.name();
-      engine.submit(request);
+      requests.push_back(std::move(request));
     }
   }
-  const std::vector<ExtractionReport> reports = engine.run_all();
+  const ExtractionEngine engine;
+  const std::vector<ExtractionReport> reports = engine.run_batch(requests);
 
   for (std::size_t i = 0; i < suite.size(); ++i) {
     const QflowBenchmarkSpec& spec = suite[i].spec;
@@ -83,8 +84,8 @@ int main() {
     row.base_seconds = base.stats.total_seconds();
     row.base_note = base.verdict.success
                         ? ""
-                        : (base.success() ? base.verdict.reason
-                                          : base.status.message());
+                        : (base.status.ok() ? base.verdict.reason
+                                            : base.status.message());
     base_successes += base.verdict.success ? 1 : 0;
 
     rows.push_back(row);

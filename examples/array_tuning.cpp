@@ -50,7 +50,8 @@ int main() {
   for (const auto& pair : result.pairs) {
     std::cout << "pair P" << pair.pair_index + 1 << "-P" << pair.pair_index + 2
               << ": "
-              << (pair.success() ? "success" : "FAILED: " + pair.failure_reason())
+              << (pair.status.ok() ? "success"
+                                   : "FAILED: " + pair.status.message())
               << " (" << pair.stats.unique_probes << " probes, "
               << format_fixed(pair.stats.simulated_seconds, 1)
               << " s simulated; verdict "
@@ -85,5 +86,5 @@ int main() {
                                 options.pixels_per_axis * 0.050 / 60.0,
                             1)
             << " minutes)\n";
-  return result.success() ? 0 : 1;
+  return result.status.ok() ? 0 : 1;
 }

@@ -2,27 +2,42 @@
 // stability diagram.
 //
 //   csd_tool <diagram.csv> [--method fast|hough] [--dwell seconds]
+//            [--timeout-ms T] [--max-probes N] [--cancel]
 //
 // Reads a CSD saved with qvg's CSV format (see dataset/csd_io.hpp), replays
 // it through the paper's simulated getCurrent (dwell-time accounting
-// included), runs the chosen extraction method, and prints the
-// virtualization matrix plus probe statistics. When the file carries ground
-// truth (simulated diagrams do), the verdict is printed too.
+// included), runs the chosen extraction method as an async job, and prints
+// the virtualization matrix plus probe statistics. When the file carries
+// ground truth (simulated diagrams do), the verdict is printed too.
+//
+// --timeout-ms and --max-probes set the request's deadline/probe budget;
+// --cancel submits the job with an already-fired CancelToken (exercises the
+// cancellation path end to end). Exit codes are distinct per outcome:
+//   0 success, 1 extraction/load failure, 2 usage,
+//   3 job cancelled (kCancelled), 4 deadline/budget exceeded
+//   (kDeadlineExceeded).
 //
 // Generate inputs with examples/device_playground or dataset tooling:
 //   ./device_playground && ./csd_tool playground_clean.csv
 #include "common/strings.hpp"
-#include "service/extraction_engine.hpp"
+#include "service/job_queue.hpp"
 
+#include <chrono>
 #include <iostream>
 #include <string>
 
 namespace {
 
+constexpr int kExitFailure = 1;
+constexpr int kExitUsage = 2;
+constexpr int kExitCancelled = 3;
+constexpr int kExitDeadlineExceeded = 4;
+
 int usage() {
   std::cerr << "usage: csd_tool <diagram.csv> [--method fast|hough] "
-               "[--dwell seconds]\n";
-  return 2;
+               "[--dwell seconds] [--timeout-ms T] [--max-probes N] "
+               "[--cancel]\n";
+  return kExitUsage;
 }
 
 }  // namespace
@@ -34,15 +49,30 @@ int main(int argc, char** argv) {
   std::string path = argv[1];
   std::string method = "fast";
   double dwell = 0.050;
-  for (int i = 2; i + 1 < argc; i += 2) {
-    const std::string flag = argv[i];
-    if (flag == "--method") {
-      method = argv[i + 1];
-    } else if (flag == "--dwell") {
-      dwell = std::stod(argv[i + 1]);
-    } else {
-      return usage();
+  double timeout_ms = 0.0;
+  long max_probes = 0;
+  bool cancel_job = false;
+  try {
+    for (int i = 2; i < argc; ++i) {
+      const std::string flag = argv[i];
+      if (flag == "--cancel") {
+        cancel_job = true;
+      } else if (i + 1 >= argc) {
+        return usage();
+      } else if (flag == "--method") {
+        method = argv[++i];
+      } else if (flag == "--dwell") {
+        dwell = std::stod(argv[++i]);
+      } else if (flag == "--timeout-ms") {
+        timeout_ms = std::stod(argv[++i]);
+      } else if (flag == "--max-probes") {
+        max_probes = std::stol(argv[++i]);
+      } else {
+        return usage();
+      }
     }
+  } catch (const std::exception&) {  // malformed number: a usage error
+    return usage();
   }
   if (method != "fast" && method != "hough") return usage();
 
@@ -51,7 +81,7 @@ int main(int argc, char** argv) {
   if (!loaded) {
     std::cerr << "error [" << error_code_name(loaded.status().code())
               << "]: " << loaded.status().detail() << "\n";
-    return 1;
+    return kExitFailure;
   }
   const Csd& csd = *loaded;
   std::cout << "loaded " << path << ": " << csd.width() << "x" << csd.height()
@@ -65,15 +95,31 @@ int main(int argc, char** argv) {
   request.playback.csd = &csd;
   request.playback.dwell_seconds = dwell;
   request.label = path;
+  if (timeout_ms > 0.0)
+    request.deadline = std::chrono::steady_clock::now() +
+                       std::chrono::microseconds(
+                           static_cast<long long>(timeout_ms * 1e3));
+  request.budget.max_probes = max_probes;
 
-  const ExtractionEngine engine;
-  const ExtractionReport report = engine.run(request);
+  CancelToken cancel = CancelToken::make();
+  if (cancel_job) cancel.cancel();
+  JobQueue jobs;
+  const ExtractionReport report = jobs.submit(request, cancel).wait();
 
-  if (!report.success()) {
-    std::cout << "extraction FAILED ["
-              << error_code_name(report.status.code())
-              << "]: " << report.status.message() << "\n";
-    return 1;
+  if (!report.status.ok()) {
+    std::cout << "extraction "
+              << (report.status.code() == ErrorCode::kCancelled ||
+                          report.status.code() == ErrorCode::kDeadlineExceeded
+                      ? "INTERRUPTED ["
+                      : "FAILED [")
+              << error_code_name(report.status.code()) << "] at stage '"
+              << report.status.stage() << "': " << report.status.detail()
+              << " (after " << report.stats.unique_probes << " probes)\n";
+    switch (report.status.code()) {
+      case ErrorCode::kCancelled: return kExitCancelled;
+      case ErrorCode::kDeadlineExceeded: return kExitDeadlineExceeded;
+      default: return kExitFailure;
+    }
   }
   const VirtualGatePair& gates = report.virtual_gates;
   std::cout << "extraction succeeded (" << method << " method)\n"

@@ -25,9 +25,9 @@ int main() {
   const TransitionTruth truth =
       device.model.pair_truth(0, 1, 0, 1, device.base_voltages);
 
-  // One engine request per (family, level): the backend's noise tier is part
-  // of the request, so the whole sweep is a declarative batch the engine
-  // fans out over the thread pool.
+  // One request per (family, level): the backend's noise tier is part of the
+  // request, so the whole sweep is a declarative batch the engine fans out
+  // over the thread pool.
   struct NoiseFamily {
     std::string name;
     std::function<void(DeviceBackend&, double)> apply;
@@ -45,7 +45,7 @@ int main() {
   };
   const std::vector<double> levels{0.01, 0.03, 0.06, 0.10, 0.20};
 
-  ExtractionEngine engine;
+  std::vector<ExtractionRequest> requests;
   for (const auto& family : families) {
     for (double level : levels) {
       ExtractionRequest request;
@@ -53,25 +53,27 @@ int main() {
       request.device.noise_seed = 31;
       request.device.pixels_per_axis = 100;
       family.apply(request.device, level);
-      engine.submit(request);
+      requests.push_back(std::move(request));
     }
   }
-  const std::vector<ExtractionReport> reports = engine.run_all();
+  const ExtractionEngine engine;
+  const std::vector<ExtractionReport> reports = engine.run_batch(requests);
 
   std::size_t job = 0;
   for (const auto& family : families) {
     std::vector<std::vector<std::string>> rows;
     for (double level : levels) {
       const ExtractionReport& report = reports[job++];
+      const bool ok = report.status.ok();
       const Verdict verdict =
-          judge_extraction(report.success(), report.virtual_gates, truth);
+          judge_extraction(ok, report.virtual_gates, truth);
       rows.push_back(
           {format_fixed(level, 2),
            verdict.success ? "success" : "fail",
-           report.success() ? format_fixed(100.0 * verdict.alpha12_rel_error, 1) + "%"
-                          : "-",
-           report.success() ? format_fixed(100.0 * verdict.alpha21_rel_error, 1) + "%"
-                          : "-",
+           ok ? format_fixed(100.0 * verdict.alpha12_rel_error, 1) + "%"
+              : "-",
+           ok ? format_fixed(100.0 * verdict.alpha21_rel_error, 1) + "%"
+              : "-",
            std::to_string(report.stats.unique_probes)});
     }
     std::cout << family.name << " noise (sensor peak current = 1.0):\n"

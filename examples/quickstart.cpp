@@ -1,13 +1,14 @@
 // Quickstart: extract virtual gates for a simulated double quantum dot.
 //
-// Builds a double-dot device with the constant-interaction model, then asks
-// the ExtractionEngine — the library's one public entry point — to run the
-// paper's fast extraction against it live (probing only ~10% of the pixels a
+// Builds a double-dot device with the constant-interaction model, then
+// submits the paper's fast extraction (probing only ~10% of the pixels a
 // full diagram would need) and the conventional full-CSD + Canny + Hough
-// baseline, comparing both with the analytic ground truth.
+// baseline as *async jobs* through the service layer's JobQueue, cancels a
+// redundant third job, and compares the results with the analytic ground
+// truth.
 #include "common/strings.hpp"
 #include "extraction/validation.hpp"
-#include "service/extraction_engine.hpp"
+#include "service/job_queue.hpp"
 
 #include <iostream>
 #include <memory>
@@ -34,29 +35,44 @@ int main() {
 
   // 2. One request per method against the same simulated backend. Each
   //    request is self-contained (the engine builds the device's simulator
-  //    with the given seed and noise tier), so both can be submitted
-  //    together and fanned out over the thread pool.
+  //    with the given seed and noise tier), so the jobs can run in any
+  //    order — async reports are bit-identical to synchronous run() calls.
   ExtractionRequest request;
   request.device.device = &device;
   request.device.noise_seed = 123;
   request.device.pixels_per_axis = 100;
   request.device.white_noise_sigma = 0.02;
 
-  ExtractionEngine engine;
+  JobQueue jobs;
   request.method = ExtractionMethod::kFast;
   request.label = "fast";
-  engine.submit(request);
+  JobHandle fast_job = jobs.submit(request);
   request.method = ExtractionMethod::kHoughBaseline;
   request.label = "hough";
-  engine.submit(request);
-  const std::vector<ExtractionReport> reports = engine.run_all();
-  const ExtractionReport& fast = reports[0];
-  const ExtractionReport& baseline = reports[1];
+  JobHandle hough_job = jobs.submit(request);
+
+  // A third request duplicates the baseline — redundant the moment it is
+  // queued. Cancel it through a pre-wired token (deterministic even when the
+  // queue degrades to synchronous execution on a single-threaded pool);
+  // JobHandle::cancel() does the same for a job already in flight.
+  CancelToken redundant_cancel = CancelToken::make();
+  redundant_cancel.cancel();
+  request.label = "hough-redundant";
+  JobHandle redundant_job = jobs.submit(request, redundant_cancel);
+
+  const ExtractionReport& fast = fast_job.wait();
+  const ExtractionReport& baseline = hough_job.wait();
+  const ExtractionReport& redundant = redundant_job.wait();
+  std::cout << "Redundant job '" << redundant.label << "': "
+            << error_code_name(redundant.status.code()) << " at stage '"
+            << redundant.status.stage() << "' after "
+            << redundant.stats.unique_probes << " probes\n\n";
 
   std::cout << "Fast extraction: "
-            << (fast.success() ? "success" : "FAILED: " + fast.status.message())
+            << (fast.status.ok() ? "success"
+                                 : "FAILED: " + fast.status.message())
             << "\n";
-  if (fast.success()) {
+  if (fast.status.ok()) {
     std::cout << "  slopes: steep " << fast.slope_steep << ", shallow "
               << fast.slope_shallow << "\n"
               << "  alpha12 = " << fast.virtual_gates.alpha12
@@ -75,7 +91,7 @@ int main() {
 
   // 3. Validate the extracted matrix on-device with four cheap line scans
   //    along the virtual axes (far cheaper than re-acquiring a diagram).
-  if (fast.success()) {
+  if (fast.status.ok()) {
     DeviceSimulator sim = make_pair_simulator(device, 0, /*noise_seed=*/123);
     sim.add_noise(std::make_unique<WhiteNoise>(0.02));
     const ValidationResult validation = validate_virtual_gates(
@@ -89,13 +105,13 @@ int main() {
               << ", " << validation.probes_used << " extra probes)\n\n";
   }
 
-  // 4. Baseline: full CSD + Canny + Hough (ran as the second batch job).
+  // 4. Baseline: full CSD + Canny + Hough (ran as the second async job).
   std::cout << "Hough baseline:  "
-            << (baseline.success()
+            << (baseline.status.ok()
                     ? "success"
                     : "FAILED: " + baseline.status.message())
             << "\n";
-  if (baseline.success()) {
+  if (baseline.status.ok()) {
     std::cout << "  slopes: steep " << baseline.slope_steep << ", shallow "
               << baseline.slope_shallow << "\n"
               << "  alpha12 = " << baseline.virtual_gates.alpha12

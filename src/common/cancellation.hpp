@@ -1,0 +1,49 @@
+// Cooperative cancellation for asynchronous jobs.
+//
+// A CancelToken is a copyable handle on a shared atomic flag. The service
+// layer hands one token to the job runner and one to the caller (inside the
+// JobHandle); cancel() flips the flag, and the probe/extraction loops poll
+// cancelled() between probe batches — cancellation is cooperative and
+// batch-granular, never mid-batch, so partial results stay well-defined.
+//
+// A default-constructed token is *non-cancellable*: it carries no shared
+// state, cancelled() is always false, and the fast paths can treat it as
+// "unlimited" without ever touching an atomic. CancelToken::make() creates a
+// fresh cancellable token.
+#pragma once
+
+#include <atomic>
+#include <memory>
+
+namespace qvg {
+
+class CancelToken {
+ public:
+  /// Non-cancellable token (no shared flag; cancelled() is always false).
+  CancelToken() = default;
+
+  /// A fresh cancellable token. Copies share the flag.
+  [[nodiscard]] static CancelToken make() {
+    CancelToken token;
+    token.flag_ = std::make_shared<std::atomic<bool>>(false);
+    return token;
+  }
+
+  /// Whether this token can ever fire (i.e. was created by make()).
+  [[nodiscard]] bool can_cancel() const noexcept { return flag_ != nullptr; }
+
+  /// Request cancellation. Every copy of the token observes it. No-op on a
+  /// non-cancellable token.
+  void cancel() const noexcept {
+    if (flag_) flag_->store(true, std::memory_order_relaxed);
+  }
+
+  [[nodiscard]] bool cancelled() const noexcept {
+    return flag_ && flag_->load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::shared_ptr<std::atomic<bool>> flag_;
+};
+
+}  // namespace qvg

@@ -15,6 +15,8 @@ const char* error_code_name(ErrorCode code) noexcept {
     case ErrorCode::kPairFailed: return "pair_failed";
     case ErrorCode::kIoError: return "io_error";
     case ErrorCode::kParseError: return "parse_error";
+    case ErrorCode::kCancelled: return "cancelled";
+    case ErrorCode::kDeadlineExceeded: return "deadline_exceeded";
     case ErrorCode::kInternal: return "internal";
   }
   return "unknown";

@@ -41,6 +41,12 @@ enum class ErrorCode {
   kIoError,
   /// Input data could not be parsed.
   kParseError,
+  /// The job was cancelled (CancelToken fired) before or during the run;
+  /// Status::stage() records the pipeline stage at the interruption point.
+  kCancelled,
+  /// The job's deadline passed or its Budget (max probes / max wall seconds)
+  /// was exhausted; Status::stage() records the interrupting stage.
+  kDeadlineExceeded,
   /// Unclassified internal failure.
   kInternal,
 };

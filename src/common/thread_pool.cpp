@@ -4,6 +4,7 @@
 #include <atomic>
 #include <condition_variable>
 #include <cstdlib>
+#include <deque>
 #include <exception>
 #include <mutex>
 #include <string>
@@ -69,8 +70,9 @@ struct ThreadPool::Job {
 
 struct ThreadPool::State {
   std::mutex mutex;
-  std::condition_variable work_cv;  // workers wait here for a job
+  std::condition_variable work_cv;  // workers wait here for a job or a task
   std::condition_variable done_cv;  // parallel_for waits here for completion
+  std::deque<std::function<void()>> tasks;  // post() queue, FIFO
   bool stop = false;
 };
 
@@ -99,27 +101,51 @@ ThreadPool::~ThreadPool() {
 }
 
 void ThreadPool::worker_loop() {
-  t_parallel_depth = 1;  // chunks running here must not re-enter the pool
+  t_parallel_depth = 1;  // chunks and tasks here must not re-enter the pool
+  std::unique_lock<std::mutex> lock(state_->mutex);
   for (;;) {
-    std::shared_ptr<Job> job;
-    {
-      std::unique_lock<std::mutex> lock(state_->mutex);
-      state_->work_cv.wait(lock, [&] { return state_->stop || job_; });
-      if (state_->stop) return;
-      job = job_;
+    state_->work_cv.wait(lock, [&] {
+      return state_->stop || job_ || !state_->tasks.empty();
+    });
+    if (state_->stop) return;
+    if (!state_->tasks.empty()) {
+      std::function<void()> task = std::move(state_->tasks.front());
+      state_->tasks.pop_front();
+      lock.unlock();
+      task();  // contract: tasks do not throw
+      lock.lock();
+      continue;
     }
+    const std::shared_ptr<Job> job = job_;
+    lock.unlock();
     while (job->run_one()) {
     }
     // Range exhausted. The thread that finished the last chunk wakes the
     // caller; notifying under the mutex avoids the lost-wakeup race with the
     // caller's predicate check.
-    std::unique_lock<std::mutex> lock(state_->mutex);
+    lock.lock();
     if (job->pending.load(std::memory_order_acquire) == 0)
       state_->done_cv.notify_all();
-    // Wait for the job slot to change before re-polling.
-    state_->work_cv.wait(lock, [&] { return state_->stop || job_ != job; });
+    // Wait for the job slot to change (or a task to arrive) before
+    // re-polling.
+    state_->work_cv.wait(lock, [&] {
+      return state_->stop || job_ != job || !state_->tasks.empty();
+    });
     if (state_->stop) return;
   }
+}
+
+void ThreadPool::post(std::function<void()> task) {
+  if (workers_.empty()) {
+    // No workers to hand the task to: degrade to synchronous execution.
+    task();
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lock(state_->mutex);
+    state_->tasks.push_back(std::move(task));
+  }
+  state_->work_cv.notify_one();
 }
 
 void ThreadPool::parallel_for(std::size_t begin, std::size_t end,

@@ -1,9 +1,11 @@
 // Fixed-size thread pool with a blocking `parallel_for` over contiguous
-// index ranges. No work stealing, no task futures: one range-job runs at a
-// time and the calling thread participates, so a single-threaded pool
-// degrades to a plain serial loop. Used to row-parallelize the batched
-// raster evaluation (DeviceSimulator::evaluate_raster) and the dense image
-// scans of the Canny/Hough baseline.
+// index ranges and a fire-and-forget `post()` task queue. No work stealing,
+// no task futures: one range-job runs at a time and the calling thread
+// participates, so a single-threaded pool degrades to a plain serial loop.
+// Used to row-parallelize the batched raster evaluation
+// (DeviceSimulator::evaluate_raster) and the dense image scans of the
+// Canny/Hough baseline; the service layer's JobQueue runs async extraction
+// jobs through post().
 //
 // All users split work so that each index writes disjoint output, which
 // keeps parallel results bit-identical to serial ones regardless of thread
@@ -44,6 +46,15 @@ class ThreadPool {
   /// inside a chunk run serially inline.
   void parallel_for(std::size_t begin, std::size_t end, const RangeFn& fn,
                     std::size_t min_chunk = 1);
+
+  /// Enqueue a fire-and-forget task. Tasks run on pool workers in FIFO order,
+  /// interleaved with parallel_for chunks; nested parallel_for calls made by
+  /// a task run inline (serial) on that worker. When the pool has no workers
+  /// the task runs inline in post() before it returns, so a single-threaded
+  /// pool degrades to synchronous execution. Tasks must not throw, and must
+  /// not block on other posted tasks (workers do not reenter the queue while
+  /// a task runs). Tasks still queued when the pool is destroyed are dropped.
+  void post(std::function<void()> task);
 
   /// Shared process-wide pool sized to the hardware.
   static ThreadPool& global();

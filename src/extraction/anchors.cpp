@@ -6,6 +6,8 @@
 
 #include <algorithm>
 #include <cmath>
+#include <string>
+#include <utility>
 
 namespace qvg {
 
@@ -85,21 +87,39 @@ std::vector<double> gaussian_prior(std::size_t n, double sigma_fraction) {
 
 }  // namespace
 
-Expected<AnchorResult> find_anchor_points(CurrentSource& source,
-                                          const VoltageAxis& x_axis,
-                                          const VoltageAxis& y_axis,
-                                          const AnchorOptions& opt) {
+namespace {
+
+Status anchor_failure(std::string detail) {
+  return Status::failure(ErrorCode::kAnchorNotFound, "anchors",
+                         std::move(detail));
+}
+
+}  // namespace
+
+Result<AnchorResult> find_anchor_points(CurrentSource& source,
+                                        const VoltageAxis& x_axis,
+                                        const VoltageAxis& y_axis,
+                                        const AnchorOptions& opt,
+                                        const AcquisitionContext& context) {
   const auto w = static_cast<std::ptrdiff_t>(x_axis.count());
   const auto h = static_cast<std::ptrdiff_t>(y_axis.count());
   if (w < 12 || h < 12)
-    return Expected<AnchorResult>::failure(
-        "scan window too small for anchor preprocessing");
+    return anchor_failure("scan window too small for anchor preprocessing");
   QVG_EXPECTS(opt.num_diagonal_points >= 2);
+
+  // One interruption check per probe batch; a batch in flight always runs to
+  // completion so the probe accounting stays well-defined.
+  auto interrupted = [&](Status& status) {
+    status = context.check("anchors", source.probe_count());
+    return !status.ok();
+  };
+  Status interrupt;
 
   AnchorResult result;
 
   // 1. Diagonal probe: ten equally spaced points (one batched request), find
   //    the brightest.
+  if (interrupted(interrupt)) return interrupt;
   const int nd = opt.num_diagonal_points;
   std::vector<Pixel> diagonal;
   diagonal.reserve(static_cast<std::size_t>(nd));
@@ -143,8 +163,8 @@ Expected<AnchorResult> find_anchor_points(CurrentSource& source,
   {
     const std::ptrdiff_t x_lo = result.start.x;
     const std::ptrdiff_t x_hi = w - 1;
-    if (x_hi <= x_lo)
-      return Expected<AnchorResult>::failure("empty Mask_x sweep range");
+    if (x_hi <= x_lo) return anchor_failure("empty Mask_x sweep range");
+    if (interrupted(interrupt)) return interrupt;
     const auto n = static_cast<std::size_t>(x_hi - x_lo + 1);
     std::vector<Pixel> centers(n);
     for (std::size_t i = 0; i < n; ++i)
@@ -169,8 +189,8 @@ Expected<AnchorResult> find_anchor_points(CurrentSource& source,
   {
     const std::ptrdiff_t y_lo = result.start.y;
     const std::ptrdiff_t y_hi = h - 1;
-    if (y_hi <= y_lo)
-      return Expected<AnchorResult>::failure("empty Mask_y sweep range");
+    if (y_hi <= y_lo) return anchor_failure("empty Mask_y sweep range");
+    if (interrupted(interrupt)) return interrupt;
     const auto n = static_cast<std::size_t>(y_hi - y_lo + 1);
     std::vector<Pixel> centers(n);
     for (std::size_t i = 0; i < n; ++i)
@@ -196,6 +216,7 @@ Expected<AnchorResult> find_anchor_points(CurrentSource& source,
   if (opt.snap_radius > 0) {
     FeatureGradientBatch batch;
     {
+      if (interrupted(interrupt)) return interrupt;
       std::vector<int> candidates;
       for (int dy = -opt.snap_radius; dy <= opt.snap_radius; ++dy) {
         const int y = result.anchor_a.y + dy;
@@ -216,6 +237,7 @@ Expected<AnchorResult> find_anchor_points(CurrentSource& source,
       result.anchor_a.y += best_dy;
     }
     {
+      if (interrupted(interrupt)) return interrupt;
       batch.clear();
       std::vector<int> candidates;
       for (int dx = -opt.snap_radius; dx <= opt.snap_radius; ++dx) {
@@ -241,7 +263,7 @@ Expected<AnchorResult> find_anchor_points(CurrentSource& source,
   // The anchors must span a valid triangle: A strictly left of and above B.
   if (!(result.anchor_a.x < result.anchor_b.x &&
         result.anchor_a.y > result.anchor_b.y)) {
-    return Expected<AnchorResult>::failure(
+    return anchor_failure(
         "anchor points do not form a valid critical region (A must be left "
         "of and above B)");
   }

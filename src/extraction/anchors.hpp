@@ -17,9 +17,10 @@
 // charge transition encountered and suppresses second-electron lines.
 #pragma once
 
-#include "common/error.hpp"
 #include "common/geometry.hpp"
+#include "common/status.hpp"
 #include "grid/axis.hpp"
+#include "probe/acquisition_context.hpp"
 #include "probe/current_source.hpp"
 
 #include <cstddef>
@@ -54,11 +55,14 @@ struct AnchorResult {
   std::vector<double> response_y;
 };
 
-/// Locate the two initial anchor points. Returns a failure Expected when the
-/// window is too small for the masks or no valid triangle (A left of and
-/// above B) can be formed.
-[[nodiscard]] Expected<AnchorResult> find_anchor_points(
+/// Locate the two initial anchor points. Fails typed (kAnchorNotFound, stage
+/// "anchors") when the window is too small for the masks or no valid
+/// triangle (A left of and above B) can be formed. The context is checked
+/// between the probe batches (diagonal, each mask sweep, each snap scan); a
+/// cancelled or expired job returns the interruption Status instead.
+[[nodiscard]] Result<AnchorResult> find_anchor_points(
     CurrentSource& source, const VoltageAxis& x_axis, const VoltageAxis& y_axis,
-    const AnchorOptions& options = {});
+    const AnchorOptions& options = {},
+    const AcquisitionContext& context = {});
 
 }  // namespace qvg

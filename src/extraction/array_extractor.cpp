@@ -6,6 +6,7 @@
 #include <cmath>
 #include <memory>
 #include <string>
+#include <utility>
 
 namespace qvg {
 
@@ -14,23 +15,32 @@ namespace qvg {
 // DeviceBackend; the engine==direct equivalence test relies on it.
 PairExtraction extract_array_pair(const BuiltDevice& device,
                                   const ArrayExtractionOptions& opt,
-                                  std::size_t pair_index) {
+                                  std::size_t pair_index,
+                                  const AcquisitionContext& context) {
+  PairExtraction pair;
+  pair.pair_index = pair_index;
+  // Checked before the pair starts: a job cancelled while earlier pairs ran
+  // skips this one outright (zero probes) with the typed Status.
+  if (Status interrupt = context.check("array"); !interrupt.ok()) {
+    pair.status = std::move(interrupt);
+    return pair;
+  }
+
   DeviceSimulator sim = make_pair_simulator(
       device, pair_index, opt.noise_seed + pair_index, opt.dwell_seconds);
   if (opt.white_noise_sigma > 0.0)
     sim.add_noise(std::make_unique<WhiteNoise>(opt.white_noise_sigma));
   const VoltageAxis axis = scan_axis(device, opt.pixels_per_axis);
 
-  PairExtraction pair;
-  pair.pair_index = pair_index;
-
   if (opt.method == ExtractionMethod::kFast) {
-    const auto extraction = run_fast_extraction(sim, axis, axis, opt.fast);
+    const auto extraction =
+        run_fast_extraction(sim, axis, axis, opt.fast, context);
     pair.status = extraction.status;
     pair.gates = extraction.virtual_gates;
     pair.stats = extraction.stats;
   } else {
-    const auto extraction = run_hough_baseline(sim, axis, axis, opt.baseline);
+    const auto extraction =
+        run_hough_baseline(sim, axis, axis, opt.baseline, context);
     pair.status = extraction.status;
     pair.gates = extraction.virtual_gates;
     pair.stats = extraction.stats;
@@ -79,6 +89,18 @@ ArrayExtractionResult compose_array_result(const BuiltDevice& device,
                                      result.reference(i + 1, i)));
   }
   result.band_max_error = worst;
+  // An interrupted pair dominates the composed status: the array job itself
+  // was cancelled / expired, which is not an ordinary pair failure.
+  for (const auto& pair : result.pairs) {
+    if (pair.status.code() == ErrorCode::kCancelled ||
+        pair.status.code() == ErrorCode::kDeadlineExceeded) {
+      result.status = Status::failure(pair.status.code(), "array",
+                                      "interrupted at pair " +
+                                          std::to_string(pair.pair_index) +
+                                          " (" + pair.status.message() + ")");
+      return result;
+    }
+  }
   if (failed > 0) {
     result.status = Status::failure(
         ErrorCode::kPairFailed, "array",
@@ -89,18 +111,21 @@ ArrayExtractionResult compose_array_result(const BuiltDevice& device,
 }
 
 ArrayExtractionResult extract_array_virtualization(
-    const BuiltDevice& device, const ArrayExtractionOptions& opt) {
+    const BuiltDevice& device, const ArrayExtractionOptions& opt,
+    const AcquisitionContext& context) {
   const std::size_t n = device.model.num_dots();
   QVG_EXPECTS(n >= 2);
   QVG_EXPECTS(opt.pixels_per_axis >= 16);
 
   // The paper's n-1 sequential pair extractions are independent given their
   // per-pair simulators, so they fan out over the pool; each pair writes
-  // only its own preallocated slot.
+  // only its own preallocated slot. The shared context stops every pair at
+  // its next batch boundary (a probe budget applies per pair, since each
+  // pair drives its own simulator and cache).
   std::vector<PairExtraction> pairs(n - 1);
   auto run_pairs = [&](std::size_t lo, std::size_t hi) {
     for (std::size_t pair_index = lo; pair_index < hi; ++pair_index)
-      pairs[pair_index] = extract_array_pair(device, opt, pair_index);
+      pairs[pair_index] = extract_array_pair(device, opt, pair_index, context);
   };
   if (opt.parallel)
     parallel_for_rows(pairs.size(), run_pairs, 1);

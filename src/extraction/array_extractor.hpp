@@ -11,9 +11,9 @@
 #include "extraction/fast_extractor.hpp"
 #include "extraction/hough_baseline.hpp"
 #include "extraction/success.hpp"
+#include "probe/acquisition_context.hpp"
 
 #include <cstdint>
-#include <string>
 #include <vector>
 
 namespace qvg {
@@ -44,10 +44,6 @@ struct PairExtraction {
   VirtualGatePair gates;
   Verdict verdict;
   ProbeStats stats;
-
-  // Thin compat accessors over the pre-Status convention (remove next PR).
-  [[nodiscard]] bool success() const noexcept { return status.ok(); }
-  [[nodiscard]] std::string failure_reason() const { return status.message(); }
 };
 
 struct ArrayExtractionResult {
@@ -65,24 +61,25 @@ struct ArrayExtractionResult {
   /// Per-pair ProbeStats summed in pair order: unique probes, raw requests,
   /// simulated dwell seconds, and compute seconds across the whole array.
   ProbeStats total_stats;
-
-  // Thin compat accessors over the pre-Status convention (remove next PR).
-  [[nodiscard]] bool success() const noexcept { return status.ok(); }
-  [[nodiscard]] std::string failure_reason() const { return status.message(); }
 };
 
-/// Extract virtual gates for every nearest-neighbour pair of the array.
+/// Extract virtual gates for every nearest-neighbour pair of the array. The
+/// context is shared by every pair: a cancelled or expired job stops each
+/// still-running pair at its next batch boundary and the composed result
+/// carries the interruption Status.
 [[nodiscard]] ArrayExtractionResult extract_array_virtualization(
-    const BuiltDevice& device, const ArrayExtractionOptions& options = {});
+    const BuiltDevice& device, const ArrayExtractionOptions& options = {},
+    const AcquisitionContext& context = {});
 
 /// Run ONE pair extraction of the array walk. Self-contained and
 /// deterministic: the pair's simulator is built from `pair_index` (own noise
 /// stream seeded opt.noise_seed + pair_index, own probe cache), so calls for
 /// different pairs never share mutable state. This is the unit the service
-/// layer fans out.
+/// layer fans out. The context is checked before the pair starts and
+/// threaded through its extraction.
 [[nodiscard]] PairExtraction extract_array_pair(
     const BuiltDevice& device, const ArrayExtractionOptions& options,
-    std::size_t pair_index);
+    std::size_t pair_index, const AcquisitionContext& context = {});
 
 /// Compose per-pair extractions (in pair order) into the full array result:
 /// n x n matrix, reference band, band error, summed ProbeStats, and overall

@@ -11,7 +11,8 @@ namespace qvg {
 FastExtractionResult run_fast_extraction(CurrentSource& source,
                                          const VoltageAxis& x_axis,
                                          const VoltageAxis& y_axis,
-                                         const FastExtractorOptions& opt) {
+                                         const FastExtractorOptions& opt,
+                                         const AcquisitionContext& context) {
   FastExtractionResult result;
   Stopwatch wall;
   const double sim_start = source.clock().elapsed_seconds();
@@ -32,20 +33,29 @@ FastExtractionResult run_fast_extraction(CurrentSource& source,
     result.probe_log = cache.probe_log();
     return result;
   };
+  // Interruption check between stages; the budget counts requests on the
+  // cache (the interface the pipeline drives).
+  auto interrupt_at = [&](const char* stage) {
+    return context.check(stage, cache.probe_count());
+  };
 
-  // Stage 1: anchor preprocessing (§4.4).
-  auto anchors = find_anchor_points(cache, x_axis, y_axis, opt.anchors);
-  if (!anchors)
-    return finish(Status::failure(ErrorCode::kAnchorNotFound, "anchors",
-                                  anchors.reason()));
+  // Stage 1: anchor preprocessing (§4.4). The context threads through and
+  // is checked before every anchor probe batch (including once on entry),
+  // so a pre-cancelled job stops with zero probes.
+  auto anchors =
+      find_anchor_points(cache, x_axis, y_axis, opt.anchors, context);
+  if (!anchors) return finish(anchors.status());
   result.anchors = std::move(anchors).value();
 
-  // Stage 2: triangle sweeps (§4.3.2, Algorithm 3).
+  // Stage 2: triangle sweeps (§4.3.2, Algorithm 3), context checked between
+  // segment batches.
+  if (Status s = interrupt_at("sweeps"); !s.ok()) return finish(std::move(s));
   SweepOptions sweep_opt = opt.sweep;
   sweep_opt.run_row_sweep = opt.enable_row_sweep;
   sweep_opt.run_col_sweep = opt.enable_col_sweep;
   result.sweeps = run_sweeps(cache, x_axis, y_axis, result.anchors.anchor_a,
-                             result.anchors.anchor_b, sweep_opt);
+                             result.anchors.anchor_b, sweep_opt, context);
+  if (!result.sweeps.status.ok()) return finish(result.sweeps.status);
   std::vector<Pixel> raw_points;
   if (opt.enable_row_sweep)
     for (const auto& p : result.sweeps.row_points) raw_points.push_back(p.pixel);
@@ -55,7 +65,13 @@ FastExtractionResult run_fast_extraction(CurrentSource& source,
     return finish(Status::failure(ErrorCode::kInsufficientPoints, "sweeps",
                                   "located fewer than 3 transition points"));
 
-  // Stage 3: post-processing filter (Algorithm 3, PostProcess).
+  // Stage 3: post-processing filter (Algorithm 3, PostProcess). Probing is
+  // done; the remaining stages are compute-only, with one cancel/deadline
+  // check before the fit so an expired job reports "fit" as its
+  // interruption point. The probe budget is deliberately NOT consulted
+  // here: it caps what the job may *issue*, and a run whose final probe
+  // batch landed on (or crossed) the budget still gets its fit.
+  if (Status s = context.check("fit"); !s.ok()) return finish(std::move(s));
   result.filtered_points = opt.enable_postprocess
                                ? postprocess_transition_points(raw_points)
                                : raw_points;

@@ -15,9 +15,9 @@
 #include "extraction/sweep.hpp"
 #include "extraction/virtualization.hpp"
 #include "grid/axis.hpp"
+#include "probe/acquisition_context.hpp"
 #include "probe/current_source.hpp"
 
-#include <string>
 #include <vector>
 
 namespace qvg {
@@ -64,15 +64,18 @@ struct FastExtractionResult {
   ProbeStats stats;
   /// Unique probed voltage configurations, in probe order (Figure 7).
   std::vector<Point2> probe_log;
-
-  // Thin compat accessors over the pre-Status convention (remove next PR).
-  [[nodiscard]] bool success() const noexcept { return status.ok(); }
-  [[nodiscard]] std::string failure_reason() const { return status.message(); }
 };
 
-/// Run the full fast extraction over the scan window given by the axes.
+/// Run the full fast extraction over the scan window given by the axes. The
+/// acquisition context is checked between pipeline stages and between the
+/// probe batches inside anchors and sweeps; a cancelled or expired job stops
+/// at the next batch boundary and returns the typed interruption Status
+/// (kCancelled / kDeadlineExceeded) with the ProbeStats and probe log of the
+/// partial run. An uninterrupted run is bit-identical whether or not a
+/// context is attached.
 [[nodiscard]] FastExtractionResult run_fast_extraction(
     CurrentSource& source, const VoltageAxis& x_axis, const VoltageAxis& y_axis,
-    const FastExtractorOptions& options = {});
+    const FastExtractorOptions& options = {},
+    const AcquisitionContext& context = {});
 
 }  // namespace qvg

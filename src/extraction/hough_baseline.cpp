@@ -127,17 +127,38 @@ HoughBaselineResult analyze_csd_with_hough(const Csd& csd,
 HoughBaselineResult run_hough_baseline(CurrentSource& source,
                                        const VoltageAxis& x_axis,
                                        const VoltageAxis& y_axis,
-                                       const HoughBaselineOptions& opt) {
+                                       const HoughBaselineOptions& opt,
+                                       const AcquisitionContext& context) {
   const double sim_start = source.clock().elapsed_seconds();
   const long probes_start = source.probe_count();
 
-  const Csd csd = acquire_full_csd(source, x_axis, y_axis);
-  HoughBaselineResult result = analyze_csd_with_hough(csd, opt);
+  auto fill_stats = [&](HoughBaselineResult& result) {
+    result.stats.unique_probes = source.probe_count() - probes_start;
+    result.stats.total_requests = result.stats.unique_probes;
+    result.stats.simulated_seconds =
+        source.clock().elapsed_seconds() - sim_start;
+  };
+  auto interrupted = [&](Status status) {
+    HoughBaselineResult result;
+    result.status = std::move(status);
+    fill_stats(result);
+    return result;
+  };
 
-  result.stats.unique_probes = source.probe_count() - probes_start;
-  result.stats.total_requests = result.stats.unique_probes;
-  result.stats.simulated_seconds =
-      source.clock().elapsed_seconds() - sim_start;
+  // Acquisition, context-checked between row batches; on interruption the
+  // partial probe accounting is still reported.
+  Result<Csd> csd = acquire_full_csd(source, x_axis, y_axis, context);
+  if (!csd) return interrupted(csd.status());
+  // One cancel/deadline check between the acquisition and the
+  // image-processing stage: a job that expired before the (probe-free)
+  // analysis reports stage "hough". The probe budget is deliberately not
+  // consulted here — it caps what the job may *issue*, and a raster that
+  // completed within its batch-granular budget keeps its analysis.
+  if (Status s = context.check("hough"); !s.ok())
+    return interrupted(std::move(s));
+
+  HoughBaselineResult result = analyze_csd_with_hough(*csd, opt);
+  fill_stats(result);
   return result;
 }
 

@@ -12,9 +12,9 @@
 #include "grid/csd.hpp"
 #include "imgproc/canny.hpp"
 #include "imgproc/hough.hpp"
+#include "probe/acquisition_context.hpp"
 #include "probe/current_source.hpp"
 
-#include <string>
 #include <vector>
 
 namespace qvg {
@@ -56,16 +56,18 @@ struct HoughBaselineResult {
   VirtualGatePair virtual_gates;
 
   ProbeStats stats;
-
-  // Thin compat accessors over the pre-Status convention (remove next PR).
-  [[nodiscard]] bool success() const noexcept { return status.ok(); }
-  [[nodiscard]] std::string failure_reason() const { return status.message(); }
 };
 
-/// Run the baseline over the scan window given by the axes.
+/// Run the baseline over the scan window given by the axes. The acquisition
+/// context is checked between the raster's row batches and between the
+/// acquisition and image-processing stages; a cancelled or expired job
+/// returns the typed interruption Status (stage "raster" or "hough") with
+/// the ProbeStats of the partial acquisition. An uninterrupted run is
+/// bit-identical whether or not a context is attached.
 [[nodiscard]] HoughBaselineResult run_hough_baseline(
     CurrentSource& source, const VoltageAxis& x_axis, const VoltageAxis& y_axis,
-    const HoughBaselineOptions& options = {});
+    const HoughBaselineOptions& options = {},
+    const AcquisitionContext& context = {});
 
 /// Run only the image-processing stage on an already-acquired CSD (used by
 /// tests and by replay benches that share one acquisition).

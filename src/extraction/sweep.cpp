@@ -30,7 +30,8 @@ std::pair<int, int> pixel_range(double span_lo, double span_hi, int window_hi) {
 
 SweepResult run_sweeps(CurrentSource& source, const VoltageAxis& x_axis,
                        const VoltageAxis& y_axis, Pixel anchor_a,
-                       Pixel anchor_b, const SweepOptions& opt) {
+                       Pixel anchor_b, const SweepOptions& opt,
+                       const AcquisitionContext& context) {
   QVG_EXPECTS(anchor_a.x < anchor_b.x);
   QVG_EXPECTS(anchor_a.y > anchor_b.y);
   const int w = static_cast<int>(x_axis.count());
@@ -44,6 +45,13 @@ SweepResult run_sweeps(CurrentSource& source, const VoltageAxis& x_axis,
   FeatureGradientBatch batch;
   SweepResult result;
 
+  // Interruption check before each segment batch: a stopped sweep keeps the
+  // points found so far and reports the typed Status.
+  auto interrupted = [&] {
+    result.status = context.check("sweeps", source.probe_count());
+    return !result.status.ok();
+  };
+
   // --- Row-major sweep (bottom -> top), moving anchor B. -----------------
   if (opt.run_row_sweep) {
     const int slack = opt.triangle_slack_pixels;
@@ -51,6 +59,7 @@ SweepResult run_sweeps(CurrentSource& source, const VoltageAxis& x_axis,
     for (int row = anchor_b.y + 1; row <= anchor_a.y - 1; ++row) {
       const auto span = triangle.row_span(static_cast<double>(row));
       if (!span) continue;
+      if (interrupted()) return result;
       auto [x_lo, x_hi] =
           pixel_range(span->first - slack, span->second + slack, w - 1);
       // Keep the moving anchor strictly right of the fixed anchor A.
@@ -88,6 +97,7 @@ SweepResult run_sweeps(CurrentSource& source, const VoltageAxis& x_axis,
     for (int col = anchor_a.x + 1; col <= anchor_b.x - 1; ++col) {
       const auto span = triangle.col_span(static_cast<double>(col));
       if (!span) continue;
+      if (interrupted()) return result;
       auto [y_lo, y_hi] =
           pixel_range(span->first - slack, span->second + slack, h - 1);
       // Keep the moving anchor strictly above the fixed anchor B.

@@ -15,7 +15,9 @@
 #pragma once
 
 #include "common/geometry.hpp"
+#include "common/status.hpp"
 #include "grid/axis.hpp"
+#include "probe/acquisition_context.hpp"
 #include "probe/current_source.hpp"
 
 #include <vector>
@@ -56,6 +58,11 @@ struct SweepPoint {
 };
 
 struct SweepResult {
+  /// ok() when both enabled sweeps ran to completion; the interruption
+  /// Status (kCancelled / kDeadlineExceeded, stage "sweeps") when the
+  /// acquisition context stopped them early. The points collected before the
+  /// interruption are retained.
+  Status status;
   std::vector<SweepPoint> row_points;  // from the row-major sweep
   std::vector<SweepPoint> col_points;  // from the column-major sweep
 
@@ -65,11 +72,14 @@ struct SweepResult {
 /// Run both sweeps from the given anchor pixels. Probing happens through
 /// `source` on the pixel lattice defined by the axes (wrap the source in a
 /// ProbeCache to share gradient neighbours between adjacent pixels and to
-/// count unique probes).
+/// count unique probes). The context is checked before every row/column
+/// segment batch; a cancelled or expired job stops at the next segment
+/// boundary with the points found so far.
 [[nodiscard]] SweepResult run_sweeps(CurrentSource& source,
                                      const VoltageAxis& x_axis,
                                      const VoltageAxis& y_axis, Pixel anchor_a,
                                      Pixel anchor_b,
-                                     const SweepOptions& options = {});
+                                     const SweepOptions& options = {},
+                                     const AcquisitionContext& context = {});
 
 }  // namespace qvg

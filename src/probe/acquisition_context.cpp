@@ -1,0 +1,21 @@
+#include "probe/acquisition_context.hpp"
+
+#include <string>
+
+namespace qvg {
+
+Status AcquisitionContext::check(const char* stage, long probes_used) const {
+  if (cancel.cancelled())
+    return Status::failure(ErrorCode::kCancelled, stage, "job cancelled");
+  if (deadline && Clock::now() >= *deadline)
+    return Status::failure(ErrorCode::kDeadlineExceeded, stage,
+                           "deadline exceeded");
+  if (max_probes > 0 && probes_used >= 0 && probes_used >= max_probes)
+    return Status::failure(ErrorCode::kDeadlineExceeded, stage,
+                           "probe budget exhausted (" +
+                               std::to_string(probes_used) + " of " +
+                               std::to_string(max_probes) + " allowed)");
+  return {};
+}
+
+}  // namespace qvg

@@ -1,0 +1,70 @@
+// Per-job acquisition limits, threaded from the service layer down to the
+// probe loops.
+//
+// A running acquisition is a sequence of batched get_currents requests (full
+// rasters go out row by row, sweeps segment by segment, mask scans sweep by
+// sweep). The AcquisitionContext carries everything that may stop the job
+// early — a CancelToken, an absolute wall-clock deadline, and a probe
+// budget — and every loop calls check() *between* batches: a cancelled or
+// expired job stops at the next batch boundary, never mid-batch, so partial
+// results (probe counts, clock charge, collected points) remain well-defined
+// and completed jobs stay bit-identical to unlimited runs.
+//
+// The default-constructed context is unlimited; limited() lets hot paths
+// keep their single-batch fast path when nothing can interrupt them.
+#pragma once
+
+#include "common/cancellation.hpp"
+#include "common/status.hpp"
+
+#include <chrono>
+#include <optional>
+
+namespace qvg {
+
+/// Per-request resource budget (0 = unlimited). max_wall_seconds is relative
+/// to the job start; the service layer converts it into an absolute deadline
+/// when it builds the context.
+struct Budget {
+  /// Maximum probe requests the job may issue, as observed at the probe
+  /// interface the pipeline drives (through a ProbeCache on the fast path,
+  /// cache hits included; the raw source on full rasters). Exhaustion is
+  /// reported as kDeadlineExceeded with a "probe budget exhausted" detail.
+  long max_probes = 0;
+  /// Maximum wall-clock seconds for the job.
+  double max_wall_seconds = 0.0;
+
+  [[nodiscard]] bool unlimited() const noexcept {
+    return max_probes <= 0 && max_wall_seconds <= 0.0;
+  }
+};
+
+class AcquisitionContext {
+ public:
+  using Clock = std::chrono::steady_clock;
+
+  /// Unlimited context: never cancels, never expires.
+  AcquisitionContext() = default;
+
+  /// Cooperative cancellation flag (non-cancellable by default).
+  CancelToken cancel;
+  /// Absolute wall-clock deadline.
+  std::optional<Clock::time_point> deadline;
+  /// Probe budget (0 = unlimited); see Budget::max_probes for what counts.
+  long max_probes = 0;
+
+  /// Whether any limit is attached. Unlimited contexts let acquisition keep
+  /// its single-batch fast path (no per-row checks, bit-identical to PR 3).
+  [[nodiscard]] bool limited() const noexcept {
+    return cancel.can_cancel() || deadline.has_value() || max_probes > 0;
+  }
+
+  /// Interruption check, called between probe batches and pipeline stages.
+  /// Returns ok, or the typed interruption Status (kCancelled or
+  /// kDeadlineExceeded) with `stage` recorded at the interruption point.
+  /// `probes_used` is compared against max_probes (pass the driving source's
+  /// probe_count(); negative skips the budget check).
+  [[nodiscard]] Status check(const char* stage, long probes_used = -1) const;
+};
+
+}  // namespace qvg

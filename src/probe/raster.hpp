@@ -2,7 +2,9 @@
 // baseline method (every pixel is probed once).
 #pragma once
 
+#include "common/status.hpp"
 #include "grid/csd.hpp"
+#include "probe/acquisition_context.hpp"
 #include "probe/current_source.hpp"
 
 namespace qvg {
@@ -15,5 +17,18 @@ namespace qvg {
 [[nodiscard]] Csd acquire_full_csd(CurrentSource& source,
                                    const VoltageAxis& x_axis,
                                    const VoltageAxis& y_axis);
+
+/// Context-aware acquisition. An unlimited context takes the single-batch
+/// path above; a limited one issues the raster in whole-row batches of at
+/// least ~512 probes and checks the context between them, so a cancelled or
+/// expired job stops at the next batch boundary (never mid-batch) with the
+/// probes already issued still counted on the source. Probe order is
+/// identical either way, so an uninterrupted limited acquisition is
+/// bit-identical to the unlimited one. On interruption returns the typed
+/// Status (stage "raster"); the partially acquired pixels are discarded.
+[[nodiscard]] Result<Csd> acquire_full_csd(CurrentSource& source,
+                                           const VoltageAxis& x_axis,
+                                           const VoltageAxis& y_axis,
+                                           const AcquisitionContext& context);
 
 }  // namespace qvg

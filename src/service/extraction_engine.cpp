@@ -36,16 +36,18 @@ DeviceSimulator make_backend_simulator(const DeviceBackend& backend) {
 /// method-specific halves of the report.
 void run_method(const ExtractionRequest& request, CurrentSource& source,
                 const VoltageAxis& x_axis, const VoltageAxis& y_axis,
-                ExtractionReport& report) {
+                const AcquisitionContext& context, ExtractionReport& report) {
   if (request.method == ExtractionMethod::kFast) {
-    report.fast = run_fast_extraction(source, x_axis, y_axis, request.fast);
+    report.fast =
+        run_fast_extraction(source, x_axis, y_axis, request.fast, context);
     report.status = report.fast.status;
     report.virtual_gates = report.fast.virtual_gates;
     report.slope_steep = report.fast.slope_steep;
     report.slope_shallow = report.fast.slope_shallow;
     report.stats = report.fast.stats;
   } else {
-    report.hough = run_hough_baseline(source, x_axis, y_axis, request.hough);
+    report.hough =
+        run_hough_baseline(source, x_axis, y_axis, request.hough, context);
     report.status = report.hough.status;
     report.virtual_gates = report.hough.virtual_gates;
     report.slope_steep = report.hough.slope_steep;
@@ -54,13 +56,40 @@ void run_method(const ExtractionRequest& request, CurrentSource& source,
   }
 }
 
+/// The per-job AcquisitionContext: the job's cancel token plus the request's
+/// deadline, with Budget.max_wall_seconds folded in as a deadline relative
+/// to now (the job start — the queue builds the context when the job begins
+/// running, not when it is submitted).
+AcquisitionContext make_context(const ExtractionRequest& request,
+                                const CancelToken& cancel) {
+  AcquisitionContext context;
+  context.cancel = cancel;
+  context.deadline = request.deadline;
+  if (request.budget.max_wall_seconds > 0.0) {
+    const auto budget_deadline =
+        AcquisitionContext::Clock::now() +
+        std::chrono::duration_cast<AcquisitionContext::Clock::duration>(
+            std::chrono::duration<double>(request.budget.max_wall_seconds));
+    if (!context.deadline || budget_deadline < *context.deadline)
+      context.deadline = budget_deadline;
+  }
+  context.max_probes = request.budget.max_probes;
+  return context;
+}
+
 }  // namespace
 
 ExtractionEngine::ExtractionEngine(EngineOptions options)
     : options_(options) {}
 
 ExtractionReport ExtractionEngine::run(const ExtractionRequest& request) const {
+  return run(request, CancelToken{});
+}
+
+ExtractionReport ExtractionEngine::run(const ExtractionRequest& request,
+                                       const CancelToken& cancel) const {
   Stopwatch wall;
+  const AcquisitionContext context = make_context(request, cancel);
   ExtractionReport report;
   report.label = request.label;
   report.method = request.method;
@@ -72,6 +101,14 @@ ExtractionReport ExtractionEngine::run(const ExtractionRequest& request) const {
   report.hough.status = Status::failure(ErrorCode::kInternal, "engine",
                                         "hough pipeline not run");
 
+  // Cancel-before-start / already-expired: report before any backend is
+  // built or probe issued (zero ProbeStats), stage "engine".
+  if (Status interrupt = context.check("engine", 0); !interrupt.ok()) {
+    report.status = std::move(interrupt);
+    report.wall_seconds = wall.elapsed_seconds();
+    return report;
+  }
+
   if (request.playback.csd != nullptr && request.device.device != nullptr) {
     report.status = Status::failure(
         ErrorCode::kInvalidRequest, "engine",
@@ -82,7 +119,7 @@ ExtractionReport ExtractionEngine::run(const ExtractionRequest& request) const {
     CsdPlayback playback(csd, request.playback.dwell_seconds);
     const VoltageAxis x = request.x_axis.value_or(csd.x_axis());
     const VoltageAxis y = request.y_axis.value_or(csd.y_axis());
-    run_method(request, playback, x, y, report);
+    run_method(request, playback, x, y, context, report);
     if (csd.truth()) {
       report.verdict = judge_extraction(report.status.ok(),
                                         report.virtual_gates, *csd.truth(),
@@ -117,7 +154,7 @@ ExtractionReport ExtractionEngine::run(const ExtractionRequest& request) const {
         scan_axis(*request.device.device, request.device.pixels_per_axis);
     const VoltageAxis x = request.x_axis.value_or(default_axis);
     const VoltageAxis y = request.y_axis.value_or(default_axis);
-    run_method(request, sim, x, y, report);
+    run_method(request, sim, x, y, context, report);
     report.verdict = judge_extraction(report.status.ok(), report.virtual_gates,
                                       sim.truth(), request.verdict);
     report.has_verdict = true;
@@ -129,19 +166,6 @@ ExtractionReport ExtractionEngine::run(const ExtractionRequest& request) const {
 
   report.wall_seconds = wall.elapsed_seconds();
   return report;
-}
-
-std::size_t ExtractionEngine::submit(ExtractionRequest request) {
-  const std::size_t job = queue_.size();
-  if (request.label.empty()) request.label = "job-" + std::to_string(job);
-  queue_.push_back(std::move(request));
-  return job;
-}
-
-std::vector<ExtractionReport> ExtractionEngine::run_all() {
-  std::vector<ExtractionRequest> batch = std::move(queue_);
-  queue_.clear();
-  return run_batch(batch);
 }
 
 std::vector<ExtractionReport> ExtractionEngine::run_batch(

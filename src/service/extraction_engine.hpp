@@ -12,13 +12,21 @@
 //   * ExtractionReport carries a typed Status, the virtualization result,
 //     ProbeStats, engine wall time, and — when the backend has ground truth
 //     — the automated verdict.
-//   * run() serves one request; submit()/run_all() batch requests and fan
-//     them out over the global ThreadPool. Every request builds its own
-//     source, so the schedule cannot change results: batch output is
-//     bit-identical to running each request serially, and both are
-//     bit-identical to calling the underlying entry points directly.
+//   * run() serves one request; run_batch() fans a request span out over the
+//     global ThreadPool. Every request builds its own source, so the
+//     schedule cannot change results: batch output is bit-identical to
+//     running each request serially, and both are bit-identical to calling
+//     the underlying entry points directly.
+//   * Asynchronous submission lives in JobQueue (service/job_queue.hpp):
+//     submit(request) -> JobHandle with wait/try_report/cancel. Requests
+//     carry an optional deadline and Budget; the engine threads them (plus
+//     the job's CancelToken) down to the probe loops as an
+//     AcquisitionContext, so a cancelled or expired job stops between probe
+//     batches with a typed kCancelled/kDeadlineExceeded Status and partial
+//     ProbeStats.
 #pragma once
 
+#include "common/cancellation.hpp"
 #include "common/status.hpp"
 #include "dataset/csd_io.hpp"
 #include "extraction/array_extractor.hpp"
@@ -26,7 +34,9 @@
 #include "extraction/hough_baseline.hpp"
 #include "extraction/success.hpp"
 #include "grid/csd.hpp"
+#include "probe/acquisition_context.hpp"
 
+#include <chrono>
 #include <cstdint>
 #include <optional>
 #include <span>
@@ -78,6 +88,14 @@ struct ExtractionRequest {
   HoughBaselineOptions hough;
   VerdictOptions verdict;
 
+  /// Absolute wall-clock deadline: the request is interrupted at the next
+  /// probe-batch boundary once it passes (kDeadlineExceeded, with the stage
+  /// at the interruption point). Unset = no deadline.
+  std::optional<std::chrono::steady_clock::time_point> deadline;
+  /// Per-request resource budget (max probes / max wall seconds); see
+  /// probe/acquisition_context.hpp. Zero fields = unlimited.
+  Budget budget;
+
   /// Free-form tag echoed into the report (job ids, CSD names, ...).
   std::string label;
 };
@@ -110,12 +128,10 @@ struct ExtractionReport {
   /// "not run" failure so it can never be mistaken for a successful run.
   FastExtractionResult fast;    // populated when method == kFast
   HoughBaselineResult hough;    // populated when method == kHoughBaseline
-
-  [[nodiscard]] bool success() const noexcept { return status.ok(); }
 };
 
 struct EngineOptions {
-  /// Fan run_all()/run_batch() out over the global ThreadPool. Results are
+  /// Fan run_batch() out over the global ThreadPool. Results are
   /// bit-identical either way; disable to serialize (debugging, profiling).
   bool parallel_batch = true;
 };
@@ -124,18 +140,19 @@ class ExtractionEngine {
  public:
   explicit ExtractionEngine(EngineOptions options = {});
 
-  /// Serve one request synchronously.
+  /// Serve one request synchronously (honouring its deadline and budget).
   [[nodiscard]] ExtractionReport run(const ExtractionRequest& request) const;
 
-  /// Queue a request; returns its job index (the slot in run_all()'s
-  /// return, and the default report label when the request has none).
-  std::size_t submit(ExtractionRequest request);
+  /// Serve one request under a cancellation token: the JobQueue's execution
+  /// path. A request whose token fired before this call returns kCancelled
+  /// with zero probes; one cancelled mid-run stops at the next probe-batch
+  /// boundary with partial ProbeStats. An uncancelled run is bit-identical
+  /// to run(request).
+  [[nodiscard]] ExtractionReport run(const ExtractionRequest& request,
+                                     const CancelToken& cancel) const;
 
-  /// Drain the queue: serve every submitted request — concurrently when
-  /// options.parallel_batch — and return reports in submission order.
-  [[nodiscard]] std::vector<ExtractionReport> run_all();
-
-  /// Serve a batch without touching the queue; reports in request order.
+  /// Serve a batch of requests — concurrently when options.parallel_batch —
+  /// returning reports in request order.
   [[nodiscard]] std::vector<ExtractionReport> run_batch(
       std::span<const ExtractionRequest> requests) const;
 
@@ -147,14 +164,12 @@ class ExtractionEngine {
       const BuiltDevice& device,
       const ArrayExtractionOptions& options = {}) const;
 
-  [[nodiscard]] std::size_t pending() const noexcept { return queue_.size(); }
   [[nodiscard]] const EngineOptions& options() const noexcept {
     return options_;
   }
 
  private:
   EngineOptions options_;
-  std::vector<ExtractionRequest> queue_;
 };
 
 }  // namespace qvg

@@ -1,0 +1,127 @@
+#include "service/job_queue.hpp"
+
+#include "common/assert.hpp"
+
+#include <exception>
+#include <string>
+#include <utility>
+
+namespace qvg {
+
+struct JobHandle::State {
+  std::size_t id = 0;
+  CancelToken cancel;
+  mutable std::mutex mutex;
+  mutable std::condition_variable cv;
+  bool done = false;
+  ExtractionReport report;
+};
+
+std::size_t JobHandle::id() const noexcept { return state_ ? state_->id : 0; }
+
+bool JobHandle::done() const {
+  if (!state_) return false;
+  std::lock_guard<std::mutex> lock(state_->mutex);
+  return state_->done;
+}
+
+bool JobHandle::cancel() const {
+  if (!state_) return false;
+  state_->cancel.cancel();
+  std::lock_guard<std::mutex> lock(state_->mutex);
+  return !state_->done;
+}
+
+std::optional<ExtractionReport> JobHandle::try_report() const {
+  if (!state_) return std::nullopt;
+  std::lock_guard<std::mutex> lock(state_->mutex);
+  if (!state_->done) return std::nullopt;
+  return state_->report;
+}
+
+const ExtractionReport& JobHandle::wait() const& {
+  QVG_EXPECTS(state_ != nullptr);
+  std::unique_lock<std::mutex> lock(state_->mutex);
+  state_->cv.wait(lock, [&] { return state_->done; });
+  return state_->report;
+}
+
+ExtractionReport JobHandle::wait() && {
+  const JobHandle& self = *this;
+  return self.wait();
+}
+
+/// Queue-wide accounting, shared with the posted tasks so the queue can be
+/// destroyed only after (and by waiting until) every task has finished.
+struct JobQueue::Shared {
+  mutable std::mutex mutex;
+  mutable std::condition_variable all_done_cv;
+  std::size_t submitted = 0;
+  std::size_t completed = 0;
+};
+
+JobQueue::JobQueue(EngineOptions engine_options, ThreadPool* pool)
+    : engine_(engine_options),
+      pool_(pool != nullptr ? pool : &ThreadPool::global()),
+      shared_(std::make_shared<Shared>()) {}
+
+JobQueue::~JobQueue() { wait_all(); }
+
+JobHandle JobQueue::submit(ExtractionRequest request, CancelToken cancel) {
+  auto state = std::make_shared<JobHandle::State>();
+  state->cancel = cancel.can_cancel() ? cancel : CancelToken::make();
+  {
+    std::lock_guard<std::mutex> lock(shared_->mutex);
+    state->id = shared_->submitted++;
+  }
+  if (request.label.empty())
+    request.label = "job-" + std::to_string(state->id);
+
+  // The task owns copies of everything it touches (engine options, request,
+  // job state, queue accounting), so it is safe whether it runs inline now
+  // or on a worker after submit() returned — even past this queue's
+  // lifetime end (the destructor additionally drains all jobs).
+  pool_->post([engine = engine_, shared = shared_, state,
+               request = std::move(request)] {
+    ExtractionReport report;
+    try {
+      report = engine.run(request, state->cancel);
+    } catch (const std::exception& e) {
+      // Tasks must not throw out of the pool; surface the fault as a typed
+      // report instead of taking the process down.
+      report.label = request.label;
+      report.method = request.method;
+      report.status = Status::failure(ErrorCode::kInternal, "queue", e.what());
+    }
+    {
+      std::lock_guard<std::mutex> lock(state->mutex);
+      state->report = std::move(report);
+      state->done = true;
+    }
+    state->cv.notify_all();
+    {
+      std::lock_guard<std::mutex> lock(shared->mutex);
+      ++shared->completed;
+    }
+    shared->all_done_cv.notify_all();
+  });
+  return JobHandle(std::move(state));
+}
+
+void JobQueue::wait_all() const {
+  std::unique_lock<std::mutex> lock(shared_->mutex);
+  shared_->all_done_cv.wait(
+      lock, [&] { return shared_->completed == shared_->submitted; });
+}
+
+std::size_t JobQueue::submitted() const {
+  std::lock_guard<std::mutex> lock(shared_->mutex);
+  return shared_->submitted;
+}
+
+std::size_t JobQueue::completed() const {
+  std::lock_guard<std::mutex> lock(shared_->mutex);
+  return shared_->completed;
+}
+
+}  // namespace qvg

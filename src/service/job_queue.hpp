@@ -1,0 +1,113 @@
+// Asynchronous job submission for the ExtractionEngine.
+//
+// A tuning service cannot serve heavy traffic with synchronous batch calls:
+// it must accept jobs as they arrive, cancel ones that became redundant, and
+// enforce per-request deadlines. JobQueue is that front door:
+//
+//   JobQueue jobs;
+//   JobHandle handle = jobs.submit(request);        // returns immediately
+//   ...
+//   handle.cancel();                                // stops it cooperatively
+//   const ExtractionReport& report = handle.wait(); // or try_report()
+//
+// Jobs run as fire-and-forget tasks on the global ThreadPool (JobQueue
+// itself owns no threads). Each job builds its own backend source, so the
+// drain order cannot change results: an uncancelled job's report is
+// bit-identical to calling ExtractionEngine::run(request) synchronously,
+// regardless of thread count or queue pressure. Cancellation and deadlines
+// thread down to the probe loops through the AcquisitionContext, so an
+// interrupted job stops between probe batches (never mid-batch) and reports
+// a typed kCancelled / kDeadlineExceeded Status with the ProbeStats of the
+// partial run.
+//
+// On a pool with no workers (QVG_THREADS=1) submission degrades to
+// synchronous execution inside submit(); the handle API behaves
+// identically. To cancel a job deterministically before it can start, pass
+// an already-cancelled CancelToken to submit().
+#pragma once
+
+#include "common/cancellation.hpp"
+#include "common/thread_pool.hpp"
+#include "service/extraction_engine.hpp"
+
+#include <condition_variable>
+#include <cstddef>
+#include <memory>
+#include <mutex>
+#include <optional>
+
+namespace qvg {
+
+class JobQueue;
+
+/// Caller-side handle on one submitted job. Copies share the job state; a
+/// default-constructed handle is empty (valid() == false).
+class JobHandle {
+ public:
+  JobHandle() = default;
+
+  [[nodiscard]] bool valid() const noexcept { return state_ != nullptr; }
+  /// Queue-assigned job id (submission order, starting at 0).
+  [[nodiscard]] std::size_t id() const noexcept;
+
+  /// Whether the job has finished (completed, failed, or interrupted).
+  [[nodiscard]] bool done() const;
+
+  /// Request cooperative cancellation: a job not yet started reports
+  /// kCancelled with zero probes; a running one stops at its next
+  /// probe-batch boundary. Returns true when the job had not finished at
+  /// the time of the call (the report may still be a completed one if the
+  /// job won the race).
+  bool cancel() const;
+
+  /// The report when the job has finished; std::nullopt while it runs.
+  [[nodiscard]] std::optional<ExtractionReport> try_report() const;
+
+  /// Block until the job finishes and return its report. The reference
+  /// stays valid while any handle copy is alive; calling on a temporary
+  /// handle (e.g. `queue.submit(r).wait()`) therefore returns by value.
+  [[nodiscard]] const ExtractionReport& wait() const&;
+  [[nodiscard]] ExtractionReport wait() &&;
+
+ private:
+  friend class JobQueue;
+  struct State;
+  explicit JobHandle(std::shared_ptr<State> state) : state_(std::move(state)) {}
+  std::shared_ptr<State> state_;
+};
+
+class JobQueue {
+ public:
+  /// `engine_options` configure the embedded engine; `pool` overrides the
+  /// ThreadPool the jobs run on (nullptr = the global pool; the override
+  /// exists for benchmarking queue throughput at a fixed worker count).
+  explicit JobQueue(EngineOptions engine_options = {},
+                    ThreadPool* pool = nullptr);
+  /// Blocks until every submitted job has finished (their tasks capture
+  /// queue state).
+  ~JobQueue();
+  JobQueue(const JobQueue&) = delete;
+  JobQueue& operator=(const JobQueue&) = delete;
+
+  /// Enqueue a request; returns immediately (unless the pool has no
+  /// workers, in which case the job runs synchronously here). A request
+  /// without a label gets "job-<id>". The optional token lets the caller
+  /// pre-wire cancellation (e.g. cancel before the queue can start the
+  /// job); by default each job gets its own fresh token, reachable through
+  /// JobHandle::cancel().
+  JobHandle submit(ExtractionRequest request, CancelToken cancel = {});
+
+  /// Block until every job submitted so far has finished.
+  void wait_all() const;
+
+  [[nodiscard]] std::size_t submitted() const;
+  [[nodiscard]] std::size_t completed() const;
+
+ private:
+  struct Shared;
+  ExtractionEngine engine_;
+  ThreadPool* pool_;
+  std::shared_ptr<Shared> shared_;
+};
+
+}  // namespace qvg

@@ -51,6 +51,9 @@ TEST(StatusTest, CodeNamesAreStable) {
                "anchor_not_found");
   EXPECT_STREQ(error_code_name(ErrorCode::kPairFailed), "pair_failed");
   EXPECT_STREQ(error_code_name(ErrorCode::kParseError), "parse_error");
+  EXPECT_STREQ(error_code_name(ErrorCode::kCancelled), "cancelled");
+  EXPECT_STREQ(error_code_name(ErrorCode::kDeadlineExceeded),
+               "deadline_exceeded");
 }
 
 TEST(ResultTest, HoldsValue) {

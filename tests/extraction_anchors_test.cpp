@@ -73,6 +73,8 @@ TEST(AnchorTest, WindowTooSmallFails) {
   CsdPlayback playback(csd);
   const auto result = find_anchor_points(playback, csd.x_axis(), csd.y_axis());
   EXPECT_FALSE(result.has_value());
+  EXPECT_EQ(result.status().code(), ErrorCode::kAnchorNotFound);
+  EXPECT_EQ(result.status().stage(), "anchors");
   EXPECT_NE(result.reason().find("too small"), std::string::npos);
 }
 

@@ -22,7 +22,7 @@ TEST(ArrayExtractorTest, DoubleDotSinglePair) {
   ArrayExtractionOptions opt;
   const auto result = extract_array_virtualization(device, opt);
   ASSERT_EQ(result.pairs.size(), 1u);
-  EXPECT_TRUE(result.success()) << result.pairs[0].failure_reason();
+  EXPECT_TRUE(result.status.ok()) << result.pairs[0].status.message();
   EXPECT_EQ(result.matrix.rows(), 2u);
   EXPECT_LT(result.band_max_error, 0.06);
 }
@@ -34,7 +34,7 @@ TEST(ArrayExtractorTest, QuadDotNeedsThreePairs) {
   opt.pixels_per_axis = 80;
   const auto result = extract_array_virtualization(device, opt);
   ASSERT_EQ(result.pairs.size(), 3u);
-  EXPECT_TRUE(result.success());
+  EXPECT_TRUE(result.status.ok());
   EXPECT_EQ(result.matrix.rows(), 4u);
 
   // Band entries populated, off-band zero, diagonal 1.
@@ -52,7 +52,7 @@ TEST(ArrayExtractorTest, QuadDotNeedsThreePairs) {
 TEST(ArrayExtractorTest, MatchesReferenceWithinTolerance) {
   const BuiltDevice device = array_device(3, 9);
   const auto result = extract_array_virtualization(device);
-  ASSERT_TRUE(result.success());
+  ASSERT_TRUE(result.status.ok());
   for (std::size_t i = 0; i + 1 < 3; ++i) {
     EXPECT_NEAR(result.matrix(i, i + 1), result.reference(i, i + 1), 0.06);
     EXPECT_NEAR(result.matrix(i + 1, i), result.reference(i + 1, i), 0.06);
@@ -75,7 +75,7 @@ TEST(ArrayExtractorTest, BaselineMethodAlsoWorks) {
   opt.pixels_per_axis = 64;
   const auto result = extract_array_virtualization(device, opt);
   ASSERT_EQ(result.pairs.size(), 1u);
-  EXPECT_TRUE(result.success()) << result.pairs[0].failure_reason();
+  EXPECT_TRUE(result.status.ok()) << result.pairs[0].status.message();
   // Full raster per pair.
   EXPECT_EQ(result.total_stats.unique_probes, 64 * 64);
 }
@@ -89,7 +89,7 @@ TEST(ArrayExtractorTest, FastUsesFarFewerProbesThanBaseline) {
   base_opt.method = ExtractionMethod::kHoughBaseline;
   base_opt.pixels_per_axis = 80;
   const auto base = extract_array_virtualization(device, base_opt);
-  ASSERT_TRUE(fast.success());
+  ASSERT_TRUE(fast.status.ok());
   EXPECT_LT(fast.total_stats.unique_probes,
             base.total_stats.unique_probes / 4);
 }
@@ -100,7 +100,7 @@ TEST(ArrayExtractorTest, NoisyPairReportsVerdicts) {
   opt.white_noise_sigma = 0.03;
   const auto result = extract_array_virtualization(device, opt);
   for (const auto& pair : result.pairs) {
-    if (pair.success()) {
+    if (pair.status.ok()) {
       EXPECT_TRUE(pair.verdict.success) << pair.verdict.reason;
     }
   }
@@ -121,15 +121,14 @@ TEST(ArrayExtractorTest, ParallelMatchesSerialBitIdentically) {
   const auto serial = extract_array_virtualization(device, serial_opt);
   const auto parallel = extract_array_virtualization(device, parallel_opt);
 
-  EXPECT_EQ(serial.success(), parallel.success());
+  EXPECT_EQ(serial.status, parallel.status);
   EXPECT_EQ(serial.band_max_error, parallel.band_max_error);
   ASSERT_EQ(serial.pairs.size(), parallel.pairs.size());
   for (std::size_t i = 0; i < serial.pairs.size(); ++i) {
     const auto& s = serial.pairs[i];
     const auto& p = parallel.pairs[i];
     EXPECT_EQ(s.pair_index, p.pair_index);
-    EXPECT_EQ(s.success(), p.success());
-    EXPECT_EQ(s.failure_reason(), p.failure_reason());
+    EXPECT_EQ(s.status, p.status);
     EXPECT_EQ(s.gates.alpha12, p.gates.alpha12);
     EXPECT_EQ(s.gates.alpha21, p.gates.alpha21);
     EXPECT_EQ(s.stats.unique_probes, p.stats.unique_probes);

@@ -26,7 +26,7 @@ TEST(FastExtractorTest, SucceedsOnCleanLiveDevice) {
   DeviceSimulator sim = make_pair_simulator(device);
   const VoltageAxis axis = scan_axis(device, 100);
   const auto result = run_fast_extraction(sim, axis, axis);
-  ASSERT_TRUE(result.success()) << result.failure_reason();
+  ASSERT_TRUE(result.status.ok()) << result.status.message();
 
   const auto truth = sim.truth();
   EXPECT_NEAR(result.virtual_gates.alpha12, truth.alpha12(),
@@ -40,7 +40,7 @@ TEST(FastExtractorTest, ProbesSmallFractionOfDiagram) {
   DeviceSimulator sim = make_pair_simulator(device);
   const VoltageAxis axis = scan_axis(device, 100);
   const auto result = run_fast_extraction(sim, axis, axis);
-  ASSERT_TRUE(result.success());
+  ASSERT_TRUE(result.status.ok());
   EXPECT_LT(result.stats.unique_probes, 2000);  // < 20% of 10000
   EXPECT_GT(result.stats.unique_probes, 200);
   EXPECT_EQ(result.stats.unique_probes,
@@ -56,9 +56,9 @@ TEST(FastExtractorTest, SucceedsWithModerateNoise) {
   sim.add_noise(std::make_unique<WhiteNoise>(0.03));
   const VoltageAxis axis = scan_axis(device, 100);
   const auto result = run_fast_extraction(sim, axis, axis);
-  ASSERT_TRUE(result.success()) << result.failure_reason();
+  ASSERT_TRUE(result.status.ok()) << result.status.message();
   const Verdict verdict =
-      judge_extraction(result.success(), result.virtual_gates, sim.truth());
+      judge_extraction(result.status.ok(), result.virtual_gates, sim.truth());
   EXPECT_TRUE(verdict.success) << verdict.reason;
 }
 
@@ -69,7 +69,7 @@ TEST(FastExtractorTest, FailsGracefullyOnHeavyNoise) {
   const VoltageAxis axis = scan_axis(device, 63);
   const auto result = run_fast_extraction(sim, axis, axis);
   const Verdict verdict =
-      judge_extraction(result.success(), result.virtual_gates, sim.truth());
+      judge_extraction(result.status.ok(), result.virtual_gates, sim.truth());
   // Either the pipeline reports failure itself or the verdict rejects it;
   // silent wrong answers are the only unacceptable outcome.
   EXPECT_FALSE(verdict.success && verdict.alpha12_rel_error > 0.5);
@@ -80,7 +80,7 @@ TEST(FastExtractorTest, StageOutputsAreConsistent) {
   DeviceSimulator sim = make_pair_simulator(device);
   const VoltageAxis axis = scan_axis(device, 100);
   const auto result = run_fast_extraction(sim, axis, axis);
-  ASSERT_TRUE(result.success());
+  ASSERT_TRUE(result.status.ok());
   EXPECT_FALSE(result.filtered_points.empty());
   EXPECT_LE(result.filtered_points.size(),
             result.sweeps.row_points.size() + result.sweeps.col_points.size());
@@ -108,8 +108,8 @@ TEST(FastExtractorTest, AblationRowSweepOnlyDegradesShallowLine) {
   rows_only.enable_col_sweep = false;
   const auto rows = run_fast_extraction(sim_rows, axis, axis, rows_only);
 
-  ASSERT_TRUE(full.success());
-  if (rows.success()) {
+  ASSERT_TRUE(full.status.ok());
+  if (rows.status.ok()) {
     const auto truth = sim_full.truth();
     const double full_err =
         std::abs(full.virtual_gates.alpha21 - truth.alpha21());
@@ -126,7 +126,7 @@ TEST(FastExtractorTest, WorksOnReplayedSyntheticCsd) {
   CsdPlayback playback(csd);
   const auto result =
       run_fast_extraction(playback, csd.x_axis(), csd.y_axis());
-  ASSERT_TRUE(result.success()) << result.failure_reason();
+  ASSERT_TRUE(result.status.ok()) << result.status.message();
   EXPECT_NEAR(result.slope_shallow, spec.slope_shallow, 0.08);
   EXPECT_NEAR(result.slope_steep, spec.slope_steep, 1.2);
 }
@@ -136,7 +136,7 @@ TEST(HoughBaselineTest, SucceedsOnCleanDevice) {
   DeviceSimulator sim = make_pair_simulator(device);
   const VoltageAxis axis = scan_axis(device, 100);
   const auto result = run_hough_baseline(sim, axis, axis);
-  ASSERT_TRUE(result.success()) << result.failure_reason();
+  ASSERT_TRUE(result.status.ok()) << result.status.message();
   const auto truth = sim.truth();
   EXPECT_NEAR(result.virtual_gates.alpha12, truth.alpha12(), 0.06);
   EXPECT_NEAR(result.virtual_gates.alpha21, truth.alpha21(), 0.06);
@@ -158,8 +158,8 @@ TEST(HoughBaselineTest, FastBeatsBaselineOnSimulatedTime) {
   const auto fast = run_fast_extraction(sim1, axis, axis);
   DeviceSimulator sim2 = make_pair_simulator(device);
   const auto baseline = run_hough_baseline(sim2, axis, axis);
-  ASSERT_TRUE(fast.success());
-  ASSERT_TRUE(baseline.success());
+  ASSERT_TRUE(fast.status.ok());
+  ASSERT_TRUE(baseline.status.ok());
   EXPECT_GT(baseline.stats.simulated_seconds / fast.stats.simulated_seconds,
             5.0);
 }
@@ -174,8 +174,8 @@ TEST(HoughBaselineTest, MissesFaintSteepLine) {
   sim.add_noise(std::make_unique<WhiteNoise>(0.03));
   const VoltageAxis axis = scan_axis(device, 100);
   const auto result = run_hough_baseline(sim, axis, axis);
-  EXPECT_FALSE(result.success());
-  EXPECT_NE(result.failure_reason().find("steep"), std::string::npos);
+  EXPECT_FALSE(result.status.ok());
+  EXPECT_NE(result.status.message().find("steep"), std::string::npos);
 }
 
 TEST(HoughBaselineTest, AnalyzeCsdSharedAcquisition) {
@@ -184,7 +184,7 @@ TEST(HoughBaselineTest, AnalyzeCsdSharedAcquisition) {
   const VoltageAxis axis = scan_axis(device, 80);
   const Csd csd = sim.generate_csd(axis, axis);
   const auto result = analyze_csd_with_hough(csd);
-  ASSERT_TRUE(result.success()) << result.failure_reason();
+  ASSERT_TRUE(result.status.ok()) << result.status.message();
   EXPECT_GT(result.edge_pixels, 50);
 }
 

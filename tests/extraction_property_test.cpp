@@ -36,12 +36,12 @@ TEST_P(PipelineProperty, ExtractsWithinToleranceAndBudget) {
 
   const VoltageAxis axis = scan_axis(device, c.pixels);
   const auto result = run_fast_extraction(sim, axis, axis);
-  ASSERT_TRUE(result.success())
-      << result.failure_reason() << " (cross " << c.cross_ratio << ", "
+  ASSERT_TRUE(result.status.ok())
+      << result.status.message() << " (cross " << c.cross_ratio << ", "
       << c.pixels << "px, seed " << c.seed << ")";
 
   const Verdict verdict =
-      judge_extraction(result.success(), result.virtual_gates, sim.truth());
+      judge_extraction(result.status.ok(), result.virtual_gates, sim.truth());
   EXPECT_TRUE(verdict.success)
       << verdict.reason << " (cross " << c.cross_ratio << ", " << c.pixels
       << "px, seed " << c.seed << ")";
@@ -103,7 +103,7 @@ TEST(PipelineScalingProperty, ProbedFractionFallsWithResolution) {
     DeviceSimulator sim = make_pair_simulator(device);
     const VoltageAxis axis = scan_axis(device, pixels);
     const auto result = run_fast_extraction(sim, axis, axis);
-    ASSERT_TRUE(result.success());
+    ASSERT_TRUE(result.status.ok());
     const double fraction =
         static_cast<double>(result.stats.unique_probes) /
         static_cast<double>(pixels * pixels);
@@ -128,7 +128,7 @@ TEST(PipelineDeterminismProperty, RepeatedRunsAgreeExactly) {
   DeviceSimulator sim = make_pair_simulator(device, 0, 5);
   sim.add_noise(std::make_unique<WhiteNoise>(0.03));
   const auto second = run_fast_extraction(sim, axis, axis);
-  ASSERT_EQ(first.success(), second.success());
+  ASSERT_EQ(first.status.ok(), second.status.ok());
   EXPECT_DOUBLE_EQ(first.virtual_gates.alpha12, second.virtual_gates.alpha12);
   EXPECT_DOUBLE_EQ(first.virtual_gates.alpha21, second.virtual_gates.alpha21);
   EXPECT_EQ(first.stats.unique_probes, second.stats.unique_probes);

@@ -60,7 +60,7 @@ TEST(ValidationTest, AcceptsFastExtractionResult) {
   DeviceSimulator sim = make_pair_simulator(rig.device, 0, 17);
   sim.add_noise(std::make_unique<WhiteNoise>(0.02));
   const auto extraction = run_fast_extraction(sim, rig.axis, rig.axis);
-  ASSERT_TRUE(extraction.success()) << extraction.failure_reason();
+  ASSERT_TRUE(extraction.status.ok()) << extraction.status.message();
   const auto validation = validate_virtual_gates(
       sim, rig.axis, rig.axis, extraction.virtual_gates,
       extraction.intersection_voltage);

@@ -34,7 +34,7 @@ Outcome run_benchmark(int index) {
     const auto result = run_fast_extraction(*playback, benchmark.csd.x_axis(),
                                             benchmark.csd.y_axis());
     outcome.fast_ok =
-        judge_extraction(result.success(), result.virtual_gates, truth).success;
+        judge_extraction(result.status.ok(), result.virtual_gates, truth).success;
     outcome.fast_probes = result.stats.unique_probes;
     outcome.fast_seconds = result.stats.total_seconds();
   }
@@ -43,7 +43,7 @@ Outcome run_benchmark(int index) {
     const auto result = run_hough_baseline(*playback, benchmark.csd.x_axis(),
                                            benchmark.csd.y_axis());
     outcome.base_ok =
-        judge_extraction(result.success(), result.virtual_gates, truth).success;
+        judge_extraction(result.status.ok(), result.virtual_gates, truth).success;
     outcome.base_probes = result.stats.unique_probes;
     outcome.base_seconds = result.stats.total_seconds();
   }
@@ -121,8 +121,8 @@ TEST(IntegrationTest, ReplayedAndLiveExtractionAgree) {
   CsdPlayback playback(csd);
   const auto replay_result = run_fast_extraction(playback, axis, axis);
 
-  ASSERT_TRUE(live_result.success());
-  ASSERT_TRUE(replay_result.success());
+  ASSERT_TRUE(live_result.status.ok());
+  ASSERT_TRUE(replay_result.status.ok());
   EXPECT_NEAR(live_result.virtual_gates.alpha12,
               replay_result.virtual_gates.alpha12, 1e-9);
   EXPECT_NEAR(live_result.virtual_gates.alpha21,

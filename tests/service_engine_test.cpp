@@ -70,7 +70,7 @@ TEST(ExtractionEngineTest, FastOnSimulatorMatchesDirectCall) {
     EXPECT_EQ(report.fast.probe_log[i], direct.probe_log[i]) << "probe " << i;
   ASSERT_TRUE(report.has_verdict);
   EXPECT_EQ(report.verdict.success,
-            judge_extraction(direct.success(), direct.virtual_gates,
+            judge_extraction(direct.status.ok(), direct.virtual_gates,
                              sim.truth())
                 .success);
 }
@@ -162,10 +162,7 @@ TEST(ExtractionEngineTest, BatchModeMatchesSerialRuns) {
   serial.reserve(requests.size());
   for (const auto& request : requests) serial.push_back(engine.run(request));
 
-  for (auto& request : requests) engine.submit(request);
-  EXPECT_EQ(engine.pending(), requests.size());
-  const std::vector<ExtractionReport> batch = engine.run_all();
-  EXPECT_EQ(engine.pending(), 0u);
+  const std::vector<ExtractionReport> batch = engine.run_batch(requests);
 
   ASSERT_EQ(batch.size(), serial.size());
   for (std::size_t i = 0; i < serial.size(); ++i) {
@@ -177,9 +174,6 @@ TEST(ExtractionEngineTest, BatchModeMatchesSerialRuns) {
     expect_stats_equal(batch[i].stats, serial[i].stats);
     EXPECT_EQ(batch[i].verdict.success, serial[i].verdict.success);
   }
-  // Submitted jobs without labels get their job index as the label.
-  EXPECT_EQ(batch[0].label, "job-0");
-  EXPECT_EQ(batch[3].label, "job-3");
 }
 
 TEST(ExtractionEngineTest, RunArrayMatchesDirectArrayExtraction) {
@@ -223,7 +217,7 @@ TEST(ExtractionEngineTest, RunArrayMatchesDirectArrayExtraction) {
 TEST(ExtractionEngineTest, RequestWithoutBackendFailsTyped) {
   ExtractionEngine engine;
   const ExtractionReport report = engine.run(ExtractionRequest{});
-  EXPECT_FALSE(report.success());
+  EXPECT_FALSE(report.status.ok());
   EXPECT_EQ(report.status.code(), ErrorCode::kInvalidRequest);
   EXPECT_EQ(report.status.stage(), "engine");
 }
@@ -238,7 +232,7 @@ TEST(ExtractionEngineTest, RequestWithBothBackendsFailsTyped) {
   request.playback.csd = &csd;  // ambiguous: names both backends
   ExtractionEngine engine;
   const ExtractionReport report = engine.run(request);
-  EXPECT_FALSE(report.success());
+  EXPECT_FALSE(report.status.ok());
   EXPECT_EQ(report.status.code(), ErrorCode::kInvalidRequest);
 }
 
@@ -251,10 +245,8 @@ TEST(ExtractionEngineTest, MalformedRequestDataFailsTypedAndSparesTheBatch) {
   const ExtractionRequest good = device_request(device, ExtractionMethod::kFast);
 
   ExtractionEngine engine;
-  engine.submit(bad_pair);
-  engine.submit(good);
-  engine.submit(bad_pixels);
-  const std::vector<ExtractionReport> reports = engine.run_all();
+  const std::vector<ExtractionRequest> requests{bad_pair, good, bad_pixels};
+  const std::vector<ExtractionReport> reports = engine.run_batch(requests);
 
   ASSERT_EQ(reports.size(), 3u);
   EXPECT_EQ(reports[0].status.code(), ErrorCode::kInvalidRequest);
@@ -268,13 +260,13 @@ TEST(ExtractionEngineTest, UnpopulatedStageResultNeverReadsAsSuccess) {
   ExtractionEngine engine;
   const ExtractionReport fast_report =
       engine.run(device_request(device, ExtractionMethod::kFast));
-  EXPECT_TRUE(fast_report.fast.success());
-  EXPECT_FALSE(fast_report.hough.success());
+  EXPECT_TRUE(fast_report.fast.status.ok());
+  EXPECT_FALSE(fast_report.hough.status.ok());
   EXPECT_EQ(fast_report.hough.status.code(), ErrorCode::kInternal);
 
   const ExtractionReport hough_report =
       engine.run(device_request(device, ExtractionMethod::kHoughBaseline));
-  EXPECT_FALSE(hough_report.fast.success());
+  EXPECT_FALSE(hough_report.fast.status.ok());
   EXPECT_EQ(hough_report.fast.status.code(), ErrorCode::kInternal);
 }
 

@@ -1,0 +1,235 @@
+// Async job sessions: JobQueue/JobHandle semantics, cancellation and
+// deadline propagation through the service layer, and the drain-order
+// independence guarantee (uncancelled async jobs bit-identical to
+// synchronous engine.run, under any QVG_THREADS).
+#include "dataset/qflow_synth.hpp"
+#include "service/job_queue.hpp"
+#include "test_support.hpp"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <memory>
+#include <vector>
+
+namespace qvg {
+namespace {
+
+const bool g_force_threads = testsupport::force_multithread_pool();
+
+BuiltDevice test_device(std::size_t n_dots = 2) {
+  DotArrayParams params;
+  params.n_dots = n_dots;
+  params.cross_ratio = 0.25;
+  params.jitter = 0.05;
+  Rng jitter(7);
+  return build_dot_array(params, &jitter);
+}
+
+ExtractionRequest device_request(const BuiltDevice& device,
+                                 ExtractionMethod method) {
+  ExtractionRequest request;
+  request.method = method;
+  request.device.device = &device;
+  request.device.noise_seed = 123;
+  request.device.pixels_per_axis = 64;
+  request.device.white_noise_sigma = 0.02;
+  return request;
+}
+
+void expect_reports_identical(const ExtractionReport& a,
+                              const ExtractionReport& b) {
+  EXPECT_EQ(a.status, b.status);
+  EXPECT_EQ(a.virtual_gates.alpha12, b.virtual_gates.alpha12);
+  EXPECT_EQ(a.virtual_gates.alpha21, b.virtual_gates.alpha21);
+  EXPECT_EQ(a.slope_steep, b.slope_steep);
+  EXPECT_EQ(a.slope_shallow, b.slope_shallow);
+  EXPECT_EQ(a.stats.unique_probes, b.stats.unique_probes);
+  EXPECT_EQ(a.stats.total_requests, b.stats.total_requests);
+  EXPECT_DOUBLE_EQ(a.stats.simulated_seconds, b.stats.simulated_seconds);
+  EXPECT_EQ(a.verdict.success, b.verdict.success);
+  ASSERT_EQ(a.fast.probe_log.size(), b.fast.probe_log.size());
+  for (std::size_t i = 0; i < a.fast.probe_log.size(); ++i)
+    EXPECT_EQ(a.fast.probe_log[i], b.fast.probe_log[i]) << "probe " << i;
+}
+
+TEST(JobQueueTest, CancelBeforeStartYieldsCancelledWithZeroProbes) {
+  const BuiltDevice device = test_device();
+  CancelToken cancel = CancelToken::make();
+  cancel.cancel();  // fired before the queue can start the job
+
+  JobQueue jobs;
+  JobHandle handle =
+      jobs.submit(device_request(device, ExtractionMethod::kFast), cancel);
+  const ExtractionReport& report = handle.wait();
+
+  EXPECT_EQ(report.status.code(), ErrorCode::kCancelled);
+  EXPECT_EQ(report.status.stage(), "engine");
+  EXPECT_EQ(report.stats.unique_probes, 0);
+  EXPECT_EQ(report.stats.total_requests, 0);
+  EXPECT_TRUE(handle.done());
+  ASSERT_TRUE(handle.try_report().has_value());
+  EXPECT_EQ(handle.try_report()->status.code(), ErrorCode::kCancelled);
+  // Cancelling a finished job is a no-op that reports "already done".
+  EXPECT_FALSE(handle.cancel());
+}
+
+TEST(JobQueueTest, UncancelledAsyncJobsBitIdenticalToSynchronousRun) {
+  // Fast and Hough, simulator and playback backends — submitted together,
+  // drained in reverse, compared field by field against engine.run. Runs
+  // under whatever QVG_THREADS the harness pins (the CI matrix covers 1 and
+  // 4), including the no-worker degenerate queue.
+  const BuiltDevice device = test_device();
+  DeviceSimulator source_sim = make_pair_simulator(device, 0, 123);
+  const VoltageAxis axis = scan_axis(device, 64);
+  const Csd csd = source_sim.generate_csd(axis, axis, "replay");
+
+  std::vector<ExtractionRequest> requests;
+  requests.push_back(device_request(device, ExtractionMethod::kFast));
+  requests.push_back(device_request(device, ExtractionMethod::kHoughBaseline));
+  ExtractionRequest playback_fast;
+  playback_fast.method = ExtractionMethod::kFast;
+  playback_fast.playback.csd = &csd;
+  requests.push_back(playback_fast);
+  ExtractionRequest playback_hough = playback_fast;
+  playback_hough.method = ExtractionMethod::kHoughBaseline;
+  requests.push_back(playback_hough);
+
+  const ExtractionEngine engine;
+  std::vector<ExtractionReport> serial;
+  serial.reserve(requests.size());
+  for (const auto& request : requests) serial.push_back(engine.run(request));
+
+  JobQueue jobs;
+  std::vector<JobHandle> handles;
+  handles.reserve(requests.size());
+  for (const auto& request : requests) handles.push_back(jobs.submit(request));
+
+  for (std::size_t i = handles.size(); i-- > 0;) {
+    const ExtractionReport& async_report = handles[i].wait();
+    expect_reports_identical(async_report, serial[i]);
+  }
+  jobs.wait_all();
+  EXPECT_EQ(jobs.submitted(), requests.size());
+  EXPECT_EQ(jobs.completed(), requests.size());
+}
+
+TEST(JobQueueTest, DefaultLabelsCarryTheJobId) {
+  const BuiltDevice device = test_device();
+  JobQueue jobs;
+  JobHandle first =
+      jobs.submit(device_request(device, ExtractionMethod::kFast));
+  ExtractionRequest labelled = device_request(device, ExtractionMethod::kFast);
+  labelled.label = "custom";
+  JobHandle second = jobs.submit(labelled);
+
+  EXPECT_EQ(first.id(), 0u);
+  EXPECT_EQ(second.id(), 1u);
+  EXPECT_EQ(first.wait().label, "job-0");
+  EXPECT_EQ(second.wait().label, "custom");
+}
+
+TEST(JobQueueTest, PastDeadlineReportsDeadlineExceededAtEngineStage) {
+  const BuiltDevice device = test_device();
+  ExtractionRequest request = device_request(device, ExtractionMethod::kFast);
+  request.deadline =
+      std::chrono::steady_clock::now() - std::chrono::milliseconds(5);
+
+  JobQueue jobs;
+  // A temporary handle: the rvalue wait() overload returns by value.
+  const ExtractionReport report = jobs.submit(request).wait();
+  EXPECT_EQ(report.status.code(), ErrorCode::kDeadlineExceeded);
+  EXPECT_EQ(report.status.stage(), "engine");
+  EXPECT_EQ(report.stats.unique_probes, 0);
+}
+
+TEST(JobQueueTest, ProbeBudgetCarriesTheInterruptingStage) {
+  // The budget expires mid-pipeline, so the stage names the actual
+  // interruption point (one of the probing stages, not the engine entry),
+  // and the partial ProbeStats survive into the report.
+  const BuiltDevice device = test_device();
+  ExtractionRequest request = device_request(device, ExtractionMethod::kFast);
+  request.budget.max_probes = 120;
+
+  JobQueue jobs;
+  const ExtractionReport report = jobs.submit(request).wait();
+  EXPECT_EQ(report.status.code(), ErrorCode::kDeadlineExceeded);
+  EXPECT_TRUE(report.status.stage() == "anchors" ||
+              report.status.stage() == "sweeps" ||
+              report.status.stage() == "fit")
+      << "stage: " << report.status.stage();
+  EXPECT_GT(report.stats.total_requests, 0);
+  EXPECT_GE(report.stats.total_requests, 120);
+}
+
+TEST(JobQueueTest, HoughBudgetInterruptsDuringRaster) {
+  const BuiltDevice device = test_device();
+  ExtractionRequest request =
+      device_request(device, ExtractionMethod::kHoughBaseline);
+  request.budget.max_probes = 1000;
+
+  JobQueue jobs;
+  const ExtractionReport report = jobs.submit(request).wait();
+  EXPECT_EQ(report.status.code(), ErrorCode::kDeadlineExceeded);
+  EXPECT_EQ(report.status.stage(), "raster");
+  // Stops at a batch boundary: two whole 512-probe (8-row) batches.
+  EXPECT_EQ(report.stats.unique_probes, 1024);
+  EXPECT_LT(report.stats.unique_probes, 64L * 64L);
+}
+
+TEST(JobQueueTest, TinyWallBudgetExpiresBeforeProbing) {
+  const BuiltDevice device = test_device();
+  ExtractionRequest request = device_request(device, ExtractionMethod::kFast);
+  request.budget.max_wall_seconds = 1e-12;  // expires within the entry check
+
+  JobQueue jobs;
+  const ExtractionReport report = jobs.submit(request).wait();
+  EXPECT_EQ(report.status.code(), ErrorCode::kDeadlineExceeded);
+}
+
+TEST(JobQueueTest, HandleCancelInterruptsOrCompletesCleanly) {
+  // Cancelling in-flight jobs races with their completion by design; every
+  // job must end in exactly one of the two clean terminal states.
+  const BuiltDevice device = test_device();
+  JobQueue jobs;
+  std::vector<JobHandle> handles;
+  for (int i = 0; i < 6; ++i)
+    handles.push_back(
+        jobs.submit(device_request(device, ExtractionMethod::kFast)));
+  for (auto& handle : handles) handle.cancel();
+
+  for (auto& handle : handles) {
+    const ExtractionReport& report = handle.wait();
+    EXPECT_TRUE(report.status.ok() ||
+                report.status.code() == ErrorCode::kCancelled)
+        << report.status.message();
+    if (!report.status.ok()) EXPECT_FALSE(report.status.stage().empty());
+  }
+  jobs.wait_all();
+  EXPECT_EQ(jobs.completed(), handles.size());
+}
+
+TEST(JobQueueTest, ArrayJobsRunThroughTheQueueUnchanged) {
+  // run_array composes engine batches; the queue serves scalar requests. A
+  // playback suite job through the queue must match the engine run exactly
+  // (spot check that queue plumbing does not disturb existing flows).
+  const auto specs = qflow_suite_specs();
+  const QflowBenchmarkSpec* smallest = &specs.front();
+  for (const auto& spec : specs)
+    if (spec.pixels < smallest->pixels) smallest = &spec;
+  const QflowBenchmark benchmark = build_qflow_benchmark(*smallest);
+
+  ExtractionRequest request;
+  request.playback.csd = &benchmark.csd;
+  request.label = benchmark.name();
+
+  const ExtractionEngine engine;
+  const ExtractionReport direct = engine.run(request);
+  JobQueue jobs;
+  const ExtractionReport queued = jobs.submit(request).wait();
+  expect_reports_identical(queued, direct);
+  EXPECT_EQ(queued.label, benchmark.name());
+}
+
+}  // namespace
+}  // namespace qvg
