@@ -32,6 +32,17 @@
 //   async_queue_throughput — N extraction jobs through the async JobQueue
 //                       at fixed worker counts vs a serial engine.run
 //                       loop (reports bit-identical).                 (PR 4)
+//   async_parallel_raster — ONE raster-dominated job through the JobQueue:
+//                       the cooperative-scheduler fix (a job's nested
+//                       parallel_for fans out across the pool instead of
+//                       running inline-serial on its worker) vs the PR 4
+//                       serial-async behaviour, vs the synchronous
+//                       serial/parallel engine runs (all four reports
+//                       bit-identical).                               (PR 5)
+//   priority_latency  — interactive-job completion latency under a
+//                       saturating batch backlog on a single worker:
+//                       priority scheduling vs FIFO submission order.
+//                                                                     (PR 5)
 //
 // Extraction scenarios run through the ExtractionEngine façade (PR 3); the
 // micro solver/imgproc scenarios have no extraction to route.
@@ -39,7 +50,7 @@
 // Every scenario records the effective thread count (set QVG_THREADS=N to
 // re-measure on multi-core hardware in one variable).
 //
-// Usage: bench_json [output.json]   (default: BENCH_PR4.json in the CWD)
+// Usage: bench_json [output.json]   (default: BENCH_PR5.json in the CWD)
 #include "common/stopwatch.hpp"
 #include "common/thread_pool.hpp"
 #include "dataset/qflow_synth.hpp"
@@ -79,7 +90,7 @@ struct JsonWriter {
   std::ostringstream out;
   bool first_scenario = true;
 
-  void begin() { out << "{\n  \"bench\": \"PR4\",\n  \"scenarios\": [\n"; }
+  void begin() { out << "{\n  \"bench\": \"PR5\",\n  \"scenarios\": [\n"; }
   void end() {
     out << "\n  ]\n}\n";
   }
@@ -707,6 +718,159 @@ void bench_async_queue(JsonWriter& json) {
   json.end_scenario();
 }
 
+// PR 5: the serial-async fix, measured end to end. ONE raster-dominated
+// Hough job through the JobQueue: before the cooperative scheduler, the
+// worker that picked the job up carried t_parallel_depth = 1, so the job's
+// 100x100 raster ran inline-serial no matter how many workers the pool had —
+// async jobs silently lost all the PR 1 intra-job parallelism that a
+// synchronous engine.run enjoys. Now the job's nested parallel_for
+// participates in the pool: one async job on a multi-worker pool approaches
+// the synchronous *parallel* raster time, not the serial time. The PR 4
+// behaviour is reproduced with the parallelism kill switch (which is exactly
+// what the forced depth guard amounted to). All four reports must be
+// bit-identical (the raster schedule never changes results). Run with
+// QVG_THREADS=4 to see the fan-out on multi-core hardware; every variant
+// records the effective thread count.
+void bench_async_parallel_raster(JsonWriter& json) {
+  const BuiltDevice device = build_dot_array(DotArrayParams{});
+
+  ExtractionRequest request;
+  request.method = ExtractionMethod::kHoughBaseline;  // full-raster dominated
+  request.device.device = &device;
+  request.device.pixels_per_axis = 100;
+  request.label = "async-raster";
+
+  const ExtractionEngine engine;
+  ExtractionReport sync_serial, sync_parallel, async_serial, async_parallel;
+
+  set_parallelism_enabled(false);
+  const double sync_serial_s =
+      time_best(3, [&] { sync_serial = engine.run(request); });
+  set_parallelism_enabled(true);
+  const double sync_parallel_s =
+      time_best(3, [&] { sync_parallel = engine.run(request); });
+
+  // PR 4 baseline: one queue worker, nested loops forced inline-serial.
+  ThreadPool pool1(1);
+  set_parallelism_enabled(false);
+  const double async_serial_s = time_best(3, [&] {
+    JobQueue queue(EngineOptions{}, &pool1);
+    async_serial = queue.submit(request).wait();
+  });
+  set_parallelism_enabled(true);
+  // The fix: the job runs on the global pool and its raster rows fan out
+  // across that same pool's idle workers.
+  const double async_parallel_s = time_best(3, [&] {
+    JobQueue queue;
+    async_parallel = queue.submit(request).wait();
+  });
+
+  auto identical = [&](const ExtractionReport& a, const ExtractionReport& b) {
+    return a.status == b.status &&
+           a.virtual_gates.alpha12 == b.virtual_gates.alpha12 &&
+           a.virtual_gates.alpha21 == b.virtual_gates.alpha21 &&
+           a.stats.unique_probes == b.stats.unique_probes &&
+           a.stats.simulated_seconds == b.stats.simulated_seconds &&
+           a.hough.acquired.grid() == b.hough.acquired.grid();
+  };
+
+  json.begin_scenario("async_parallel_raster_1job_100px");
+  json.field("pixels", 100L * 100L);
+  json.field("sync_serial_seconds", sync_serial_s);
+  json.field("sync_parallel_seconds", sync_parallel_s);
+  json.field("async_serial_1worker_seconds", async_serial_s);
+  json.field("async_parallel_seconds", async_parallel_s);
+  json.field("async_speedup_vs_serial_async", async_serial_s / async_parallel_s);
+  json.field("async_over_sync_parallel", async_parallel_s / sync_parallel_s);
+  json.field("reports_identical", identical(sync_serial, sync_parallel) &&
+                                      identical(sync_serial, async_serial) &&
+                                      identical(sync_serial, async_parallel));
+  json.end_scenario();
+}
+
+// PR 5: what priority scheduling buys an interactive request stuck behind a
+// bulk re-tuning backlog. One queue worker, kJobs batch jobs saturating it;
+// the interactive job is submitted last. Under FIFO submission order
+// (everything kNormal) it drains the whole backlog first; under priority
+// scheduling it runs as soon as the in-flight job finishes. The latency is
+// measured from its submission to its completion, and its report stays
+// bit-identical to a synchronous run either way.
+void bench_priority_latency(JsonWriter& json) {
+  const BuiltDevice device = build_dot_array(DotArrayParams{});
+
+  constexpr int kBacklog = 6;
+  std::vector<ExtractionRequest> backlog;
+  for (int i = 0; i < kBacklog; ++i) {
+    ExtractionRequest request;
+    request.device.device = &device;
+    request.device.pixels_per_axis = 64;
+    request.device.noise_seed = 42 + static_cast<std::uint64_t>(i);
+    request.label = "backlog-" + std::to_string(i);
+    backlog.push_back(std::move(request));
+  }
+  ExtractionRequest interactive;
+  interactive.device.device = &device;
+  interactive.device.pixels_per_axis = 64;
+  interactive.device.noise_seed = 7;
+  interactive.label = "interactive";
+
+  ThreadPool pool1(1);
+  ExtractionReport fifo_report, priority_report;
+  auto drain_latency = [&](Priority backlog_priority,
+                           Priority interactive_priority,
+                           ExtractionReport& out) {
+    JobQueue queue(EngineOptions{}, &pool1);
+    std::vector<JobHandle> handles;
+    handles.reserve(backlog.size());
+    for (const auto& request : backlog)
+      handles.push_back(
+          queue.submit(request, SubmitOptions{.priority = backlog_priority}));
+    Stopwatch latency;
+    JobHandle urgent = queue.submit(
+        interactive, SubmitOptions{.priority = interactive_priority});
+    out = urgent.wait();
+    const double seconds = latency.elapsed_seconds();
+    queue.wait_all();
+    return seconds;
+  };
+
+  // Best-of-3 on the *returned* latency (time_best would also time the
+  // backlog drain after the interactive job finished).
+  auto best_latency = [&](Priority backlog_priority,
+                          Priority interactive_priority,
+                          ExtractionReport& out) {
+    double best = std::numeric_limits<double>::infinity();
+    for (int r = 0; r < 3; ++r)
+      best = std::min(
+          best, drain_latency(backlog_priority, interactive_priority, out));
+    return best;
+  };
+  const double fifo_s =
+      best_latency(Priority::kNormal, Priority::kNormal, fifo_report);
+  const double priority_s = best_latency(Priority::kBatch,
+                                         Priority::kInteractive,
+                                         priority_report);
+
+  const ExtractionEngine engine;
+  const ExtractionReport direct = engine.run(interactive);
+
+  json.begin_scenario("priority_latency_interactive_under_batch");
+  json.field("backlog_jobs", static_cast<long>(kBacklog));
+  json.field("fifo_latency_seconds", fifo_s);
+  json.field("priority_latency_seconds", priority_s);
+  json.field("latency_speedup", fifo_s / priority_s);
+  json.field("reports_identical",
+             fifo_report.status == priority_report.status &&
+                 fifo_report.virtual_gates.alpha12 ==
+                     priority_report.virtual_gates.alpha12 &&
+                 fifo_report.virtual_gates.alpha12 ==
+                     direct.virtual_gates.alpha12 &&
+                 fifo_report.stats.unique_probes ==
+                     priority_report.stats.unique_probes &&
+                 fifo_report.stats.unique_probes == direct.stats.unique_probes);
+  json.end_scenario();
+}
+
 // PR 2: the 12-diagram qflow suite built serially vs fanned out over the
 // pool (each diagram is deterministic given its spec).
 void bench_suite_generation(JsonWriter& json) {
@@ -737,7 +901,7 @@ void bench_suite_generation(JsonWriter& json) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  const std::string out_path = argc > 1 ? argv[1] : "BENCH_PR4.json";
+  const std::string out_path = argc > 1 ? argv[1] : "BENCH_PR5.json";
 
   JsonWriter json;
   json.out.precision(6);
@@ -754,6 +918,8 @@ int main(int argc, char** argv) {
   bench_engine_overhead(json);
   bench_cancellation_overhead(json);
   bench_async_queue(json);
+  bench_async_parallel_raster(json);
+  bench_priority_latency(json);
   json.end();
 
   std::ofstream file(out_path);

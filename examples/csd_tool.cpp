@@ -2,7 +2,7 @@
 // stability diagram.
 //
 //   csd_tool <diagram.csv> [--method fast|hough] [--dwell seconds]
-//            [--timeout-ms T] [--max-probes N] [--cancel]
+//            [--timeout-ms T] [--max-probes N] [--cancel] [--progress]
 //
 // Reads a CSD saved with qvg's CSV format (see dataset/csd_io.hpp), replays
 // it through the paper's simulated getCurrent (dwell-time accounting
@@ -12,10 +12,12 @@
 //
 // --timeout-ms and --max-probes set the request's deadline/probe budget;
 // --cancel submits the job with an already-fired CancelToken (exercises the
-// cancellation path end to end). Exit codes are distinct per outcome:
+// cancellation path end to end); --progress streams the job's stage
+// boundaries (stage, probes issued, elapsed) to stderr as it runs. Exit
+// codes are distinct per outcome:
 //   0 success, 1 extraction/load failure, 2 usage,
-//   3 job cancelled (kCancelled), 4 deadline/budget exceeded
-//   (kDeadlineExceeded).
+//   3 job cancelled (kCancelled), 4 deadline exceeded (kDeadlineExceeded),
+//   5 probe budget exhausted (kBudgetExhausted).
 //
 // Generate inputs with examples/device_playground or dataset tooling:
 //   ./device_playground && ./csd_tool playground_clean.csv
@@ -32,11 +34,12 @@ constexpr int kExitFailure = 1;
 constexpr int kExitUsage = 2;
 constexpr int kExitCancelled = 3;
 constexpr int kExitDeadlineExceeded = 4;
+constexpr int kExitBudgetExhausted = 5;
 
 int usage() {
   std::cerr << "usage: csd_tool <diagram.csv> [--method fast|hough] "
                "[--dwell seconds] [--timeout-ms T] [--max-probes N] "
-               "[--cancel]\n";
+               "[--cancel] [--progress]\n";
   return kExitUsage;
 }
 
@@ -52,11 +55,14 @@ int main(int argc, char** argv) {
   double timeout_ms = 0.0;
   long max_probes = 0;
   bool cancel_job = false;
+  bool show_progress = false;
   try {
     for (int i = 2; i < argc; ++i) {
       const std::string flag = argv[i];
       if (flag == "--cancel") {
         cancel_job = true;
+      } else if (flag == "--progress") {
+        show_progress = true;
       } else if (i + 1 >= argc) {
         return usage();
       } else if (flag == "--method") {
@@ -101,23 +107,41 @@ int main(int argc, char** argv) {
                            static_cast<long long>(timeout_ms * 1e3));
   request.budget.max_probes = max_probes;
 
-  CancelToken cancel = CancelToken::make();
-  if (cancel_job) cancel.cancel();
+  SubmitOptions options;
+  options.priority = Priority::kInteractive;  // a human is waiting
+  options.cancel = CancelToken::make();
+  if (cancel_job) options.cancel.cancel();
+  if (show_progress) {
+    // Print stage transitions only (every batch boundary would be one line
+    // per raster row); the final event count still shows in the summary.
+    options.on_progress = [last = std::string()](
+                              const ProgressEvent& event) mutable {
+      if (event.stage == last) return;
+      last = event.stage;
+      std::cerr << "[progress] stage=" << event.stage
+                << " probes=" << event.probes_used << " elapsed="
+                << qvg::format_fixed(event.elapsed_seconds * 1e3, 1)
+                << " ms\n";
+    };
+  }
+
   JobQueue jobs;
-  const ExtractionReport report = jobs.submit(request, cancel).wait();
+  const ExtractionReport report =
+      jobs.submit(request, std::move(options)).wait();
 
   if (!report.status.ok()) {
-    std::cout << "extraction "
-              << (report.status.code() == ErrorCode::kCancelled ||
-                          report.status.code() == ErrorCode::kDeadlineExceeded
-                      ? "INTERRUPTED ["
-                      : "FAILED [")
+    const bool interrupted =
+        report.status.code() == ErrorCode::kCancelled ||
+        report.status.code() == ErrorCode::kDeadlineExceeded ||
+        report.status.code() == ErrorCode::kBudgetExhausted;
+    std::cout << "extraction " << (interrupted ? "INTERRUPTED [" : "FAILED [")
               << error_code_name(report.status.code()) << "] at stage '"
               << report.status.stage() << "': " << report.status.detail()
               << " (after " << report.stats.unique_probes << " probes)\n";
     switch (report.status.code()) {
       case ErrorCode::kCancelled: return kExitCancelled;
       case ErrorCode::kDeadlineExceeded: return kExitDeadlineExceeded;
+      case ErrorCode::kBudgetExhausted: return kExitBudgetExhausted;
       default: return kExitFailure;
     }
   }

@@ -17,6 +17,7 @@ const char* error_code_name(ErrorCode code) noexcept {
     case ErrorCode::kParseError: return "parse_error";
     case ErrorCode::kCancelled: return "cancelled";
     case ErrorCode::kDeadlineExceeded: return "deadline_exceeded";
+    case ErrorCode::kBudgetExhausted: return "budget_exhausted";
     case ErrorCode::kInternal: return "internal";
   }
   return "unknown";

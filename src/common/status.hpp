@@ -44,9 +44,15 @@ enum class ErrorCode {
   /// The job was cancelled (CancelToken fired) before or during the run;
   /// Status::stage() records the pipeline stage at the interruption point.
   kCancelled,
-  /// The job's deadline passed or its Budget (max probes / max wall seconds)
-  /// was exhausted; Status::stage() records the interrupting stage.
+  /// The job's deadline passed (including a Budget.max_wall_seconds folded
+  /// into the deadline at job start); Status::stage() records the
+  /// interrupting stage.
   kDeadlineExceeded,
+  /// The job's probe budget (Budget.max_probes) was exhausted;
+  /// Status::stage() records the interrupting stage. Distinct from
+  /// kDeadlineExceeded so callers (and csd_tool's exit codes) can tell
+  /// "ran out of time" from "ran out of probes".
+  kBudgetExhausted,
   /// Unclassified internal failure.
   kInternal,
 };

@@ -15,8 +15,12 @@ namespace {
 
 std::atomic<bool> g_parallel_enabled{true};
 
-// Depth of parallel_for frames on this thread: nested calls run inline so a
-// chunk that itself fans out cannot deadlock the (single) job slot.
+// Nonzero while this thread is executing a parallel_for *chunk*. A
+// parallel_for issued from inside a chunk runs inline — that is the only
+// re-entrant case that could deadlock (every chunk of the outer job could
+// block waiting for inner-job chunks nobody is free to run). Workers at top
+// level (running a posted task) carry depth 0, so an async job's nested
+// parallel_for fans out across the pool like any other caller's.
 thread_local int t_parallel_depth = 0;
 
 /// QVG_THREADS (total threads including the caller) when set to a positive
@@ -52,17 +56,25 @@ struct ThreadPool::Job {
   std::exception_ptr error;
   std::mutex error_mutex;
 
+  /// Whether unclaimed chunks remain (cheap scheduler probe; claiming can
+  /// still lose the race, which run_one handles).
+  [[nodiscard]] bool has_unclaimed() const noexcept {
+    return next.load(std::memory_order_relaxed) < end;
+  }
+
   /// Claim and run one chunk. Returns false when the range is exhausted.
   bool run_one() {
     const std::size_t lo = next.fetch_add(chunk, std::memory_order_relaxed);
     if (lo >= end) return false;
     const std::size_t hi = std::min(lo + chunk, end);
+    ++t_parallel_depth;  // chunks must not re-enter the pool
     try {
       fn(lo, hi);
     } catch (...) {
       std::lock_guard<std::mutex> lock(error_mutex);
       if (!error) error = std::current_exception();
     }
+    --t_parallel_depth;
     pending.fetch_sub(1, std::memory_order_acq_rel);
     return true;
   }
@@ -71,9 +83,21 @@ struct ThreadPool::Job {
 struct ThreadPool::State {
   std::mutex mutex;
   std::condition_variable work_cv;  // workers wait here for a job or a task
-  std::condition_variable done_cv;  // parallel_for waits here for completion
+  std::condition_variable done_cv;  // parallel_for callers wait for completion
   std::deque<std::function<void()>> tasks;  // post() queue, FIFO
+  // Range jobs that may still have unclaimed chunks. Each parallel_for
+  // caller registers its job here, participates, and removes it when done;
+  // several jobs can be active at once (concurrent callers, or posted tasks
+  // fanning out). Workers scan in registration order.
+  std::vector<std::shared_ptr<Job>> jobs;
   bool stop = false;
+
+  /// First registered job with unclaimed chunks, nullptr when none.
+  [[nodiscard]] std::shared_ptr<Job> runnable_job() const {
+    for (const auto& job : jobs)
+      if (job->has_unclaimed()) return job;
+    return nullptr;
+  }
 };
 
 ThreadPool::ThreadPool(std::size_t thread_count)
@@ -101,37 +125,42 @@ ThreadPool::~ThreadPool() {
 }
 
 void ThreadPool::worker_loop() {
-  t_parallel_depth = 1;  // chunks and tasks here must not re-enter the pool
+  // Bounded preference for range jobs: helping an in-flight parallel_for
+  // first keeps fan-out latency low (its caller is blocked on it), but a
+  // worker never helps two jobs in a row while tasks wait — otherwise
+  // sustained overlapping parallel_for traffic could starve the FIFO task
+  // queue (and with it the JobQueue drain tasks) indefinitely.
+  bool helped_last = false;
   std::unique_lock<std::mutex> lock(state_->mutex);
   for (;;) {
     state_->work_cv.wait(lock, [&] {
-      return state_->stop || job_ || !state_->tasks.empty();
+      return state_->stop || !state_->tasks.empty() ||
+             state_->runnable_job() != nullptr;
     });
     if (state_->stop) return;
+    std::shared_ptr<Job> job;
+    if (!(helped_last && !state_->tasks.empty())) job = state_->runnable_job();
+    if (job) {
+      helped_last = true;
+      lock.unlock();
+      while (job->run_one()) {
+      }
+      // Range exhausted. The thread that finished the last chunk wakes the
+      // caller; notifying under the mutex avoids the lost-wakeup race with
+      // the caller's predicate check.
+      lock.lock();
+      if (job->pending.load(std::memory_order_acquire) == 0)
+        state_->done_cv.notify_all();
+      continue;
+    }
     if (!state_->tasks.empty()) {
+      helped_last = false;
       std::function<void()> task = std::move(state_->tasks.front());
       state_->tasks.pop_front();
       lock.unlock();
       task();  // contract: tasks do not throw
       lock.lock();
-      continue;
     }
-    const std::shared_ptr<Job> job = job_;
-    lock.unlock();
-    while (job->run_one()) {
-    }
-    // Range exhausted. The thread that finished the last chunk wakes the
-    // caller; notifying under the mutex avoids the lost-wakeup race with the
-    // caller's predicate check.
-    lock.lock();
-    if (job->pending.load(std::memory_order_acquire) == 0)
-      state_->done_cv.notify_all();
-    // Wait for the job slot to change (or a task to arrive) before
-    // re-polling.
-    state_->work_cv.wait(lock, [&] {
-      return state_->stop || job_ != job || !state_->tasks.empty();
-    });
-    if (state_->stop) return;
   }
 }
 
@@ -173,23 +202,21 @@ void ThreadPool::parallel_for(std::size_t begin, std::size_t end,
 
   {
     std::lock_guard<std::mutex> lock(state_->mutex);
-    job_ = job;
+    state_->jobs.push_back(job);
   }
   state_->work_cv.notify_all();
 
-  ++t_parallel_depth;
   while (job->run_one()) {
   }
-  --t_parallel_depth;
 
   {
     std::unique_lock<std::mutex> lock(state_->mutex);
     state_->done_cv.wait(lock, [&] {
       return job->pending.load(std::memory_order_acquire) == 0;
     });
-    job_ = nullptr;
+    auto& jobs = state_->jobs;
+    jobs.erase(std::find(jobs.begin(), jobs.end(), job));
   }
-  state_->work_cv.notify_all();
 
   if (job->error) std::rethrow_exception(job->error);
 }

@@ -1,11 +1,17 @@
-// Fixed-size thread pool with a blocking `parallel_for` over contiguous
-// index ranges and a fire-and-forget `post()` task queue. No work stealing,
-// no task futures: one range-job runs at a time and the calling thread
-// participates, so a single-threaded pool degrades to a plain serial loop.
+// Fixed-size thread pool with a cooperative scheduler: blocking
+// `parallel_for` over contiguous index ranges and a fire-and-forget `post()`
+// task queue share the same workers. Several range jobs can be in flight at
+// once (each caller participates in its own job), and — the part the async
+// service layer depends on — a posted task may itself call `parallel_for`
+// and fan out across the pool's idle workers instead of being forced to run
+// its loops inline. The re-entrancy guard survives only where it is needed
+// for correctness: a `parallel_for` issued from *inside a running chunk*
+// still runs inline, so chunks can never deadlock waiting on their own pool.
+//
 // Used to row-parallelize the batched raster evaluation
 // (DeviceSimulator::evaluate_raster) and the dense image scans of the
 // Canny/Hough baseline; the service layer's JobQueue runs async extraction
-// jobs through post().
+// jobs through post(), and those jobs' nested rasters parallelize here too.
 //
 // All users split work so that each index writes disjoint output, which
 // keeps parallel results bit-identical to serial ones regardless of thread
@@ -41,19 +47,28 @@ class ThreadPool {
   using RangeFn = std::function<void(std::size_t, std::size_t)>;
 
   /// Run fn(lo, hi) over disjoint chunks covering [begin, end). Blocks until
-  /// every chunk has finished; the calling thread executes chunks too. The
-  /// first exception thrown by `fn` is rethrown here. Nested calls from
-  /// inside a chunk run serially inline.
+  /// every chunk has finished; the calling thread executes chunks too, and
+  /// idle workers join in — including when the caller is itself a pool
+  /// worker running a posted task (the cooperative-scheduler case: an async
+  /// job's nested raster fans out instead of degrading to serial). The first
+  /// exception thrown by `fn` is rethrown here. Only a call made from
+  /// *inside a chunk* runs inline (serially), which keeps genuinely
+  /// re-entrant fan-out from deadlocking on its own pool.
   void parallel_for(std::size_t begin, std::size_t end, const RangeFn& fn,
                     std::size_t min_chunk = 1);
 
   /// Enqueue a fire-and-forget task. Tasks run on pool workers in FIFO order,
-  /// interleaved with parallel_for chunks; nested parallel_for calls made by
-  /// a task run inline (serial) on that worker. When the pool has no workers
-  /// the task runs inline in post() before it returns, so a single-threaded
-  /// pool degrades to synchronous execution. Tasks must not throw, and must
-  /// not block on other posted tasks (workers do not reenter the queue while
-  /// a task runs). Tasks still queued when the pool is destroyed are dropped.
+  /// interleaved with parallel_for chunks; idle workers prefer helping an
+  /// in-flight parallel_for before starting the next task (so fan-out work
+  /// finishes at low latency), but never twice in a row while tasks wait,
+  /// so sustained parallel_for traffic cannot starve the task queue. A
+  /// nested parallel_for made by a task
+  /// participates in this pool (see parallel_for). When the pool has no
+  /// workers the task runs inline in post() before it returns, so a
+  /// single-threaded pool degrades to synchronous execution. Tasks must not
+  /// throw, and must not block on other posted tasks (workers do not reenter
+  /// the queue while a task runs). Tasks still queued when the pool is
+  /// destroyed are dropped.
   void post(std::function<void()> task);
 
   /// Shared process-wide pool sized to the hardware.
@@ -64,7 +79,6 @@ class ThreadPool {
   void worker_loop();
 
   std::vector<std::thread> workers_;
-  std::shared_ptr<Job> job_;  // guarded by the job mutex inside Job machinery
   struct State;
   std::unique_ptr<State> state_;
 };

@@ -93,7 +93,8 @@ ArrayExtractionResult compose_array_result(const BuiltDevice& device,
   // was cancelled / expired, which is not an ordinary pair failure.
   for (const auto& pair : result.pairs) {
     if (pair.status.code() == ErrorCode::kCancelled ||
-        pair.status.code() == ErrorCode::kDeadlineExceeded) {
+        pair.status.code() == ErrorCode::kDeadlineExceeded ||
+        pair.status.code() == ErrorCode::kBudgetExhausted) {
       result.status = Status::failure(pair.status.code(), "array",
                                       "interrupted at pair " +
                                           std::to_string(pair.pair_index) +

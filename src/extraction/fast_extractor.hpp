@@ -70,9 +70,9 @@ struct FastExtractionResult {
 /// acquisition context is checked between pipeline stages and between the
 /// probe batches inside anchors and sweeps; a cancelled or expired job stops
 /// at the next batch boundary and returns the typed interruption Status
-/// (kCancelled / kDeadlineExceeded) with the ProbeStats and probe log of the
-/// partial run. An uninterrupted run is bit-identical whether or not a
-/// context is attached.
+/// (kCancelled / kDeadlineExceeded / kBudgetExhausted) with the ProbeStats
+/// and probe log of the partial run. An uninterrupted run is bit-identical
+/// whether or not a context is attached.
 [[nodiscard]] FastExtractionResult run_fast_extraction(
     CurrentSource& source, const VoltageAxis& x_axis, const VoltageAxis& y_axis,
     const FastExtractorOptions& options = {},

@@ -59,8 +59,8 @@ struct SweepPoint {
 
 struct SweepResult {
   /// ok() when both enabled sweeps ran to completion; the interruption
-  /// Status (kCancelled / kDeadlineExceeded, stage "sweeps") when the
-  /// acquisition context stopped them early. The points collected before the
+  /// Status (kCancelled / kDeadlineExceeded / kBudgetExhausted, stage
+  /// "sweeps") when the acquisition context stopped them early. The points collected before the
   /// interruption are retained.
   Status status;
   std::vector<SweepPoint> row_points;  // from the row-major sweep

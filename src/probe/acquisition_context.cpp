@@ -5,13 +5,14 @@
 namespace qvg {
 
 Status AcquisitionContext::check(const char* stage, long probes_used) const {
+  progress.report(stage, probes_used);
   if (cancel.cancelled())
     return Status::failure(ErrorCode::kCancelled, stage, "job cancelled");
   if (deadline && Clock::now() >= *deadline)
     return Status::failure(ErrorCode::kDeadlineExceeded, stage,
                            "deadline exceeded");
   if (max_probes > 0 && probes_used >= 0 && probes_used >= max_probes)
-    return Status::failure(ErrorCode::kDeadlineExceeded, stage,
+    return Status::failure(ErrorCode::kBudgetExhausted, stage,
                            "probe budget exhausted (" +
                                std::to_string(probes_used) + " of " +
                                std::to_string(max_probes) + " allowed)");

@@ -1,21 +1,25 @@
-// Per-job acquisition limits, threaded from the service layer down to the
-// probe loops.
+// Per-job acquisition limits and progress streaming, threaded from the
+// service layer down to the probe loops.
 //
 // A running acquisition is a sequence of batched get_currents requests (full
 // rasters go out row by row, sweeps segment by segment, mask scans sweep by
 // sweep). The AcquisitionContext carries everything that may stop the job
 // early — a CancelToken, an absolute wall-clock deadline, and a probe
-// budget — and every loop calls check() *between* batches: a cancelled or
-// expired job stops at the next batch boundary, never mid-batch, so partial
-// results (probe counts, clock charge, collected points) remain well-defined
-// and completed jobs stay bit-identical to unlimited runs.
+// budget — plus an optional ProgressSink, and every loop calls check()
+// *between* batches: a cancelled or expired job stops at the next batch
+// boundary, never mid-batch, so partial results (probe counts, clock charge,
+// collected points) remain well-defined and completed jobs stay
+// bit-identical to unlimited runs. The same boundaries feed the progress
+// stream, so attaching a sink costs nothing new in call sites.
 //
 // The default-constructed context is unlimited; limited() lets hot paths
-// keep their single-batch fast path when nothing can interrupt them.
+// keep their single-batch fast path when nothing can interrupt them (and
+// nothing listens for progress).
 #pragma once
 
 #include "common/cancellation.hpp"
 #include "common/status.hpp"
+#include "probe/progress.hpp"
 
 #include <chrono>
 #include <optional>
@@ -29,9 +33,10 @@ struct Budget {
   /// Maximum probe requests the job may issue, as observed at the probe
   /// interface the pipeline drives (through a ProbeCache on the fast path,
   /// cache hits included; the raw source on full rasters). Exhaustion is
-  /// reported as kDeadlineExceeded with a "probe budget exhausted" detail.
+  /// reported as kBudgetExhausted.
   long max_probes = 0;
-  /// Maximum wall-clock seconds for the job.
+  /// Maximum wall-clock seconds for the job. Expiry is reported as
+  /// kDeadlineExceeded (it is folded into the deadline at job start).
   double max_wall_seconds = 0.0;
 
   [[nodiscard]] bool unlimited() const noexcept {
@@ -52,18 +57,27 @@ class AcquisitionContext {
   std::optional<Clock::time_point> deadline;
   /// Probe budget (0 = unlimited); see Budget::max_probes for what counts.
   long max_probes = 0;
+  /// Progress stream (empty by default). Every check() boundary reports
+  /// (stage, probes_used, elapsed) to the sink before the interruption
+  /// logic runs, so an interrupted job's stream still records the boundary
+  /// it stopped at.
+  ProgressSink progress;
 
-  /// Whether any limit is attached. Unlimited contexts let acquisition keep
-  /// its single-batch fast path (no per-row checks, bit-identical to PR 3).
+  /// Whether any limit or listener is attached. Unlimited contexts let
+  /// acquisition keep its single-batch fast path (no per-row checks,
+  /// bit-identical to PR 3); a progress sink forces the batched path too,
+  /// since events only fire at batch boundaries.
   [[nodiscard]] bool limited() const noexcept {
-    return cancel.can_cancel() || deadline.has_value() || max_probes > 0;
+    return cancel.can_cancel() || deadline.has_value() || max_probes > 0 ||
+           progress.active();
   }
 
   /// Interruption check, called between probe batches and pipeline stages.
-  /// Returns ok, or the typed interruption Status (kCancelled or
-  /// kDeadlineExceeded) with `stage` recorded at the interruption point.
-  /// `probes_used` is compared against max_probes (pass the driving source's
-  /// probe_count(); negative skips the budget check).
+  /// Returns ok, or the typed interruption Status — kCancelled,
+  /// kDeadlineExceeded, or kBudgetExhausted — with `stage` recorded at the
+  /// interruption point. `probes_used` is compared against max_probes (pass
+  /// the driving source's probe_count(); negative skips the budget check).
+  /// When a progress sink is attached, the boundary is reported to it first.
   [[nodiscard]] Status check(const char* stage, long probes_used = -1) const;
 };
 

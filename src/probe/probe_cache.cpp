@@ -18,15 +18,22 @@ void ProbeCache::reserve(std::size_t expected_unique_probes) {
 
 std::uint64_t ProbeCache::key_of(double v1, double v2) const {
   // Quantize with llround (symmetric around zero — truncation would fold
-  // (-0.5g, 0.5g) onto the same key and alias negative-voltage probes) to a
-  // single mixed 64-bit key; the offset keeps both halves positive for any
-  // realistic gate range.
-  const auto q1 =
-      static_cast<std::int64_t>(std::llround(v1 / granularity_)) + (1LL << 30);
-  const auto q2 =
-      static_cast<std::int64_t>(std::llround(v2 / granularity_)) + (1LL << 30);
-  QVG_ASSERT(q1 >= 0 && q2 >= 0);
-  return (static_cast<std::uint64_t>(q1) << 32) | static_cast<std::uint64_t>(q2);
+  // (-0.5g, 0.5g) onto the same key and alias negative-voltage probes),
+  // clamp each half into the 32 bits it owns in the mixed key, and offset so
+  // both halves are non-negative. The clamp happens in double space, before
+  // llround, so extreme voltage/granularity ratios (beyond ±2^31 quanta, or
+  // non-finite inputs) saturate at the window edge instead of overflowing
+  // one half into the other: distinct probes past the edge may share the
+  // boundary key, but they can never alias an unrelated in-window
+  // configuration the way the unclamped shift did.
+  constexpr double kHalfRange = 2147483648.0;  // 2^31 quanta per side
+  auto quantize = [this](double v) {
+    double q = v / granularity_;
+    if (!(q > -kHalfRange)) q = -kHalfRange;  // also catches NaN
+    if (q > kHalfRange - 1.0) q = kHalfRange - 1.0;
+    return static_cast<std::uint64_t>(std::llround(q) + (1LL << 31));
+  };
+  return (quantize(v1) << 32) | quantize(v2);
 }
 
 double ProbeCache::get_current(double v1, double v2) {

@@ -72,6 +72,9 @@ class ProbeCache final : public CurrentSource {
   void reset_statistics();
 
  private:
+  /// Mixed 64-bit key: two llround-quantized 32-bit halves, each clamped to
+  /// ±2^31 quanta so extreme voltage/granularity ratios saturate instead of
+  /// overflowing one half into the other.
   [[nodiscard]] std::uint64_t key_of(double v1, double v2) const;
 
   CurrentSource& source_;

@@ -1,0 +1,61 @@
+#include "probe/progress.hpp"
+
+namespace qvg {
+
+struct ProgressSink::State {
+  // Serializes delivery: held across the callback so events arrive one at a
+  // time in sequence order, without holding `mutex` (so a callback may call
+  // latest() freely; re-entering report() would self-deadlock and is
+  // forbidden by contract).
+  std::mutex delivery_mutex;
+  mutable std::mutex mutex;  // guards everything below
+  ProgressEvent latest;
+  bool any = false;
+  std::size_t next_sequence = 0;
+  // Armed lazily by the first report(): the sink is created at submission,
+  // but elapsed_seconds counts from the *job start* — a job parked behind a
+  // queue backlog must not report its wait as run time.
+  bool started = false;
+  Clock::time_point start;
+  Callback on_event;
+};
+
+ProgressSink ProgressSink::make(Callback on_event) {
+  ProgressSink sink;
+  sink.state_ = std::make_shared<State>();
+  sink.state_->on_event = std::move(on_event);
+  return sink;
+}
+
+void ProgressSink::report(const char* stage, long probes_used) const {
+  if (!state_) return;
+  const Clock::time_point now = Clock::now();
+  std::lock_guard<std::mutex> delivery(state_->delivery_mutex);
+  ProgressEvent event;
+  {
+    std::lock_guard<std::mutex> lock(state_->mutex);
+    if (!state_->started) {
+      state_->started = true;
+      state_->start = now;
+    }
+    ProgressEvent& latest = state_->latest;
+    if (probes_used < 0) probes_used = state_->any ? latest.probes_used : 0;
+    latest.stage = stage;
+    latest.probes_used = probes_used;
+    latest.elapsed_seconds =
+        std::chrono::duration<double>(now - state_->start).count();
+    latest.sequence = state_->next_sequence++;
+    state_->any = true;
+    event = latest;
+  }
+  if (state_->on_event) state_->on_event(event);
+}
+
+std::optional<ProgressEvent> ProgressSink::latest() const {
+  if (!state_) return std::nullopt;
+  std::lock_guard<std::mutex> lock(state_->mutex);
+  if (!state_->any) return std::nullopt;
+  return state_->latest;
+}
+
+}  // namespace qvg

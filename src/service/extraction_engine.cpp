@@ -56,14 +56,16 @@ void run_method(const ExtractionRequest& request, CurrentSource& source,
   }
 }
 
-/// The per-job AcquisitionContext: the job's cancel token plus the request's
-/// deadline, with Budget.max_wall_seconds folded in as a deadline relative
-/// to now (the job start — the queue builds the context when the job begins
-/// running, not when it is submitted).
+/// The per-job AcquisitionContext: the job's cancel token and progress sink
+/// plus the request's deadline, with Budget.max_wall_seconds folded in as a
+/// deadline relative to now (the job start — the queue builds the context
+/// when the job begins running, not when it is submitted).
 AcquisitionContext make_context(const ExtractionRequest& request,
-                                const CancelToken& cancel) {
+                                const CancelToken& cancel,
+                                const ProgressSink& progress) {
   AcquisitionContext context;
   context.cancel = cancel;
+  context.progress = progress;
   context.deadline = request.deadline;
   if (request.budget.max_wall_seconds > 0.0) {
     const auto budget_deadline =
@@ -87,9 +89,10 @@ ExtractionReport ExtractionEngine::run(const ExtractionRequest& request) const {
 }
 
 ExtractionReport ExtractionEngine::run(const ExtractionRequest& request,
-                                       const CancelToken& cancel) const {
+                                       const CancelToken& cancel,
+                                       const ProgressSink& progress) const {
   Stopwatch wall;
-  const AcquisitionContext context = make_context(request, cancel);
+  const AcquisitionContext context = make_context(request, cancel, progress);
   ExtractionReport report;
   report.label = request.label;
   report.method = request.method;

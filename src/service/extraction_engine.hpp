@@ -18,12 +18,14 @@
 //     running each request serially, and both are bit-identical to calling
 //     the underlying entry points directly.
 //   * Asynchronous submission lives in JobQueue (service/job_queue.hpp):
-//     submit(request) -> JobHandle with wait/try_report/cancel. Requests
-//     carry an optional deadline and Budget; the engine threads them (plus
-//     the job's CancelToken) down to the probe loops as an
-//     AcquisitionContext, so a cancelled or expired job stops between probe
-//     batches with a typed kCancelled/kDeadlineExceeded Status and partial
-//     ProbeStats.
+//     submit(request[, SubmitOptions]) -> JobHandle with
+//     wait/try_report/cancel/progress, priority-scheduled with aging.
+//     Requests carry an optional deadline and Budget; the engine threads
+//     them (plus the job's CancelToken and ProgressSink) down to the probe
+//     loops as an AcquisitionContext, so a cancelled or expired job stops
+//     between probe batches with a typed kCancelled / kDeadlineExceeded /
+//     kBudgetExhausted Status and partial ProbeStats, while every boundary
+//     feeds the progress stream.
 #pragma once
 
 #include "common/cancellation.hpp"
@@ -143,13 +145,16 @@ class ExtractionEngine {
   /// Serve one request synchronously (honouring its deadline and budget).
   [[nodiscard]] ExtractionReport run(const ExtractionRequest& request) const;
 
-  /// Serve one request under a cancellation token: the JobQueue's execution
-  /// path. A request whose token fired before this call returns kCancelled
-  /// with zero probes; one cancelled mid-run stops at the next probe-batch
-  /// boundary with partial ProbeStats. An uncancelled run is bit-identical
-  /// to run(request).
+  /// Serve one request under a cancellation token and (optionally) a
+  /// progress sink: the JobQueue's execution path. A request whose token
+  /// fired before this call returns kCancelled with zero probes; one
+  /// cancelled mid-run stops at the next probe-batch boundary with partial
+  /// ProbeStats. Every stage and probe-batch boundary reports to the sink
+  /// (stage name, probes issued, elapsed seconds). An uncancelled run is
+  /// bit-identical to run(request) whether or not a sink is attached.
   [[nodiscard]] ExtractionReport run(const ExtractionRequest& request,
-                                     const CancelToken& cancel) const;
+                                     const CancelToken& cancel,
+                                     const ProgressSink& progress = {}) const;
 
   /// Serve a batch of requests — concurrently when options.parallel_batch —
   /// returning reports in request order.

@@ -2,15 +2,27 @@
 
 #include "common/assert.hpp"
 
+#include <algorithm>
 #include <exception>
 #include <string>
 #include <utility>
+#include <vector>
 
 namespace qvg {
+
+const char* priority_name(Priority priority) noexcept {
+  switch (priority) {
+    case Priority::kInteractive: return "interactive";
+    case Priority::kNormal: return "normal";
+    case Priority::kBatch: return "batch";
+  }
+  return "unknown";
+}
 
 struct JobHandle::State {
   std::size_t id = 0;
   CancelToken cancel;
+  ProgressSink progress;
   mutable std::mutex mutex;
   mutable std::condition_variable cv;
   bool done = false;
@@ -27,9 +39,22 @@ bool JobHandle::done() const {
 
 bool JobHandle::cancel() const {
   if (!state_) return false;
-  state_->cancel.cancel();
+  // Fire the token under the same mutex the completion path takes before
+  // publishing the report, making check-and-fire atomic with respect to
+  // completion: a true return means the request strictly preceded the
+  // report, a false return means the job had already finished and the
+  // request had no effect. (The pre-fix code flipped the flag first and
+  // read `done` after — a job finishing in between could report kCancelled
+  // *caused by this call* while the call returned false.)
   std::lock_guard<std::mutex> lock(state_->mutex);
-  return !state_->done;
+  if (state_->done) return false;
+  state_->cancel.cancel();
+  return true;
+}
+
+std::optional<ProgressEvent> JobHandle::progress() const {
+  if (!state_) return std::nullopt;
+  return state_->progress.latest();
 }
 
 std::optional<ExtractionReport> JobHandle::try_report() const {
@@ -51,13 +76,53 @@ ExtractionReport JobHandle::wait() && {
   return self.wait();
 }
 
-/// Queue-wide accounting, shared with the posted tasks so the queue can be
-/// destroyed only after (and by waiting until) every task has finished.
+/// Queue-wide state, shared with the posted drain tasks: accounting (so the
+/// queue can be destroyed only after every task has finished) and the
+/// priority-ordered pending list the tasks pop from.
 struct JobQueue::Shared {
+  /// One not-yet-dispatched job.
+  struct Pending {
+    ExtractionRequest request;
+    std::shared_ptr<JobHandle::State> state;
+    Priority priority = Priority::kNormal;
+    std::size_t seq = 0;               // submission order: FIFO tiebreak
+    std::size_t enqueue_dispatch = 0;  // dispatch_count at submission
+  };
+
   mutable std::mutex mutex;
   mutable std::condition_variable all_done_cv;
   std::size_t submitted = 0;
   std::size_t completed = 0;
+  std::size_t dispatch_count = 0;  // jobs handed to workers so far
+  std::vector<Pending> pending;
+
+  /// Effective priority class after aging: one class better per
+  /// kAgingDispatches jobs dispatched since this one was enqueued. Bounded
+  /// bypass count = no starvation, and fully deterministic (aging advances
+  /// with dispatches, not wall time, so single-threaded tests can pin the
+  /// exact order).
+  [[nodiscard]] std::size_t effective_level(const Pending& job) const {
+    const auto base = static_cast<std::size_t>(job.priority);
+    const std::size_t aged =
+        (dispatch_count - job.enqueue_dispatch) / kAgingDispatches;
+    return aged >= base ? 0 : base - aged;
+  }
+
+  /// Pop the best pending job: lowest effective level, then lowest seq.
+  /// Call with the mutex held; pending must not be empty.
+  [[nodiscard]] Pending pop_best() {
+    std::size_t best = 0;
+    for (std::size_t i = 1; i < pending.size(); ++i) {
+      const std::size_t lhs = effective_level(pending[i]);
+      const std::size_t rhs = effective_level(pending[best]);
+      if (lhs < rhs || (lhs == rhs && pending[i].seq < pending[best].seq))
+        best = i;
+    }
+    Pending job = std::move(pending[best]);
+    pending.erase(pending.begin() + static_cast<std::ptrdiff_t>(best));
+    ++dispatch_count;
+    return job;
+  }
 };
 
 JobQueue::JobQueue(EngineOptions engine_options, ThreadPool* pool)
@@ -67,38 +132,53 @@ JobQueue::JobQueue(EngineOptions engine_options, ThreadPool* pool)
 
 JobQueue::~JobQueue() { wait_all(); }
 
-JobHandle JobQueue::submit(ExtractionRequest request, CancelToken cancel) {
+JobHandle JobQueue::submit(ExtractionRequest request, SubmitOptions options) {
   auto state = std::make_shared<JobHandle::State>();
-  state->cancel = cancel.can_cancel() ? cancel : CancelToken::make();
+  state->cancel =
+      options.cancel.can_cancel() ? options.cancel : CancelToken::make();
+  state->progress = ProgressSink::make(std::move(options.on_progress));
+
   {
     std::lock_guard<std::mutex> lock(shared_->mutex);
     state->id = shared_->submitted++;
+    if (request.label.empty())
+      request.label = "job-" + std::to_string(state->id);
+    shared_->pending.push_back(Shared::Pending{std::move(request), state,
+                                               options.priority, state->id,
+                                               shared_->dispatch_count});
   }
-  if (request.label.empty())
-    request.label = "job-" + std::to_string(state->id);
 
-  // The task owns copies of everything it touches (engine options, request,
-  // job state, queue accounting), so it is safe whether it runs inline now
-  // or on a worker after submit() returned — even past this queue's
-  // lifetime end (the destructor additionally drains all jobs).
-  pool_->post([engine = engine_, shared = shared_, state,
-               request = std::move(request)] {
+  // One generic drain task per submission: it pops the *best* pending job at
+  // the moment a worker becomes free, so priorities take effect at dispatch
+  // time, not submission time. The task owns copies of everything it touches
+  // (engine options and shared queue state; job state and request live in
+  // the pending list), so it is safe whether it runs inline now or on a
+  // worker after submit() returned — even past this queue's lifetime end
+  // (the destructor additionally drains all jobs).
+  pool_->post([engine = engine_, shared = shared_] {
+    Shared::Pending job;
+    {
+      std::lock_guard<std::mutex> lock(shared->mutex);
+      QVG_ASSERT(!shared->pending.empty());  // one drain task per submission
+      job = shared->pop_best();
+    }
+
     ExtractionReport report;
     try {
-      report = engine.run(request, state->cancel);
+      report = engine.run(job.request, job.state->cancel, job.state->progress);
     } catch (const std::exception& e) {
       // Tasks must not throw out of the pool; surface the fault as a typed
       // report instead of taking the process down.
-      report.label = request.label;
-      report.method = request.method;
+      report.label = job.request.label;
+      report.method = job.request.method;
       report.status = Status::failure(ErrorCode::kInternal, "queue", e.what());
     }
     {
-      std::lock_guard<std::mutex> lock(state->mutex);
-      state->report = std::move(report);
-      state->done = true;
+      std::lock_guard<std::mutex> lock(job.state->mutex);
+      job.state->report = std::move(report);
+      job.state->done = true;
     }
-    state->cv.notify_all();
+    job.state->cv.notify_all();
     {
       std::lock_guard<std::mutex> lock(shared->mutex);
       ++shared->completed;
@@ -106,6 +186,12 @@ JobHandle JobQueue::submit(ExtractionRequest request, CancelToken cancel) {
     shared->all_done_cv.notify_all();
   });
   return JobHandle(std::move(state));
+}
+
+JobHandle JobQueue::submit(ExtractionRequest request, CancelToken cancel) {
+  SubmitOptions options;
+  options.cancel = std::move(cancel);
+  return submit(std::move(request), std::move(options));
 }
 
 void JobQueue::wait_all() const {
@@ -122,6 +208,11 @@ std::size_t JobQueue::submitted() const {
 std::size_t JobQueue::completed() const {
   std::lock_guard<std::mutex> lock(shared_->mutex);
   return shared_->completed;
+}
+
+std::size_t JobQueue::pending() const {
+  std::lock_guard<std::mutex> lock(shared_->mutex);
+  return shared_->pending.size();
 }
 
 }  // namespace qvg

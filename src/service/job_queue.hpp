@@ -1,33 +1,52 @@
-// Asynchronous job submission for the ExtractionEngine.
+// Asynchronous, priority-scheduled job submission for the ExtractionEngine.
 //
 // A tuning service cannot serve heavy traffic with synchronous batch calls:
-// it must accept jobs as they arrive, cancel ones that became redundant, and
-// enforce per-request deadlines. JobQueue is that front door:
+// it must accept jobs as they arrive, serve interactive requests ahead of
+// bulk re-tuning sweeps, cancel jobs that became redundant, enforce
+// per-request deadlines, and stream progress while long jobs run. JobQueue
+// is that front door:
 //
 //   JobQueue jobs;
-//   JobHandle handle = jobs.submit(request);        // returns immediately
+//   JobHandle handle = jobs.submit(request);            // returns immediately
+//   JobHandle urgent = jobs.submit(request2, {.priority = Priority::kInteractive});
 //   ...
-//   handle.cancel();                                // stops it cooperatively
-//   const ExtractionReport& report = handle.wait(); // or try_report()
+//   urgent.progress();                                  // latest stage/probes/elapsed
+//   handle.cancel();                                    // stops it cooperatively
+//   const ExtractionReport& report = handle.wait();     // or try_report()
 //
-// Jobs run as fire-and-forget tasks on the global ThreadPool (JobQueue
-// itself owns no threads). Each job builds its own backend source, so the
+// Scheduling: submission enqueues the request in the queue's own pending
+// list and posts one generic drain task to the ThreadPool; each drain task
+// pops the *highest-priority* pending job at the moment a worker picks it
+// up (kInteractive < kNormal < kBatch, FIFO within a class). Aging prevents
+// starvation: a pending job is promoted one class for every
+// kAgingDispatches jobs dispatched past it, so a kBatch job under a
+// saturating interactive stream still runs after a bounded number of
+// bypasses. On a pool with no workers submission degrades to synchronous
+// execution inside submit() (priority cannot reorder anything — each job
+// completes before the next is submitted); the handle API behaves
+// identically.
+//
+// Execution: jobs run as fire-and-forget tasks on the ThreadPool (JobQueue
+// itself owns no threads), and — via the pool's cooperative scheduler — a
+// job's nested parallel loops (raster rows, array pairs) fan out across the
+// pool's idle workers instead of running inline-serial on the one worker
+// that picked the job up. Each job builds its own backend source, so the
 // drain order cannot change results: an uncancelled job's report is
 // bit-identical to calling ExtractionEngine::run(request) synchronously,
-// regardless of thread count or queue pressure. Cancellation and deadlines
-// thread down to the probe loops through the AcquisitionContext, so an
-// interrupted job stops between probe batches (never mid-batch) and reports
-// a typed kCancelled / kDeadlineExceeded Status with the ProbeStats of the
-// partial run.
+// regardless of priority class, thread count, or queue pressure.
 //
-// On a pool with no workers (QVG_THREADS=1) submission degrades to
-// synchronous execution inside submit(); the handle API behaves
-// identically. To cancel a job deterministically before it can start, pass
-// an already-cancelled CancelToken to submit().
+// Cancellation and deadlines thread down to the probe loops through the
+// AcquisitionContext, so an interrupted job stops between probe batches
+// (never mid-batch) and reports a typed kCancelled / kDeadlineExceeded /
+// kBudgetExhausted Status with the ProbeStats of the partial run. The same
+// batch boundaries feed each job's ProgressSink: JobHandle::progress()
+// returns the latest (stage, probes, elapsed) snapshot, and
+// SubmitOptions::on_progress streams every event as it happens.
 #pragma once
 
 #include "common/cancellation.hpp"
 #include "common/thread_pool.hpp"
+#include "probe/progress.hpp"
 #include "service/extraction_engine.hpp"
 
 #include <condition_variable>
@@ -39,6 +58,30 @@
 namespace qvg {
 
 class JobQueue;
+
+/// Scheduling class of a submitted job. Lower value = served first;
+/// aging promotes a bypassed job one class per kAgingDispatches dispatches.
+enum class Priority {
+  kInteractive = 0,  // operator-facing: jump the queue
+  kNormal = 1,       // default
+  kBatch = 2,        // bulk sweeps: yield to everything (until aged)
+};
+
+/// Stable name for logs/reports ("interactive", "normal", "batch").
+[[nodiscard]] const char* priority_name(Priority priority) noexcept;
+
+/// Per-submission options (all optional).
+struct SubmitOptions {
+  Priority priority = Priority::kNormal;
+  /// Pre-wired cancellation (e.g. cancel before the queue can start the
+  /// job); by default each job gets its own fresh token, reachable through
+  /// JobHandle::cancel().
+  CancelToken cancel;
+  /// Streaming progress callback, invoked serialized and in order for every
+  /// stage/batch boundary the job crosses. Runs on the job's thread: keep it
+  /// fast, do not block on the job itself.
+  ProgressSink::Callback on_progress;
+};
 
 /// Caller-side handle on one submitted job. Copies share the job state; a
 /// default-constructed handle is empty (valid() == false).
@@ -53,12 +96,20 @@ class JobHandle {
   /// Whether the job has finished (completed, failed, or interrupted).
   [[nodiscard]] bool done() const;
 
-  /// Request cooperative cancellation: a job not yet started reports
-  /// kCancelled with zero probes; a running one stops at its next
-  /// probe-batch boundary. Returns true when the job had not finished at
-  /// the time of the call (the report may still be a completed one if the
-  /// job won the race).
+  /// Request cooperative cancellation. Returns true iff the request could
+  /// still be observed by the job — i.e. it was delivered before the job
+  /// published its report (a job not yet started reports kCancelled with
+  /// zero probes; a running one stops at its next probe-batch boundary,
+  /// though it may still complete normally if it was already past its last
+  /// check). Returns false iff the job had already finished, in which case
+  /// the call had no effect. The check-and-fire is atomic with respect to
+  /// job completion, so a false return can never accompany a cancellation
+  /// this call caused.
   bool cancel() const;
+
+  /// Latest progress event (stage, probes, elapsed) reported by the running
+  /// job; nullopt before the job's first stage boundary.
+  [[nodiscard]] std::optional<ProgressEvent> progress() const;
 
   /// The report when the job has finished; std::nullopt while it runs.
   [[nodiscard]] std::optional<ExtractionReport> try_report() const;
@@ -78,9 +129,14 @@ class JobHandle {
 
 class JobQueue {
  public:
+  /// A pending job is promoted one priority class after this many jobs have
+  /// been dispatched past it (so a kBatch job is bypassed at most
+  /// 2 * kAgingDispatches times before it outranks fresh interactive work).
+  static constexpr std::size_t kAgingDispatches = 4;
+
   /// `engine_options` configure the embedded engine; `pool` overrides the
   /// ThreadPool the jobs run on (nullptr = the global pool; the override
-  /// exists for benchmarking queue throughput at a fixed worker count).
+  /// exists for benchmarking queue behaviour at a fixed worker count).
   explicit JobQueue(EngineOptions engine_options = {},
                     ThreadPool* pool = nullptr);
   /// Blocks until every submitted job has finished (their tasks capture
@@ -91,17 +147,18 @@ class JobQueue {
 
   /// Enqueue a request; returns immediately (unless the pool has no
   /// workers, in which case the job runs synchronously here). A request
-  /// without a label gets "job-<id>". The optional token lets the caller
-  /// pre-wire cancellation (e.g. cancel before the queue can start the
-  /// job); by default each job gets its own fresh token, reachable through
-  /// JobHandle::cancel().
-  JobHandle submit(ExtractionRequest request, CancelToken cancel = {});
+  /// without a label gets "job-<id>". Thread-safe: any thread may submit.
+  JobHandle submit(ExtractionRequest request, SubmitOptions options = {});
+  /// Back-compat convenience: submit with a pre-wired token at kNormal.
+  JobHandle submit(ExtractionRequest request, CancelToken cancel);
 
   /// Block until every job submitted so far has finished.
   void wait_all() const;
 
   [[nodiscard]] std::size_t submitted() const;
   [[nodiscard]] std::size_t completed() const;
+  /// Jobs accepted but not yet picked up by a worker.
+  [[nodiscard]] std::size_t pending() const;
 
  private:
   struct Shared;

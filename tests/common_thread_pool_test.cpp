@@ -5,8 +5,12 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
+#include <condition_variable>
 #include <cstdlib>
+#include <mutex>
 #include <numeric>
+#include <thread>
 #include <vector>
 
 namespace qvg {
@@ -102,6 +106,97 @@ TEST(ThreadPoolTest, NestedParallelForRunsInline) {
       });
     }
   });
+  EXPECT_EQ(inner_total.load(), 40);
+}
+
+TEST(ThreadPoolTest, PostedTaskParallelForFansOutAcrossWorkers) {
+  // The cooperative-scheduler guarantee behind async-job parallelism: a
+  // parallel_for issued from *inside a posted task* must fan out across the
+  // pool's idle workers, not degrade to an inline serial loop on the one
+  // worker running the task. Chunk 0 (claimed first, by the task's own
+  // participation loop) blocks until some other thread has started a chunk —
+  // impossible when the loop runs inline-serial, immediate when a second
+  // worker helps. The timed wait turns a regression into a clean failure
+  // instead of a hang.
+  ThreadPool pool(2);
+  std::mutex m;
+  std::condition_variable cv;
+  bool other_chunk_started = false;
+  bool fan_out_observed = false;
+  std::condition_variable done_cv;
+  bool task_done = false;
+
+  pool.post([&] {
+    pool.parallel_for(
+        0, 2,
+        [&](std::size_t lo, std::size_t hi) {
+          for (std::size_t i = lo; i < hi; ++i) {
+            std::unique_lock<std::mutex> lock(m);
+            if (i == 0) {
+              fan_out_observed = cv.wait_for(
+                  lock, std::chrono::seconds(10),
+                  [&] { return other_chunk_started; });
+            } else {
+              other_chunk_started = true;
+              cv.notify_all();
+            }
+          }
+        },
+        /*min_chunk=*/1);
+    std::lock_guard<std::mutex> lock(m);
+    task_done = true;
+    done_cv.notify_all();
+  });
+
+  std::unique_lock<std::mutex> lock(m);
+  ASSERT_TRUE(done_cv.wait_for(lock, std::chrono::seconds(20),
+                               [&] { return task_done; }));
+  EXPECT_TRUE(fan_out_observed);
+}
+
+TEST(ThreadPoolTest, ConcurrentParallelForCallersShareThePool) {
+  // Several range jobs may be active at once (concurrent callers, or posted
+  // tasks fanning out); each caller participates in its own job and both
+  // must cover their ranges exactly once.
+  ThreadPool pool(2);
+  std::vector<std::atomic<int>> hits_a(500), hits_b(500);
+  std::thread other([&] {
+    pool.parallel_for(0, hits_b.size(), [&](std::size_t lo, std::size_t hi) {
+      for (std::size_t i = lo; i < hi; ++i) hits_b[i].fetch_add(1);
+    });
+  });
+  pool.parallel_for(0, hits_a.size(), [&](std::size_t lo, std::size_t hi) {
+    for (std::size_t i = lo; i < hi; ++i) hits_a[i].fetch_add(1);
+  });
+  other.join();
+  for (const auto& h : hits_a) EXPECT_EQ(h.load(), 1);
+  for (const auto& h : hits_b) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPoolTest, ParallelForInsideChunkOfPostedTaskRunsInline) {
+  // The depth guard survives exactly where it prevents deadlock: inside a
+  // running chunk. A task's parallel_for fans out; a parallel_for inside one
+  // of *its chunks* runs inline on that thread.
+  ThreadPool pool(2);
+  std::atomic<int> inner_total{0};
+  std::mutex m;
+  std::condition_variable cv;
+  bool done = false;
+  pool.post([&] {
+    pool.parallel_for(0, 4, [&](std::size_t lo, std::size_t hi) {
+      for (std::size_t i = lo; i < hi; ++i) {
+        pool.parallel_for(0, 10, [&](std::size_t ilo, std::size_t ihi) {
+          inner_total.fetch_add(static_cast<int>(ihi - ilo));
+        });
+      }
+    });
+    std::lock_guard<std::mutex> lock(m);
+    done = true;
+    cv.notify_all();
+  });
+  std::unique_lock<std::mutex> lock(m);
+  ASSERT_TRUE(
+      cv.wait_for(lock, std::chrono::seconds(20), [&] { return done; }));
   EXPECT_EQ(inner_total.load(), 40);
 }
 

@@ -77,7 +77,7 @@ TEST(AcquisitionContextTest, CancelledTokenReportsTypedStatus) {
   EXPECT_EQ(status.stage(), "raster");
 }
 
-TEST(AcquisitionContextTest, PastDeadlineAndBudgetReportDeadlineExceeded) {
+TEST(AcquisitionContextTest, PastDeadlineAndBudgetReportDistinctCodes) {
   AcquisitionContext context;
   context.deadline = AcquisitionContext::Clock::now() -
                      std::chrono::milliseconds(1);
@@ -87,7 +87,7 @@ TEST(AcquisitionContextTest, PastDeadlineAndBudgetReportDeadlineExceeded) {
   budget.max_probes = 100;
   EXPECT_TRUE(budget.check("raster", 99).ok());
   const Status status = budget.check("raster", 100);
-  EXPECT_EQ(status.code(), ErrorCode::kDeadlineExceeded);
+  EXPECT_EQ(status.code(), ErrorCode::kBudgetExhausted);
   EXPECT_NE(status.detail().find("probe budget"), std::string::npos);
 }
 
@@ -152,7 +152,7 @@ TEST(RasterCancellationTest, ProbeBudgetStopsAtBatchBoundaryWithPartialProbes) {
   const Result<Csd> result =
       acquire_full_csd(playback, recorded.x_axis(), recorded.y_axis(), context);
   ASSERT_FALSE(result.ok());
-  EXPECT_EQ(result.status().code(), ErrorCode::kDeadlineExceeded);
+  EXPECT_EQ(result.status().code(), ErrorCode::kBudgetExhausted);
   EXPECT_EQ(result.status().stage(), "raster");
   // The first 512-probe batch crosses the 500-probe budget; the boundary
   // check fires before the second batch.
@@ -209,7 +209,7 @@ TEST(FastExtractorCancellationTest, ProbeBudgetInterruptsWithPartialStats) {
 
   const FastExtractionResult result = run_fast_extraction(
       playback, recorded.x_axis(), recorded.y_axis(), {}, context);
-  EXPECT_EQ(result.status.code(), ErrorCode::kDeadlineExceeded);
+  EXPECT_EQ(result.status.code(), ErrorCode::kBudgetExhausted);
   EXPECT_EQ(result.status.stage(), "anchors");
   EXPECT_GE(result.stats.total_requests, 150);
   EXPECT_GT(result.stats.unique_probes, 0);
@@ -235,7 +235,7 @@ TEST(FastExtractorCancellationTest, SweepStageInterruptionKeepsPartialPoints) {
 
   const FastExtractionResult result = run_fast_extraction(
       playback, recorded.x_axis(), recorded.y_axis(), {}, context);
-  ASSERT_EQ(result.status.code(), ErrorCode::kDeadlineExceeded);
+  ASSERT_EQ(result.status.code(), ErrorCode::kBudgetExhausted);
   EXPECT_EQ(result.status.stage(), "sweeps");
   EXPECT_GT(result.sweeps.row_points.size() + result.sweeps.col_points.size(),
             0u);
@@ -250,7 +250,7 @@ TEST(HoughBaselineCancellationTest, DeadlineDuringRasterReportsPartialStats) {
 
   const HoughBaselineResult result = run_hough_baseline(
       playback, recorded.x_axis(), recorded.y_axis(), {}, context);
-  EXPECT_EQ(result.status.code(), ErrorCode::kDeadlineExceeded);
+  EXPECT_EQ(result.status.code(), ErrorCode::kBudgetExhausted);
   EXPECT_EQ(result.status.stage(), "raster");
   EXPECT_EQ(result.stats.unique_probes, 1024);  // two 512-probe batches
   EXPECT_LT(result.stats.unique_probes, 64 * 64);
@@ -269,7 +269,7 @@ TEST(HoughBaselineCancellationTest, BudgetLandingOnCompletionKeepsTheResult) {
 
   const HoughBaselineResult result = run_hough_baseline(
       playback, recorded.x_axis(), recorded.y_axis(), {}, context);
-  EXPECT_NE(result.status.code(), ErrorCode::kDeadlineExceeded);
+  EXPECT_NE(result.status.code(), ErrorCode::kBudgetExhausted);
   EXPECT_EQ(result.stats.unique_probes, 64 * 64);
   EXPECT_GT(result.edge_pixels, 0);
 }

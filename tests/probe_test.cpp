@@ -136,6 +136,41 @@ TEST(ProbeCacheTest, NegativeQuantizationIsSymmetric) {
   EXPECT_EQ(cache.unique_probe_count(), 5);
 }
 
+TEST(ProbeCacheTest, ExtremeVoltageRatiosClampWithoutAliasing) {
+  // A voltage/granularity ratio beyond ±2^31 quanta used to overflow the
+  // 32-bit key halves (debug-assert only): the high half's overflow bled
+  // into the low half, so an extreme probe could alias an unrelated
+  // in-window configuration. The fixed key clamps each half at the window
+  // edge instead.
+  Csd csd(VoltageAxis(-0.005, 0.001, 10), VoltageAxis(-0.005, 0.001, 10));
+  CsdPlayback playback(csd);
+  ProbeCache cache(playback, 1e-9);  // 64 V = 6.4e10 quanta >> 2^31
+
+  cache.get_current(0.001, 0.001);  // in-window reference configuration
+  cache.get_current(64.0, 0.001);   // far past the +2^31-quanta boundary
+  cache.get_current(-64.0, 0.001);  // ... and the -2^31 one
+  EXPECT_EQ(cache.unique_probe_count(), 3);  // all distinct, no alias
+
+  // Past the boundary the key saturates: configurations beyond the edge
+  // deliberately share the boundary bucket (a stale-hit, never an alias of
+  // an in-window probe)...
+  cache.get_current(128.0, 0.001);
+  EXPECT_EQ(cache.unique_probe_count(), 3);
+  cache.get_current(0.001, 0.001);
+  EXPECT_EQ(cache.unique_probe_count(), 3);  // reference key untouched
+
+  // ...and at the boundary itself: the saturated bucket IS the largest
+  // in-range quantum (so `edge` hits the bucket 64.0 clamped into), while
+  // one quantum below — and the mirrored negative edge, one quantum inside
+  // the negative clamp — keep their own keys.
+  const double edge = 2147483647e-9;  // (2^31 - 1) quanta
+  cache.get_current(edge, 0.001);
+  EXPECT_EQ(cache.unique_probe_count(), 3);
+  cache.get_current(edge - 1e-9, 0.001);
+  cache.get_current(-edge, 0.001);
+  EXPECT_EQ(cache.unique_probe_count(), 5);
+}
+
 TEST(ProbeCacheTest, CacheHitRate) {
   const Csd csd = ramp_csd();
   CsdPlayback playback(csd);

@@ -9,7 +9,12 @@
 #include <gtest/gtest.h>
 
 #include <chrono>
+#include <condition_variable>
+#include <cstdlib>
 #include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
 #include <vector>
 
 namespace qvg {
@@ -153,7 +158,7 @@ TEST(JobQueueTest, ProbeBudgetCarriesTheInterruptingStage) {
 
   JobQueue jobs;
   const ExtractionReport report = jobs.submit(request).wait();
-  EXPECT_EQ(report.status.code(), ErrorCode::kDeadlineExceeded);
+  EXPECT_EQ(report.status.code(), ErrorCode::kBudgetExhausted);
   EXPECT_TRUE(report.status.stage() == "anchors" ||
               report.status.stage() == "sweeps" ||
               report.status.stage() == "fit")
@@ -170,7 +175,7 @@ TEST(JobQueueTest, HoughBudgetInterruptsDuringRaster) {
 
   JobQueue jobs;
   const ExtractionReport report = jobs.submit(request).wait();
-  EXPECT_EQ(report.status.code(), ErrorCode::kDeadlineExceeded);
+  EXPECT_EQ(report.status.code(), ErrorCode::kBudgetExhausted);
   EXPECT_EQ(report.status.stage(), "raster");
   // Stops at a batch boundary: two whole 512-probe (8-row) batches.
   EXPECT_EQ(report.stats.unique_probes, 1024);
@@ -207,6 +212,291 @@ TEST(JobQueueTest, HandleCancelInterruptsOrCompletesCleanly) {
   }
   jobs.wait_all();
   EXPECT_EQ(jobs.completed(), handles.size());
+}
+
+/// Holds a dedicated pool's single worker busy until release() — submissions
+/// made while gated pile up in the queue's pending list, so the dispatch
+/// order once released is exactly the scheduler's priority order.
+class WorkerGate {
+ public:
+  explicit WorkerGate(ThreadPool& pool) {
+    pool.post([this] {
+      std::unique_lock<std::mutex> lock(mutex_);
+      cv_.wait(lock, [&] { return released_; });
+    });
+  }
+  void release() {
+    std::lock_guard<std::mutex> lock(mutex_);
+    released_ = true;
+    cv_.notify_all();
+  }
+
+ private:
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  bool released_ = false;
+};
+
+/// Thread-safe dispatch-order recorder: every job's first progress event is
+/// the "engine" entry check, so recording at sequence 0 captures the order
+/// the scheduler started the jobs in.
+struct DispatchOrder {
+  std::mutex mutex;
+  std::vector<std::string> labels;
+
+  SubmitOptions options(Priority priority, std::string label_value) {
+    SubmitOptions submit;
+    submit.priority = priority;
+    submit.on_progress = [this, label = std::move(label_value)](
+                             const ProgressEvent& event) {
+      if (event.sequence != 0) return;
+      std::lock_guard<std::mutex> lock(mutex);
+      labels.push_back(label);
+    };
+    return submit;
+  }
+};
+
+TEST(JobQueueTest, CancelReturnValueIsAtomicWithCompletion) {
+  // Pinned semantics: cancel() returns true iff the request was delivered
+  // before the job published its report ("could still be observed"); false
+  // iff the job had already finished, in which case the call had no effect.
+  const BuiltDevice device = test_device();
+
+  // A finished job: cancel is a no-op that must report false.
+  JobQueue jobs;
+  JobHandle finished =
+      jobs.submit(device_request(device, ExtractionMethod::kFast));
+  (void)finished.wait();
+  EXPECT_FALSE(finished.cancel());
+
+  // A job that cannot have started (its pool's only worker is gated):
+  // cancel must report true and the job must end kCancelled.
+  ThreadPool pool(1);
+  JobQueue gated_jobs(EngineOptions{}, &pool);
+  WorkerGate gate(pool);
+  JobHandle pending =
+      gated_jobs.submit(device_request(device, ExtractionMethod::kFast));
+  EXPECT_TRUE(pending.cancel());
+  gate.release();
+  EXPECT_EQ(pending.wait().status.code(), ErrorCode::kCancelled);
+}
+
+TEST(JobQueueTest, CancelRaceRegressionNeverMisreportsItsOwnCancellation) {
+  // Regression for the racy pre-fix return value (token fired before the
+  // done flag was read): a job whose report says kCancelled must have had
+  // its one-and-only cancel() call return true — a false return claims the
+  // call had no effect, so it can never accompany a cancellation it caused.
+  // The old code could interleave [flip flag, job observes it and finishes
+  // as kCancelled, read done=true] and return false.
+  const BuiltDevice device = test_device();
+  ThreadPool pool(2);
+  JobQueue jobs(EngineOptions{}, &pool);
+  for (int round = 0; round < 24; ++round) {
+    JobHandle handle =
+        jobs.submit(device_request(device, ExtractionMethod::kFast));
+    // Race the cancel against the running job.
+    const bool observed = handle.cancel();
+    const ExtractionReport report = std::move(handle).wait();
+    if (report.status.code() == ErrorCode::kCancelled)
+      EXPECT_TRUE(observed) << "round " << round
+                            << ": cancel() returned false but the report "
+                               "says this call cancelled the job";
+    if (!observed)
+      EXPECT_TRUE(handle.done()) << "round " << round
+                                 << ": false means the job had finished";
+  }
+}
+
+TEST(JobQueueTest, WaitAllDrainsConcurrentSubmitters) {
+  const BuiltDevice device = test_device();
+  ThreadPool pool(3);
+  JobQueue jobs(EngineOptions{}, &pool);
+  constexpr int kThreads = 4;
+  constexpr int kJobsPerThread = 3;
+  std::mutex handles_mutex;
+  std::vector<JobHandle> handles;
+  std::vector<std::thread> submitters;
+  for (int t = 0; t < kThreads; ++t) {
+    submitters.emplace_back([&, t] {
+      for (int j = 0; j < kJobsPerThread; ++j) {
+        ExtractionRequest request =
+            device_request(device, ExtractionMethod::kFast);
+        request.device.noise_seed = 100 + static_cast<std::uint64_t>(
+                                              t * kJobsPerThread + j);
+        request.label = "t" + std::to_string(t) + "-j" + std::to_string(j);
+        JobHandle handle = jobs.submit(std::move(request));
+        std::lock_guard<std::mutex> lock(handles_mutex);
+        handles.push_back(std::move(handle));
+      }
+    });
+  }
+  for (auto& thread : submitters) thread.join();
+  jobs.wait_all();
+
+  EXPECT_EQ(jobs.submitted(), kThreads * kJobsPerThread);
+  EXPECT_EQ(jobs.completed(), kThreads * kJobsPerThread);
+  EXPECT_EQ(jobs.pending(), 0u);
+  for (const auto& handle : handles) {
+    EXPECT_TRUE(handle.done());
+    // Every job finished with a published report (success depends on the
+    // per-thread noise seed; the drain guarantee is what is under test).
+    ASSERT_TRUE(handle.try_report().has_value());
+  }
+  // Ids were assigned exactly once each, in [0, submitted).
+  std::vector<bool> seen(handles.size(), false);
+  for (const auto& handle : handles) {
+    ASSERT_LT(handle.id(), seen.size());
+    EXPECT_FALSE(seen[handle.id()]);
+    seen[handle.id()] = true;
+  }
+}
+
+TEST(JobQueueTest, DestructorDrainsJobsFromConcurrentSubmitters) {
+  const BuiltDevice device = test_device();
+  ThreadPool pool(2);
+  std::vector<JobHandle> handles;
+  {
+    JobQueue jobs(EngineOptions{}, &pool);
+    std::mutex handles_mutex;
+    std::vector<std::thread> submitters;
+    for (int t = 0; t < 3; ++t) {
+      submitters.emplace_back([&] {
+        for (int j = 0; j < 2; ++j) {
+          JobHandle handle =
+              jobs.submit(device_request(device, ExtractionMethod::kFast));
+          std::lock_guard<std::mutex> lock(handles_mutex);
+          handles.push_back(std::move(handle));
+        }
+      });
+    }
+    for (auto& thread : submitters) thread.join();
+    // Queue destroyed here: must block until every job has finished.
+  }
+  ASSERT_EQ(handles.size(), 6u);
+  for (const auto& handle : handles) {
+    EXPECT_TRUE(handle.done());
+    ASSERT_TRUE(handle.try_report().has_value());
+    EXPECT_TRUE(handle.try_report()->status.ok());
+  }
+}
+
+TEST(JobQueueTest, PriorityOrdersDispatchUnderSaturation) {
+  // With the single worker gated, four jobs pile up in the pending list;
+  // the release order must be priority order (interactive, normal, batch),
+  // FIFO within a class — not submission order.
+  const BuiltDevice device = test_device();
+  ThreadPool pool(1);
+  JobQueue jobs(EngineOptions{}, &pool);
+  WorkerGate gate(pool);
+  DispatchOrder order;
+
+  const ExtractionRequest request =
+      device_request(device, ExtractionMethod::kFast);
+  JobHandle batch =
+      jobs.submit(request, order.options(Priority::kBatch, "batch"));
+  JobHandle normal_a =
+      jobs.submit(request, order.options(Priority::kNormal, "normal-a"));
+  JobHandle interactive =
+      jobs.submit(request,
+                  order.options(Priority::kInteractive, "interactive"));
+  JobHandle normal_b =
+      jobs.submit(request, order.options(Priority::kNormal, "normal-b"));
+  EXPECT_EQ(jobs.pending(), 4u);
+
+  gate.release();
+  jobs.wait_all();
+  const std::vector<std::string> expected{"interactive", "normal-a",
+                                          "normal-b", "batch"};
+  EXPECT_EQ(order.labels, expected);
+  // Reports are bit-identical to a synchronous run regardless of the
+  // scheduling class (each job builds its own backend).
+  const ExtractionEngine engine;
+  expect_reports_identical(batch.wait(), engine.run(request));
+  expect_reports_identical(interactive.wait(), engine.run(request));
+}
+
+TEST(JobQueueTest, AgingPromotesBatchJobsPastFreshInteractiveWork) {
+  // Anti-starvation: a kBatch job is promoted one class per
+  // kAgingDispatches dispatches that bypass it, so a saturating interactive
+  // stream cannot hold it back forever. With the default of 4, a batch job
+  // submitted first runs after exactly 2 * 4 = 8 bypasses.
+  const BuiltDevice device = test_device();
+  ThreadPool pool(1);
+  JobQueue jobs(EngineOptions{}, &pool);
+  WorkerGate gate(pool);
+  DispatchOrder order;
+
+  const ExtractionRequest request =
+      device_request(device, ExtractionMethod::kFast);
+  (void)jobs.submit(request, order.options(Priority::kBatch, "batch"));
+  constexpr int kInteractiveJobs = 10;
+  for (int i = 0; i < kInteractiveJobs; ++i)
+    (void)jobs.submit(request, order.options(Priority::kInteractive,
+                                             "i" + std::to_string(i)));
+
+  gate.release();
+  jobs.wait_all();
+  std::vector<std::string> expected;
+  for (int i = 0; i < 8; ++i) expected.push_back("i" + std::to_string(i));
+  expected.push_back("batch");  // aged to kInteractive, older seq wins
+  expected.push_back("i8");
+  expected.push_back("i9");
+  EXPECT_EQ(order.labels, expected);
+}
+
+TEST(JobQueueTest, ProgressEventsStreamInPipelineOrder) {
+  // The progress stream must be ordered (strictly increasing sequence,
+  // non-decreasing probes and elapsed) and follow the pipeline's stage
+  // order, on a single-worker queue and on a 4-worker queue alike; the
+  // handle's final snapshot is the last event delivered.
+  const BuiltDevice device = test_device();
+  for (const std::size_t workers : {1u, 4u}) {
+    ThreadPool pool(workers);
+    JobQueue jobs(EngineOptions{}, &pool);
+
+    std::mutex events_mutex;
+    std::vector<ProgressEvent> events;
+    SubmitOptions options;
+    options.on_progress = [&](const ProgressEvent& event) {
+      std::lock_guard<std::mutex> lock(events_mutex);
+      events.push_back(event);
+    };
+    JobHandle handle = jobs.submit(
+        device_request(device, ExtractionMethod::kFast), std::move(options));
+    const ExtractionReport& report = handle.wait();
+    ASSERT_TRUE(report.status.ok()) << report.status.message();
+
+    std::lock_guard<std::mutex> lock(events_mutex);
+    ASSERT_GE(events.size(), 3u) << "workers=" << workers;
+    EXPECT_EQ(events.front().stage, "engine");
+    EXPECT_EQ(events.front().probes_used, 0);
+    const std::vector<std::string> stage_rank{"engine", "anchors", "sweeps",
+                                              "fit"};
+    auto rank_of = [&](const std::string& stage) {
+      for (std::size_t r = 0; r < stage_rank.size(); ++r)
+        if (stage_rank[r] == stage) return r;
+      ADD_FAILURE() << "unexpected stage " << stage;
+      return stage_rank.size();
+    };
+    for (std::size_t i = 0; i < events.size(); ++i) {
+      EXPECT_EQ(events[i].sequence, i) << "workers=" << workers;
+      if (i == 0) continue;
+      EXPECT_GE(events[i].probes_used, events[i - 1].probes_used);
+      EXPECT_GE(events[i].elapsed_seconds, events[i - 1].elapsed_seconds);
+      EXPECT_GE(rank_of(events[i].stage), rank_of(events[i - 1].stage))
+          << "stage " << events[i].stage << " after " << events[i - 1].stage;
+    }
+    const auto last = handle.progress();
+    ASSERT_TRUE(last.has_value());
+    EXPECT_EQ(last->sequence, events.back().sequence);
+    EXPECT_EQ(last->stage, events.back().stage);
+    // A job with a progress listener still produces the exact synchronous
+    // report (the sink only adds boundary checks, which are bit-neutral).
+    const ExtractionEngine engine;
+    expect_reports_identical(
+        report, engine.run(device_request(device, ExtractionMethod::kFast)));
+  }
 }
 
 TEST(JobQueueTest, ArrayJobsRunThroughTheQueueUnchanged) {
