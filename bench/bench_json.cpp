@@ -43,6 +43,18 @@
 //                       saturating batch backlog on a single worker:
 //                       priority scheduling vs FIFO submission order.
 //                                                                     (PR 5)
+//   fault_success_vs_rate — extraction success fronts under injected
+//                       transient probe faults at 0-20% per-batch rates,
+//                       8 deterministic seeds each, with the retry/backoff
+//                       recovery vs retries disabled.                 (PR 6)
+//   drift_recovery_raster — a deterministic telegraph charge jump mid-
+//                       raster: targeted re-acquisition cost vs a full
+//                       re-scan, recovered grid bit-identical to clean.
+//                                                                     (PR 6)
+//   retry_overhead_zero_fault — the fault-tolerant probe path (zero-fault
+//                       injector + retry wrapper + recorder) vs the checked
+//                       and plain acquisitions: what recovery plumbing
+//                       costs when nothing ever fails.                (PR 6)
 //
 // Extraction scenarios run through the ExtractionEngine façade (PR 3); the
 // micro solver/imgproc scenarios have no extraction to route.
@@ -50,7 +62,7 @@
 // Every scenario records the effective thread count (set QVG_THREADS=N to
 // re-measure on multi-core hardware in one variable).
 //
-// Usage: bench_json [output.json]   (default: BENCH_PR5.json in the CWD)
+// Usage: bench_json [output.json]   (default: BENCH_PR6.json in the CWD)
 #include "common/stopwatch.hpp"
 #include "common/thread_pool.hpp"
 #include "dataset/qflow_synth.hpp"
@@ -58,6 +70,7 @@
 #include "imgproc/canny.hpp"
 #include "imgproc/filters.hpp"
 #include "imgproc/hough.hpp"
+#include "probe/fault_injection.hpp"
 #include "probe/playback.hpp"
 #include "probe/probe_cache.hpp"
 #include "probe/raster.hpp"
@@ -90,7 +103,7 @@ struct JsonWriter {
   std::ostringstream out;
   bool first_scenario = true;
 
-  void begin() { out << "{\n  \"bench\": \"PR5\",\n  \"scenarios\": [\n"; }
+  void begin() { out << "{\n  \"bench\": \"PR6\",\n  \"scenarios\": [\n"; }
   void end() {
     out << "\n  ]\n}\n";
   }
@@ -871,6 +884,151 @@ void bench_priority_latency(JsonWriter& json) {
   json.end_scenario();
 }
 
+// PR 6: extraction success under injected transient probe faults. For each
+// per-batch fault rate, the same 8 deterministic fault seeds run once with
+// the retry/backoff recovery (default policy, 4 attempts) and once with
+// retries disabled (max_attempts = 1: the first transient escalates to a
+// hard fault). The front pins what recovery is worth: without retries the
+// success fraction collapses as the rate grows; with them the extraction
+// absorbs the weather at a bounded backoff cost.
+void bench_fault_success_vs_rate(JsonWriter& json) {
+  const BuiltDevice device = build_dot_array(DotArrayParams{});
+  const VoltageAxis axis = scan_axis(device, 100);
+  DeviceSimulator sim = make_pair_simulator(device);
+  const Csd recorded = sim.generate_csd(axis, axis, "fault_front");
+
+  const ExtractionEngine engine;
+  constexpr int kSeeds = 8;
+  constexpr std::uint64_t kFirstSeed = 100;  // seeds 100..107, recorded below
+  for (const int rate_pct : {0, 5, 10, 20}) {
+    int ok_with_retry = 0, ok_without_retry = 0;
+    long transients = 0, retries = 0;
+    double backoff = 0.0;
+    double seconds = 0.0;
+    for (int s = 0; s < kSeeds; ++s) {
+      ExtractionRequest request;
+      request.playback.csd = &recorded;
+      request.faults.transient_rate = rate_pct / 100.0;
+      request.faults.seed = kFirstSeed + static_cast<std::uint64_t>(s);
+      Stopwatch w;
+      const ExtractionReport with_retry = engine.run(request);
+      seconds += w.elapsed_seconds();
+      if (with_retry.status.ok()) ++ok_with_retry;
+      transients += with_retry.fault_stats.transient_faults;
+      retries += with_retry.fault_stats.retries;
+      backoff += with_retry.fault_stats.backoff_seconds;
+
+      ExtractionRequest no_retry = request;
+      no_retry.retry.max_attempts = 1;
+      if (engine.run(no_retry).status.ok()) ++ok_without_retry;
+    }
+    json.begin_scenario("fault_success_vs_transient_rate_" +
+                        std::to_string(rate_pct) + "pct");
+    json.field("seeds", static_cast<long>(kSeeds));
+    json.field("first_seed", static_cast<long>(kFirstSeed));
+    json.field("transient_rate", rate_pct / 100.0);
+    json.field("success_with_retry",
+               static_cast<double>(ok_with_retry) / kSeeds);
+    json.field("success_without_retry",
+               static_cast<double>(ok_without_retry) / kSeeds);
+    json.field("transients_per_run",
+               static_cast<double>(transients) / kSeeds);
+    json.field("retries_per_run", static_cast<double>(retries) / kSeeds);
+    json.field("backoff_sim_seconds_per_run", backoff / kSeeds);
+    json.field("retry_wall_seconds_per_run", seconds / kSeeds);
+    json.end_scenario();
+  }
+}
+
+// PR 6: drift recovery cost. A deterministic telegraph charge jump lands
+// after raster batch 8 on a noise-free 100x100 playback; the monitor reports
+// one batch later and the raster re-probes only the stale row batch. The
+// recovered grid must equal the clean acquisition bit for bit, at a probe
+// cost far below the 2x of re-scanning the whole diagram.
+void bench_drift_recovery(JsonWriter& json) {
+  const BuiltDevice device = build_dot_array(DotArrayParams{});
+  const VoltageAxis axis = scan_axis(device, 100);
+  DeviceSimulator sim = make_pair_simulator(device);
+  const Csd recorded = sim.generate_csd(axis, axis, "drift_recovery");
+
+  CsdPlayback plain_playback(recorded);
+  const Csd clean = acquire_full_csd(plain_playback, axis, axis);
+
+  CsdPlayback playback(recorded);
+  FaultSchedule schedule;
+  schedule.jump_at_batch = 8;
+  schedule.jump_magnitude_volts = 3.0 * axis.step();  // 3 px honeycomb shift
+  FaultInjectingCurrentSource injected(playback, schedule);
+  AcquisitionContext context;
+  context.faults = FaultRecorder::make();
+  Stopwatch w;
+  const Result<Csd> recovered = acquire_full_csd(injected, axis, axis, context);
+  const double wall_s = w.elapsed_seconds();
+
+  const long pixels = static_cast<long>(axis.count() * axis.count());
+  const FaultStats stats = context.faults.snapshot();
+  json.begin_scenario("drift_recovery_raster_100px");
+  json.field("pixels", pixels);
+  json.field("jump_at_batch", schedule.jump_at_batch);
+  json.field("success", recovered.ok());
+  json.field("drift_events", stats.drift_events);
+  json.field("reacquired_rows", stats.reacquired_rows);
+  json.field("rows_total", static_cast<long>(axis.count()));
+  json.field("probes_issued", playback.probe_count());
+  json.field("full_reacquisition_probes", 2 * pixels);
+  json.field("recovery_probe_overhead_fraction",
+             static_cast<double>(playback.probe_count() - pixels) /
+                 static_cast<double>(pixels));
+  json.field("identical_to_clean",
+             recovered.ok() && recovered->grid() == clean.grid());
+  json.field("wall_seconds", wall_s);
+  json.end_scenario();
+}
+
+// PR 6: what the fault-recovery plumbing costs when nothing ever fails. The
+// full fault path (zero-fault injector + armed recorder + probe_with_retry
+// around every row batch) vs the PR 4 checked path vs the plain single-batch
+// acquisition, on the simulator's physics-dominated raster. All three grids
+// must be bit-identical and the try path is expected within ~2% of checked.
+void bench_retry_overhead_zero_fault(JsonWriter& json) {
+  const BuiltDevice device = build_dot_array(DotArrayParams{});
+  const VoltageAxis axis = scan_axis(device, 100);
+
+  Csd plain_csd, checked_csd, fault_path_csd;
+  const double plain_s = time_best(7, [&] {
+    DeviceSimulator sim = make_pair_simulator(device);
+    plain_csd = acquire_full_csd(sim, axis, axis);
+  });
+  AcquisitionContext checked_context;
+  checked_context.cancel = CancelToken::make();  // limited, never fires
+  const double checked_s = time_best(7, [&] {
+    DeviceSimulator sim = make_pair_simulator(device);
+    checked_csd = *acquire_full_csd(sim, axis, axis, checked_context);
+  });
+  FaultStats stats;
+  const double fault_path_s = time_best(7, [&] {
+    DeviceSimulator sim = make_pair_simulator(device);
+    FaultInjectingCurrentSource injected(sim, FaultSchedule{});
+    AcquisitionContext context;
+    context.faults = FaultRecorder::make();
+    fault_path_csd = *acquire_full_csd(injected, axis, axis, context);
+    stats = context.faults.snapshot();
+  });
+
+  json.begin_scenario("retry_overhead_zero_fault_100px");
+  json.field("pixels", static_cast<long>(axis.count() * axis.count()));
+  json.field("plain_seconds", plain_s);
+  json.field("checked_seconds", checked_s);
+  json.field("fault_path_seconds", fault_path_s);
+  json.field("fault_path_over_plain_fraction", fault_path_s / plain_s - 1.0);
+  json.field("fault_path_over_checked_fraction",
+             fault_path_s / checked_s - 1.0);
+  json.field("faults_absorbed", stats.transient_faults + stats.drift_events);
+  json.field("results_identical", plain_csd.grid() == checked_csd.grid() &&
+                                      plain_csd.grid() == fault_path_csd.grid());
+  json.end_scenario();
+}
+
 // PR 2: the 12-diagram qflow suite built serially vs fanned out over the
 // pool (each diagram is deterministic given its spec).
 void bench_suite_generation(JsonWriter& json) {
@@ -901,7 +1059,7 @@ void bench_suite_generation(JsonWriter& json) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  const std::string out_path = argc > 1 ? argv[1] : "BENCH_PR5.json";
+  const std::string out_path = argc > 1 ? argv[1] : "BENCH_PR6.json";
 
   JsonWriter json;
   json.out.precision(6);
@@ -920,6 +1078,9 @@ int main(int argc, char** argv) {
   bench_async_queue(json);
   bench_async_parallel_raster(json);
   bench_priority_latency(json);
+  bench_fault_success_vs_rate(json);
+  bench_drift_recovery(json);
+  bench_retry_overhead_zero_fault(json);
   json.end();
 
   std::ofstream file(out_path);

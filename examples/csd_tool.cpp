@@ -3,6 +3,7 @@
 //
 //   csd_tool <diagram.csv> [--method fast|hough] [--dwell seconds]
 //            [--timeout-ms T] [--max-probes N] [--cancel] [--progress]
+//            [--fault-rate p] [--fault-seed S] [--max-retries R]
 //
 // Reads a CSD saved with qvg's CSV format (see dataset/csd_io.hpp), replays
 // it through the paper's simulated getCurrent (dwell-time accounting
@@ -13,11 +14,15 @@
 // --timeout-ms and --max-probes set the request's deadline/probe budget;
 // --cancel submits the job with an already-fired CancelToken (exercises the
 // cancellation path end to end); --progress streams the job's stage
-// boundaries (stage, probes issued, elapsed) to stderr as it runs. Exit
-// codes are distinct per outcome:
+// boundaries (stage, probes issued, elapsed) to stderr as it runs.
+// --fault-rate injects transient probe faults at the given per-batch
+// probability (deterministic under --fault-seed), recovered by up to
+// --max-retries probe-level retries; retry exhaustion surfaces as a probe
+// hard fault with its own exit code. Exit codes are distinct per outcome:
 //   0 success, 1 extraction/load failure, 2 usage,
 //   3 job cancelled (kCancelled), 4 deadline exceeded (kDeadlineExceeded),
-//   5 probe budget exhausted (kBudgetExhausted).
+//   5 probe budget exhausted (kBudgetExhausted),
+//   6 probe hard fault after retry exhaustion (kProbeHardFault).
 //
 // Generate inputs with examples/device_playground or dataset tooling:
 //   ./device_playground && ./csd_tool playground_clean.csv
@@ -35,11 +40,13 @@ constexpr int kExitUsage = 2;
 constexpr int kExitCancelled = 3;
 constexpr int kExitDeadlineExceeded = 4;
 constexpr int kExitBudgetExhausted = 5;
+constexpr int kExitProbeHardFault = 6;
 
 int usage() {
   std::cerr << "usage: csd_tool <diagram.csv> [--method fast|hough] "
                "[--dwell seconds] [--timeout-ms T] [--max-probes N] "
-               "[--cancel] [--progress]\n";
+               "[--cancel] [--progress] [--fault-rate p] [--fault-seed S] "
+               "[--max-retries R]\n";
   return kExitUsage;
 }
 
@@ -56,6 +63,9 @@ int main(int argc, char** argv) {
   long max_probes = 0;
   bool cancel_job = false;
   bool show_progress = false;
+  double fault_rate = 0.0;
+  unsigned long long fault_seed = 0x5eedfa17u;
+  int max_retries = 3;
   try {
     for (int i = 2; i < argc; ++i) {
       const std::string flag = argv[i];
@@ -73,6 +83,12 @@ int main(int argc, char** argv) {
         timeout_ms = std::stod(argv[++i]);
       } else if (flag == "--max-probes") {
         max_probes = std::stol(argv[++i]);
+      } else if (flag == "--fault-rate") {
+        fault_rate = std::stod(argv[++i]);
+      } else if (flag == "--fault-seed") {
+        fault_seed = std::stoull(argv[++i]);
+      } else if (flag == "--max-retries") {
+        max_retries = std::stoi(argv[++i]);
       } else {
         return usage();
       }
@@ -81,6 +97,7 @@ int main(int argc, char** argv) {
     return usage();
   }
   if (method != "fast" && method != "hough") return usage();
+  if (fault_rate < 0.0 || fault_rate > 1.0 || max_retries < 0) return usage();
 
   // Typed load: missing and malformed files are ordinary Status failures.
   const Result<Csd> loaded = try_load_csd_csv(path);
@@ -106,6 +123,13 @@ int main(int argc, char** argv) {
                        std::chrono::microseconds(
                            static_cast<long long>(timeout_ms * 1e3));
   request.budget.max_probes = max_probes;
+  if (fault_rate > 0.0) {
+    request.faults.transient_rate = fault_rate;
+    request.faults.seed = fault_seed;
+  }
+  // max_attempts counts the first try; "--max-retries 0" means one attempt,
+  // so any injected transient escalates straight to a hard fault.
+  request.retry.max_attempts = max_retries + 1;
 
   SubmitOptions options;
   options.priority = Priority::kInteractive;  // a human is waiting
@@ -138,10 +162,17 @@ int main(int argc, char** argv) {
               << error_code_name(report.status.code()) << "] at stage '"
               << report.status.stage() << "': " << report.status.detail()
               << " (after " << report.stats.unique_probes << " probes)\n";
+    if (report.fault_stats.transient_faults > 0)
+      std::cout << "  faults: " << report.fault_stats.transient_faults
+                << " transient, " << report.fault_stats.retries
+                << " retries, backoff "
+                << format_fixed(report.fault_stats.backoff_seconds, 2)
+                << " s\n";
     switch (report.status.code()) {
       case ErrorCode::kCancelled: return kExitCancelled;
       case ErrorCode::kDeadlineExceeded: return kExitDeadlineExceeded;
       case ErrorCode::kBudgetExhausted: return kExitBudgetExhausted;
+      case ErrorCode::kProbeHardFault: return kExitProbeHardFault;
       default: return kExitFailure;
     }
   }
@@ -158,6 +189,15 @@ int main(int argc, char** argv) {
                             2)
             << "% of the diagram), simulated experiment time "
             << format_fixed(report.stats.simulated_seconds, 2) << " s\n";
+  if (report.fault_stats.transient_faults > 0 ||
+      report.fault_stats.drift_events > 0)
+    std::cout << "  faults absorbed: " << report.fault_stats.transient_faults
+              << " transient, " << report.fault_stats.drift_events
+              << " drift; " << report.fault_stats.retries
+              << " retries, backoff "
+              << format_fixed(report.fault_stats.backoff_seconds, 2)
+              << " s, " << report.fault_stats.reacquired_rows
+              << " rows re-acquired\n";
 
   if (report.has_verdict) {
     const Verdict& verdict = report.verdict;

@@ -1,12 +1,12 @@
 #!/usr/bin/env bash
-# Build Release and refresh the perf-trajectory snapshot (BENCH_PR5.json at
-# the repo root; it includes every PR 1/2/3/4 scenario so earlier numbers
+# Build Release and refresh the perf-trajectory snapshot (BENCH_PR6.json at
+# the repo root; it includes every PR 1/2/3/4/5 scenario so earlier numbers
 # stay reproducible). Usage: scripts/run_bench.sh [output.json]
 # Set QVG_THREADS=N to pin the thread-pool size (recorded per scenario).
 set -euo pipefail
 
 repo_root="$(cd "$(dirname "$0")/.." && pwd)"
-out="${1:-$repo_root/BENCH_PR5.json}"
+out="${1:-$repo_root/BENCH_PR6.json}"
 build_dir="$repo_root/build-release"
 
 cmake -B "$build_dir" -S "$repo_root" -DCMAKE_BUILD_TYPE=Release

@@ -18,6 +18,9 @@ const char* error_code_name(ErrorCode code) noexcept {
     case ErrorCode::kCancelled: return "cancelled";
     case ErrorCode::kDeadlineExceeded: return "deadline_exceeded";
     case ErrorCode::kBudgetExhausted: return "budget_exhausted";
+    case ErrorCode::kProbeTransient: return "probe_transient";
+    case ErrorCode::kProbeHardFault: return "probe_hard_fault";
+    case ErrorCode::kDeviceDrifted: return "device_drifted";
     case ErrorCode::kInternal: return "internal";
   }
   return "unknown";

@@ -53,6 +53,22 @@ enum class ErrorCode {
   /// kDeadlineExceeded so callers (and csd_tool's exit codes) can tell
   /// "ran out of time" from "ran out of probes".
   kBudgetExhausted,
+  /// A probe batch failed transiently (instrument glitch, comm timeout):
+  /// retrying the same batch may succeed. Surfaces from
+  /// CurrentSource::try_get_currents; probe_with_retry absorbs it up to
+  /// RetryPolicy::max_attempts before escalating to kProbeHardFault.
+  kProbeTransient,
+  /// A probe batch failed permanently (instrument fault, or a transient
+  /// fault that persisted through every retry). The acquisition cannot
+  /// continue; JobQueue can optionally re-run the whole job
+  /// (SubmitOptions::max_job_retries).
+  kProbeHardFault,
+  /// The instrument reported that its gate offsets drifted (slow drift or a
+  /// telegraph charge jump crossed the detection threshold): readings since
+  /// CurrentSource::drift_started_at_probe() are stale. The source has
+  /// recalibrated by the time this is reported; recovery invalidates the
+  /// stale ProbeCache region and re-probes only the affected rows.
+  kDeviceDrifted,
   /// Unclassified internal failure.
   kInternal,
 };

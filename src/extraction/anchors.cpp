@@ -3,9 +3,11 @@
 #include "common/assert.hpp"
 #include "extraction/feature_gradient.hpp"
 #include "imgproc/kernel.hpp"
+#include "probe/retry_policy.hpp"
 
 #include <algorithm>
 #include <cmath>
+#include <span>
 #include <string>
 #include <utility>
 
@@ -25,14 +27,18 @@ Point2 clamped_voltage(const VoltageAxis& x_axis, const VoltageAxis& y_axis,
 }
 
 /// Batched mask sweep: cross-correlate `mask` at every centre pixel in
-/// `centers`. Every non-zero mask tap of every centre goes out as one
-/// get_currents request, in the same (centre-major, row-major tap) order the
-/// scalar sweep probed them, so results are bit-identical.
-std::vector<double> mask_responses(CurrentSource& source,
-                                   const VoltageAxis& x_axis,
-                                   const VoltageAxis& y_axis,
-                                   const Kernel2D& mask,
-                                   const std::vector<Pixel>& centers) {
+/// `centers`, writing one response per centre into `responses`. Every
+/// non-zero mask tap of every centre goes out as one probe batch through
+/// probe_with_retry, in the same (centre-major, row-major tap) order the
+/// scalar sweep probed them, so a fault-free acquisition is bit-identical;
+/// on failure `responses` is unspecified and the Status propagates.
+[[nodiscard]] Status mask_responses(CurrentSource& source,
+                                    const VoltageAxis& x_axis,
+                                    const VoltageAxis& y_axis,
+                                    const Kernel2D& mask,
+                                    const std::vector<Pixel>& centers,
+                                    const AcquisitionContext& context,
+                                    std::vector<double>& responses) {
   const auto rx = static_cast<std::ptrdiff_t>(mask.width()) / 2;
   const auto ry = static_cast<std::ptrdiff_t>(mask.height()) / 2;
 
@@ -58,16 +64,18 @@ std::vector<double> mask_responses(CurrentSource& source,
   offsets.push_back(probes.size());
 
   std::vector<double> currents(probes.size());
-  source.get_currents(probes, currents);
+  const ProbeOutcome outcome =
+      probe_with_retry(source, probes, currents, context, "anchors");
+  if (!outcome.ok()) return outcome.status;
 
-  std::vector<double> responses(centers.size());
+  responses.assign(centers.size(), 0.0);
   for (std::size_t i = 0; i < centers.size(); ++i) {
     double acc = 0.0;
     for (std::size_t k = offsets[i]; k < offsets[i + 1]; ++k)
       acc += weights[k] * currents[k];
     responses[i] = acc;
   }
-  return responses;
+  return Status{};
 }
 
 /// Gaussian prior over [0, n), centred at the sweep *start* with
@@ -135,7 +143,10 @@ Result<AnchorResult> find_anchor_points(CurrentSource& source,
     diagonal_probes.push_back(clamped_voltage(x_axis, y_axis, px, py));
   }
   std::vector<double> diagonal_currents(diagonal_probes.size());
-  source.get_currents(diagonal_probes, diagonal_currents);
+  if (const ProbeOutcome outcome = probe_with_retry(
+          source, diagonal_probes, diagonal_currents, context, "anchors");
+      !outcome.ok())
+    return outcome.status;
   Pixel brightest{0, 0};
   double brightest_current = -1e300;
   for (std::size_t k = 0; k < diagonal.size(); ++k) {
@@ -170,7 +181,10 @@ Result<AnchorResult> find_anchor_points(CurrentSource& source,
     for (std::size_t i = 0; i < n; ++i)
       centers[i] = {static_cast<int>(x_lo + static_cast<std::ptrdiff_t>(i)),
                     result.start.y};
-    result.response_x = mask_responses(source, x_axis, y_axis, mask_x, centers);
+    if (Status status = mask_responses(source, x_axis, y_axis, mask_x,
+                                       centers, context, result.response_x);
+        !status.ok())
+      return status;
     const auto prior = gaussian_prior(n, opt.gaussian_sigma_fraction);
     std::size_t best = 0;
     double best_value = -1e300;
@@ -196,7 +210,10 @@ Result<AnchorResult> find_anchor_points(CurrentSource& source,
     for (std::size_t i = 0; i < n; ++i)
       centers[i] = {result.start.x,
                     static_cast<int>(y_lo + static_cast<std::ptrdiff_t>(i))};
-    result.response_y = mask_responses(source, x_axis, y_axis, mask_y, centers);
+    if (Status status = mask_responses(source, x_axis, y_axis, mask_y,
+                                       centers, context, result.response_y);
+        !status.ok())
+      return status;
     const auto prior = gaussian_prior(n, opt.gaussian_sigma_fraction);
     std::size_t best = 0;
     double best_value = -1e300;
@@ -225,7 +242,12 @@ Result<AnchorResult> find_anchor_points(CurrentSource& source,
         batch.add(x_axis.voltage(static_cast<double>(result.anchor_a.x)),
                   y_axis.voltage(static_cast<double>(y)));
       }
-      const auto gradients = batch.evaluate(source, x_axis.step(), y_axis.step());
+      std::span<const double> gradients;
+      if (Status status = batch.try_evaluate(source, x_axis.step(),
+                                             y_axis.step(), context, "anchors",
+                                             gradients);
+          !status.ok())
+        return status;
       int best_dy = 0;
       double best_g = -1e300;
       for (std::size_t i = 0; i < candidates.size(); ++i) {
@@ -247,7 +269,12 @@ Result<AnchorResult> find_anchor_points(CurrentSource& source,
         batch.add(x_axis.voltage(static_cast<double>(x)),
                   y_axis.voltage(static_cast<double>(result.anchor_b.y)));
       }
-      const auto gradients = batch.evaluate(source, x_axis.step(), y_axis.step());
+      std::span<const double> gradients;
+      if (Status status = batch.try_evaluate(source, x_axis.step(),
+                                             y_axis.step(), context, "anchors",
+                                             gradients);
+          !status.ok())
+        return status;
       int best_dx = 0;
       double best_g = -1e300;
       for (std::size_t i = 0; i < candidates.size(); ++i) {

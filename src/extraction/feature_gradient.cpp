@@ -1,6 +1,8 @@
 #include "extraction/feature_gradient.hpp"
 
 #include "common/assert.hpp"
+#include "probe/acquisition_context.hpp"
+#include "probe/retry_policy.hpp"
 
 namespace qvg {
 
@@ -13,9 +15,7 @@ double feature_gradient(CurrentSource& source, double v1, double v2,
   return (c - c_right) + (c - c_upper_right);
 }
 
-std::span<const double> FeatureGradientBatch::evaluate(CurrentSource& source,
-                                                       double delta_x,
-                                                       double delta_y) {
+void FeatureGradientBatch::build_probes(double delta_x, double delta_y) {
   QVG_EXPECTS(delta_x > 0.0 && delta_y > 0.0);
   probes_.clear();
   probes_.reserve(centers_.size() * 3);
@@ -25,8 +25,9 @@ std::span<const double> FeatureGradientBatch::evaluate(CurrentSource& source,
     probes_.push_back({c.x + delta_x, c.y + delta_y});
   }
   currents_.resize(probes_.size());
-  source.get_currents(probes_, currents_);
+}
 
+std::span<const double> FeatureGradientBatch::reduce_gradients() {
   gradients_.resize(centers_.size());
   for (std::size_t i = 0; i < centers_.size(); ++i) {
     const double c = currents_[3 * i];
@@ -35,6 +36,27 @@ std::span<const double> FeatureGradientBatch::evaluate(CurrentSource& source,
     gradients_[i] = (c - c_right) + (c - c_upper_right);
   }
   return gradients_;
+}
+
+std::span<const double> FeatureGradientBatch::evaluate(CurrentSource& source,
+                                                       double delta_x,
+                                                       double delta_y) {
+  build_probes(delta_x, delta_y);
+  source.get_currents(probes_, currents_);
+  return reduce_gradients();
+}
+
+Status FeatureGradientBatch::try_evaluate(CurrentSource& source,
+                                          double delta_x, double delta_y,
+                                          const AcquisitionContext& context,
+                                          const char* stage,
+                                          std::span<const double>& out) {
+  build_probes(delta_x, delta_y);
+  const ProbeOutcome outcome =
+      probe_with_retry(source, probes_, currents_, context, stage);
+  if (!outcome.ok()) return outcome.status;
+  out = reduce_gradients();
+  return {};
 }
 
 }  // namespace qvg

@@ -14,12 +14,15 @@
 // tilted gradient", Figure 4). delta is the voltage granularity (pixel size).
 #pragma once
 
+#include "common/status.hpp"
 #include "probe/current_source.hpp"
 
 #include <span>
 #include <vector>
 
 namespace qvg {
+
+class AcquisitionContext;
 
 /// Evaluate the feature gradient at gate voltages (v1, v2) = (x, y) with
 /// pixel sizes (delta_x, delta_y). Costs up to three probes (shared
@@ -45,7 +48,25 @@ class FeatureGradientBatch {
   std::span<const double> evaluate(CurrentSource& source, double delta_x,
                                    double delta_y);
 
+  /// Fallible evaluation: the probe batch goes through probe_with_retry
+  /// (transient faults retried per context.retry, drift absorbed — a cached
+  /// source invalidates its stale region — and exhaustion escalating to
+  /// kProbeHardFault, all recorded to context.faults). On ok() `out` is the
+  /// per-centre gradient span, bit-identical to evaluate() on a fault-free
+  /// source and valid until the next evaluation; on failure `out` is left
+  /// untouched. `stage` names the caller's pipeline stage for the Status.
+  [[nodiscard]] Status try_evaluate(CurrentSource& source, double delta_x,
+                                    double delta_y,
+                                    const AcquisitionContext& context,
+                                    const char* stage,
+                                    std::span<const double>& out);
+
  private:
+  /// Queue the 3 probes per centre into probes_ (shared by both paths).
+  void build_probes(double delta_x, double delta_y);
+  /// Reduce currents_ into per-centre gradients (shared by both paths).
+  std::span<const double> reduce_gradients();
+
   std::vector<Point2> centers_;
   std::vector<Point2> probes_;
   std::vector<double> currents_;

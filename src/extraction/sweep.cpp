@@ -5,6 +5,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <span>
 
 namespace qvg {
 
@@ -73,7 +74,12 @@ SweepResult run_sweeps(CurrentSource& source, const VoltageAxis& x_axis,
       batch.clear();
       for (int x = x_lo; x <= x_hi; ++x)
         batch.add(x_axis.voltage(x), y_axis.voltage(row));
-      const auto gradients = batch.evaluate(source, x_axis.step(), y_axis.step());
+      std::span<const double> gradients;
+      if (result.status = batch.try_evaluate(source, x_axis.step(),
+                                             y_axis.step(), context, "sweeps",
+                                             gradients);
+          !result.status.ok())
+        return result;
       SweepPoint best{{x_lo, row}, -1e300};
       for (int x = x_lo; x <= x_hi; ++x) {
         const double g = gradients[static_cast<std::size_t>(x - x_lo)];
@@ -111,7 +117,12 @@ SweepResult run_sweeps(CurrentSource& source, const VoltageAxis& x_axis,
       batch.clear();
       for (int y = y_lo; y <= y_hi; ++y)
         batch.add(x_axis.voltage(col), y_axis.voltage(y));
-      const auto gradients = batch.evaluate(source, x_axis.step(), y_axis.step());
+      std::span<const double> gradients;
+      if (result.status = batch.try_evaluate(source, x_axis.step(),
+                                             y_axis.step(), context, "sweeps",
+                                             gradients);
+          !result.status.ok())
+        return result;
       SweepPoint best{{col, y_lo}, -1e300};
       for (int y = y_lo; y <= y_hi; ++y) {
         const double g = gradients[static_cast<std::size_t>(y - y_lo)];

@@ -20,6 +20,7 @@
 #include "common/cancellation.hpp"
 #include "common/status.hpp"
 #include "probe/progress.hpp"
+#include "probe/retry_policy.hpp"
 
 #include <chrono>
 #include <optional>
@@ -62,14 +63,23 @@ class AcquisitionContext {
   /// logic runs, so an interrupted job's stream still records the boundary
   /// it stopped at.
   ProgressSink progress;
+  /// Transient-fault recovery policy consumed by probe_with_retry (see
+  /// probe/retry_policy.hpp). The default retries with backoff; it only
+  /// matters when the source can actually fail.
+  RetryPolicy retry;
+  /// Fault accounting (empty by default, zero cost). The service layer arms
+  /// one recorder per job when fault injection is attached and snapshots it
+  /// into ExtractionReport::fault_stats.
+  FaultRecorder faults;
 
   /// Whether any limit or listener is attached. Unlimited contexts let
   /// acquisition keep its single-batch fast path (no per-row checks,
   /// bit-identical to PR 3); a progress sink forces the batched path too,
-  /// since events only fire at batch boundaries.
+  /// since events only fire at batch boundaries — as does a fault recorder,
+  /// since faults are injected and recovered per batch.
   [[nodiscard]] bool limited() const noexcept {
     return cancel.can_cancel() || deadline.has_value() || max_probes > 0 ||
-           progress.active();
+           progress.active() || faults.active();
   }
 
   /// Interruption check, called between probe batches and pipeline stages.

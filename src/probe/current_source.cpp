@@ -11,4 +11,10 @@ void CurrentSource::get_currents(std::span<const Point2> points,
     out[i] = get_current(points[i].x, points[i].y);
 }
 
+Status CurrentSource::try_get_currents(std::span<const Point2> points,
+                                       std::span<double> out) {
+  get_currents(points, out);
+  return Status{};
+}
+
 }  // namespace qvg

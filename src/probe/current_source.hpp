@@ -6,6 +6,7 @@
 #pragma once
 
 #include "common/geometry.hpp"
+#include "common/status.hpp"
 #include "probe/sim_clock.hpp"
 
 #include <span>
@@ -34,6 +35,31 @@ class CurrentSource {
   /// any backend instead of only on the simulator.
   virtual void get_currents(std::span<const Point2> points,
                             std::span<double> out);
+
+  /// Fallible batched Algorithm 1: like get_currents, but a real instrument
+  /// can glitch, so the batch may fail instead of returning values. On ok()
+  /// the contract is exactly get_currents'; on failure `out` is unspecified,
+  /// nothing is cached, and the typed code tells the caller how to react:
+  ///
+  ///   kProbeTransient — retry the same batch (probe_with_retry does, with
+  ///     backoff charged to the sim clock);
+  ///   kDeviceDrifted  — readings since drift_started_at_probe() are stale;
+  ///     the source has recalibrated, so retry the batch and re-probe the
+  ///     stale region (ProbeCache invalidates it automatically);
+  ///   kProbeHardFault — give up on this acquisition.
+  ///
+  /// The default wraps the infallible path (never fails), so every existing
+  /// backend is trivially fault-free; decorators (FaultInjectingCurrentSource,
+  /// ProbeCache) override it to inject and to propagate faults.
+  [[nodiscard]] virtual Status try_get_currents(std::span<const Point2> points,
+                                                std::span<double> out);
+
+  /// After this source reports kDeviceDrifted: the probe_count() value at
+  /// which readings became stale (probes issued at counts >= the returned
+  /// value were acquired against drifted gate offsets). -1 = never drifted.
+  /// Decorators forward to the inner source so the count stays in the same
+  /// numbering as probe_count().
+  [[nodiscard]] virtual long drift_started_at_probe() const { return -1; }
 
   /// Simulated experiment clock; implementations charge dwell time to it.
   [[nodiscard]] virtual SimClock& clock() = 0;

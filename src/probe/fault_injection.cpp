@@ -1,0 +1,180 @@
+#include "probe/fault_injection.hpp"
+
+#include "common/assert.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <string>
+
+namespace qvg {
+
+FaultInjectingCurrentSource::FaultInjectingCurrentSource(
+    CurrentSource& source, FaultSchedule schedule)
+    : source_(source), schedule_(schedule), rng_(schedule.seed) {
+  QVG_EXPECTS(schedule_.transient_burst >= 1);
+  QVG_EXPECTS(schedule_.stuck_probes >= 1);
+  QVG_EXPECTS(schedule_.drift_detect_lag_batches >= 0);
+  QVG_EXPECTS(schedule_.drift_detect_threshold_volts >= 0.0);
+  last_drift_update_seconds_ = source_.clock().elapsed_seconds();
+}
+
+double FaultInjectingCurrentSource::get_current(double v1, double v2) {
+  const double shift = uncompensated_offset_volts();
+  return source_.get_current(v1 + shift, v2 + shift);
+}
+
+void FaultInjectingCurrentSource::get_currents(std::span<const Point2> points,
+                                               std::span<double> out) {
+  QVG_EXPECTS(points.size() == out.size());
+  const double shift = uncompensated_offset_volts();
+  if (shift == 0.0) {
+    source_.get_currents(points, out);
+    return;
+  }
+  shifted_points_.assign(points.begin(), points.end());
+  for (Point2& p : shifted_points_) {
+    p.x += shift;
+    p.y += shift;
+  }
+  source_.get_currents(shifted_points_, out);
+}
+
+void FaultInjectingCurrentSource::advance_slow_drift() {
+  if (schedule_.drift_volts_per_second == 0.0) return;
+  const double now = source_.clock().elapsed_seconds();
+  offset_volts_ +=
+      schedule_.drift_volts_per_second * (now - last_drift_update_seconds_);
+  last_drift_update_seconds_ = now;
+}
+
+void FaultInjectingCurrentSource::apply_jump(double delta_volts) {
+  offset_volts_ += delta_volts;
+  ++injected_jumps_;
+}
+
+void FaultInjectingCurrentSource::maybe_arm_drift_monitor(
+    long stale_from_probe) {
+  if (drift_pending_) return;
+  if (std::abs(uncompensated_offset_volts()) <=
+      schedule_.drift_detect_threshold_volts)
+    return;
+  drift_pending_ = true;
+  drift_lag_remaining_ = schedule_.drift_detect_lag_batches;
+  drift_started_at_probe_ = stale_from_probe;
+}
+
+Status FaultInjectingCurrentSource::serve(std::span<const Point2> points,
+                                          std::span<double> out) {
+  // Slow drift accumulates with experiment time; update before deciding
+  // whether this batch is already corrupted.
+  advance_slow_drift();
+  // Crossing the threshold via slow drift means *this* batch goes out
+  // corrupted: it is the start of the stale range.
+  maybe_arm_drift_monitor(/*stale_from_probe=*/source_.probe_count());
+  const bool pending_before_serve = drift_pending_;
+
+  // Draw order is fixed (spike, stuck, jump, jump sign) so a schedule is one
+  // reproducible stream regardless of which effects are enabled elsewhere.
+  if (schedule_.latency_spike_rate > 0.0 &&
+      rng_.bernoulli(schedule_.latency_spike_rate)) {
+    source_.clock().charge(schedule_.latency_spike_seconds);
+    ++injected_latency_spikes_;
+  }
+
+  const double shift = uncompensated_offset_volts();
+  Status status;
+  if (shift == 0.0) {
+    status = source_.try_get_currents(points, out);
+  } else {
+    shifted_points_.assign(points.begin(), points.end());
+    for (Point2& p : shifted_points_) {
+      p.x += shift;
+      p.y += shift;
+    }
+    status = source_.try_get_currents(shifted_points_, out);
+  }
+  if (!status.ok()) return status;  // inner fault: no corruption bookkeeping
+
+  // Stuck sensor: freeze a run of readings at the last value the sensor
+  // returned before the fault (silent corruption, not a failure).
+  if (stuck_remaining_ == 0 && schedule_.stuck_rate > 0.0 &&
+      rng_.bernoulli(schedule_.stuck_rate)) {
+    stuck_remaining_ = schedule_.stuck_probes;
+    stuck_value_ = has_last_value_ ? last_value_ : out[0];
+  }
+  for (std::size_t i = 0; i < out.size() && stuck_remaining_ > 0;
+       ++i, --stuck_remaining_) {
+    out[i] = stuck_value_;
+    ++injected_stuck_probes_;
+  }
+  if (!out.empty()) {
+    last_value_ = out.back();
+    has_last_value_ = true;
+  }
+
+  // The monitor notices a pending drift only after serving
+  // drift_detect_lag_batches corrupted batches; only batches that were
+  // already corrupted when they went out count toward the lag.
+  if (pending_before_serve && drift_lag_remaining_ > 0) --drift_lag_remaining_;
+
+  const long served_batch = batches_served_++;
+
+  // Telegraph charge jumps shift the honeycomb *after* this batch (the next
+  // one goes out corrupted).
+  if (schedule_.jump_at_batch >= 0 && served_batch == schedule_.jump_at_batch)
+    apply_jump(schedule_.jump_magnitude_volts);
+  if (schedule_.jump_probability > 0.0 &&
+      rng_.bernoulli(schedule_.jump_probability)) {
+    const double sign = rng_.bernoulli(0.5) ? 1.0 : -1.0;
+    apply_jump(sign * schedule_.jump_magnitude_volts);
+  }
+  // A jump arms the monitor post-serve: this batch was clean, the stale
+  // range starts at the current probe count.
+  maybe_arm_drift_monitor(/*stale_from_probe=*/source_.probe_count());
+
+  return {};
+}
+
+Status FaultInjectingCurrentSource::try_get_currents(
+    std::span<const Point2> points, std::span<double> out) {
+  QVG_EXPECTS(points.size() == out.size());
+
+  // 1. A pending drift whose detection lag has elapsed is reported before
+  //    anything else — and reporting *is* recalibration: the instrument
+  //    re-zeroes its offsets, so the caller's retry reads clean values.
+  if (drift_pending_ && drift_lag_remaining_ <= 0) {
+    drift_pending_ = false;
+    ++drift_reports_;
+    compensation_volts_ = offset_volts_;
+    return Status::failure(
+        ErrorCode::kDeviceDrifted, "probe",
+        "gate-offset drift detected (readings stale since probe " +
+            std::to_string(drift_started_at_probe_) + ")");
+  }
+
+  // 2. Failure draws, one per attempt (a retry re-rolls the weather).
+  if (burst_remaining_ > 0) {
+    --burst_remaining_;
+    ++injected_transients_;
+    return Status::failure(ErrorCode::kProbeTransient, "probe",
+                           "injected transient fault (burst)");
+  }
+  if (schedule_.hard_fault_rate > 0.0 &&
+      rng_.bernoulli(schedule_.hard_fault_rate)) {
+    ++injected_hard_faults_;
+    return Status::failure(ErrorCode::kProbeHardFault, "probe",
+                           "injected instrument hard fault");
+  }
+  if (schedule_.transient_rate > 0.0 &&
+      rng_.bernoulli(schedule_.transient_rate)) {
+    burst_remaining_ = schedule_.transient_burst - 1;
+    ++injected_transients_;
+    return Status::failure(ErrorCode::kProbeTransient, "probe",
+                           "injected transient fault");
+  }
+
+  // 3. Serve, with corruption effects and drift bookkeeping.
+  return serve(points, out);
+}
+
+}  // namespace qvg

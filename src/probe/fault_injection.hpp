@@ -1,0 +1,186 @@
+// Deterministic instrument-fault injection for the probe layer.
+//
+// Every backend in the stack answers probes perfectly; a dilution-fridge
+// instrument does not. FaultInjectingCurrentSource decorates any
+// CurrentSource with the failure modes a real acquisition service must
+// survive — transient batch failures (comm glitches, readout re-arms, in
+// configurable bursts), permanent hard faults, stuck sensor readings,
+// latency spikes on the experiment clock, and gate-offset drift: a slow
+// volts-per-second walk plus telegraph charge jumps that shift the whole
+// honeycomb between rows. Everything is drawn from one seeded deterministic
+// RNG, so a given FaultSchedule produces the exact same fault sequence on
+// every run, thread count, and platform — faults are *reproducible test
+// weather*, which is what makes retry/recovery testable bit-for-bit.
+//
+// Protocol (mirrors how a driver surfaces instrument state):
+//   * Failures surface only from try_get_currents, per attempt: each call
+//     draws hard fault, then transient, then serves. A failed attempt
+//     issues no probes and charges no clock.
+//   * Drift corrupts silently: served batches are shifted by the current
+//     uncompensated offset. Once the offset crosses
+//     drift_detect_threshold_volts, the instrument's monitor "notices" after
+//     drift_detect_lag_batches more served batches and the next attempt
+//     reports kDeviceDrifted — at which point the source recalibrates
+//     (compensates the offset exactly), records drift_started_at_probe(),
+//     and subsequent reads are clean. Callers re-probe the stale range.
+//   * The infallible get_current/get_currents paths never fail and draw no
+//     faults; they apply only the current drift offset (so mixed use stays
+//     coherent without perturbing the fault stream).
+#pragma once
+
+#include "common/random.hpp"
+#include "probe/current_source.hpp"
+
+#include <cstdint>
+#include <vector>
+
+namespace qvg {
+
+/// The deterministic fault weather for one FaultInjectingCurrentSource. All
+/// rates are per-attempt (failures) or per-served-batch (corruptions)
+/// probabilities in [0, 1]; the default schedule injects nothing.
+struct FaultSchedule {
+  /// Seed for the fault stream. Identical schedules ⇒ identical faults.
+  std::uint64_t seed = 0x5eedfa17u;
+
+  /// Transient batch failure (kProbeTransient) probability per attempt; a
+  /// hit fails this and the next transient_burst - 1 attempts (one glitch
+  /// often eats several consecutive retries on real hardware).
+  double transient_rate = 0.0;
+  int transient_burst = 1;
+
+  /// Permanent failure (kProbeHardFault) probability per attempt.
+  double hard_fault_rate = 0.0;
+
+  /// Stuck-reading fault probability per served batch: the sensor freezes
+  /// at its previous reading for the next stuck_probes probes (values are
+  /// corrupted silently — no failure is reported).
+  double stuck_rate = 0.0;
+  int stuck_probes = 8;
+
+  /// Latency spike probability per served batch; a hit charges
+  /// latency_spike_seconds to the experiment clock before the batch.
+  double latency_spike_rate = 0.0;
+  double latency_spike_seconds = 0.5;
+
+  /// Slow gate-offset drift, volts of common-mode offset per simulated
+  /// second (both gate voltages shift together).
+  double drift_volts_per_second = 0.0;
+
+  /// Telegraph charge jumps: with jump_probability per served batch the
+  /// offset jumps by ±jump_magnitude_volts (sign drawn from the stream).
+  /// jump_at_batch >= 0 additionally forces one deterministic +magnitude
+  /// jump right after serving that batch (0-based) — the reproducible
+  /// mid-acquisition jump the drift-recovery tests and benches pin.
+  double jump_probability = 0.0;
+  double jump_magnitude_volts = 0.0;
+  long jump_at_batch = -1;
+
+  /// Drift monitor: once |uncompensated offset| exceeds this threshold, the
+  /// fault is reported after drift_detect_lag_batches further served
+  /// batches (the corrupted window recovery must re-probe).
+  double drift_detect_threshold_volts = 1e-3;
+  int drift_detect_lag_batches = 1;
+
+  /// Whether this schedule can inject anything at all.
+  [[nodiscard]] bool active() const noexcept {
+    return transient_rate > 0.0 || hard_fault_rate > 0.0 || stuck_rate > 0.0 ||
+           latency_spike_rate > 0.0 || drift_volts_per_second != 0.0 ||
+           jump_probability > 0.0 || jump_at_batch >= 0;
+  }
+};
+
+/// Decorator injecting a FaultSchedule's weather over any CurrentSource.
+/// Not thread-safe (like ProbeCache: one per job). The inner source must
+/// outlive the decorator.
+class FaultInjectingCurrentSource : public CurrentSource {
+ public:
+  FaultInjectingCurrentSource(CurrentSource& source, FaultSchedule schedule);
+
+  // Infallible paths: drift offset only, no fault draws (see header note).
+  double get_current(double v1, double v2) override;
+  void get_currents(std::span<const Point2> points,
+                    std::span<double> out) override;
+
+  [[nodiscard]] Status try_get_currents(std::span<const Point2> points,
+                                        std::span<double> out) override;
+
+  [[nodiscard]] long drift_started_at_probe() const override {
+    return drift_started_at_probe_;
+  }
+
+  [[nodiscard]] SimClock& clock() override { return source_.clock(); }
+  [[nodiscard]] const SimClock& clock() const override {
+    return source_.clock();
+  }
+  [[nodiscard]] long probe_count() const override {
+    return source_.probe_count();
+  }
+
+  // Introspection for tests and benches: what the schedule actually did.
+  [[nodiscard]] long injected_transients() const noexcept {
+    return injected_transients_;
+  }
+  [[nodiscard]] long injected_hard_faults() const noexcept {
+    return injected_hard_faults_;
+  }
+  [[nodiscard]] long injected_stuck_probes() const noexcept {
+    return injected_stuck_probes_;
+  }
+  [[nodiscard]] long injected_latency_spikes() const noexcept {
+    return injected_latency_spikes_;
+  }
+  [[nodiscard]] long injected_jumps() const noexcept {
+    return injected_jumps_;
+  }
+  [[nodiscard]] long drift_reports() const noexcept { return drift_reports_; }
+  [[nodiscard]] long batches_served() const noexcept {
+    return batches_served_;
+  }
+  /// Current common-mode offset the instrument applies on top of requested
+  /// voltages, net of recalibration (0 right after a drift report).
+  [[nodiscard]] double uncompensated_offset_volts() const noexcept {
+    return offset_volts_ - compensation_volts_;
+  }
+
+ private:
+  /// Forward one served batch to the inner source with the current
+  /// uncompensated offset applied, then run the corruption effects
+  /// (latency spike, stuck readings) and the drift bookkeeping.
+  Status serve(std::span<const Point2> points, std::span<double> out);
+  void advance_slow_drift();
+  void apply_jump(double delta_volts);
+  void maybe_arm_drift_monitor(long stale_from_probe);
+
+  CurrentSource& source_;
+  FaultSchedule schedule_;
+  Rng rng_;
+
+  // Transient-burst and stuck-fault carry-over.
+  int burst_remaining_ = 0;
+  int stuck_remaining_ = 0;
+  double stuck_value_ = 0.0;
+  double last_value_ = 0.0;
+  bool has_last_value_ = false;
+
+  // Drift state. offset_ is what the instrument actually adds to the
+  // requested voltages; compensation_ is what recalibration has cancelled.
+  double offset_volts_ = 0.0;
+  double compensation_volts_ = 0.0;
+  double last_drift_update_seconds_ = 0.0;
+  bool drift_pending_ = false;
+  int drift_lag_remaining_ = 0;
+  long drift_started_at_probe_ = -1;
+
+  long batches_served_ = 0;
+  long injected_transients_ = 0;
+  long injected_hard_faults_ = 0;
+  long injected_stuck_probes_ = 0;
+  long injected_latency_spikes_ = 0;
+  long injected_jumps_ = 0;
+  long drift_reports_ = 0;
+
+  std::vector<Point2> shifted_points_;  // reused per batch
+};
+
+}  // namespace qvg

@@ -5,6 +5,14 @@
 // paper's evaluation, which reports *unique* voltage configurations probed,
 // the cache ensures each configuration costs dwell time exactly once. It
 // also records the probe log used to regenerate Figure 7.
+//
+// Fault awareness: the cache assumes it is the only driver of its inner
+// source, so the inner probe count maps 1:1 onto probe-log indices. When a
+// fallible batch fails, nothing from it is cached or logged; when the inner
+// source reports kDeviceDrifted, the cache invalidates exactly the entries
+// probed since drift_started_at_probe() (their bounding voltage rectangle)
+// before propagating the failure, so the retrying caller re-probes only the
+// stale region instead of the whole diagram.
 #pragma once
 
 #include "common/geometry.hpp"
@@ -16,11 +24,23 @@
 
 namespace qvg {
 
+/// Axis-aligned closed voltage rectangle [x_lo, x_hi] x [y_lo, y_hi]
+/// (inclusive on all edges, in volts — the cache quantizes it with the same
+/// llround rule as its keys, so a probe exactly on an edge is inside).
+struct VoltageRect {
+  double x_lo = 0.0;
+  double x_hi = 0.0;
+  double y_lo = 0.0;
+  double y_hi = 0.0;
+};
+
 class ProbeCache final : public CurrentSource {
  public:
   /// Wrap an underlying source. `granularity` is the voltage quantum used to
   /// key the cache (pass the pixel size delta of the scan; two requests
-  /// within half a quantum are the same configuration).
+  /// within half a quantum are the same configuration). The cache must be
+  /// the source's only driver from here on (drift invalidation maps inner
+  /// probe counts onto probe-log indices).
   ProbeCache(CurrentSource& source, double granularity);
 
   /// Pre-size the hash map and probe log for an expected number of unique
@@ -39,6 +59,20 @@ class ProbeCache final : public CurrentSource {
   void get_currents(std::span<const Point2> points,
                     std::span<double> out) override;
 
+  /// Fallible batched request: hits resolve as usual, misses forward through
+  /// the inner source's try_get_currents. On failure nothing from the batch
+  /// is cached or logged (the hits already written to `out` are valid values
+  /// but the caller must treat the batch as unserved and retry it); a
+  /// kDeviceDrifted failure additionally invalidates the stale cache region
+  /// before propagating. Note requests/hit statistics do count each attempt,
+  /// so retried batches appear once per attempt in probe_count().
+  [[nodiscard]] Status try_get_currents(std::span<const Point2> points,
+                                        std::span<double> out) override;
+
+  [[nodiscard]] long drift_started_at_probe() const override {
+    return source_.drift_started_at_probe();
+  }
+
   [[nodiscard]] SimClock& clock() override { return source_.clock(); }
   [[nodiscard]] const SimClock& clock() const override { return source_.clock(); }
 
@@ -46,23 +80,43 @@ class ProbeCache final : public CurrentSource {
   [[nodiscard]] long probe_count() const override { return requests_; }
 
   /// Unique voltage configurations forwarded to the underlying source —
-  /// the paper's "number of points probed".
+  /// the paper's "number of points probed". After a drift invalidation a
+  /// re-probed configuration appears (and costs dwell) again, so this
+  /// counts *probes issued*, not distinct configurations ever seen.
   [[nodiscard]] long unique_probe_count() const noexcept {
     return static_cast<long>(log_.size());
   }
 
-  [[nodiscard]] long cache_hits() const noexcept {
-    return requests_ - unique_probe_count();
-  }
+  /// Requests actually served from the cache. This is a direct counter, not
+  /// the old `requests - unique_probes` derivation: failed fallible batches
+  /// and drift invalidations make the derived form over- or under-count
+  /// (e.g. a failed batch increments requests without forwarding anything,
+  /// which the derivation would book as hits), while the counter only moves
+  /// when a request is truly answered from memory.
+  [[nodiscard]] long cache_hits() const noexcept { return hits_; }
 
   /// Fraction of requests served from the cache (0 when nothing was
   /// requested yet). Reported by the bench harness.
   [[nodiscard]] double cache_hit_rate() const noexcept {
     return requests_ == 0
                ? 0.0
-               : static_cast<double>(cache_hits()) /
-                     static_cast<double>(requests_);
+               : static_cast<double>(hits_) / static_cast<double>(requests_);
   }
+
+  /// Drop every cached configuration inside `region` (inclusive edges,
+  /// quantized like the keys). Invalidated entries stay in the probe log —
+  /// they were really probed — but subsequent requests for them miss and
+  /// re-probe, and cache_hit_rate() keeps honest accounting (hits_ is
+  /// untouched; only future hits count). Returns how many entries were
+  /// dropped.
+  std::size_t invalidate_region(const VoltageRect& region);
+
+  /// Drift recovery: invalidate the bounding rectangle of every log entry
+  /// forwarded at inner probe counts >= `inner_probe_count` (the value of
+  /// drift_started_at_probe() after a kDeviceDrifted report). Returns the
+  /// number of dropped cache entries; 0 when the count is in the future or
+  /// negative.
+  std::size_t invalidate_since_probe(long inner_probe_count);
 
   /// Unique probed voltage configurations in probe order (for Figure 7).
   [[nodiscard]] const std::vector<Point2>& probe_log() const noexcept {
@@ -76,10 +130,21 @@ class ProbeCache final : public CurrentSource {
   /// ±2^31 quanta so extreme voltage/granularity ratios saturate instead of
   /// overflowing one half into the other.
   [[nodiscard]] std::uint64_t key_of(double v1, double v2) const;
+  [[nodiscard]] std::uint64_t quantize(double v) const;
+
+  /// Pass 1 of a batched request: serve hits into `out`, collect each new
+  /// configuration once into the miss scratch. Shared by the infallible and
+  /// fallible paths.
+  void resolve_batch(std::span<const Point2> points, std::span<double> out);
+  /// Commit a successfully forwarded miss batch to the cache and log, then
+  /// fill the miss-backed outputs (pass 2).
+  void commit_misses(std::span<const Point2> points, std::span<double> out);
 
   CurrentSource& source_;
   double granularity_;
+  long source_base_ = 0;  // inner probe_count() at construction
   long requests_ = 0;
+  long hits_ = 0;
   std::unordered_map<std::uint64_t, double> cache_;
   std::vector<Point2> log_;
 

@@ -1,6 +1,9 @@
 #include "probe/raster.hpp"
 
+#include "probe/retry_policy.hpp"
+
 #include <algorithm>
+#include <cstddef>
 #include <span>
 #include <utility>
 #include <vector>
@@ -42,23 +45,108 @@ Result<Csd> acquire_full_csd(CurrentSource& source, const VoltageAxis& x_axis,
   const std::size_t height = y_axis.count();
   const std::size_t rows_per_batch =
       std::max<std::size_t>(1, kMinBatchPoints / width);
+  const std::size_t total_batches =
+      (height + rows_per_batch - 1) / rows_per_batch;
   const long probes_start = source.probe_count();  // budget is job-relative
   std::vector<Point2> points;
   points.reserve(rows_per_batch * width);
   std::span<double> out(csd.grid().raw());
+
+  // Per-batch bookkeeping for drift recovery: which inner probe counts each
+  // row batch was served at. A kDeviceDrifted report names the range of
+  // stale probes; only batches overlapping it are re-issued.
+  struct BatchRecord {
+    std::size_t y0 = 0;
+    std::size_t y1 = 0;
+    long start_probe = 0;  // source.probe_count() range of the *successful*
+    long end_probe = 0;    // attempt that produced the stored values
+    bool stale = false;
+  };
+  std::vector<BatchRecord> records;
+  records.reserve(total_batches);
+
+  // Issue (or re-issue) the rows [y0, y1) through the recovery loop and
+  // refresh the record's probe range from the successful attempt (failed
+  // attempts issue no probes, so the range is the last `size` probes).
+  const auto issue = [&](BatchRecord& record) -> ProbeOutcome {
+    points.clear();
+    for (std::size_t y = record.y0; y < record.y1; ++y) {
+      const double vy = y_axis.voltage(static_cast<double>(y));
+      for (std::size_t x = 0; x < width; ++x)
+        points.push_back({x_axis.voltage(static_cast<double>(x)), vy});
+    }
+    const ProbeOutcome outcome = probe_with_retry(
+        source, points, out.subspan(record.y0 * width, points.size()),
+        context, "raster");
+    if (outcome.ok()) {
+      record.end_probe = source.probe_count();
+      record.start_probe = record.end_probe - static_cast<long>(points.size());
+      record.stale = false;
+    }
+    return outcome;
+  };
+
+  // A batch is stale iff it was served while the offsets were drifted: after
+  // the drift began and before the recalibration that accompanied the
+  // report. (The batch whose acquisition surfaced the report was re-issued
+  // post-recalibration inside probe_with_retry, so its range starts at or
+  // after the report and stays clean.)
+  std::vector<std::size_t> stale_queue;
+  const auto mark_stale = [&](const ProbeOutcome& outcome) {
+    const long stale_from =
+        outcome.drift_started_at_probe >= 0 ? outcome.drift_started_at_probe
+                                            : probes_start;
+    for (std::size_t i = 0; i < records.size(); ++i) {
+      BatchRecord& record = records[i];
+      if (!record.stale && record.end_probe > stale_from &&
+          record.start_probe < outcome.drift_reported_at_probe) {
+        record.stale = true;
+        stale_queue.push_back(i);
+      }
+    }
+  };
+
+  // Drain the stale queue, re-probing each corrupted batch against the
+  // recalibrated source. Re-acquisition is bounded: a schedule that drifts
+  // faster than recovery can converge fails typed instead of looping.
+  long reacquired_batches = 0;
+  const long reacquire_limit = 4 + 2 * static_cast<long>(total_batches);
+  const auto recover = [&]() -> Status {
+    while (!stale_queue.empty()) {
+      const std::size_t i = stale_queue.back();
+      stale_queue.pop_back();
+      if (Status interrupt =
+              context.check("raster", source.probe_count() - probes_start);
+          !interrupt.ok())
+        return interrupt;
+      if (++reacquired_batches > reacquire_limit)
+        return Status::failure(
+            ErrorCode::kProbeHardFault, "raster",
+            "drift re-acquisition did not converge (offsets kept drifting "
+            "past " +
+                std::to_string(reacquire_limit) + " re-issued batches)");
+      const ProbeOutcome outcome = issue(records[i]);
+      if (!outcome.ok()) return outcome.status;
+      context.faults.record_reacquired_rows(
+          static_cast<long>(records[i].y1 - records[i].y0));
+      if (outcome.drift_detected) mark_stale(outcome);
+    }
+    return {};
+  };
+
   for (std::size_t y0 = 0; y0 < height; y0 += rows_per_batch) {
     if (Status interrupt =
             context.check("raster", source.probe_count() - probes_start);
         !interrupt.ok())
       return interrupt;
-    const std::size_t y1 = std::min(height, y0 + rows_per_batch);
-    points.clear();
-    for (std::size_t y = y0; y < y1; ++y) {
-      const double vy = y_axis.voltage(static_cast<double>(y));
-      for (std::size_t x = 0; x < width; ++x)
-        points.push_back({x_axis.voltage(static_cast<double>(x)), vy});
+    records.push_back(
+        BatchRecord{y0, std::min(height, y0 + rows_per_batch), 0, 0, false});
+    const ProbeOutcome outcome = issue(records.back());
+    if (!outcome.ok()) return outcome.status;
+    if (outcome.drift_detected) {
+      mark_stale(outcome);
+      if (Status recovered = recover(); !recovered.ok()) return recovered;
     }
-    source.get_currents(points, out.subspan(y0 * width, points.size()));
   }
   return csd;
 }

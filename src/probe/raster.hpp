@@ -26,6 +26,17 @@ namespace qvg {
 /// identical either way, so an uninterrupted limited acquisition is
 /// bit-identical to the unlimited one. On interruption returns the typed
 /// Status (stage "raster"); the partially acquired pixels are discarded.
+///
+/// The limited path is also the fault-tolerant one: every batch goes
+/// through probe_with_retry (transient faults retried per context.retry,
+/// exhaustion escalating to kProbeHardFault), and a kDeviceDrifted report
+/// triggers targeted re-acquisition — only the row batches probed since
+/// drift_started_at_probe() are re-issued against the recalibrated source
+/// (counted into FaultStats::reacquired_rows), bounded so pathological
+/// schedules fail typed instead of looping. Drift recovery assumes the
+/// source's probe_count() and drift_started_at_probe() share one numbering
+/// (true of FaultInjectingCurrentSource and any real driver; a ProbeCache
+/// invalidates its own stale region internally instead).
 [[nodiscard]] Result<Csd> acquire_full_csd(CurrentSource& source,
                                            const VoltageAxis& x_axis,
                                            const VoltageAxis& y_axis,

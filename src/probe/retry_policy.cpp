@@ -1,0 +1,195 @@
+#include "probe/retry_policy.hpp"
+
+#include "common/assert.hpp"
+#include "probe/acquisition_context.hpp"
+#include "probe/current_source.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <mutex>
+#include <string>
+#include <thread>
+
+namespace qvg {
+
+double RetryPolicy::backoff_seconds(int retry_index, Rng& jitter_rng) const {
+  QVG_EXPECTS(retry_index >= 1);
+  double backoff = base_backoff_seconds;
+  for (int i = 1; i < retry_index; ++i) backoff *= backoff_multiplier;
+  if (jitter_fraction > 0.0)
+    backoff *= jitter_rng.uniform(1.0 - jitter_fraction, 1.0 + jitter_fraction);
+  return std::max(backoff, 0.0);
+}
+
+struct FaultRecorder::State {
+  mutable std::mutex mutex;
+  FaultStats stats;
+};
+
+FaultRecorder FaultRecorder::make() {
+  FaultRecorder recorder;
+  recorder.state_ = std::make_shared<State>();
+  return recorder;
+}
+
+void FaultRecorder::record_transient() const {
+  if (!state_) return;
+  std::lock_guard<std::mutex> lock(state_->mutex);
+  ++state_->stats.transient_faults;
+}
+
+void FaultRecorder::record_drift() const {
+  if (!state_) return;
+  std::lock_guard<std::mutex> lock(state_->mutex);
+  ++state_->stats.drift_events;
+}
+
+void FaultRecorder::record_retry() const {
+  if (!state_) return;
+  std::lock_guard<std::mutex> lock(state_->mutex);
+  ++state_->stats.retries;
+}
+
+void FaultRecorder::record_backoff(double seconds) const {
+  if (!state_) return;
+  std::lock_guard<std::mutex> lock(state_->mutex);
+  state_->stats.backoff_seconds += seconds;
+}
+
+void FaultRecorder::record_reacquired_rows(long rows) const {
+  if (!state_) return;
+  std::lock_guard<std::mutex> lock(state_->mutex);
+  state_->stats.reacquired_rows += rows;
+}
+
+FaultStats FaultRecorder::snapshot() const {
+  if (!state_) return {};
+  std::lock_guard<std::mutex> lock(state_->mutex);
+  return state_->stats;
+}
+
+namespace {
+
+/// Wait out a wall-clock backoff without sleeping past an interruption: the
+/// CancelToken and deadline are polled every millisecond, so a cancel fired
+/// mid-backoff wakes the loop immediately and wins over the pending retry
+/// (the job reports kCancelled, not the transient fault it was recovering
+/// from).
+Status wait_wall_backoff(double seconds, const AcquisitionContext& context,
+                         const char* stage) {
+  using Clock = AcquisitionContext::Clock;
+  const auto interrupted = [&]() -> Status {
+    if (context.cancel.cancelled())
+      return Status::failure(ErrorCode::kCancelled, stage,
+                             "job cancelled during retry backoff");
+    if (context.deadline && Clock::now() >= *context.deadline)
+      return Status::failure(ErrorCode::kDeadlineExceeded, stage,
+                             "deadline exceeded during retry backoff");
+    return {};
+  };
+  if (Status stop = interrupted(); !stop.ok()) return stop;
+  if (seconds <= 0.0) return {};
+  const auto end =
+      Clock::now() + std::chrono::duration_cast<Clock::duration>(
+                         std::chrono::duration<double>(seconds));
+  while (Clock::now() < end) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    if (Status stop = interrupted(); !stop.ok()) return stop;
+  }
+  return {};
+}
+
+}  // namespace
+
+ProbeOutcome probe_with_retry(CurrentSource& source,
+                              std::span<const Point2> points,
+                              std::span<double> out,
+                              const AcquisitionContext& context,
+                              const char* stage) {
+  const RetryPolicy& policy = context.retry;
+  // A drift report always deserves one re-issue even under max_attempts = 1
+  // (the source has already recalibrated; refusing would fail a recoverable
+  // batch), so the drift path gets a floor of one retry.
+  const int max_attempts = std::max(policy.max_attempts, 1);
+  const int max_drift_attempts = std::max(max_attempts, 2);
+
+  // Jitter stream: deterministic per retry site. Mixing in the probe count
+  // at entry decorrelates consecutive failing batches without introducing
+  // any run-to-run nondeterminism.
+  Rng jitter_rng(policy.jitter_seed ^
+                 (0x9e3779b97f4a7c15ULL *
+                  static_cast<std::uint64_t>(source.probe_count() + 1)));
+
+  ProbeOutcome outcome;
+  int transient_retries = 0;
+  for (int attempt = 1;; ++attempt) {
+    outcome.attempts = attempt;
+    Status status = source.try_get_currents(points, out);
+    if (status.ok()) return outcome;
+
+    switch (status.code()) {
+      case ErrorCode::kProbeTransient: {
+        context.faults.record_transient();
+        if (attempt >= max_attempts) {
+          outcome.status = Status::failure(
+              ErrorCode::kProbeHardFault, stage,
+              "transient probe fault persisted through " +
+                  std::to_string(attempt) +
+                  (attempt == 1 ? " attempt: " : " attempts: ") +
+                  status.detail());
+          return outcome;
+        }
+        // Backoff before re-issuing: the instrument's settle/re-arm time is
+        // experiment time, so it is always charged to the sim clock; the
+        // wall-clock wait is opt-in (real instruments).
+        ++transient_retries;
+        const double backoff = policy.backoff_seconds(transient_retries,
+                                                      jitter_rng);
+        source.clock().charge(backoff);
+        context.faults.record_backoff(backoff);
+        if (Status stop = wait_wall_backoff(
+                policy.wall_clock_backoff ? backoff : 0.0, context, stage);
+            !stop.ok()) {
+          outcome.status = std::move(stop);
+          return outcome;
+        }
+        if (Status stop = context.check(stage); !stop.ok()) {
+          outcome.status = std::move(stop);
+          return outcome;
+        }
+        context.faults.record_retry();
+        break;
+      }
+      case ErrorCode::kDeviceDrifted: {
+        context.faults.record_drift();
+        outcome.drift_detected = true;
+        outcome.drift_reported_at_probe = source.probe_count();
+        const long started = source.drift_started_at_probe();
+        if (outcome.drift_started_at_probe < 0 ||
+            (started >= 0 && started < outcome.drift_started_at_probe))
+          outcome.drift_started_at_probe = started;
+        if (attempt >= max_drift_attempts) {
+          outcome.status = Status::failure(
+              ErrorCode::kProbeHardFault, stage,
+              "drift re-acquisition did not converge after " +
+                  std::to_string(attempt) + " attempts: " + status.detail());
+          return outcome;
+        }
+        // The source recalibrated when it reported the drift: re-issue
+        // immediately (no backoff — nothing to settle).
+        if (Status stop = context.check(stage); !stop.ok()) {
+          outcome.status = std::move(stop);
+          return outcome;
+        }
+        context.faults.record_retry();
+        break;
+      }
+      default:
+        // kProbeHardFault and any other typed failure: not recoverable here.
+        outcome.status = std::move(status);
+        return outcome;
+    }
+  }
+}
+
+}  // namespace qvg

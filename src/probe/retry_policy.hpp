@@ -1,0 +1,150 @@
+// Retry/backoff recovery for fallible probe batches, plus the fault
+// accounting the service layer reports.
+//
+// A real instrument glitches: batches time out, the readout electronics
+// re-arm, gate offsets drift. probe_with_retry() is the one recovery loop
+// every acquisition path goes through — it retries kProbeTransient batches
+// under a RetryPolicy (exponential backoff with deterministic jitter,
+// charged to the source's SimClock so tests and benchmarks stay fast and
+// reproducible), escalates exhausted retries to kProbeHardFault, and turns
+// kDeviceDrifted into an immediate re-issue against the recalibrated source
+// while telling the caller which probes went stale. Cancellation and
+// deadlines interrupt a retry sequence at the same granularity as batch
+// boundaries — including *during* a wall-clock backoff wait, which polls the
+// token instead of sleeping it out.
+//
+// FaultStats/FaultRecorder mirror the ProgressSink pattern: a shared-state
+// handle rides inside the AcquisitionContext, an empty default records
+// nothing at zero cost, and the service layer snapshots the totals into
+// ExtractionReport::fault_stats.
+#pragma once
+
+#include "common/random.hpp"
+#include "common/status.hpp"
+
+#include <cstdint>
+#include <memory>
+#include <span>
+
+namespace qvg {
+
+class AcquisitionContext;
+class CurrentSource;
+struct Point2;
+
+/// How probe_with_retry reacts to transient faults. The default retries a
+/// handful of times with exponential backoff; max_attempts = 1 disables
+/// retries entirely (the first transient escalates to kProbeHardFault).
+struct RetryPolicy {
+  /// Total attempts per batch (first try included). Must be >= 1.
+  int max_attempts = 4;
+  /// Backoff before retry k (k = 1 after the first failure) is
+  /// base_backoff_seconds * backoff_multiplier^(k-1), plus jitter.
+  double base_backoff_seconds = 0.050;
+  double backoff_multiplier = 2.0;
+  /// Uniform jitter as a fraction of the computed backoff: the wait is
+  /// scaled by a factor drawn from [1 - jitter_fraction, 1 + jitter_fraction]
+  /// using a deterministic RNG, so identical runs back off identically while
+  /// distinct retry sites decorrelate.
+  double jitter_fraction = 0.25;
+  /// Seed for the jitter stream (mixed with the source's probe count at the
+  /// failing batch, so each retry site draws independently but
+  /// reproducibly).
+  std::uint64_t jitter_seed = 0x9e3779b97f4a7c15ULL;
+  /// Backoff is always charged to the source's SimClock (instrument
+  /// settle/re-arm time is experiment time). When this flag is set the loop
+  /// *additionally* waits the backoff out in wall-clock time, polling the
+  /// context's CancelToken and deadline every millisecond — the
+  /// real-instrument configuration. Off by default so simulated runs retry
+  /// at full speed.
+  bool wall_clock_backoff = false;
+
+  /// The deterministic backoff (seconds) before retry `retry_index` (1-based),
+  /// jitter drawn from `jitter_rng`.
+  [[nodiscard]] double backoff_seconds(int retry_index, Rng& jitter_rng) const;
+};
+
+/// Totals of everything the recovery layer absorbed during one job. All
+/// counters are cumulative across the job's batches (and across array pairs
+/// sharing one context).
+struct FaultStats {
+  /// kProbeTransient batch failures observed (including the ones a retry
+  /// then absorbed, and the final failure of an exhausted sequence).
+  long transient_faults = 0;
+  /// kDeviceDrifted reports observed.
+  long drift_events = 0;
+  /// Batch re-issues performed by probe_with_retry (after a transient
+  /// backoff or a drift recalibration).
+  long retries = 0;
+  /// Total backoff charged to the sim clock, seconds.
+  double backoff_seconds = 0.0;
+  /// Rows re-probed by drift recovery (raster re-acquisition).
+  long reacquired_rows = 0;
+
+  friend bool operator==(const FaultStats&, const FaultStats&) = default;
+};
+
+/// Shared-state recorder for FaultStats, following the ProgressSink/
+/// CancelToken pattern: copies share state, the empty default records
+/// nothing and never touches a mutex, and updates are mutex-serialized so
+/// parallel pipeline stages (the array-pair walk) can share one recorder.
+class FaultRecorder {
+ public:
+  /// Empty recorder: every record_* call is a no-op.
+  FaultRecorder() = default;
+
+  /// A live recorder with zeroed totals.
+  [[nodiscard]] static FaultRecorder make();
+
+  /// Whether totals are being collected. An active recorder forces the
+  /// batched (checked) acquisition path, like an attached ProgressSink.
+  [[nodiscard]] bool active() const noexcept { return state_ != nullptr; }
+
+  void record_transient() const;
+  void record_drift() const;
+  void record_retry() const;
+  void record_backoff(double seconds) const;
+  void record_reacquired_rows(long rows) const;
+
+  /// Current totals (zeros on an empty recorder).
+  [[nodiscard]] FaultStats snapshot() const;
+
+ private:
+  struct State;
+  std::shared_ptr<State> state_;
+};
+
+/// Outcome of one recovered batch acquisition.
+struct ProbeOutcome {
+  /// Ok, or the terminal failure: kProbeHardFault (hard fault from the
+  /// source, or retries exhausted, or drift that would not converge),
+  /// kCancelled / kDeadlineExceeded (interrupted mid-recovery), or any other
+  /// non-retryable code the source returned.
+  Status status;
+  /// Whether a kDeviceDrifted report was absorbed while acquiring this
+  /// batch. When set, probes issued in [drift_started_at_probe,
+  /// drift_reported_at_probe) were acquired against drifted offsets and the
+  /// caller owning those results must re-probe them (the batch returned
+  /// here was re-issued after recalibration and is clean).
+  bool drift_detected = false;
+  long drift_started_at_probe = -1;
+  long drift_reported_at_probe = -1;
+  int attempts = 1;
+
+  [[nodiscard]] bool ok() const noexcept { return status.ok(); }
+};
+
+/// Acquire one batch through source.try_get_currents with full recovery:
+/// transient faults retried per context.retry (backoff charged to
+/// source.clock(), cancellation/deadline polled during wall-clock waits),
+/// drift reports absorbed by re-issuing against the recalibrated source, and
+/// every fault recorded to context.faults. On ok() `out` holds the batch,
+/// bit-identical to a fault-free get_currents of the same points at the
+/// same clock state. `stage` names the pipeline stage for Status/progress.
+[[nodiscard]] ProbeOutcome probe_with_retry(CurrentSource& source,
+                                            std::span<const Point2> points,
+                                            std::span<double> out,
+                                            const AcquisitionContext& context,
+                                            const char* stage);
+
+}  // namespace qvg

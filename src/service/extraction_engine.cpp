@@ -76,7 +76,30 @@ AcquisitionContext make_context(const ExtractionRequest& request,
       context.deadline = budget_deadline;
   }
   context.max_probes = request.budget.max_probes;
+  context.retry = request.retry;
+  // A fault recorder is armed only when faults can actually occur: the
+  // default request keeps FaultRecorder empty, so limited() stays false for
+  // plain unlimited runs and the single-batch fast paths (and their
+  // bit-identity with earlier PRs) are untouched.
+  if (request.faults.active()) context.faults = FaultRecorder::make();
   return context;
+}
+
+/// Run the requested method, wrapping the backend in a
+/// FaultInjectingCurrentSource when the request carries an active
+/// FaultSchedule (the injector adds one inert virtual hop otherwise — we
+/// skip even that).
+void run_method_with_faults(const ExtractionRequest& request,
+                            CurrentSource& source, const VoltageAxis& x_axis,
+                            const VoltageAxis& y_axis,
+                            const AcquisitionContext& context,
+                            ExtractionReport& report) {
+  if (request.faults.active()) {
+    FaultInjectingCurrentSource injected(source, request.faults);
+    run_method(request, injected, x_axis, y_axis, context, report);
+  } else {
+    run_method(request, source, x_axis, y_axis, context, report);
+  }
 }
 
 }  // namespace
@@ -122,7 +145,7 @@ ExtractionReport ExtractionEngine::run(const ExtractionRequest& request,
     CsdPlayback playback(csd, request.playback.dwell_seconds);
     const VoltageAxis x = request.x_axis.value_or(csd.x_axis());
     const VoltageAxis y = request.y_axis.value_or(csd.y_axis());
-    run_method(request, playback, x, y, context, report);
+    run_method_with_faults(request, playback, x, y, context, report);
     if (csd.truth()) {
       report.verdict = judge_extraction(report.status.ok(),
                                         report.virtual_gates, *csd.truth(),
@@ -157,7 +180,7 @@ ExtractionReport ExtractionEngine::run(const ExtractionRequest& request,
         scan_axis(*request.device.device, request.device.pixels_per_axis);
     const VoltageAxis x = request.x_axis.value_or(default_axis);
     const VoltageAxis y = request.y_axis.value_or(default_axis);
-    run_method(request, sim, x, y, context, report);
+    run_method_with_faults(request, sim, x, y, context, report);
     report.verdict = judge_extraction(report.status.ok(), report.virtual_gates,
                                       sim.truth(), request.verdict);
     report.has_verdict = true;
@@ -167,6 +190,7 @@ ExtractionReport ExtractionEngine::run(const ExtractionRequest& request,
                                     "playback.csd or device.device)");
   }
 
+  report.fault_stats = context.faults.snapshot();
   report.wall_seconds = wall.elapsed_seconds();
   return report;
 }

@@ -37,6 +37,7 @@
 #include "extraction/success.hpp"
 #include "grid/csd.hpp"
 #include "probe/acquisition_context.hpp"
+#include "probe/fault_injection.hpp"
 
 #include <chrono>
 #include <cstdint>
@@ -98,6 +99,17 @@ struct ExtractionRequest {
   /// probe/acquisition_context.hpp. Zero fields = unlimited.
   Budget budget;
 
+  /// Instrument-fault weather for this request (probe/fault_injection.hpp).
+  /// An active schedule wraps the backend in a FaultInjectingCurrentSource
+  /// and arms a FaultRecorder (so the report carries FaultStats); the
+  /// default inactive schedule leaves the probe path exactly as before —
+  /// bit-identical to a request without the field.
+  FaultSchedule faults;
+  /// Transient-fault recovery policy for the probe loops
+  /// (probe/retry_policy.hpp). Only consulted when a probe batch actually
+  /// fails, so it is inert on fault-free backends.
+  RetryPolicy retry;
+
   /// Free-form tag echoed into the report (job ids, CSD names, ...).
   std::string label;
 };
@@ -115,6 +127,13 @@ struct ExtractionReport {
   double slope_shallow = 0.0;
 
   ProbeStats stats;
+  /// What the fault-recovery layer absorbed: transient faults, retries,
+  /// backoff charged, drift events, rows re-acquired. All zero for requests
+  /// without an active FaultSchedule (no recorder is armed).
+  FaultStats fault_stats;
+  /// Times the job ran end to end: 1, plus any job-level re-runs the
+  /// JobQueue performed after kProbeHardFault (SubmitOptions::max_job_retries).
+  int job_attempts = 1;
   /// Engine-measured end-to-end wall time for this request (request
   /// validation + backend construction + extraction).
   double wall_seconds = 0.0;

@@ -87,6 +87,7 @@ struct JobQueue::Shared {
     Priority priority = Priority::kNormal;
     std::size_t seq = 0;               // submission order: FIFO tiebreak
     std::size_t enqueue_dispatch = 0;  // dispatch_count at submission
+    int max_job_retries = 0;           // hard-fault re-runs (SubmitOptions)
   };
 
   mutable std::mutex mutex;
@@ -143,9 +144,9 @@ JobHandle JobQueue::submit(ExtractionRequest request, SubmitOptions options) {
     state->id = shared_->submitted++;
     if (request.label.empty())
       request.label = "job-" + std::to_string(state->id);
-    shared_->pending.push_back(Shared::Pending{std::move(request), state,
-                                               options.priority, state->id,
-                                               shared_->dispatch_count});
+    shared_->pending.push_back(Shared::Pending{
+        std::move(request), state, options.priority, state->id,
+        shared_->dispatch_count, options.max_job_retries});
   }
 
   // One generic drain task per submission: it pops the *best* pending job at
@@ -166,6 +167,21 @@ JobHandle JobQueue::submit(ExtractionRequest request, SubmitOptions options) {
     ExtractionReport report;
     try {
       report = engine.run(job.request, job.state->cancel, job.state->progress);
+      // Job-level hard-fault retry: the probe layer already exhausted its
+      // batch retries, so re-running under the *same* fault schedule would
+      // fail identically — each re-run bumps the schedule seed by the
+      // attempt number instead (deterministically fresh weather). Cancelled
+      // / expired / domain failures never re-run.
+      for (int attempt = 1;
+           attempt <= job.max_job_retries &&
+           report.status.code() == ErrorCode::kProbeHardFault &&
+           !job.state->cancel.cancelled();
+           ++attempt) {
+        ExtractionRequest rerun = job.request;
+        rerun.faults.seed += static_cast<std::uint64_t>(attempt);
+        report = engine.run(rerun, job.state->cancel, job.state->progress);
+        report.job_attempts = attempt + 1;
+      }
     } catch (const std::exception& e) {
       // Tasks must not throw out of the pool; surface the fault as a typed
       // report instead of taking the process down.

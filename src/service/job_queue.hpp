@@ -81,6 +81,14 @@ struct SubmitOptions {
   /// stage/batch boundary the job crosses. Runs on the job's thread: keep it
   /// fast, do not block on the job itself.
   ProgressSink::Callback on_progress;
+  /// Job-level retry for probe hard faults: when the report comes back
+  /// kProbeHardFault (the probe layer's retries were already exhausted),
+  /// re-run the whole job up to this many more times. Each re-run bumps the
+  /// request's FaultSchedule seed by the attempt number — deterministically
+  /// fresh fault weather, the job-level analogue of a backoff-and-retry
+  /// (same weather would fail identically). Other failure codes never
+  /// re-run. The final report's job_attempts counts the runs.
+  int max_job_retries = 0;
 };
 
 /// Caller-side handle on one submitted job. Copies share the job state; a

@@ -1,0 +1,498 @@
+// Fault-tolerant probing: injected instrument faults are deterministic test
+// weather, probe_with_retry recovers transients with backoff charged to the
+// sim clock, drift reports trigger targeted re-acquisition that converges to
+// the clean result bit-for-bit, and ProbeCache invalidation keeps honest hit
+// accounting.
+#include "probe/acquisition_context.hpp"
+#include "probe/fault_injection.hpp"
+#include "probe/playback.hpp"
+#include "probe/probe_cache.hpp"
+#include "probe/raster.hpp"
+#include "probe/retry_policy.hpp"
+#include "test_support.hpp"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <thread>
+#include <vector>
+
+namespace qvg {
+namespace {
+
+using testsupport::SyntheticCsdSpec;
+using testsupport::make_synthetic_csd;
+
+const bool g_force_threads = testsupport::force_multithread_pool();
+
+/// A context whose attached recorder forces the fault-tolerant batched path
+/// (like the engine arms for every active schedule).
+AcquisitionContext recording_context() {
+  AcquisitionContext context;
+  context.faults = FaultRecorder::make();
+  return context;
+}
+
+std::vector<Point2> row_points(const Csd& csd, std::size_t row,
+                               std::size_t count) {
+  std::vector<Point2> points;
+  points.reserve(count);
+  for (std::size_t x = 0; x < count; ++x)
+    points.push_back({csd.x_axis().voltage(x),
+                      csd.y_axis().voltage(row)});
+  return points;
+}
+
+TEST(FaultScheduleTest, DefaultScheduleIsInactive) {
+  EXPECT_FALSE(FaultSchedule{}.active());
+  FaultSchedule transient;
+  transient.transient_rate = 0.1;
+  EXPECT_TRUE(transient.active());
+  FaultSchedule jump;
+  jump.jump_at_batch = 3;
+  EXPECT_TRUE(jump.active());
+}
+
+TEST(FaultInjectionTest, InactiveScheduleIsBitIdenticalTransparent) {
+  // A decorator with nothing to inject must be invisible: same grid, probe
+  // count, and clock as the undecorated source, and zero FaultStats.
+  const Csd recorded = make_synthetic_csd(SyntheticCsdSpec{.pixels = 48});
+  CsdPlayback plain_playback(recorded);
+  const Csd plain =
+      acquire_full_csd(plain_playback, recorded.x_axis(), recorded.y_axis());
+
+  CsdPlayback playback(recorded);
+  FaultInjectingCurrentSource injected(playback, FaultSchedule{});
+  AcquisitionContext context = recording_context();
+  const Result<Csd> checked = acquire_full_csd(
+      injected, recorded.x_axis(), recorded.y_axis(), context);
+
+  ASSERT_TRUE(checked.ok());
+  EXPECT_EQ(plain.grid(), checked->grid());
+  EXPECT_EQ(plain_playback.probe_count(), playback.probe_count());
+  EXPECT_DOUBLE_EQ(plain_playback.clock().elapsed_seconds(),
+                   playback.clock().elapsed_seconds());
+  EXPECT_EQ(context.faults.snapshot(), FaultStats{});
+}
+
+TEST(RetryPolicyTest, BackoffIsExponentialAndDeterministic) {
+  RetryPolicy policy;
+  policy.base_backoff_seconds = 0.050;
+  policy.backoff_multiplier = 2.0;
+  policy.jitter_fraction = 0.0;
+  Rng rng(1);
+  EXPECT_DOUBLE_EQ(policy.backoff_seconds(1, rng), 0.050);
+  EXPECT_DOUBLE_EQ(policy.backoff_seconds(2, rng), 0.100);
+  EXPECT_DOUBLE_EQ(policy.backoff_seconds(3, rng), 0.200);
+
+  policy.jitter_fraction = 0.25;
+  Rng a(42);
+  Rng b(42);
+  for (int k = 1; k <= 4; ++k) {
+    const double jittered = policy.backoff_seconds(k, a);
+    EXPECT_EQ(jittered, policy.backoff_seconds(k, b)) << "retry " << k;
+    const double nominal = 0.050 * (1 << (k - 1));
+    EXPECT_GE(jittered, 0.75 * nominal);
+    EXPECT_LE(jittered, 1.25 * nominal);
+  }
+}
+
+TEST(ProbeWithRetryTest, TransientRetryRecoversTheExactBatch) {
+  // transient_burst = 2 at rate 0.5, seed 3: the schedule's first draw hits
+  // (attempts 1 and 2 fail as one burst) and its second misses, so attempt
+  // 3 serves. The served values must be bit-identical to a fault-free
+  // batch, with two backoffs charged to the sim clock.
+  const Csd recorded = make_synthetic_csd(SyntheticCsdSpec{.pixels = 16});
+  const std::vector<Point2> points = row_points(recorded, 0, 8);
+  std::vector<double> expected(points.size());
+  {
+    CsdPlayback playback(recorded);
+    playback.get_currents(points, expected);
+  }
+
+  CsdPlayback playback(recorded);
+  FaultSchedule schedule;
+  schedule.transient_rate = 0.5;
+  schedule.transient_burst = 2;
+  schedule.seed = 3;
+  FaultInjectingCurrentSource injected(playback, schedule);
+  AcquisitionContext context = recording_context();
+  context.retry.jitter_fraction = 0.0;
+
+  std::vector<double> out(points.size());
+  const ProbeOutcome outcome =
+      probe_with_retry(injected, points, out, context, "test");
+
+  ASSERT_TRUE(outcome.ok());
+  EXPECT_EQ(outcome.attempts, 3);
+  EXPECT_EQ(out, expected);
+  EXPECT_EQ(injected.injected_transients(), 2);
+  const FaultStats stats = context.faults.snapshot();
+  EXPECT_EQ(stats.transient_faults, 2);
+  EXPECT_EQ(stats.retries, 2);
+  // Backoffs 0.050 and 0.100 charged before the dwell of the served batch.
+  EXPECT_DOUBLE_EQ(stats.backoff_seconds, 0.150);
+  EXPECT_DOUBLE_EQ(playback.clock().elapsed_seconds(),
+                   0.150 + 0.050 * static_cast<double>(points.size()));
+}
+
+TEST(ProbeWithRetryTest, ExhaustedRetriesEscalateToHardFault) {
+  const Csd recorded = make_synthetic_csd(SyntheticCsdSpec{.pixels = 16});
+  const std::vector<Point2> points = row_points(recorded, 0, 4);
+
+  CsdPlayback playback(recorded);
+  FaultSchedule schedule;
+  schedule.transient_rate = 1.0;  // every attempt fails
+  FaultInjectingCurrentSource injected(playback, schedule);
+  AcquisitionContext context = recording_context();
+  context.retry.max_attempts = 3;
+
+  std::vector<double> out(points.size());
+  const ProbeOutcome outcome =
+      probe_with_retry(injected, points, out, context, "raster");
+
+  EXPECT_EQ(outcome.status.code(), ErrorCode::kProbeHardFault);
+  EXPECT_EQ(outcome.status.stage(), "raster");
+  EXPECT_NE(outcome.status.detail().find("persisted through 3 attempts"),
+            std::string::npos);
+  EXPECT_EQ(outcome.attempts, 3);
+  EXPECT_EQ(playback.probe_count(), 0);  // nothing was ever served
+  const FaultStats stats = context.faults.snapshot();
+  EXPECT_EQ(stats.transient_faults, 3);
+  EXPECT_EQ(stats.retries, 2);  // the third failure escalated instead
+}
+
+TEST(ProbeWithRetryTest, HardFaultIsNotRetried) {
+  const Csd recorded = make_synthetic_csd(SyntheticCsdSpec{.pixels = 16});
+  const std::vector<Point2> points = row_points(recorded, 0, 4);
+
+  CsdPlayback playback(recorded);
+  FaultSchedule schedule;
+  schedule.hard_fault_rate = 1.0;
+  FaultInjectingCurrentSource injected(playback, schedule);
+  AcquisitionContext context = recording_context();
+
+  std::vector<double> out(points.size());
+  const ProbeOutcome outcome =
+      probe_with_retry(injected, points, out, context, "raster");
+
+  EXPECT_EQ(outcome.status.code(), ErrorCode::kProbeHardFault);
+  EXPECT_EQ(outcome.attempts, 1);
+  EXPECT_EQ(injected.injected_hard_faults(), 1);
+  EXPECT_EQ(context.faults.snapshot().transient_faults, 0);
+  EXPECT_EQ(context.faults.snapshot().retries, 0);
+}
+
+TEST(ProbeWithRetryTest, CancelDuringWallClockBackoffWakesImmediately) {
+  // A 10-second nominal backoff with wall_clock_backoff set: the cancel
+  // fires ~50 ms in and must win over the pending retry — typed kCancelled
+  // (not the transient it was recovering from), returned promptly.
+  const Csd recorded = make_synthetic_csd(SyntheticCsdSpec{.pixels = 16});
+  const std::vector<Point2> points = row_points(recorded, 0, 4);
+
+  CsdPlayback playback(recorded);
+  FaultSchedule schedule;
+  schedule.transient_rate = 1.0;
+  FaultInjectingCurrentSource injected(playback, schedule);
+  AcquisitionContext context = recording_context();
+  context.cancel = CancelToken::make();
+  context.retry.base_backoff_seconds = 10.0;
+  context.retry.wall_clock_backoff = true;
+
+  std::thread canceller([token = context.cancel]() mutable {
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    token.cancel();
+  });
+  const auto start = std::chrono::steady_clock::now();
+  std::vector<double> out(points.size());
+  const ProbeOutcome outcome =
+      probe_with_retry(injected, points, out, context, "raster");
+  const double waited =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  canceller.join();
+
+  EXPECT_EQ(outcome.status.code(), ErrorCode::kCancelled);
+  EXPECT_NE(outcome.status.detail().find("during retry backoff"),
+            std::string::npos);
+  EXPECT_LT(waited, 5.0);  // nowhere near the 10 s nominal wait
+  EXPECT_EQ(playback.probe_count(), 0);  // partial state is well-defined
+}
+
+TEST(ProbeWithRetryTest, DeadlineDuringWallClockBackoffReportsTyped) {
+  const Csd recorded = make_synthetic_csd(SyntheticCsdSpec{.pixels = 16});
+  const std::vector<Point2> points = row_points(recorded, 0, 4);
+
+  CsdPlayback playback(recorded);
+  FaultSchedule schedule;
+  schedule.transient_rate = 1.0;
+  FaultInjectingCurrentSource injected(playback, schedule);
+  AcquisitionContext context = recording_context();
+  context.deadline = AcquisitionContext::Clock::now() +
+                     std::chrono::milliseconds(30);
+  context.retry.base_backoff_seconds = 10.0;
+  context.retry.wall_clock_backoff = true;
+
+  const auto start = std::chrono::steady_clock::now();
+  std::vector<double> out(points.size());
+  const ProbeOutcome outcome =
+      probe_with_retry(injected, points, out, context, "sweeps");
+  const double waited =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+
+  EXPECT_EQ(outcome.status.code(), ErrorCode::kDeadlineExceeded);
+  EXPECT_EQ(outcome.status.stage(), "sweeps");
+  EXPECT_LT(waited, 5.0);
+}
+
+TEST(RasterFaultTest, TransientWeatherYieldsDeterministicIdenticalRuns) {
+  // Two raster acquisitions under the same transient schedule must agree bit
+  // for bit — grids, probe counts, clocks, and FaultStats — and the recorded
+  // transient count must match what the injector says it injected.
+  const Csd recorded = make_synthetic_csd(SyntheticCsdSpec{.pixels = 48});
+  FaultSchedule schedule;
+  schedule.transient_rate = 0.2;
+  schedule.seed = 99;
+
+  auto run = [&](FaultStats& stats, long& probes, long& transients,
+                 double& seconds) {
+    CsdPlayback playback(recorded);
+    FaultInjectingCurrentSource injected(playback, schedule);
+    AcquisitionContext context = recording_context();
+    context.retry.jitter_fraction = 0.0;
+    const Result<Csd> result = acquire_full_csd(
+        injected, recorded.x_axis(), recorded.y_axis(), context);
+    stats = context.faults.snapshot();
+    probes = playback.probe_count();
+    transients = injected.injected_transients();
+    seconds = playback.clock().elapsed_seconds();
+    return result;
+  };
+
+  FaultStats stats_a, stats_b;
+  long probes_a = 0, probes_b = 0, transients_a = 0, transients_b = 0;
+  double seconds_a = 0.0, seconds_b = 0.0;
+  const Result<Csd> a = run(stats_a, probes_a, transients_a, seconds_a);
+  const Result<Csd> b = run(stats_b, probes_b, transients_b, seconds_b);
+
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(a->grid(), b->grid());
+  EXPECT_EQ(stats_a, stats_b);
+  EXPECT_EQ(probes_a, probes_b);
+  EXPECT_EQ(transients_a, transients_b);
+  EXPECT_EQ(seconds_a, seconds_b);
+  EXPECT_GT(stats_a.transient_faults, 0);
+  EXPECT_EQ(stats_a.transient_faults, transients_a);
+  EXPECT_GT(stats_a.backoff_seconds, 0.0);
+  // Every transient was absorbed: the acquired grid matches the clean one.
+  CsdPlayback plain(recorded);
+  EXPECT_EQ(a->grid(),
+            acquire_full_csd(plain, recorded.x_axis(), recorded.y_axis())
+                .grid());
+}
+
+TEST(RasterFaultTest, DriftJumpRecoversBitIdenticalWithTargetedReprobe) {
+  // A deterministic telegraph jump after raster batch 1 (0-based): batch 2
+  // goes out corrupted, the monitor reports at batch 3, and recovery must
+  // re-probe only the stale rows — the final grid equals the clean raster
+  // exactly (the playback is noise-free), at far less than 2x probe cost.
+  const Csd recorded = make_synthetic_csd(SyntheticCsdSpec{.pixels = 64});
+  CsdPlayback plain_playback(recorded);
+  const Csd plain =
+      acquire_full_csd(plain_playback, recorded.x_axis(), recorded.y_axis());
+
+  CsdPlayback playback(recorded);
+  FaultSchedule schedule;
+  schedule.jump_at_batch = 1;
+  schedule.jump_magnitude_volts = 0.003;  // three pixels of honeycomb shift
+  FaultInjectingCurrentSource injected(playback, schedule);
+  AcquisitionContext context = recording_context();
+
+  const Result<Csd> result = acquire_full_csd(
+      injected, recorded.x_axis(), recorded.y_axis(), context);
+
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->grid(), plain.grid());
+  EXPECT_EQ(injected.injected_jumps(), 1);
+  EXPECT_EQ(injected.drift_reports(), 1);
+  EXPECT_DOUBLE_EQ(injected.uncompensated_offset_volts(), 0.0);
+  const FaultStats stats = context.faults.snapshot();
+  EXPECT_EQ(stats.drift_events, 1);
+  // One 8-row batch (the corrupted one) re-acquired — not the whole diagram.
+  EXPECT_EQ(stats.reacquired_rows, 8);
+  EXPECT_EQ(playback.probe_count(), 64 * 64 + 8 * 64);
+}
+
+TEST(FaultInjectionTest, StuckSensorFreezesReadingsAcrossBatches) {
+  // stuck_rate = 1 with stuck_probes = 4: batch 2's first four readings must
+  // be frozen at batch 1's final reading (the sensor's last value before the
+  // fault), silently — the batch still reports ok.
+  const Csd recorded = make_synthetic_csd(SyntheticCsdSpec{.pixels = 16});
+  const std::vector<Point2> batch1 = row_points(recorded, 0, 8);
+  const std::vector<Point2> batch2 = row_points(recorded, 1, 8);
+  std::vector<double> clean1(batch1.size()), clean2(batch2.size());
+  {
+    CsdPlayback playback(recorded);
+    playback.get_currents(batch1, clean1);
+    playback.get_currents(batch2, clean2);
+  }
+
+  CsdPlayback playback(recorded);
+  FaultSchedule schedule;
+  schedule.stuck_rate = 1.0;
+  schedule.stuck_probes = 4;
+  FaultInjectingCurrentSource injected(playback, schedule);
+
+  std::vector<double> out1(batch1.size()), out2(batch2.size());
+  ASSERT_TRUE(injected.try_get_currents(batch1, out1).ok());
+  ASSERT_TRUE(injected.try_get_currents(batch2, out2).ok());
+
+  // Batch 1's fault had no prior reading to freeze to: it pins the batch's
+  // own first value.
+  for (std::size_t i = 0; i < 4; ++i) EXPECT_EQ(out1[i], clean1[0]);
+  for (std::size_t i = 4; i < out1.size(); ++i) EXPECT_EQ(out1[i], clean1[i]);
+  // Batch 2 freezes at batch 1's last (clean) reading.
+  for (std::size_t i = 0; i < 4; ++i) EXPECT_EQ(out2[i], out1.back());
+  for (std::size_t i = 4; i < out2.size(); ++i) EXPECT_EQ(out2[i], clean2[i]);
+  EXPECT_EQ(injected.injected_stuck_probes(), 8);
+}
+
+TEST(FaultInjectionTest, LatencySpikeChargesTheExperimentClock) {
+  const Csd recorded = make_synthetic_csd(SyntheticCsdSpec{.pixels = 16});
+  const std::vector<Point2> points = row_points(recorded, 0, 8);
+
+  CsdPlayback playback(recorded);
+  FaultSchedule schedule;
+  schedule.latency_spike_rate = 1.0;
+  schedule.latency_spike_seconds = 2.5;
+  FaultInjectingCurrentSource injected(playback, schedule);
+
+  std::vector<double> out(points.size());
+  ASSERT_TRUE(injected.try_get_currents(points, out).ok());
+  EXPECT_EQ(injected.injected_latency_spikes(), 1);
+  EXPECT_DOUBLE_EQ(playback.clock().elapsed_seconds(),
+                   2.5 + 0.050 * static_cast<double>(points.size()));
+}
+
+TEST(ProbeCacheTest, InvalidateRegionForcesReprobeWithHonestHitAccounting) {
+  const Csd recorded = make_synthetic_csd(SyntheticCsdSpec{.pixels = 16});
+  CsdPlayback playback(recorded);
+  ProbeCache cache(playback, recorded.x_axis().step());
+
+  const std::vector<Point2> points = row_points(recorded, 0, 8);
+  std::vector<double> out(points.size());
+  cache.get_currents(points, out);
+  cache.get_currents(points, out);  // all hits
+  EXPECT_EQ(cache.unique_probe_count(), 8);
+  EXPECT_EQ(cache.cache_hits(), 8);
+
+  // Drop the first four configurations (closed rectangle, quantized edges).
+  VoltageRect region;
+  region.x_lo = points[0].x;
+  region.x_hi = points[3].x;
+  region.y_lo = points[0].y;
+  region.y_hi = points[0].y;
+  EXPECT_EQ(cache.invalidate_region(region), 4u);
+
+  cache.get_currents(points, out);
+  // Four re-probes (they cost dwell again), four hits on the survivors.
+  EXPECT_EQ(cache.unique_probe_count(), 12);
+  EXPECT_EQ(cache.cache_hits(), 12);
+  EXPECT_EQ(cache.probe_count(), 24);
+  EXPECT_DOUBLE_EQ(cache.cache_hit_rate(), 0.5);
+}
+
+TEST(ProbeCacheTest, InvalidateRegionEdgesAreInclusiveAtKeyGranularity) {
+  const double g = 0.001;
+  const Csd recorded = make_synthetic_csd(SyntheticCsdSpec{.pixels = 16});
+  CsdPlayback playback(recorded);
+  ProbeCache cache(playback, g);
+
+  // Three configurations one quantum apart on the x axis.
+  const std::vector<Point2> points{{2 * g, 0.0}, {3 * g, 0.0}, {4 * g, 0.0}};
+  std::vector<double> out(points.size());
+  cache.get_currents(points, out);
+
+  // A region whose high edge lands exactly on 3g: the edge configuration is
+  // inside (closed interval), the one a single quantum further out is not.
+  VoltageRect region;
+  region.x_lo = 2 * g;
+  region.x_hi = 3 * g;
+  region.y_lo = -g / 4;  // rounds to quantum 0
+  region.y_hi = g / 4;
+  EXPECT_EQ(cache.invalidate_region(region), 2u);
+
+  cache.get_currents(points, out);
+  EXPECT_EQ(cache.unique_probe_count(), 5);  // 4g survived; 2g and 3g re-probed
+  EXPECT_EQ(cache.cache_hits(), 1);
+}
+
+TEST(ProbeCacheTest, FailedBatchNeverInflatesHits) {
+  // The old derived accounting (requests - unique) would book a failed
+  // batch's n requests as n hits; the explicit counter must stay at zero.
+  const Csd recorded = make_synthetic_csd(SyntheticCsdSpec{.pixels = 16});
+  CsdPlayback playback(recorded);
+  FaultSchedule schedule;
+  schedule.transient_rate = 1.0;
+  FaultInjectingCurrentSource injected(playback, schedule);
+  ProbeCache cache(injected, recorded.x_axis().step());
+
+  const std::vector<Point2> points = row_points(recorded, 0, 8);
+  std::vector<double> out(points.size());
+  const Status status = cache.try_get_currents(points, out);
+
+  EXPECT_EQ(status.code(), ErrorCode::kProbeTransient);
+  EXPECT_EQ(cache.probe_count(), 8);
+  EXPECT_EQ(cache.cache_hits(), 0);
+  EXPECT_DOUBLE_EQ(cache.cache_hit_rate(), 0.0);
+  EXPECT_EQ(cache.unique_probe_count(), 0);  // nothing cached or logged
+  EXPECT_TRUE(cache.probe_log().empty());
+}
+
+TEST(ProbeCacheTest, DriftReportAutoInvalidatesExactlyTheStaleEntries) {
+  // jump_at_batch = 0: batch A is clean, batch B is served corrupted, and
+  // the attempt after it reports drift. The cache must drop exactly B's
+  // entries (A's survive), and a re-request of B re-forwards clean values.
+  const Csd recorded = make_synthetic_csd(SyntheticCsdSpec{.pixels = 16});
+  CsdPlayback playback(recorded);
+  FaultSchedule schedule;
+  schedule.jump_at_batch = 0;
+  schedule.jump_magnitude_volts = 0.005;
+  FaultInjectingCurrentSource injected(playback, schedule);
+  ProbeCache cache(injected, recorded.x_axis().step());
+
+  const std::vector<Point2> batch_a = row_points(recorded, 0, 8);
+  const std::vector<Point2> batch_b = row_points(recorded, 1, 8);
+  const std::vector<Point2> batch_c = row_points(recorded, 2, 8);
+  std::vector<double> clean_b(batch_b.size());
+  {
+    CsdPlayback reference(recorded);
+    std::vector<double> scratch(batch_a.size());
+    reference.get_currents(batch_a, scratch);
+    reference.get_currents(batch_b, clean_b);
+  }
+
+  std::vector<double> out_a(batch_a.size()), out_b(batch_b.size()),
+      out_c(batch_c.size());
+  ASSERT_TRUE(cache.try_get_currents(batch_a, out_a).ok());
+  ASSERT_TRUE(cache.try_get_currents(batch_b, out_b).ok());  // corrupted
+  EXPECT_NE(out_b, clean_b);
+
+  const Status drifted = cache.try_get_currents(batch_c, out_c);
+  EXPECT_EQ(drifted.code(), ErrorCode::kDeviceDrifted);
+  // B's entries were dropped, A's survive: re-requesting A hits, while B
+  // misses and re-forwards against the recalibrated source — clean now.
+  const long hits_before = cache.cache_hits();
+  const long unique_before = cache.unique_probe_count();
+  ASSERT_TRUE(cache.try_get_currents(batch_a, out_a).ok());
+  EXPECT_EQ(cache.cache_hits(), hits_before + 8);
+  EXPECT_EQ(cache.unique_probe_count(), unique_before);
+  ASSERT_TRUE(cache.try_get_currents(batch_b, out_b).ok());
+  EXPECT_EQ(cache.unique_probe_count(), unique_before + 8);
+  EXPECT_EQ(out_b, clean_b);
+}
+
+}  // namespace
+}  // namespace qvg
