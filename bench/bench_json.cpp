@@ -55,6 +55,20 @@
 //                       injector + retry wrapper + recorder) vs the checked
 //                       and plain acquisitions: what recovery plumbing
 //                       costs when nothing ever fails.                (PR 6)
+//   kernel_sweep      — per-kernel before/after for the SIMD + cache-blocking
+//                       pass, all single-threaded: correlate / separable /
+//                       sobel (reference vs SIMD, bit-identical except the
+//                       documented sobel-magnitude ULP bound, which is
+//                       recorded), canny at 100 and 200 px (atan2+hypot
+//                       reference pipeline vs ladder+SIMD), hough flat vs
+//                       blocked accumulation, and 5-7 dot solver bound
+//                       batches. Each scenario carries *_identical (or
+//                       max-ULP) fields so the snapshot itself proves the
+//                       fast paths are pinned.                        (PR 7)
+//
+// The top-level "metadata" object records the CPU model, compiler, SIMD
+// configuration and build flags, so snapshot numbers are attributable when
+// the sweep is re-run on different hardware.
 //
 // Extraction scenarios run through the ExtractionEngine façade (PR 3); the
 // micro solver/imgproc scenarios have no extraction to route.
@@ -62,20 +76,26 @@
 // Every scenario records the effective thread count (set QVG_THREADS=N to
 // re-measure on multi-core hardware in one variable).
 //
-// Usage: bench_json [output.json]   (default: BENCH_PR6.json in the CWD)
+// Usage: bench_json [output.json]   (default: BENCH_PR7.json in the CWD)
+#include "common/simd.hpp"
 #include "common/stopwatch.hpp"
 #include "common/thread_pool.hpp"
 #include "dataset/qflow_synth.hpp"
 #include "device/dot_array.hpp"
 #include "imgproc/canny.hpp"
+#include "imgproc/convolve.hpp"
 #include "imgproc/filters.hpp"
 #include "imgproc/hough.hpp"
+#include "imgproc/kernel.hpp"
+#include "imgproc/sobel.hpp"
 #include "probe/fault_injection.hpp"
 #include "probe/playback.hpp"
 #include "probe/probe_cache.hpp"
 #include "probe/raster.hpp"
 #include "service/job_queue.hpp"
 
+#include <cstdint>
+#include <cstring>
 #include <fstream>
 #include <iostream>
 #include <limits>
@@ -99,11 +119,38 @@ double time_best(int reps, Fn&& fn) {
   return best;
 }
 
+/// First "model name" line from /proc/cpuinfo, or "unknown" off-Linux.
+std::string cpu_model() {
+  std::ifstream cpuinfo("/proc/cpuinfo");
+  std::string line;
+  while (std::getline(cpuinfo, line)) {
+    const auto colon = line.find(':');
+    if (line.compare(0, 10, "model name") == 0 && colon != std::string::npos) {
+      auto start = line.find_first_not_of(" \t", colon + 1);
+      if (start == std::string::npos) break;
+      return line.substr(start);
+    }
+  }
+  return "unknown";
+}
+
 struct JsonWriter {
   std::ostringstream out;
   bool first_scenario = true;
 
-  void begin() { out << "{\n  \"bench\": \"PR6\",\n  \"scenarios\": [\n"; }
+  void begin() {
+    out << "{\n  \"bench\": \"PR7\",\n  \"metadata\": {\n"
+        << "    \"cpu\": \"" << cpu_model() << "\",\n"
+        << "    \"compiler\": \"" << __VERSION__ << "\",\n"
+#ifdef QVG_BUILD_FLAGS
+        << "    \"build_flags\": \"" << QVG_BUILD_FLAGS << "\",\n"
+#endif
+        << "    \"simd_native\": " << (simd::kNative ? "true" : "false")
+        << ",\n"
+        << "    \"simd_double_lanes\": " << simd::kDoubleLanes << ",\n"
+        << "    \"simd_float_lanes\": " << simd::kFloatLanes << "\n"
+        << "  },\n  \"scenarios\": [\n";
+  }
   void end() {
     out << "\n  ]\n}\n";
   }
@@ -1056,10 +1103,163 @@ void bench_suite_generation(JsonWriter& json) {
   json.end_scenario();
 }
 
+/// Max ULP distance between two equal-sized grids of non-negative values.
+std::uint64_t max_ulp(const GridD& a, const GridD& b) {
+  std::uint64_t worst = 0;
+  for (std::size_t i = 0; i < a.raw().size(); ++i) {
+    std::uint64_t ua = 0;
+    std::uint64_t ub = 0;
+    std::memcpy(&ua, &a.raw()[i], sizeof(double));
+    std::memcpy(&ub, &b.raw()[i], sizeof(double));
+    worst = std::max(worst, ua > ub ? ua - ub : ub - ua);
+  }
+  return worst;
+}
+
+// PR 7: per-kernel before/after for the SIMD + cache-blocking pass, all
+// single-threaded so the numbers capture the single-thread gap the pass
+// closes (serial-vs-parallel equivalence is pinned by the older scenarios).
+// Every scenario records whether the fast result is bit-identical to its
+// reference; the sobel magnitude records its max ULP distance instead (the
+// one documented tolerance case: sqrt-form magnitude vs hypot).
+void bench_kernel_sweep(JsonWriter& json) {
+  set_parallelism_enabled(false);
+  const GridD image = make_test_image(200);
+
+  {
+    const Kernel2D mask = paper_mask_x();
+    GridD ref, fast;
+    const double ref_s =
+        time_best(5, [&] { ref = correlate_reference(image, mask); });
+    const double fast_s = time_best(5, [&] { fast = correlate(image, mask); });
+    json.begin_scenario("kernel_correlate_200px");
+    json.field("reference_ms", ref_s * 1e3);
+    json.field("simd_ms", fast_s * 1e3);
+    json.field("speedup", ref_s / fast_s);
+    json.field("results_identical", ref == fast);
+    json.end_scenario();
+  }
+
+  {
+    const auto taps = gaussian_taps(1.4);
+    GridD ref, fast;
+    const double ref_s = time_best(
+        5, [&] { ref = correlate_separable_reference(image, taps, taps); });
+    const double fast_s =
+        time_best(5, [&] { fast = correlate_separable(image, taps, taps); });
+    json.begin_scenario("kernel_separable_200px");
+    json.field("taps", static_cast<long>(taps.size()));
+    json.field("reference_ms", ref_s * 1e3);
+    json.field("simd_ms", fast_s * 1e3);
+    json.field("speedup", ref_s / fast_s);
+    json.field("results_identical", ref == fast);
+    json.end_scenario();
+  }
+
+  {
+    GradientField ref, fast;
+    const double ref_s =
+        time_best(5, [&] { ref = sobel_gradients_reference(image); });
+    const double fast_s = time_best(5, [&] { fast = sobel_gradients(image); });
+    json.begin_scenario("kernel_sobel_200px");
+    json.field("reference_ms", ref_s * 1e3);
+    json.field("simd_ms", fast_s * 1e3);
+    json.field("speedup", ref_s / fast_s);
+    json.field("gradients_identical", ref.gx == fast.gx && ref.gy == fast.gy);
+    json.field("magnitude_max_ulp",
+               static_cast<long>(max_ulp(ref.magnitude, fast.magnitude)));
+    json.end_scenario();
+  }
+
+  for (std::size_t n : {100u, 200u}) {
+    const GridD img = make_test_image(n);
+    GridU8 ref, fast;
+    const double ref_s = time_best(5, [&] { ref = canny_reference(img); });
+    const double fast_s = time_best(5, [&] { fast = canny(img); });
+    json.begin_scenario("kernel_canny_" + std::to_string(n) + "px");
+    json.field("reference_ms", ref_s * 1e3);
+    json.field("simd_ms", fast_s * 1e3);
+    json.field("speedup", ref_s / fast_s);
+    json.field("edges_identical", ref == fast);
+    json.end_scenario();
+  }
+
+  {
+    const GridU8 edges = canny(image);
+    HoughOptions flat;
+    flat.accumulate_mode = HoughAccumulateMode::kFlat;
+    HoughOptions blocked;
+    blocked.accumulate_mode = HoughAccumulateMode::kBlocked;
+    HoughAccumulator ref, fast;
+    const double ref_s =
+        time_best(5, [&] { ref = hough_accumulate(edges, flat); });
+    const double fast_s =
+        time_best(5, [&] { fast = hough_accumulate(edges, blocked); });
+    long edge_points = 0;
+    for (auto v : edges.raw()) edge_points += v != 0 ? 1 : 0;
+    json.begin_scenario("kernel_hough_200px");
+    json.field("edge_points", edge_points);
+    json.field("flat_ms", ref_s * 1e3);
+    json.field("blocked_ms", fast_s * 1e3);
+    json.field("speedup", ref_s / fast_s);
+    json.field("votes_identical", ref.votes == fast.votes);
+    json.end_scenario();
+  }
+
+  // Solver bound batches (SIMD completion bounds inside branch-and-bound,
+  // SIMD coupling updates inside the delta-ICM greedy) at 5-7 dots. The
+  // "before" is the same algorithm with its pre-PR 7 scalar recurrences —
+  // not separately compilable, so the pin here is exactness vs the unpruned
+  // enumeration / copy-based greedy, with timings that extend the
+  // solver_scaling trajectory.
+  for (std::size_t n_dots : {5u, 6u, 7u}) {
+    DotArrayParams params;
+    params.n_dots = n_dots;
+    const BuiltDevice device = build_dot_array(params);
+    Rng rng(131 + n_dots);
+    const int solves = n_dots >= 7 ? 10 : 30;
+    std::vector<std::vector<double>> drive_sets;
+    std::vector<double> voltages(n_dots);
+    for (int s = 0; s < solves; ++s) {
+      for (auto& v : voltages) v = rng.uniform(0.0, 0.06);
+      drive_sets.push_back(device.model.dot_drives(voltages));
+    }
+
+    IncrementalGroundStateSolver solver(device.model);
+    const double bb_s = time_best(3, [&] {
+      for (const auto& d : drive_sets)
+        (void)solver.solve(d, 4, nullptr, ExhaustiveStrategy::kBranchAndBound);
+    });
+    const double greedy_s = time_best(3, [&] {
+      for (const auto& d : drive_sets)
+        (void)ground_state_greedy(device.model, d, 4);
+    });
+    bool bb_identical = true;
+    bool greedy_identical = true;
+    for (const auto& d : drive_sets) {
+      if (solver.solve(d, 4, nullptr, ExhaustiveStrategy::kBranchAndBound) !=
+          solver.solve(d, 4, nullptr, ExhaustiveStrategy::kFullEnumeration))
+        bb_identical = false;
+      if (ground_state_greedy(device.model, d, 4) !=
+          ground_state_greedy_reference(device.model, d, 4))
+        greedy_identical = false;
+    }
+    json.begin_scenario("kernel_solver_" + std::to_string(n_dots) + "dot");
+    json.field("solves", static_cast<long>(solves));
+    json.field("bb_us_per_solve", bb_s / solves * 1e6);
+    json.field("greedy_us_per_solve", greedy_s / solves * 1e6);
+    json.field("bb_matches_full_enumeration", bb_identical);
+    json.field("greedy_matches_reference", greedy_identical);
+    json.end_scenario();
+  }
+
+  set_parallelism_enabled(true);
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
-  const std::string out_path = argc > 1 ? argv[1] : "BENCH_PR6.json";
+  const std::string out_path = argc > 1 ? argv[1] : "BENCH_PR7.json";
 
   JsonWriter json;
   json.out.precision(6);
@@ -1081,6 +1281,7 @@ int main(int argc, char** argv) {
   bench_fault_success_vs_rate(json);
   bench_drift_recovery(json);
   bench_retry_overhead_zero_fault(json);
+  bench_kernel_sweep(json);
   json.end();
 
   std::ofstream file(out_path);

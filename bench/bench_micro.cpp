@@ -1,6 +1,12 @@
 // Google-benchmark microbenchmarks of the implementation building blocks
 // (DESIGN.md experiment E7): image pipeline stages, the charge-state solver,
 // the feature gradient, and the piecewise fit.
+//
+// The BM_*Reference / BM_*Simd (and flat/blocked, reference/fast) pairs are
+// the PR 7 scalar-vs-vector ablation for each touched kernel; both variants
+// live in one binary because the references are runtime-callable, so a
+// single run shows the per-kernel gap on the host CPU.
+#include "device/charge_state.hpp"
 #include "device/dot_array.hpp"
 #include "extraction/fast_extractor.hpp"
 #include "extraction/piecewise_fit.hpp"
@@ -8,6 +14,8 @@
 #include "imgproc/convolve.hpp"
 #include "imgproc/filters.hpp"
 #include "imgproc/hough.hpp"
+#include "imgproc/kernel.hpp"
+#include "imgproc/sobel.hpp"
 
 #include <benchmark/benchmark.h>
 
@@ -42,6 +50,127 @@ void BM_Hough(benchmark::State& state) {
   for (auto _ : state) benchmark::DoNotOptimize(hough_lines(edges));
 }
 BENCHMARK(BM_Hough)->Arg(63)->Arg(100)->Arg(200);
+
+void BM_CorrelateReference(benchmark::State& state) {
+  const auto image = make_test_image(static_cast<std::size_t>(state.range(0)));
+  const Kernel2D mask = paper_mask_x();
+  for (auto _ : state)
+    benchmark::DoNotOptimize(correlate_reference(image, mask));
+}
+BENCHMARK(BM_CorrelateReference)->Arg(100)->Arg(200);
+
+void BM_CorrelateSimd(benchmark::State& state) {
+  const auto image = make_test_image(static_cast<std::size_t>(state.range(0)));
+  const Kernel2D mask = paper_mask_x();
+  for (auto _ : state) benchmark::DoNotOptimize(correlate(image, mask));
+}
+BENCHMARK(BM_CorrelateSimd)->Arg(100)->Arg(200);
+
+void BM_SeparableReference(benchmark::State& state) {
+  const auto image = make_test_image(static_cast<std::size_t>(state.range(0)));
+  const auto taps = gaussian_taps(1.4);
+  for (auto _ : state)
+    benchmark::DoNotOptimize(correlate_separable_reference(image, taps, taps));
+}
+BENCHMARK(BM_SeparableReference)->Arg(100)->Arg(200);
+
+void BM_SeparableSimd(benchmark::State& state) {
+  const auto image = make_test_image(static_cast<std::size_t>(state.range(0)));
+  const auto taps = gaussian_taps(1.4);
+  for (auto _ : state)
+    benchmark::DoNotOptimize(correlate_separable(image, taps, taps));
+}
+BENCHMARK(BM_SeparableSimd)->Arg(100)->Arg(200);
+
+void BM_SobelReference(benchmark::State& state) {
+  const auto image = make_test_image(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state)
+    benchmark::DoNotOptimize(sobel_gradients_reference(image));
+}
+BENCHMARK(BM_SobelReference)->Arg(100)->Arg(200);
+
+void BM_SobelSimd(benchmark::State& state) {
+  const auto image = make_test_image(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) benchmark::DoNotOptimize(sobel_gradients(image));
+}
+BENCHMARK(BM_SobelSimd)->Arg(100)->Arg(200);
+
+void BM_CannyReference(benchmark::State& state) {
+  // Pre-PR 7 pipeline: reference convolutions, hypot magnitude, atan2 NMS.
+  const auto image = make_test_image(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) benchmark::DoNotOptimize(canny_reference(image));
+}
+BENCHMARK(BM_CannyReference)->Arg(100)->Arg(200);
+
+void BM_HoughFlat(benchmark::State& state) {
+  const auto image = make_test_image(static_cast<std::size_t>(state.range(0)));
+  const auto edges = canny(image);
+  HoughOptions opt;
+  opt.accumulate_mode = HoughAccumulateMode::kFlat;
+  for (auto _ : state) benchmark::DoNotOptimize(hough_accumulate(edges, opt));
+}
+BENCHMARK(BM_HoughFlat)->Arg(100)->Arg(200);
+
+void BM_HoughBlocked(benchmark::State& state) {
+  const auto image = make_test_image(static_cast<std::size_t>(state.range(0)));
+  const auto edges = canny(image);
+  HoughOptions opt;
+  opt.accumulate_mode = HoughAccumulateMode::kBlocked;
+  for (auto _ : state) benchmark::DoNotOptimize(hough_accumulate(edges, opt));
+}
+BENCHMARK(BM_HoughBlocked)->Arg(100)->Arg(200);
+
+void BM_SolverBranchAndBound(benchmark::State& state) {
+  // SIMD completion-bound batches drive the pruning; compare against
+  // BM_SolverFullEnumeration for the bound's total effect.
+  DotArrayParams params;
+  params.n_dots = static_cast<std::size_t>(state.range(0));
+  const auto device = build_dot_array(params);
+  const auto drives =
+      device.model.dot_drives(std::vector<double>(params.n_dots, 0.03));
+  IncrementalGroundStateSolver solver(device.model);
+  for (auto _ : state)
+    benchmark::DoNotOptimize(
+        solver.solve(drives, 4, nullptr, ExhaustiveStrategy::kBranchAndBound));
+}
+BENCHMARK(BM_SolverBranchAndBound)->Arg(5)->Arg(6)->Arg(7);
+
+void BM_SolverFullEnumeration(benchmark::State& state) {
+  DotArrayParams params;
+  params.n_dots = static_cast<std::size_t>(state.range(0));
+  const auto device = build_dot_array(params);
+  const auto drives =
+      device.model.dot_drives(std::vector<double>(params.n_dots, 0.03));
+  IncrementalGroundStateSolver solver(device.model);
+  for (auto _ : state)
+    benchmark::DoNotOptimize(
+        solver.solve(drives, 4, nullptr, ExhaustiveStrategy::kFullEnumeration));
+}
+BENCHMARK(BM_SolverFullEnumeration)->Arg(5)->Arg(6)->Arg(7);
+
+void BM_GreedyReference(benchmark::State& state) {
+  DotArrayParams params;
+  params.n_dots = static_cast<std::size_t>(state.range(0));
+  const auto device = build_dot_array(params);
+  const auto drives =
+      device.model.dot_drives(std::vector<double>(params.n_dots, 0.03));
+  for (auto _ : state)
+    benchmark::DoNotOptimize(
+        ground_state_greedy_reference(device.model, drives, 4));
+}
+BENCHMARK(BM_GreedyReference)->Arg(7)->Arg(9);
+
+void BM_GreedyDelta(benchmark::State& state) {
+  // Delta-ICM with the SIMD coupling-sum updates.
+  DotArrayParams params;
+  params.n_dots = static_cast<std::size_t>(state.range(0));
+  const auto device = build_dot_array(params);
+  const auto drives =
+      device.model.dot_drives(std::vector<double>(params.n_dots, 0.03));
+  for (auto _ : state)
+    benchmark::DoNotOptimize(ground_state_greedy(device.model, drives, 4));
+}
+BENCHMARK(BM_GreedyDelta)->Arg(7)->Arg(9);
 
 void BM_GroundState(benchmark::State& state) {
   DotArrayParams params;

@@ -1,0 +1,160 @@
+// Portable fixed-width SIMD shim over compiler vector extensions.
+//
+// Design rules (DESIGN/ROADMAP perf convention: every fast path is pinned to
+// its scalar reference):
+//
+//  * Fixed width, selected at compile time — no runtime dispatch. VecD is
+//    always kDoubleLanes doubles and VecF kFloatLanes floats, on every
+//    build. Kernels structure their loops around these constants, so the
+//    chunking (and therefore the tail handling) is identical whether the
+//    backing store is a native vector register or a plain array.
+//  * Bit-identical lanes. Every operation is defined element-wise with the
+//    exact IEEE semantics of the corresponding scalar expression (no FMA
+//    contraction is introduced by the shim itself: `a * b + c` on GNU vector
+//    types contracts only where the scalar expression would contract too,
+//    since both compile in the same translation unit under the same flags).
+//    Callers that keep per-output accumulation order unchanged get results
+//    bit-identical to their scalar reference loops — that invariant, not
+//    this header, is what the kernel equivalence tests pin.
+//  * QVG_NO_SIMD (compile definition, CMake -DQVG_NO_SIMD=ON) or a non-GNU
+//    compiler selects the scalar-array fallback with the same lane count and
+//    the same per-lane arithmetic, so ablation builds change performance
+//    only, never results.
+//
+// Math helpers (sqrt / floor / min / max) are deliberately per-lane scalar
+// calls: libm is not vectorizable under default errno semantics, and
+// per-lane keeps them bit-identical to the scalar reference by construction.
+#pragma once
+
+#include <cmath>
+#include <cstddef>
+#include <cstring>
+
+#if !defined(QVG_NO_SIMD) && (defined(__GNUC__) || defined(__clang__))
+#define QVG_SIMD_NATIVE 1
+#else
+#define QVG_SIMD_NATIVE 0
+#endif
+
+namespace qvg::simd {
+
+inline constexpr std::size_t kDoubleLanes = 4;
+inline constexpr std::size_t kFloatLanes = 8;
+
+/// True when the native vector-extension backend is compiled in (recorded in
+/// the bench metadata so snapshot numbers are attributable).
+inline constexpr bool kNative = QVG_SIMD_NATIVE != 0;
+
+/// Fixed-width lane vector. T is double or float; N the lane count.
+template <typename T, std::size_t N>
+struct Vec {
+  static constexpr std::size_t kLanes = N;
+#if QVG_SIMD_NATIVE
+  typedef T Native __attribute__((vector_size(N * sizeof(T)),
+                                  aligned(alignof(T))));
+#else
+  struct Native {
+    T lane[N];
+  };
+#endif
+  Native v;
+
+  /// Unaligned load of N consecutive elements.
+  static Vec load(const T* p) noexcept {
+    Vec r;
+    std::memcpy(&r.v, p, sizeof(r.v));
+    return r;
+  }
+  static Vec broadcast(T x) noexcept {
+    Vec r;
+    for (std::size_t i = 0; i < N; ++i) r.set(i, x);
+    return r;
+  }
+  static Vec zero() noexcept { return broadcast(T{}); }
+
+  /// Unaligned store of N consecutive elements.
+  void store(T* p) const noexcept { std::memcpy(p, &v, sizeof(v)); }
+
+  T operator[](std::size_t i) const noexcept {
+#if QVG_SIMD_NATIVE
+    return v[i];
+#else
+    return v.lane[i];
+#endif
+  }
+  void set(std::size_t i, T x) noexcept {
+#if QVG_SIMD_NATIVE
+    v[i] = x;
+#else
+    v.lane[i] = x;
+#endif
+  }
+
+#if QVG_SIMD_NATIVE
+  friend Vec operator+(Vec a, Vec b) noexcept { return Vec{a.v + b.v}; }
+  friend Vec operator-(Vec a, Vec b) noexcept { return Vec{a.v - b.v}; }
+  friend Vec operator*(Vec a, Vec b) noexcept { return Vec{a.v * b.v}; }
+  friend Vec operator/(Vec a, Vec b) noexcept { return Vec{a.v / b.v}; }
+#else
+  friend Vec operator+(Vec a, Vec b) noexcept {
+    Vec r;
+    for (std::size_t i = 0; i < N; ++i) r.set(i, a[i] + b[i]);
+    return r;
+  }
+  friend Vec operator-(Vec a, Vec b) noexcept {
+    Vec r;
+    for (std::size_t i = 0; i < N; ++i) r.set(i, a[i] - b[i]);
+    return r;
+  }
+  friend Vec operator*(Vec a, Vec b) noexcept {
+    Vec r;
+    for (std::size_t i = 0; i < N; ++i) r.set(i, a[i] * b[i]);
+    return r;
+  }
+  friend Vec operator/(Vec a, Vec b) noexcept {
+    Vec r;
+    for (std::size_t i = 0; i < N; ++i) r.set(i, a[i] / b[i]);
+    return r;
+  }
+#endif
+  Vec& operator+=(Vec o) noexcept { return *this = *this + o; }
+  Vec& operator-=(Vec o) noexcept { return *this = *this - o; }
+  Vec& operator*=(Vec o) noexcept { return *this = *this * o; }
+};
+
+using VecD = Vec<double, kDoubleLanes>;
+using VecF = Vec<float, kFloatLanes>;
+
+/// Per-lane std::sqrt (bit-identical to the scalar call on each lane).
+template <typename T, std::size_t N>
+inline Vec<T, N> sqrt(Vec<T, N> a) noexcept {
+  Vec<T, N> r;
+  for (std::size_t i = 0; i < N; ++i) r.set(i, std::sqrt(a[i]));
+  return r;
+}
+
+/// Per-lane std::floor.
+template <typename T, std::size_t N>
+inline Vec<T, N> floor(Vec<T, N> a) noexcept {
+  Vec<T, N> r;
+  for (std::size_t i = 0; i < N; ++i) r.set(i, std::floor(a[i]));
+  return r;
+}
+
+/// Per-lane minimum (the `b < a ? b : a` form std::min uses).
+template <typename T, std::size_t N>
+inline Vec<T, N> min(Vec<T, N> a, Vec<T, N> b) noexcept {
+  Vec<T, N> r;
+  for (std::size_t i = 0; i < N; ++i) r.set(i, b[i] < a[i] ? b[i] : a[i]);
+  return r;
+}
+
+/// Per-lane maximum.
+template <typename T, std::size_t N>
+inline Vec<T, N> max(Vec<T, N> a, Vec<T, N> b) noexcept {
+  Vec<T, N> r;
+  for (std::size_t i = 0; i < N; ++i) r.set(i, a[i] < b[i] ? b[i] : a[i]);
+  return r;
+}
+
+}  // namespace qvg::simd

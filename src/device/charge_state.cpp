@@ -2,6 +2,7 @@
 
 #include "common/assert.hpp"
 #include "common/random.hpp"
+#include "common/simd.hpp"
 
 #include <cmath>
 #include <limits>
@@ -56,10 +57,14 @@ void icm_relax(const CapacitanceModel& model, const std::vector<double>& drives,
   const Matrix& mutual = model.mutual_coupling();
   const std::vector<double>& charging = model.charging_energies();
 
+  // The init dot product stays scalar: its k-ascending accumulation order is
+  // part of the fixed-point's bit-exact agreement with the copy-based
+  // reference sweep, and reassociating it would perturb exact ties.
   for (std::size_t d = 0; d < n; ++d) {
+    const double* row = mutual.row(d);
     double acc = 0.0;
     for (std::size_t k = 0; k < n; ++k)
-      acc += mutual(d, k) * static_cast<double>(occupation[k]);
+      acc += row[k] * static_cast<double>(occupation[k]);
     coupling[d] = acc;
   }
 
@@ -82,11 +87,20 @@ void icm_relax(const CapacitanceModel& model, const std::vector<double>& drives,
         }
       }
       if (best_nd != occupation[d]) {
+        // Element-wise in k, so the lane-parallel form is bit-identical to
+        // the scalar update (each coupling[k] sees the same two operations).
         const double shift =
             static_cast<double>(best_nd) - static_cast<double>(occupation[d]);
         occupation[d] = best_nd;
-        for (std::size_t k = 0; k < n; ++k)
-          coupling[k] += mutual(d, k) * shift;
+        const double* row = mutual.row(d);
+        constexpr std::size_t kLanes = simd::VecD::kLanes;
+        const simd::VecD vshift = simd::VecD::broadcast(shift);
+        std::size_t k = 0;
+        for (; k + kLanes <= n; k += kLanes)
+          (simd::VecD::load(coupling.data() + k) +
+           simd::VecD::load(row + k) * vshift)
+              .store(coupling.data() + k);
+        for (; k < n; ++k) coupling[k] += row[k] * shift;
         changed = true;
       }
     }
@@ -178,6 +192,7 @@ void IncrementalGroundStateSolver::bind(const CapacitanceModel& model) {
   occupation_.assign(n_, 0);
   best_.assign(n_, 0);
   coupling_.assign(n_, 0.0);
+  bound_scratch_.assign(n_, 0.0);
   charging_ = model.charging_energies();
   mutual_flat_.resize(n_ * n_);
   const Matrix& mutual = model.mutual_coupling();
@@ -228,9 +243,19 @@ void IncrementalGroundStateSolver::apply_outer_move(
   base_ += 0.5 * charging_[j] * (db * db - a * a) - (db - a) * drives[j] +
            (db - a) * coupling_[j];
   occupation_[j] = b;
+  // coupling_[k] += row[k] * shift is element-wise in k: the SIMD form does
+  // the same multiply and add per lane, so it is bit-identical to the scalar
+  // loop regardless of lane width.
   const double shift = db - a;
   const double* row = mutual_flat_.data() + j * n_;
-  for (std::size_t k = 0; k < n_; ++k) coupling_[k] += row[k] * shift;
+  constexpr std::size_t kLanes = simd::VecD::kLanes;
+  const simd::VecD vshift = simd::VecD::broadcast(shift);
+  std::size_t k = 0;
+  for (; k + kLanes <= n_; k += kLanes)
+    (simd::VecD::load(coupling_.data() + k) +
+     simd::VecD::load(row + k) * vshift)
+        .store(coupling_.data() + k);
+  for (; k < n_; ++k) coupling_[k] += row[k] * shift;
 }
 
 double IncrementalGroundStateSolver::free_dot_min(
@@ -283,9 +308,34 @@ void IncrementalGroundStateSolver::descend(std::size_t level,
   // the m^level subtree can, and — because the incumbent only ever updates
   // on strictly smaller energies — skipping it preserves enumeration-order
   // tie-breaking exactly.
+  // The per-dot bounds are element-wise in d (drives, coupling and charging
+  // are parallel arrays — SoA), so they compute lane-parallel; each lane runs
+  // the exact free_dot_min operation sequence, so scratch[d] is bit-identical
+  // to the scalar call. The reduction then runs scalar in d-ascending order
+  // from base_, preserving the prune and tie-break decisions bit-exactly.
   double lower = base_;
-  for (std::size_t d = 0; d < level; ++d)
-    lower += free_dot_min(d, drives, max_electrons_per_dot);
+  {
+    constexpr std::size_t kLanes = simd::VecD::kLanes;
+    const double max_c = static_cast<double>(max_electrons_per_dot);
+    double* scratch = bound_scratch_.data();
+    std::size_t d = 0;
+    for (; d + kLanes <= level; d += kLanes) {
+      const simd::VecD t = simd::VecD::load(drives.data() + d) -
+                           simd::VecD::load(coupling_.data() + d);
+      const simd::VecD ec = simd::VecD::load(charging_.data() + d);
+      const simd::VecD lo =
+          simd::min(simd::max(simd::floor(t / ec), simd::VecD::broadcast(0.0)),
+                    simd::VecD::broadcast(max_c));
+      const simd::VecD hi = simd::min(lo + simd::VecD::broadcast(1.0),
+                                      simd::VecD::broadcast(max_c));
+      const simd::VecD half_ec = simd::VecD::broadcast(0.5) * ec;
+      simd::min(half_ec * lo * lo - lo * t, half_ec * hi * hi - hi * t)
+          .store(scratch + d);
+    }
+    for (; d < level; ++d)
+      scratch[d] = free_dot_min(d, drives, max_electrons_per_dot);
+    for (std::size_t k = 0; k < level; ++k) lower += scratch[k];
+  }
   if (lower >= best_energy_) {
     ++stats_.subtrees_pruned;
     stats_.states_pruned += pow_m_[level];

@@ -30,6 +30,10 @@
 //     >= the incumbent, so the result — including enumeration-order
 //     tie-breaking — is bit-identical to the full enumeration, while a good
 //     warm start (the previous raster pixel) lets most of the tree vanish.
+//     The per-level completion bounds and the coupling-sum updates run
+//     lane-parallel (simd::VecD) over the solver's structure-of-arrays
+//     scratch; both are element-wise recurrences reduced in enumeration
+//     order, so the SIMD forms are bit-identical to the scalar ones.
 //     This is what makes exhaustive solves tractable at 6-8 dots. (Sole
 //     caveat, relevant only to artificially degenerate models whose minima
 //     tie to the last ulp: the full enumeration's accumulated energies carry
@@ -184,6 +188,11 @@ class IncrementalGroundStateSolver {
   /// coupling_[d] = sum_k mutual(d, k) * occupation_[k], maintained
   /// incrementally as the outer-odometer digits advance.
   std::vector<double> coupling_;
+  /// Per-dot completion bounds for the current descend() level. Structure-
+  /// of-arrays scratch: the bounds compute lane-parallel over d (they are
+  /// element-wise in drives/coupling_/charging_), then reduce scalar in
+  /// d-ascending order so pruning decisions stay bit-identical.
+  std::vector<double> bound_scratch_;
   /// Flat copies of the model's parameters (row-major mutual matrix) so the
   /// inner loop never goes through accessor indirection.
   std::vector<double> mutual_flat_;

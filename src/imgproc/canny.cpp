@@ -14,27 +14,56 @@ namespace qvg {
 
 namespace {
 
-/// Quantize the gradient direction into one of 4 sectors (0°, 45°, 90°, 135°)
-/// and return the two neighbor offsets along the gradient.
-std::pair<std::pair<int, int>, std::pair<int, int>> gradient_neighbors(
-    double gx, double gy) {
-  const double angle = std::atan2(gy, gx);  // [-pi, pi]
-  double deg = angle * 180.0 / std::numbers::pi;
-  if (deg < 0) deg += 180.0;  // direction is modulo 180
-  if (deg < 22.5 || deg >= 157.5) return {{1, 0}, {-1, 0}};     // horizontal
-  if (deg < 67.5) return {{1, 1}, {-1, -1}};                    // diagonal /
-  if (deg < 112.5) return {{0, 1}, {0, -1}};                    // vertical
-  return {{-1, 1}, {1, -1}};                                    // diagonal \.
-}
+/// NMS neighbor offsets along the gradient, indexed by sector.
+constexpr int kSectorNeighbors[4][2][2] = {
+    {{1, 0}, {-1, 0}},    // 0: horizontal
+    {{1, 1}, {-1, -1}},   // 1: diagonal /
+    {{0, 1}, {0, -1}},    // 2: vertical
+    {{-1, 1}, {1, -1}},   // 3: diagonal \.
+};
 
 }  // namespace
 
-GridU8 canny(const GridD& image, const CannyOptions& opt) {
-  QVG_EXPECTS(image.width() >= 3 && image.height() >= 3);
+int canny_sector(double gx, double gy) noexcept {
+  // Direction is modulo 180 degrees: fold into the gy >= 0 half-plane (a
+  // 180-degree rotation keeps the sector). The sector boundaries are at
+  // 22.5 + 45k degrees; tan(22.5 deg) = sqrt(2) - 1 and tan(67.5 deg) =
+  // sqrt(2) + 1 exactly, so two multiplies and two compares classify the
+  // angle without atan2. Exact-boundary ties keep the atan2 convention
+  // (deg in [22.5, 67.5) -> '/', [67.5, 112.5) -> vertical, ...): the left
+  // edge of each sector belongs to it, which for the folded ladder means a
+  // tie resolves by the sign of gx.
+  if (gy < 0.0) {
+    gx = -gx;
+    gy = -gy;
+  }
+  if (gy == 0.0) return 0;  // includes the zero gradient: atan2(0, x) sector
+  constexpr double kTan22 = std::numbers::sqrt2 - 1.0;
+  constexpr double kTan67 = std::numbers::sqrt2 + 1.0;
+  const double ax = gx < 0.0 ? -gx : gx;
+  const double t22 = kTan22 * ax;
+  const double t67 = kTan67 * ax;
+  if (gy < t22 || (gy == t22 && gx < 0.0)) return 0;
+  if (gy < t67 || (gy == t67 && gx < 0.0)) return gx > 0.0 ? 1 : 3;
+  return 2;
+}
 
-  const GridD smoothed = gaussian_blur(image, opt.gaussian_sigma);
-  const GradientField grad = sobel_gradients(smoothed);
+int canny_sector_reference(double gx, double gy) {
+  const double angle = std::atan2(gy, gx);  // [-pi, pi]
+  double deg = angle * 180.0 / std::numbers::pi;
+  if (deg < 0) deg += 180.0;  // direction is modulo 180
+  if (deg < 22.5 || deg >= 157.5) return 0;  // horizontal
+  if (deg < 67.5) return 1;                  // diagonal /
+  if (deg < 112.5) return 2;                 // vertical
+  return 3;                                  // diagonal \.
+}
 
+namespace {
+
+/// Shared back half of the detector: threshold resolution, NMS, hysteresis.
+/// `reference` selects the atan2 sector oracle instead of the ladder.
+GridU8 canny_impl(const GridD& image, const CannyOptions& opt,
+                  const GradientField& grad, bool reference) {
   // Resolve thresholds.
   double low = opt.low_threshold;
   double high = opt.high_threshold;
@@ -60,13 +89,17 @@ GridU8 canny(const GridD& image, const CannyOptions& opt) {
       for (std::size_t x = 0; x < w; ++x) {
         const double m = grad.magnitude(x, y);
         if (m < low) continue;
-        const auto [n1, n2] = gradient_neighbors(grad.gx(x, y), grad.gy(x, y));
+        const int sector = reference
+                               ? canny_sector_reference(grad.gx(x, y),
+                                                        grad.gy(x, y))
+                               : canny_sector(grad.gx(x, y), grad.gy(x, y));
+        const auto& n = kSectorNeighbors[sector];
         const double m1 = grad.magnitude.clamped(
-            static_cast<std::ptrdiff_t>(x) + n1.first,
-            static_cast<std::ptrdiff_t>(y) + n1.second);
+            static_cast<std::ptrdiff_t>(x) + n[0][0],
+            static_cast<std::ptrdiff_t>(y) + n[0][1]);
         const double m2 = grad.magnitude.clamped(
-            static_cast<std::ptrdiff_t>(x) + n2.first,
-            static_cast<std::ptrdiff_t>(y) + n2.second);
+            static_cast<std::ptrdiff_t>(x) + n[1][0],
+            static_cast<std::ptrdiff_t>(y) + n[1][1]);
         if (m >= m1 && m >= m2) thinned(x, y) = m;
       }
     }
@@ -101,6 +134,25 @@ GridU8 canny(const GridD& image, const CannyOptions& opt) {
     }
   }
   return edges;
+}
+
+}  // namespace
+
+GridU8 canny(const GridD& image, const CannyOptions& opt) {
+  QVG_EXPECTS(image.width() >= 3 && image.height() >= 3);
+  const GridD smoothed = gaussian_blur(image, opt.gaussian_sigma);
+  const GradientField grad = sobel_gradients(smoothed);
+  return canny_impl(image, opt, grad, /*reference=*/false);
+}
+
+GridU8 canny_reference(const GridD& image, const CannyOptions& opt) {
+  QVG_EXPECTS(image.width() >= 3 && image.height() >= 3);
+  // gaussian_blur routes through correlate_separable (SIMD), which is
+  // bit-identical to the reference separable pass — the ablation's exactness
+  // lives in the hypot magnitude and atan2 sectors.
+  const GridD smoothed = gaussian_blur(image, opt.gaussian_sigma);
+  const GradientField grad = sobel_gradients_reference(smoothed);
+  return canny_impl(image, opt, grad, /*reference=*/true);
 }
 
 }  // namespace qvg

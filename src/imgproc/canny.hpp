@@ -1,6 +1,18 @@
 // Canny edge detector: Gaussian smoothing, Sobel gradients, non-maximum
 // suppression, double-threshold hysteresis. This is the edge-detection stage
 // of the paper's baseline (OpenCV Canny in the original evaluation).
+//
+// Hot-path form (PR 7): the Gaussian and Sobel stages run the SIMD
+// convolution interiors, the gradient magnitude is the lane-parallel sqrt
+// form, and NMS classifies gradient directions with a branch-light tangent
+// comparison ladder (canny_sector) instead of a per-pixel atan2.
+// canny_reference keeps the pre-SIMD pipeline (hypot magnitude + atan2
+// sectors) as the exact-path ablation; sectors agree with the reference on
+// every non-boundary gradient (pinned exhaustively on an integer gradient
+// sweep — only directions within rounding distance of the 22.5-degree
+// sector boundaries, a measure-zero set the sweep proves empty for real
+// Sobel outputs, may differ), and edge maps are compared in the kernel
+// equivalence tests and the bench harness.
 #pragma once
 
 #include "grid/grid2d.hpp"
@@ -21,5 +33,19 @@ struct CannyOptions {
 
 /// Returns a binary edge map (1 = edge pixel, 0 = background).
 [[nodiscard]] GridU8 canny(const GridD& image, const CannyOptions& options = {});
+
+/// Pre-SIMD ablation pipeline: reference convolutions, hypot magnitude,
+/// atan2 sector classification. Same hysteresis.
+[[nodiscard]] GridU8 canny_reference(const GridD& image,
+                                     const CannyOptions& options = {});
+
+/// NMS direction sector of a gradient, modulo 180 degrees: 0 = horizontal
+/// (neighbors +-x), 1 = diagonal '/', 2 = vertical, 3 = diagonal '\'.
+/// Branch-light tangent comparison ladder; no trigonometry.
+[[nodiscard]] int canny_sector(double gx, double gy) noexcept;
+
+/// atan2-based sector classification (the pre-PR 7 implementation), kept as
+/// the oracle for the exhaustive sector-equivalence sweep.
+[[nodiscard]] int canny_sector_reference(double gx, double gy);
 
 }  // namespace qvg

@@ -1,9 +1,23 @@
 #include "imgproc/convolve.hpp"
 
 #include "common/assert.hpp"
+#include "common/simd.hpp"
 #include "common/thread_pool.hpp"
 
 namespace qvg {
+
+InteriorSpan kernel_interior_span(std::ptrdiff_t extent, std::ptrdiff_t anchor,
+                                  std::ptrdiff_t ksize) noexcept {
+  // Position p is interior iff the whole window fits: p - anchor >= 0 and
+  // p - anchor + ksize <= extent. Kernels larger than the image produce an
+  // empty span (every pixel border-handled).
+  InteriorSpan span;
+  span.lo = anchor;
+  span.hi = extent - (ksize - 1 - anchor);
+  if (span.lo > extent) span.lo = extent;
+  if (span.hi < span.lo) span.hi = span.lo;
+  return span;
+}
 
 namespace {
 
@@ -34,14 +48,110 @@ double sample(const GridD& image, std::ptrdiff_t x, std::ptrdiff_t y,
   return 0.0;
 }
 
-/// Shared correlation core. `flip` selects true convolution (kernel mirrored
-/// in both axes) as a view — no flipped copy is materialized. Row-parallel:
-/// every output row is written by exactly one chunk, and interior pixels
-/// (full kernel window in bounds) skip the border-handling sampler. The
-/// per-pixel accumulation order is identical on every path, so results are
-/// bit-identical to the straightforward serial implementation.
-GridD correlate_impl(const GridD& image, const Kernel2D& kernel,
+/// One nonzero kernel tap: offsets relative to the anchored output pixel.
+struct Tap {
+  std::ptrdiff_t dx;
+  std::ptrdiff_t dy;
+  double w;
+};
+
+/// Nonzero taps in the reference scan order (ky ascending, then kx), with
+/// the optional double flip applied as an index view. Skipping zero weights
+/// here matches the reference loop's per-tap `w == 0` skip for every pixel,
+/// so accumulation sequences stay identical.
+std::vector<Tap> collect_taps(const Kernel2D& kernel, bool flip,
+                              std::ptrdiff_t ax, std::ptrdiff_t ay) {
+  const auto kw = static_cast<std::ptrdiff_t>(kernel.width());
+  const auto kh = static_cast<std::ptrdiff_t>(kernel.height());
+  std::vector<Tap> taps;
+  taps.reserve(kernel.raw().size());
+  for (std::ptrdiff_t ky = 0; ky < kh; ++ky) {
+    for (std::ptrdiff_t kx = 0; kx < kw; ++kx) {
+      const std::ptrdiff_t sx = flip ? kw - 1 - kx : kx;
+      const std::ptrdiff_t sy = flip ? kh - 1 - ky : ky;
+      const double w = kernel(static_cast<std::size_t>(sx),
+                              static_cast<std::size_t>(sy));
+      if (w == 0.0) continue;
+      taps.push_back({kx - ax, ky - ay, w});
+    }
+  }
+  return taps;
+}
+
+/// Border-pixel accumulation through the boundary sampler, in tap order.
+double sampled_pixel(const GridD& image, std::ptrdiff_t x, std::ptrdiff_t y,
+                     const std::vector<Tap>& taps, BorderMode border) {
+  double acc = 0.0;
+  for (const Tap& t : taps) acc += t.w * sample(image, x + t.dx, y + t.dy, border);
+  return acc;
+}
+
+/// Shared correlation core, SIMD interior. `flip` selects true convolution
+/// (kernel mirrored in both axes) as an index view — no flipped copy is
+/// materialized. Row-parallel: every output row is written by exactly one
+/// chunk. Interior pixels (full window in bounds, via kernel_interior_span —
+/// the one boundary-handling helper every path shares) run stride-1 over x,
+/// VecD::kLanes outputs at a time, accumulating the unrolled taps in the
+/// reference scan order; the scalar tail and the border columns/rows use the
+/// same tap sequence, so every output pixel accumulates in exactly the
+/// reference order and the result is bit-identical to correlate_reference on
+/// all paths.
+GridD correlate_simd(const GridD& image, const Kernel2D& kernel,
                      BorderMode border, bool flip) {
+  QVG_EXPECTS(!image.empty());
+  QVG_EXPECTS(!kernel.empty());
+  const auto kw = static_cast<std::ptrdiff_t>(kernel.width());
+  const auto kh = static_cast<std::ptrdiff_t>(kernel.height());
+  const std::ptrdiff_t ax = kw / 2;  // anchor: kernel center
+  const std::ptrdiff_t ay = kh / 2;
+  const auto width = static_cast<std::ptrdiff_t>(image.width());
+  const auto height = static_cast<std::ptrdiff_t>(image.height());
+  const std::vector<Tap> taps = collect_taps(kernel, flip, ax, ay);
+
+  const auto [xlo, xhi] = kernel_interior_span(width, ax, kw);
+  const auto [ylo, yhi] = kernel_interior_span(height, ay, kh);
+
+  GridD out(image.width(), image.height());
+  const double* src = image.raw().data();
+  double* dst = out.raw().data();
+  constexpr auto kLanes = static_cast<std::ptrdiff_t>(simd::VecD::kLanes);
+
+  parallel_for_rows(image.height(), [&](std::size_t y0, std::size_t y1) {
+    for (std::size_t yu = y0; yu < y1; ++yu) {
+      const auto y = static_cast<std::ptrdiff_t>(yu);
+      double* out_row = dst + y * width;
+      if (y < ylo || y >= yhi) {
+        for (std::ptrdiff_t x = 0; x < width; ++x)
+          out_row[x] = sampled_pixel(image, x, y, taps, border);
+        continue;
+      }
+      for (std::ptrdiff_t x = 0; x < xlo; ++x)
+        out_row[x] = sampled_pixel(image, x, y, taps, border);
+      std::ptrdiff_t x = xlo;
+      for (; x + kLanes <= xhi; x += kLanes) {
+        simd::VecD acc = simd::VecD::zero();
+        for (const Tap& t : taps)
+          acc += simd::VecD::broadcast(t.w) *
+                 simd::VecD::load(src + (y + t.dy) * width + x + t.dx);
+        acc.store(out_row + x);
+      }
+      for (; x < xhi; ++x) {
+        double acc = 0.0;
+        for (const Tap& t : taps)
+          acc += t.w * src[(y + t.dy) * width + x + t.dx];
+        out_row[x] = acc;
+      }
+      for (x = xhi; x < width; ++x)
+        out_row[x] = sampled_pixel(image, x, y, taps, border);
+    }
+  });
+  return out;
+}
+
+/// The scalar reference core (pre-SIMD implementation, kept verbatim as the
+/// equivalence ablation). Per-pixel interior test, same accumulation order.
+GridD correlate_impl_reference(const GridD& image, const Kernel2D& kernel,
+                               BorderMode border, bool flip) {
   QVG_EXPECTS(!image.empty());
   QVG_EXPECTS(!kernel.empty());
   const auto kw = static_cast<std::ptrdiff_t>(kernel.width());
@@ -95,17 +205,122 @@ GridD correlate_impl(const GridD& image, const Kernel2D& kernel,
 }  // namespace
 
 GridD correlate(const GridD& image, const Kernel2D& kernel, BorderMode border) {
-  return correlate_impl(image, kernel, border, /*flip=*/false);
+  return correlate_simd(image, kernel, border, /*flip=*/false);
 }
 
 GridD convolve(const GridD& image, const Kernel2D& kernel, BorderMode border) {
   // Convolution = correlation with a doubly flipped kernel, applied as an
   // index view instead of allocating and flipping a copy per call.
-  return correlate_impl(image, kernel, border, /*flip=*/true);
+  return correlate_simd(image, kernel, border, /*flip=*/true);
+}
+
+GridD correlate_reference(const GridD& image, const Kernel2D& kernel,
+                          BorderMode border) {
+  return correlate_impl_reference(image, kernel, border, /*flip=*/false);
+}
+
+GridD convolve_reference(const GridD& image, const Kernel2D& kernel,
+                         BorderMode border) {
+  return correlate_impl_reference(image, kernel, border, /*flip=*/true);
 }
 
 GridD correlate_separable(const GridD& image, const std::vector<double>& taps_x,
                           const std::vector<double>& taps_y, BorderMode border) {
+  QVG_EXPECTS(!image.empty());
+  QVG_EXPECTS(!taps_x.empty() && !taps_y.empty());
+  const auto nx = static_cast<std::ptrdiff_t>(taps_x.size());
+  const auto ny = static_cast<std::ptrdiff_t>(taps_y.size());
+  const std::ptrdiff_t rx = nx / 2;
+  const std::ptrdiff_t ry = ny / 2;
+  const auto width = static_cast<std::ptrdiff_t>(image.width());
+  const auto height = static_cast<std::ptrdiff_t>(image.height());
+  const auto [xlo, xhi] = kernel_interior_span(width, rx, nx);
+  const auto [ylo, yhi] = kernel_interior_span(height, ry, ny);
+  constexpr auto kLanes = static_cast<std::ptrdiff_t>(simd::VecD::kLanes);
+
+  // Horizontal pass: every row is y-interior; interior x runs stride-1,
+  // kLanes outputs per step, taps accumulated in ascending order (identical
+  // to the reference's per-pixel loop).
+  GridD tmp(image.width(), image.height());
+  {
+    const double* src = image.raw().data();
+    double* dst = tmp.raw().data();
+    parallel_for_rows(image.height(), [&](std::size_t y0, std::size_t y1) {
+      for (std::size_t yu = y0; yu < y1; ++yu) {
+        const auto y = static_cast<std::ptrdiff_t>(yu);
+        const double* src_row = src + y * width;
+        double* out_row = dst + y * width;
+        auto border_pixel = [&](std::ptrdiff_t x) {
+          double acc = 0.0;
+          for (std::ptrdiff_t k = 0; k < nx; ++k)
+            acc += taps_x[static_cast<std::size_t>(k)] *
+                   sample(image, x + k - rx, y, border);
+          return acc;
+        };
+        for (std::ptrdiff_t x = 0; x < xlo; ++x) out_row[x] = border_pixel(x);
+        std::ptrdiff_t x = xlo;
+        for (; x + kLanes <= xhi; x += kLanes) {
+          simd::VecD acc = simd::VecD::zero();
+          for (std::ptrdiff_t k = 0; k < nx; ++k)
+            acc += simd::VecD::broadcast(taps_x[static_cast<std::size_t>(k)]) *
+                   simd::VecD::load(src_row + x + k - rx);
+          acc.store(out_row + x);
+        }
+        for (; x < xhi; ++x) {
+          double acc = 0.0;
+          for (std::ptrdiff_t k = 0; k < nx; ++k)
+            acc += taps_x[static_cast<std::size_t>(k)] * src_row[x + k - rx];
+          out_row[x] = acc;
+        }
+        for (x = xhi; x < width; ++x) out_row[x] = border_pixel(x);
+      }
+    });
+  }
+
+  // Vertical pass: interior rows vectorize across the whole width (loads are
+  // contiguous within each tap row); border rows go through the sampler.
+  GridD out(image.width(), image.height());
+  {
+    const double* src = tmp.raw().data();
+    double* dst = out.raw().data();
+    parallel_for_rows(image.height(), [&](std::size_t y0, std::size_t y1) {
+      for (std::size_t yu = y0; yu < y1; ++yu) {
+        const auto y = static_cast<std::ptrdiff_t>(yu);
+        double* out_row = dst + y * width;
+        if (y < ylo || y >= yhi) {
+          for (std::ptrdiff_t x = 0; x < width; ++x) {
+            double acc = 0.0;
+            for (std::ptrdiff_t k = 0; k < ny; ++k)
+              acc += taps_y[static_cast<std::size_t>(k)] *
+                     sample(tmp, x, y + k - ry, border);
+            out_row[x] = acc;
+          }
+          continue;
+        }
+        std::ptrdiff_t x = 0;
+        for (; x + kLanes <= width; x += kLanes) {
+          simd::VecD acc = simd::VecD::zero();
+          for (std::ptrdiff_t k = 0; k < ny; ++k)
+            acc += simd::VecD::broadcast(taps_y[static_cast<std::size_t>(k)]) *
+                   simd::VecD::load(src + (y + k - ry) * width + x);
+          acc.store(out_row + x);
+        }
+        for (; x < width; ++x) {
+          double acc = 0.0;
+          for (std::ptrdiff_t k = 0; k < ny; ++k)
+            acc += taps_y[static_cast<std::size_t>(k)] * src[(y + k - ry) * width + x];
+          out_row[x] = acc;
+        }
+      }
+    });
+  }
+  return out;
+}
+
+GridD correlate_separable_reference(const GridD& image,
+                                    const std::vector<double>& taps_x,
+                                    const std::vector<double>& taps_y,
+                                    BorderMode border) {
   QVG_EXPECTS(!taps_x.empty() && !taps_y.empty());
   const auto rx = static_cast<std::ptrdiff_t>(taps_x.size()) / 2;
   const auto ry = static_cast<std::ptrdiff_t>(taps_y.size()) / 2;

@@ -1,9 +1,19 @@
 // 2-D cross-correlation / convolution over Grid2D images.
+//
+// The production entry points run a SIMD interior (stride-1 over x,
+// simd::VecD::kLanes outputs at a time, unrolled kernel taps) with explicit
+// scalar tails and sampler-based border handling; the *_reference variants
+// keep the pre-SIMD scalar implementation as the equivalence ablation.
+// Both share the per-output-pixel accumulation order, so fast and reference
+// results are bit-identical on every path — pinned by the kernel geometry
+// tests (prime sizes, non-square, sub-kernel images, non-lane-multiple
+// widths, 1xN/Nx1 grids).
 #pragma once
 
 #include "grid/grid2d.hpp"
 #include "imgproc/kernel.hpp"
 
+#include <cstddef>
 #include <vector>
 
 namespace qvg {
@@ -13,6 +23,19 @@ enum class BorderMode {
   kReflect,    // mirror across the border
   kZero,       // treat outside pixels as 0
 };
+
+/// Half-open index range [lo, hi) along one axis where the full kernel
+/// window is in bounds. The ONE boundary-handling helper every convolution
+/// path (scalar fast path, SIMD interior, tiled loops) derives its
+/// interior/border split from; empty (lo == hi) when the kernel is larger
+/// than the image.
+struct InteriorSpan {
+  std::ptrdiff_t lo = 0;
+  std::ptrdiff_t hi = 0;
+};
+[[nodiscard]] InteriorSpan kernel_interior_span(std::ptrdiff_t extent,
+                                                std::ptrdiff_t anchor,
+                                                std::ptrdiff_t ksize) noexcept;
 
 /// Cross-correlate `image` with `kernel` (no kernel flip; the paper's masks
 /// are specified in correlation form). The anchor is the kernel center
@@ -29,5 +52,16 @@ enum class BorderMode {
                                         const std::vector<double>& taps_x,
                                         const std::vector<double>& taps_y,
                                         BorderMode border = BorderMode::kReplicate);
+
+/// Pre-SIMD scalar implementations, kept as the equivalence ablation and the
+/// bench harness's before/after reference. Bit-identical to the fast paths.
+[[nodiscard]] GridD correlate_reference(const GridD& image, const Kernel2D& kernel,
+                                        BorderMode border = BorderMode::kReplicate);
+[[nodiscard]] GridD convolve_reference(const GridD& image, const Kernel2D& kernel,
+                                       BorderMode border = BorderMode::kReplicate);
+[[nodiscard]] GridD correlate_separable_reference(
+    const GridD& image, const std::vector<double>& taps_x,
+    const std::vector<double>& taps_y,
+    BorderMode border = BorderMode::kReplicate);
 
 }  // namespace qvg

@@ -1,5 +1,6 @@
 #include "imgproc/sobel.hpp"
 
+#include "common/simd.hpp"
 #include "imgproc/convolve.hpp"
 #include "imgproc/kernel.hpp"
 
@@ -11,6 +12,27 @@ GradientField sobel_gradients(const GridD& image) {
   GradientField field;
   field.gx = correlate(image, sobel_x_kernel(), BorderMode::kReplicate);
   field.gy = correlate(image, sobel_y_kernel(), BorderMode::kReplicate);
+  field.magnitude = GridD(image.width(), image.height());
+
+  const double* gx = field.gx.raw().data();
+  const double* gy = field.gy.raw().data();
+  double* mag = field.magnitude.raw().data();
+  const std::size_t n = image.raw().size();
+  constexpr std::size_t kLanes = simd::VecD::kLanes;
+  std::size_t i = 0;
+  for (; i + kLanes <= n; i += kLanes) {
+    const simd::VecD vx = simd::VecD::load(gx + i);
+    const simd::VecD vy = simd::VecD::load(gy + i);
+    simd::sqrt(vx * vx + vy * vy).store(mag + i);
+  }
+  for (; i < n; ++i) mag[i] = std::sqrt(gx[i] * gx[i] + gy[i] * gy[i]);
+  return field;
+}
+
+GradientField sobel_gradients_reference(const GridD& image) {
+  GradientField field;
+  field.gx = correlate_reference(image, sobel_x_kernel(), BorderMode::kReplicate);
+  field.gy = correlate_reference(image, sobel_y_kernel(), BorderMode::kReplicate);
   field.magnitude = GridD(image.width(), image.height());
   for (std::size_t i = 0; i < image.raw().size(); ++i)
     field.magnitude.raw()[i] =

@@ -1,4 +1,13 @@
 // Sobel gradients: magnitude and direction fields used by Canny.
+//
+// The production magnitude is sqrt(gx^2 + gy^2) evaluated lane-parallel
+// (simd::VecD with an identical scalar tail); sobel_gradients_reference
+// keeps the original std::hypot form as the exact-path ablation. The two
+// agree to a small ULP bound (hypot is correctly rounded; the sqrt form
+// rounds the two squarings and the sum first) — the bound is pinned by the
+// sobel equivalence test, and gx/gy are bit-identical between the two.
+// Overflow/underflow of the squared form is irrelevant at CSD magnitudes
+// (normalized O(1) data), which is why the cheaper form is safe here.
 #pragma once
 
 #include "grid/grid2d.hpp"
@@ -12,5 +21,10 @@ struct GradientField {
 };
 
 [[nodiscard]] GradientField sobel_gradients(const GridD& image);
+
+/// Exact-path ablation: std::hypot magnitude (pre-SIMD behaviour). gx/gy are
+/// bit-identical to sobel_gradients; magnitude within the documented ULP
+/// bound (see tests/imgproc_simd_test.cpp).
+[[nodiscard]] GradientField sobel_gradients_reference(const GridD& image);
 
 }  // namespace qvg

@@ -39,6 +39,13 @@ class Matrix {
     return data_[r * cols_ + c];
   }
 
+  /// Pointer to row r's contiguous storage (cols() doubles). For hot loops
+  /// that stream a row (e.g. SIMD coupling-sum updates in the charge-state
+  /// solvers) without per-element accessor arithmetic.
+  [[nodiscard]] const double* row(std::size_t r) const noexcept {
+    return data_.data() + r * cols_;
+  }
+
   [[nodiscard]] Matrix transposed() const;
 
   Matrix& operator+=(const Matrix& rhs);

@@ -173,6 +173,44 @@ TEST(BranchAndBoundTest, EveryStateIsVisitedOrPruned) {
   }
 }
 
+TEST(BranchAndBoundTest, LaneBoundaryDotCounts) {
+  // The bound batch runs simd::VecD::kLanes dots at a time with a scalar
+  // tail: n = 4 exercises the exact-lane case (no tail), n = 7 a full lane
+  // plus a 3-dot tail. Both must stay bit-identical to the full enumeration
+  // (and, at n = 4, to the O(n^2) reference).
+  Rng rng(606);
+  for (std::size_t n : {4u, 7u}) {
+    const auto model = random_model(n, rng);
+    IncrementalGroundStateSolver solver(model);
+    for (int probe = 0; probe < 6; ++probe) {
+      const auto drives = random_drives(model, rng);
+      const auto full = solver.solve(drives, 4, nullptr,
+                                     ExhaustiveStrategy::kFullEnumeration);
+      ASSERT_EQ(solver.solve(drives, 4, nullptr,
+                             ExhaustiveStrategy::kBranchAndBound),
+                full)
+          << "n=" << n << " probe=" << probe;
+      if (n == 4)
+        ASSERT_EQ(full, ground_state_exhaustive(model, drives, 4));
+    }
+  }
+}
+
+TEST(GreedyEquivalenceTest, LaneTailDotCounts) {
+  // The SIMD coupling update in the accepted-move path splits at lane
+  // multiples; n = 5, 7, 9 exercise 1-, 3-dot tails and repeated lanes.
+  Rng rng(1337);
+  for (std::size_t n : {5u, 7u, 9u}) {
+    for (int trial = 0; trial < 8; ++trial) {
+      const auto model = random_model(n, rng);
+      const auto drives = random_drives(model, rng);
+      ASSERT_EQ(ground_state_greedy(model, drives, 4),
+                ground_state_greedy_reference(model, drives, 4))
+          << "n=" << n << " trial=" << trial;
+    }
+  }
+}
+
 TEST(BranchAndBoundTest, DegenerateTiesStayEnergyOptimalUnderPruning) {
   // Fully symmetric model: identical dots, uniform coupling, drives at the
   // 0<->1 degeneracy — exponentially many states tie for the minimum. On
