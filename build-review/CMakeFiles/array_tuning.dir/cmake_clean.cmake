@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/array_tuning.dir/examples/array_tuning.cpp.o"
+  "CMakeFiles/array_tuning.dir/examples/array_tuning.cpp.o.d"
+  "array_tuning"
+  "array_tuning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/array_tuning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig3_warp.dir/bench/bench_fig3_warp.cpp.o"
+  "CMakeFiles/bench_fig3_warp.dir/bench/bench_fig3_warp.cpp.o.d"
+  "bench_fig3_warp"
+  "bench_fig3_warp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig3_warp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

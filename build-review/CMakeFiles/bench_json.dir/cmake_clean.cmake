@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_json.dir/bench/bench_json.cpp.o"
+  "CMakeFiles/bench_json.dir/bench/bench_json.cpp.o.d"
+  "bench_json"
+  "bench_json.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_json.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/common_simd_test.dir/tests/common_simd_test.cpp.o"
+  "CMakeFiles/common_simd_test.dir/tests/common_simd_test.cpp.o.d"
+  "common_simd_test"
+  "common_simd_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/common_simd_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

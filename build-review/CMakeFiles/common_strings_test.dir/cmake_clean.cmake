@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/common_strings_test.dir/tests/common_strings_test.cpp.o"
+  "CMakeFiles/common_strings_test.dir/tests/common_strings_test.cpp.o.d"
+  "common_strings_test"
+  "common_strings_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/common_strings_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

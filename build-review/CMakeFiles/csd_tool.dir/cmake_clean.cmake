@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/csd_tool.dir/examples/csd_tool.cpp.o"
+  "CMakeFiles/csd_tool.dir/examples/csd_tool.cpp.o.d"
+  "csd_tool"
+  "csd_tool.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/csd_tool.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/device_noise_test.dir/tests/device_noise_test.cpp.o"
+  "CMakeFiles/device_noise_test.dir/tests/device_noise_test.cpp.o.d"
+  "device_noise_test"
+  "device_noise_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/device_noise_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for device_noise_test.
+# This may be replaced when dependencies are built.

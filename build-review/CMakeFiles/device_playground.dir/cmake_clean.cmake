@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/device_playground.dir/examples/device_playground.cpp.o"
+  "CMakeFiles/device_playground.dir/examples/device_playground.cpp.o.d"
+  "device_playground"
+  "device_playground.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/device_playground.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

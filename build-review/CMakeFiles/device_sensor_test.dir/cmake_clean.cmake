@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/device_sensor_test.dir/tests/device_sensor_test.cpp.o"
+  "CMakeFiles/device_sensor_test.dir/tests/device_sensor_test.cpp.o.d"
+  "device_sensor_test"
+  "device_sensor_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/device_sensor_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

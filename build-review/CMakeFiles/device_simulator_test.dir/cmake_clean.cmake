@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/device_simulator_test.dir/tests/device_simulator_test.cpp.o"
+  "CMakeFiles/device_simulator_test.dir/tests/device_simulator_test.cpp.o.d"
+  "device_simulator_test"
+  "device_simulator_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/device_simulator_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/device_solver_equivalence_test.dir/tests/device_solver_equivalence_test.cpp.o"
+  "CMakeFiles/device_solver_equivalence_test.dir/tests/device_solver_equivalence_test.cpp.o.d"
+  "device_solver_equivalence_test"
+  "device_solver_equivalence_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/device_solver_equivalence_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/extraction_anchors_test.dir/tests/extraction_anchors_test.cpp.o"
+  "CMakeFiles/extraction_anchors_test.dir/tests/extraction_anchors_test.cpp.o.d"
+  "extraction_anchors_test"
+  "extraction_anchors_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/extraction_anchors_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

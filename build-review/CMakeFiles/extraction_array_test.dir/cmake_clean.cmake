@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/extraction_array_test.dir/tests/extraction_array_test.cpp.o"
+  "CMakeFiles/extraction_array_test.dir/tests/extraction_array_test.cpp.o.d"
+  "extraction_array_test"
+  "extraction_array_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/extraction_array_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

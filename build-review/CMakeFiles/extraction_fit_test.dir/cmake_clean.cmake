@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/extraction_fit_test.dir/tests/extraction_fit_test.cpp.o"
+  "CMakeFiles/extraction_fit_test.dir/tests/extraction_fit_test.cpp.o.d"
+  "extraction_fit_test"
+  "extraction_fit_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/extraction_fit_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/extraction_gradient_test.dir/tests/extraction_gradient_test.cpp.o"
+  "CMakeFiles/extraction_gradient_test.dir/tests/extraction_gradient_test.cpp.o.d"
+  "extraction_gradient_test"
+  "extraction_gradient_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/extraction_gradient_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/extraction_pipeline_test.dir/tests/extraction_pipeline_test.cpp.o"
+  "CMakeFiles/extraction_pipeline_test.dir/tests/extraction_pipeline_test.cpp.o.d"
+  "extraction_pipeline_test"
+  "extraction_pipeline_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/extraction_pipeline_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

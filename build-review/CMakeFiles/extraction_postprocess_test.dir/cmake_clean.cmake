@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/extraction_postprocess_test.dir/tests/extraction_postprocess_test.cpp.o"
+  "CMakeFiles/extraction_postprocess_test.dir/tests/extraction_postprocess_test.cpp.o.d"
+  "extraction_postprocess_test"
+  "extraction_postprocess_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/extraction_postprocess_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/extraction_property_test.dir/tests/extraction_property_test.cpp.o"
+  "CMakeFiles/extraction_property_test.dir/tests/extraction_property_test.cpp.o.d"
+  "extraction_property_test"
+  "extraction_property_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/extraction_property_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

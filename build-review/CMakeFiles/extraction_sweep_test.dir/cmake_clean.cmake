@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/extraction_sweep_test.dir/tests/extraction_sweep_test.cpp.o"
+  "CMakeFiles/extraction_sweep_test.dir/tests/extraction_sweep_test.cpp.o.d"
+  "extraction_sweep_test"
+  "extraction_sweep_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/extraction_sweep_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/extraction_validation_test.dir/tests/extraction_validation_test.cpp.o"
+  "CMakeFiles/extraction_validation_test.dir/tests/extraction_validation_test.cpp.o.d"
+  "extraction_validation_test"
+  "extraction_validation_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/extraction_validation_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

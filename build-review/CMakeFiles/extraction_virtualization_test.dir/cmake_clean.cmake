@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/extraction_virtualization_test.dir/tests/extraction_virtualization_test.cpp.o"
+  "CMakeFiles/extraction_virtualization_test.dir/tests/extraction_virtualization_test.cpp.o.d"
+  "extraction_virtualization_test"
+  "extraction_virtualization_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/extraction_virtualization_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/imgproc_canny_test.dir/tests/imgproc_canny_test.cpp.o"
+  "CMakeFiles/imgproc_canny_test.dir/tests/imgproc_canny_test.cpp.o.d"
+  "imgproc_canny_test"
+  "imgproc_canny_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/imgproc_canny_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

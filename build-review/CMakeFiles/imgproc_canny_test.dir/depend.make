@@ -1,0 +1,2 @@
+# Empty dependencies file for imgproc_canny_test.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/imgproc_convolve_test.dir/tests/imgproc_convolve_test.cpp.o"
+  "CMakeFiles/imgproc_convolve_test.dir/tests/imgproc_convolve_test.cpp.o.d"
+  "imgproc_convolve_test"
+  "imgproc_convolve_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/imgproc_convolve_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/imgproc_filters_test.dir/tests/imgproc_filters_test.cpp.o"
+  "CMakeFiles/imgproc_filters_test.dir/tests/imgproc_filters_test.cpp.o.d"
+  "imgproc_filters_test"
+  "imgproc_filters_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/imgproc_filters_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

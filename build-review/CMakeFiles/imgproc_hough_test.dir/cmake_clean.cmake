@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/imgproc_hough_test.dir/tests/imgproc_hough_test.cpp.o"
+  "CMakeFiles/imgproc_hough_test.dir/tests/imgproc_hough_test.cpp.o.d"
+  "imgproc_hough_test"
+  "imgproc_hough_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/imgproc_hough_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

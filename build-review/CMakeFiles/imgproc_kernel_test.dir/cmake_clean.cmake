@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/imgproc_kernel_test.dir/tests/imgproc_kernel_test.cpp.o"
+  "CMakeFiles/imgproc_kernel_test.dir/tests/imgproc_kernel_test.cpp.o.d"
+  "imgproc_kernel_test"
+  "imgproc_kernel_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/imgproc_kernel_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/imgproc_simd_test.dir/tests/imgproc_simd_test.cpp.o"
+  "CMakeFiles/imgproc_simd_test.dir/tests/imgproc_simd_test.cpp.o.d"
+  "imgproc_simd_test"
+  "imgproc_simd_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/imgproc_simd_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/linalg_least_squares_test.dir/tests/linalg_least_squares_test.cpp.o"
+  "CMakeFiles/linalg_least_squares_test.dir/tests/linalg_least_squares_test.cpp.o.d"
+  "linalg_least_squares_test"
+  "linalg_least_squares_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/linalg_least_squares_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/linalg_optimize_test.dir/tests/linalg_optimize_test.cpp.o"
+  "CMakeFiles/linalg_optimize_test.dir/tests/linalg_optimize_test.cpp.o.d"
+  "linalg_optimize_test"
+  "linalg_optimize_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/linalg_optimize_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

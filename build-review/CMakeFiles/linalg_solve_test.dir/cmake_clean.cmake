@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/linalg_solve_test.dir/tests/linalg_solve_test.cpp.o"
+  "CMakeFiles/linalg_solve_test.dir/tests/linalg_solve_test.cpp.o.d"
+  "linalg_solve_test"
+  "linalg_solve_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/linalg_solve_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/probe_cancellation_test.dir/tests/probe_cancellation_test.cpp.o"
+  "CMakeFiles/probe_cancellation_test.dir/tests/probe_cancellation_test.cpp.o.d"
+  "probe_cancellation_test"
+  "probe_cancellation_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/probe_cancellation_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

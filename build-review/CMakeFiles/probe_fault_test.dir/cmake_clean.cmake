@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/probe_fault_test.dir/tests/probe_fault_test.cpp.o"
+  "CMakeFiles/probe_fault_test.dir/tests/probe_fault_test.cpp.o.d"
+  "probe_fault_test"
+  "probe_fault_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/probe_fault_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/common/error.cpp" "CMakeFiles/qvg_common.dir/src/common/error.cpp.o" "gcc" "CMakeFiles/qvg_common.dir/src/common/error.cpp.o.d"
+  "/root/repo/src/common/geometry.cpp" "CMakeFiles/qvg_common.dir/src/common/geometry.cpp.o" "gcc" "CMakeFiles/qvg_common.dir/src/common/geometry.cpp.o.d"
+  "/root/repo/src/common/logging.cpp" "CMakeFiles/qvg_common.dir/src/common/logging.cpp.o" "gcc" "CMakeFiles/qvg_common.dir/src/common/logging.cpp.o.d"
+  "/root/repo/src/common/random.cpp" "CMakeFiles/qvg_common.dir/src/common/random.cpp.o" "gcc" "CMakeFiles/qvg_common.dir/src/common/random.cpp.o.d"
+  "/root/repo/src/common/status.cpp" "CMakeFiles/qvg_common.dir/src/common/status.cpp.o" "gcc" "CMakeFiles/qvg_common.dir/src/common/status.cpp.o.d"
+  "/root/repo/src/common/strings.cpp" "CMakeFiles/qvg_common.dir/src/common/strings.cpp.o" "gcc" "CMakeFiles/qvg_common.dir/src/common/strings.cpp.o.d"
+  "/root/repo/src/common/thread_pool.cpp" "CMakeFiles/qvg_common.dir/src/common/thread_pool.cpp.o" "gcc" "CMakeFiles/qvg_common.dir/src/common/thread_pool.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qvg_common.dir/src/common/error.cpp.o"
+  "CMakeFiles/qvg_common.dir/src/common/error.cpp.o.d"
+  "CMakeFiles/qvg_common.dir/src/common/geometry.cpp.o"
+  "CMakeFiles/qvg_common.dir/src/common/geometry.cpp.o.d"
+  "CMakeFiles/qvg_common.dir/src/common/logging.cpp.o"
+  "CMakeFiles/qvg_common.dir/src/common/logging.cpp.o.d"
+  "CMakeFiles/qvg_common.dir/src/common/random.cpp.o"
+  "CMakeFiles/qvg_common.dir/src/common/random.cpp.o.d"
+  "CMakeFiles/qvg_common.dir/src/common/status.cpp.o"
+  "CMakeFiles/qvg_common.dir/src/common/status.cpp.o.d"
+  "CMakeFiles/qvg_common.dir/src/common/strings.cpp.o"
+  "CMakeFiles/qvg_common.dir/src/common/strings.cpp.o.d"
+  "CMakeFiles/qvg_common.dir/src/common/thread_pool.cpp.o"
+  "CMakeFiles/qvg_common.dir/src/common/thread_pool.cpp.o.d"
+  "libqvg_common.a"
+  "libqvg_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qvg_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

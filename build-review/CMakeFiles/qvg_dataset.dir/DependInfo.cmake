@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dataset/csd_io.cpp" "CMakeFiles/qvg_dataset.dir/src/dataset/csd_io.cpp.o" "gcc" "CMakeFiles/qvg_dataset.dir/src/dataset/csd_io.cpp.o.d"
+  "/root/repo/src/dataset/qflow_synth.cpp" "CMakeFiles/qvg_dataset.dir/src/dataset/qflow_synth.cpp.o" "gcc" "CMakeFiles/qvg_dataset.dir/src/dataset/qflow_synth.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-review/CMakeFiles/qvg_device.dir/DependInfo.cmake"
+  "/root/repo/build-review/CMakeFiles/qvg_probe.dir/DependInfo.cmake"
+  "/root/repo/build-review/CMakeFiles/qvg_grid.dir/DependInfo.cmake"
+  "/root/repo/build-review/CMakeFiles/qvg_linalg.dir/DependInfo.cmake"
+  "/root/repo/build-review/CMakeFiles/qvg_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qvg_dataset.dir/src/dataset/csd_io.cpp.o"
+  "CMakeFiles/qvg_dataset.dir/src/dataset/csd_io.cpp.o.d"
+  "CMakeFiles/qvg_dataset.dir/src/dataset/qflow_synth.cpp.o"
+  "CMakeFiles/qvg_dataset.dir/src/dataset/qflow_synth.cpp.o.d"
+  "libqvg_dataset.a"
+  "libqvg_dataset.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qvg_dataset.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

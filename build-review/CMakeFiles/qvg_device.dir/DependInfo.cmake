@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/device/capacitance.cpp" "CMakeFiles/qvg_device.dir/src/device/capacitance.cpp.o" "gcc" "CMakeFiles/qvg_device.dir/src/device/capacitance.cpp.o.d"
+  "/root/repo/src/device/charge_state.cpp" "CMakeFiles/qvg_device.dir/src/device/charge_state.cpp.o" "gcc" "CMakeFiles/qvg_device.dir/src/device/charge_state.cpp.o.d"
+  "/root/repo/src/device/dot_array.cpp" "CMakeFiles/qvg_device.dir/src/device/dot_array.cpp.o" "gcc" "CMakeFiles/qvg_device.dir/src/device/dot_array.cpp.o.d"
+  "/root/repo/src/device/noise.cpp" "CMakeFiles/qvg_device.dir/src/device/noise.cpp.o" "gcc" "CMakeFiles/qvg_device.dir/src/device/noise.cpp.o.d"
+  "/root/repo/src/device/sensor.cpp" "CMakeFiles/qvg_device.dir/src/device/sensor.cpp.o" "gcc" "CMakeFiles/qvg_device.dir/src/device/sensor.cpp.o.d"
+  "/root/repo/src/device/simulator.cpp" "CMakeFiles/qvg_device.dir/src/device/simulator.cpp.o" "gcc" "CMakeFiles/qvg_device.dir/src/device/simulator.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-review/CMakeFiles/qvg_probe.dir/DependInfo.cmake"
+  "/root/repo/build-review/CMakeFiles/qvg_linalg.dir/DependInfo.cmake"
+  "/root/repo/build-review/CMakeFiles/qvg_grid.dir/DependInfo.cmake"
+  "/root/repo/build-review/CMakeFiles/qvg_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qvg_device.dir/src/device/capacitance.cpp.o"
+  "CMakeFiles/qvg_device.dir/src/device/capacitance.cpp.o.d"
+  "CMakeFiles/qvg_device.dir/src/device/charge_state.cpp.o"
+  "CMakeFiles/qvg_device.dir/src/device/charge_state.cpp.o.d"
+  "CMakeFiles/qvg_device.dir/src/device/dot_array.cpp.o"
+  "CMakeFiles/qvg_device.dir/src/device/dot_array.cpp.o.d"
+  "CMakeFiles/qvg_device.dir/src/device/noise.cpp.o"
+  "CMakeFiles/qvg_device.dir/src/device/noise.cpp.o.d"
+  "CMakeFiles/qvg_device.dir/src/device/sensor.cpp.o"
+  "CMakeFiles/qvg_device.dir/src/device/sensor.cpp.o.d"
+  "CMakeFiles/qvg_device.dir/src/device/simulator.cpp.o"
+  "CMakeFiles/qvg_device.dir/src/device/simulator.cpp.o.d"
+  "libqvg_device.a"
+  "libqvg_device.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qvg_device.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

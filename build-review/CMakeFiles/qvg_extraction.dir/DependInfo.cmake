@@ -1,0 +1,35 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/extraction/anchors.cpp" "CMakeFiles/qvg_extraction.dir/src/extraction/anchors.cpp.o" "gcc" "CMakeFiles/qvg_extraction.dir/src/extraction/anchors.cpp.o.d"
+  "/root/repo/src/extraction/array_extractor.cpp" "CMakeFiles/qvg_extraction.dir/src/extraction/array_extractor.cpp.o" "gcc" "CMakeFiles/qvg_extraction.dir/src/extraction/array_extractor.cpp.o.d"
+  "/root/repo/src/extraction/fast_extractor.cpp" "CMakeFiles/qvg_extraction.dir/src/extraction/fast_extractor.cpp.o" "gcc" "CMakeFiles/qvg_extraction.dir/src/extraction/fast_extractor.cpp.o.d"
+  "/root/repo/src/extraction/feature_gradient.cpp" "CMakeFiles/qvg_extraction.dir/src/extraction/feature_gradient.cpp.o" "gcc" "CMakeFiles/qvg_extraction.dir/src/extraction/feature_gradient.cpp.o.d"
+  "/root/repo/src/extraction/hough_baseline.cpp" "CMakeFiles/qvg_extraction.dir/src/extraction/hough_baseline.cpp.o" "gcc" "CMakeFiles/qvg_extraction.dir/src/extraction/hough_baseline.cpp.o.d"
+  "/root/repo/src/extraction/piecewise_fit.cpp" "CMakeFiles/qvg_extraction.dir/src/extraction/piecewise_fit.cpp.o" "gcc" "CMakeFiles/qvg_extraction.dir/src/extraction/piecewise_fit.cpp.o.d"
+  "/root/repo/src/extraction/postprocess.cpp" "CMakeFiles/qvg_extraction.dir/src/extraction/postprocess.cpp.o" "gcc" "CMakeFiles/qvg_extraction.dir/src/extraction/postprocess.cpp.o.d"
+  "/root/repo/src/extraction/success.cpp" "CMakeFiles/qvg_extraction.dir/src/extraction/success.cpp.o" "gcc" "CMakeFiles/qvg_extraction.dir/src/extraction/success.cpp.o.d"
+  "/root/repo/src/extraction/sweep.cpp" "CMakeFiles/qvg_extraction.dir/src/extraction/sweep.cpp.o" "gcc" "CMakeFiles/qvg_extraction.dir/src/extraction/sweep.cpp.o.d"
+  "/root/repo/src/extraction/validation.cpp" "CMakeFiles/qvg_extraction.dir/src/extraction/validation.cpp.o" "gcc" "CMakeFiles/qvg_extraction.dir/src/extraction/validation.cpp.o.d"
+  "/root/repo/src/extraction/virtualization.cpp" "CMakeFiles/qvg_extraction.dir/src/extraction/virtualization.cpp.o" "gcc" "CMakeFiles/qvg_extraction.dir/src/extraction/virtualization.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-review/CMakeFiles/qvg_device.dir/DependInfo.cmake"
+  "/root/repo/build-review/CMakeFiles/qvg_imgproc.dir/DependInfo.cmake"
+  "/root/repo/build-review/CMakeFiles/qvg_probe.dir/DependInfo.cmake"
+  "/root/repo/build-review/CMakeFiles/qvg_linalg.dir/DependInfo.cmake"
+  "/root/repo/build-review/CMakeFiles/qvg_grid.dir/DependInfo.cmake"
+  "/root/repo/build-review/CMakeFiles/qvg_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

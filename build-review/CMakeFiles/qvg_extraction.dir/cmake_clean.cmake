@@ -1,0 +1,31 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qvg_extraction.dir/src/extraction/anchors.cpp.o"
+  "CMakeFiles/qvg_extraction.dir/src/extraction/anchors.cpp.o.d"
+  "CMakeFiles/qvg_extraction.dir/src/extraction/array_extractor.cpp.o"
+  "CMakeFiles/qvg_extraction.dir/src/extraction/array_extractor.cpp.o.d"
+  "CMakeFiles/qvg_extraction.dir/src/extraction/fast_extractor.cpp.o"
+  "CMakeFiles/qvg_extraction.dir/src/extraction/fast_extractor.cpp.o.d"
+  "CMakeFiles/qvg_extraction.dir/src/extraction/feature_gradient.cpp.o"
+  "CMakeFiles/qvg_extraction.dir/src/extraction/feature_gradient.cpp.o.d"
+  "CMakeFiles/qvg_extraction.dir/src/extraction/hough_baseline.cpp.o"
+  "CMakeFiles/qvg_extraction.dir/src/extraction/hough_baseline.cpp.o.d"
+  "CMakeFiles/qvg_extraction.dir/src/extraction/piecewise_fit.cpp.o"
+  "CMakeFiles/qvg_extraction.dir/src/extraction/piecewise_fit.cpp.o.d"
+  "CMakeFiles/qvg_extraction.dir/src/extraction/postprocess.cpp.o"
+  "CMakeFiles/qvg_extraction.dir/src/extraction/postprocess.cpp.o.d"
+  "CMakeFiles/qvg_extraction.dir/src/extraction/success.cpp.o"
+  "CMakeFiles/qvg_extraction.dir/src/extraction/success.cpp.o.d"
+  "CMakeFiles/qvg_extraction.dir/src/extraction/sweep.cpp.o"
+  "CMakeFiles/qvg_extraction.dir/src/extraction/sweep.cpp.o.d"
+  "CMakeFiles/qvg_extraction.dir/src/extraction/validation.cpp.o"
+  "CMakeFiles/qvg_extraction.dir/src/extraction/validation.cpp.o.d"
+  "CMakeFiles/qvg_extraction.dir/src/extraction/virtualization.cpp.o"
+  "CMakeFiles/qvg_extraction.dir/src/extraction/virtualization.cpp.o.d"
+  "libqvg_extraction.a"
+  "libqvg_extraction.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qvg_extraction.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qvg_grid.dir/src/grid/axis.cpp.o"
+  "CMakeFiles/qvg_grid.dir/src/grid/axis.cpp.o.d"
+  "CMakeFiles/qvg_grid.dir/src/grid/csd.cpp.o"
+  "CMakeFiles/qvg_grid.dir/src/grid/csd.cpp.o.d"
+  "libqvg_grid.a"
+  "libqvg_grid.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qvg_grid.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/imgproc/canny.cpp" "CMakeFiles/qvg_imgproc.dir/src/imgproc/canny.cpp.o" "gcc" "CMakeFiles/qvg_imgproc.dir/src/imgproc/canny.cpp.o.d"
+  "/root/repo/src/imgproc/convolve.cpp" "CMakeFiles/qvg_imgproc.dir/src/imgproc/convolve.cpp.o" "gcc" "CMakeFiles/qvg_imgproc.dir/src/imgproc/convolve.cpp.o.d"
+  "/root/repo/src/imgproc/filters.cpp" "CMakeFiles/qvg_imgproc.dir/src/imgproc/filters.cpp.o" "gcc" "CMakeFiles/qvg_imgproc.dir/src/imgproc/filters.cpp.o.d"
+  "/root/repo/src/imgproc/hough.cpp" "CMakeFiles/qvg_imgproc.dir/src/imgproc/hough.cpp.o" "gcc" "CMakeFiles/qvg_imgproc.dir/src/imgproc/hough.cpp.o.d"
+  "/root/repo/src/imgproc/kernel.cpp" "CMakeFiles/qvg_imgproc.dir/src/imgproc/kernel.cpp.o" "gcc" "CMakeFiles/qvg_imgproc.dir/src/imgproc/kernel.cpp.o.d"
+  "/root/repo/src/imgproc/sobel.cpp" "CMakeFiles/qvg_imgproc.dir/src/imgproc/sobel.cpp.o" "gcc" "CMakeFiles/qvg_imgproc.dir/src/imgproc/sobel.cpp.o.d"
+  "/root/repo/src/imgproc/threshold.cpp" "CMakeFiles/qvg_imgproc.dir/src/imgproc/threshold.cpp.o" "gcc" "CMakeFiles/qvg_imgproc.dir/src/imgproc/threshold.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-review/CMakeFiles/qvg_grid.dir/DependInfo.cmake"
+  "/root/repo/build-review/CMakeFiles/qvg_linalg.dir/DependInfo.cmake"
+  "/root/repo/build-review/CMakeFiles/qvg_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qvg_imgproc.dir/src/imgproc/canny.cpp.o"
+  "CMakeFiles/qvg_imgproc.dir/src/imgproc/canny.cpp.o.d"
+  "CMakeFiles/qvg_imgproc.dir/src/imgproc/convolve.cpp.o"
+  "CMakeFiles/qvg_imgproc.dir/src/imgproc/convolve.cpp.o.d"
+  "CMakeFiles/qvg_imgproc.dir/src/imgproc/filters.cpp.o"
+  "CMakeFiles/qvg_imgproc.dir/src/imgproc/filters.cpp.o.d"
+  "CMakeFiles/qvg_imgproc.dir/src/imgproc/hough.cpp.o"
+  "CMakeFiles/qvg_imgproc.dir/src/imgproc/hough.cpp.o.d"
+  "CMakeFiles/qvg_imgproc.dir/src/imgproc/kernel.cpp.o"
+  "CMakeFiles/qvg_imgproc.dir/src/imgproc/kernel.cpp.o.d"
+  "CMakeFiles/qvg_imgproc.dir/src/imgproc/sobel.cpp.o"
+  "CMakeFiles/qvg_imgproc.dir/src/imgproc/sobel.cpp.o.d"
+  "CMakeFiles/qvg_imgproc.dir/src/imgproc/threshold.cpp.o"
+  "CMakeFiles/qvg_imgproc.dir/src/imgproc/threshold.cpp.o.d"
+  "libqvg_imgproc.a"
+  "libqvg_imgproc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qvg_imgproc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

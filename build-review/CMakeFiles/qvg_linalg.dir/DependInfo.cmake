@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/linalg/decomposition.cpp" "CMakeFiles/qvg_linalg.dir/src/linalg/decomposition.cpp.o" "gcc" "CMakeFiles/qvg_linalg.dir/src/linalg/decomposition.cpp.o.d"
+  "/root/repo/src/linalg/least_squares.cpp" "CMakeFiles/qvg_linalg.dir/src/linalg/least_squares.cpp.o" "gcc" "CMakeFiles/qvg_linalg.dir/src/linalg/least_squares.cpp.o.d"
+  "/root/repo/src/linalg/levenberg_marquardt.cpp" "CMakeFiles/qvg_linalg.dir/src/linalg/levenberg_marquardt.cpp.o" "gcc" "CMakeFiles/qvg_linalg.dir/src/linalg/levenberg_marquardt.cpp.o.d"
+  "/root/repo/src/linalg/matrix.cpp" "CMakeFiles/qvg_linalg.dir/src/linalg/matrix.cpp.o" "gcc" "CMakeFiles/qvg_linalg.dir/src/linalg/matrix.cpp.o.d"
+  "/root/repo/src/linalg/nelder_mead.cpp" "CMakeFiles/qvg_linalg.dir/src/linalg/nelder_mead.cpp.o" "gcc" "CMakeFiles/qvg_linalg.dir/src/linalg/nelder_mead.cpp.o.d"
+  "/root/repo/src/linalg/solve.cpp" "CMakeFiles/qvg_linalg.dir/src/linalg/solve.cpp.o" "gcc" "CMakeFiles/qvg_linalg.dir/src/linalg/solve.cpp.o.d"
+  "/root/repo/src/linalg/stats.cpp" "CMakeFiles/qvg_linalg.dir/src/linalg/stats.cpp.o" "gcc" "CMakeFiles/qvg_linalg.dir/src/linalg/stats.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-review/CMakeFiles/qvg_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

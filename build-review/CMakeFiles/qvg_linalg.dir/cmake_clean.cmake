@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qvg_linalg.dir/src/linalg/decomposition.cpp.o"
+  "CMakeFiles/qvg_linalg.dir/src/linalg/decomposition.cpp.o.d"
+  "CMakeFiles/qvg_linalg.dir/src/linalg/least_squares.cpp.o"
+  "CMakeFiles/qvg_linalg.dir/src/linalg/least_squares.cpp.o.d"
+  "CMakeFiles/qvg_linalg.dir/src/linalg/levenberg_marquardt.cpp.o"
+  "CMakeFiles/qvg_linalg.dir/src/linalg/levenberg_marquardt.cpp.o.d"
+  "CMakeFiles/qvg_linalg.dir/src/linalg/matrix.cpp.o"
+  "CMakeFiles/qvg_linalg.dir/src/linalg/matrix.cpp.o.d"
+  "CMakeFiles/qvg_linalg.dir/src/linalg/nelder_mead.cpp.o"
+  "CMakeFiles/qvg_linalg.dir/src/linalg/nelder_mead.cpp.o.d"
+  "CMakeFiles/qvg_linalg.dir/src/linalg/solve.cpp.o"
+  "CMakeFiles/qvg_linalg.dir/src/linalg/solve.cpp.o.d"
+  "CMakeFiles/qvg_linalg.dir/src/linalg/stats.cpp.o"
+  "CMakeFiles/qvg_linalg.dir/src/linalg/stats.cpp.o.d"
+  "libqvg_linalg.a"
+  "libqvg_linalg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qvg_linalg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/probe/acquisition_context.cpp" "CMakeFiles/qvg_probe.dir/src/probe/acquisition_context.cpp.o" "gcc" "CMakeFiles/qvg_probe.dir/src/probe/acquisition_context.cpp.o.d"
+  "/root/repo/src/probe/current_source.cpp" "CMakeFiles/qvg_probe.dir/src/probe/current_source.cpp.o" "gcc" "CMakeFiles/qvg_probe.dir/src/probe/current_source.cpp.o.d"
+  "/root/repo/src/probe/fault_injection.cpp" "CMakeFiles/qvg_probe.dir/src/probe/fault_injection.cpp.o" "gcc" "CMakeFiles/qvg_probe.dir/src/probe/fault_injection.cpp.o.d"
+  "/root/repo/src/probe/playback.cpp" "CMakeFiles/qvg_probe.dir/src/probe/playback.cpp.o" "gcc" "CMakeFiles/qvg_probe.dir/src/probe/playback.cpp.o.d"
+  "/root/repo/src/probe/probe_cache.cpp" "CMakeFiles/qvg_probe.dir/src/probe/probe_cache.cpp.o" "gcc" "CMakeFiles/qvg_probe.dir/src/probe/probe_cache.cpp.o.d"
+  "/root/repo/src/probe/progress.cpp" "CMakeFiles/qvg_probe.dir/src/probe/progress.cpp.o" "gcc" "CMakeFiles/qvg_probe.dir/src/probe/progress.cpp.o.d"
+  "/root/repo/src/probe/raster.cpp" "CMakeFiles/qvg_probe.dir/src/probe/raster.cpp.o" "gcc" "CMakeFiles/qvg_probe.dir/src/probe/raster.cpp.o.d"
+  "/root/repo/src/probe/retry_policy.cpp" "CMakeFiles/qvg_probe.dir/src/probe/retry_policy.cpp.o" "gcc" "CMakeFiles/qvg_probe.dir/src/probe/retry_policy.cpp.o.d"
+  "/root/repo/src/probe/sim_clock.cpp" "CMakeFiles/qvg_probe.dir/src/probe/sim_clock.cpp.o" "gcc" "CMakeFiles/qvg_probe.dir/src/probe/sim_clock.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-review/CMakeFiles/qvg_grid.dir/DependInfo.cmake"
+  "/root/repo/build-review/CMakeFiles/qvg_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

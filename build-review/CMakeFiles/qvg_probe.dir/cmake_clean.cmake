@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qvg_probe.dir/src/probe/acquisition_context.cpp.o"
+  "CMakeFiles/qvg_probe.dir/src/probe/acquisition_context.cpp.o.d"
+  "CMakeFiles/qvg_probe.dir/src/probe/current_source.cpp.o"
+  "CMakeFiles/qvg_probe.dir/src/probe/current_source.cpp.o.d"
+  "CMakeFiles/qvg_probe.dir/src/probe/fault_injection.cpp.o"
+  "CMakeFiles/qvg_probe.dir/src/probe/fault_injection.cpp.o.d"
+  "CMakeFiles/qvg_probe.dir/src/probe/playback.cpp.o"
+  "CMakeFiles/qvg_probe.dir/src/probe/playback.cpp.o.d"
+  "CMakeFiles/qvg_probe.dir/src/probe/probe_cache.cpp.o"
+  "CMakeFiles/qvg_probe.dir/src/probe/probe_cache.cpp.o.d"
+  "CMakeFiles/qvg_probe.dir/src/probe/progress.cpp.o"
+  "CMakeFiles/qvg_probe.dir/src/probe/progress.cpp.o.d"
+  "CMakeFiles/qvg_probe.dir/src/probe/raster.cpp.o"
+  "CMakeFiles/qvg_probe.dir/src/probe/raster.cpp.o.d"
+  "CMakeFiles/qvg_probe.dir/src/probe/retry_policy.cpp.o"
+  "CMakeFiles/qvg_probe.dir/src/probe/retry_policy.cpp.o.d"
+  "CMakeFiles/qvg_probe.dir/src/probe/sim_clock.cpp.o"
+  "CMakeFiles/qvg_probe.dir/src/probe/sim_clock.cpp.o.d"
+  "libqvg_probe.a"
+  "libqvg_probe.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qvg_probe.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qvg_service.dir/src/service/extraction_engine.cpp.o"
+  "CMakeFiles/qvg_service.dir/src/service/extraction_engine.cpp.o.d"
+  "CMakeFiles/qvg_service.dir/src/service/job_queue.cpp.o"
+  "CMakeFiles/qvg_service.dir/src/service/job_queue.cpp.o.d"
+  "libqvg_service.a"
+  "libqvg_service.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qvg_service.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libqvg_service.a"
+)

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/service_engine_test.dir/tests/service_engine_test.cpp.o"
+  "CMakeFiles/service_engine_test.dir/tests/service_engine_test.cpp.o.d"
+  "service_engine_test"
+  "service_engine_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/service_engine_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/service_job_queue_test.dir/tests/service_job_queue_test.cpp.o"
+  "CMakeFiles/service_job_queue_test.dir/tests/service_job_queue_test.cpp.o.d"
+  "service_job_queue_test"
+  "service_job_queue_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/service_job_queue_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
