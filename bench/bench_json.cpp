@@ -65,6 +65,23 @@
 //                       batches. Each scenario carries *_identical (or
 //                       max-ULP) fields so the snapshot itself proves the
 //                       fast paths are pinned.                        (PR 7)
+//   server_submit_latency_1tenant
+//                     — wire API end-to-end over real loopback sockets:
+//                       submit -> job-id, submit -> first SSE progress
+//                       event, submit -> final report (p50/p95 us), one
+//                       64px fast job at a time on the default pool. (PR 8)
+//   server_fairness_3tenants_weighted
+//                     — deficit-weighted fairness under saturation:
+//                       tenants with weights 3/2/1, equal open-loop
+//                       backlogs on a single-worker pool; dispatch shares
+//                       sampled while all tenants are backlogged, plus
+//                       the max relative share error vs the configured
+//                       weights and the drain throughput.            (PR 8)
+//   server_load_shedding
+//                     — admission control past a tenant's max_pending
+//                       bound: accepted vs shed (HTTP 503 / kOverloaded)
+//                       counts and the p50 shed-response latency (a shed
+//                       must cost no probes and ~no time).           (PR 8)
 //
 // The top-level "metadata" object records the CPU model, compiler, SIMD
 // configuration and build flags, so snapshot numbers are attributable when
@@ -76,7 +93,7 @@
 // Every scenario records the effective thread count (set QVG_THREADS=N to
 // re-measure on multi-core hardware in one variable).
 //
-// Usage: bench_json [output.json]   (default: BENCH_PR7.json in the CWD)
+// Usage: bench_json [output.json]   (default: BENCH_PR8.json in the CWD)
 #include "common/simd.hpp"
 #include "common/stopwatch.hpp"
 #include "common/thread_pool.hpp"
@@ -92,8 +109,14 @@
 #include "probe/playback.hpp"
 #include "probe/probe_cache.hpp"
 #include "probe/raster.hpp"
+#include "server/extraction_server.hpp"
+#include "server/http_client.hpp"
 #include "service/job_queue.hpp"
+#include "wire/json.hpp"
+#include "wire/messages.hpp"
 
+#include <algorithm>
+#include <chrono>
 #include <cstdint>
 #include <cstring>
 #include <fstream>
@@ -101,6 +124,7 @@
 #include <limits>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 namespace {
@@ -139,7 +163,7 @@ struct JsonWriter {
   bool first_scenario = true;
 
   void begin() {
-    out << "{\n  \"bench\": \"PR7\",\n  \"metadata\": {\n"
+    out << "{\n  \"bench\": \"PR8\",\n  \"metadata\": {\n"
         << "    \"cpu\": \"" << cpu_model() << "\",\n"
         << "    \"compiler\": \"" << __VERSION__ << "\",\n"
 #ifdef QVG_BUILD_FLAGS
@@ -1256,10 +1280,220 @@ void bench_kernel_sweep(JsonWriter& json) {
   set_parallelism_enabled(true);
 }
 
+// --- PR 8: wire API served over real loopback sockets ---------------------
+
+using BenchClock = std::chrono::steady_clock;
+
+double us_since(BenchClock::time_point t0) {
+  return std::chrono::duration<double, std::micro>(BenchClock::now() - t0)
+      .count();
+}
+
+/// The standard small served job: 64px fast extraction on a jittered
+/// double dot — sub-millisecond of engine work so serving overhead shows.
+wire::WireRequest served_request(const std::string& label) {
+  wire::WireRequest r;
+  r.method = ExtractionMethod::kFast;
+  r.backend = wire::WireBackendKind::kDevice;
+  r.device.params.n_dots = 2;
+  r.device.params.cross_ratio = 0.25;
+  r.device.params.jitter = 0.05;
+  r.device.has_jitter = true;
+  r.device.jitter_seed = 7;
+  r.device.noise_seed = 123;
+  r.device.pixels_per_axis = 64;
+  r.device.white_noise_sigma = 0.02;
+  r.label = label;
+  return r;
+}
+
+/// POST a wire request; returns the HTTP status, job id via out-param.
+int served_submit(std::uint16_t port, const wire::WireRequest& request,
+                  const std::string& query, std::size_t* job_id) {
+  const std::vector<std::uint8_t> bytes = wire::encode(request);
+  Result<server::ClientResponse> response = server::http_call(
+      port, "POST", "/v1/jobs" + query,
+      {reinterpret_cast<const char*>(bytes.data()), bytes.size()});
+  if (!response.ok()) return -1;
+  if (response.value().status == 200 && job_id != nullptr) {
+    Result<wire::JsonValue> doc =
+        wire::parse_json(response.value().body);
+    if (doc.ok())
+      if (const wire::JsonValue* job = doc.value().find("job"))
+        *job_id = static_cast<std::size_t>(job->as_u64());
+  }
+  return response.value().status;
+}
+
+double bench_percentile(std::vector<double> values, double p) {
+  if (values.empty()) return 0.0;
+  std::sort(values.begin(), values.end());
+  const double rank = p * static_cast<double>(values.size() - 1);
+  const std::size_t lo = static_cast<std::size_t>(rank);
+  const std::size_t hi = std::min(lo + 1, values.size() - 1);
+  return values[lo] + (values[hi] - values[lo]) * (rank - double(lo));
+}
+
+void bench_server_submit_latency(JsonWriter& json) {
+  server::ExtractionServer srv;
+  if (!srv.start().ok()) return;
+  for (int i = 0; i < 4; ++i) {  // warm the accept path and engine caches
+    std::size_t id = 0;
+    (void)served_submit(srv.port(), served_request("warmup"), "", &id);
+    (void)server::http_call(srv.port(), "GET",
+                            "/v1/jobs/" + std::to_string(id) + "?wait=1");
+  }
+
+  constexpr int kJobs = 32;
+  std::vector<double> submit_us, first_event_us, report_us;
+  for (int i = 0; i < kJobs; ++i) {
+    const BenchClock::time_point t0 = BenchClock::now();
+    std::size_t id = 0;
+    if (served_submit(srv.port(), served_request("lat"), "", &id) != 200)
+      continue;
+    submit_us.push_back(us_since(t0));
+    // The event log replays from the start, so subscribing after submit
+    // still times the first *produced* event relative to the submit call.
+    server::SseClient sse;
+    if (sse.connect(srv.port(), "/v1/jobs/" + std::to_string(id) + "/events")
+            .ok()) {
+      Result<std::optional<std::string>> event = sse.next_event();
+      if (event.ok() && event.value().has_value())
+        first_event_us.push_back(us_since(t0));
+      sse.close();
+    }
+    Result<server::ClientResponse> report = server::http_call(
+        srv.port(), "GET", "/v1/jobs/" + std::to_string(id) + "?wait=1");
+    if (report.ok() && report.value().status == 200)
+      report_us.push_back(us_since(t0));
+  }
+  srv.stop();
+
+  json.begin_scenario("server_submit_latency_1tenant");
+  json.field("jobs", static_cast<long>(kJobs));
+  json.field("pixels_per_axis", 64L);
+  json.field("submit_us_p50", bench_percentile(submit_us, 0.5));
+  json.field("submit_us_p95", bench_percentile(submit_us, 0.95));
+  json.field("first_event_us_p50", bench_percentile(first_event_us, 0.5));
+  json.field("first_event_us_p95", bench_percentile(first_event_us, 0.95));
+  json.field("report_us_p50", bench_percentile(report_us, 0.5));
+  json.field("report_us_p95", bench_percentile(report_us, 0.95));
+  json.end_scenario();
+}
+
+void bench_server_fairness(JsonWriter& json) {
+  // A single-worker pool serialises dispatch so the deficit-weighted order
+  // is exactly observable; equal open-loop backlogs keep every tenant
+  // saturated until the heaviest (first) one drains.
+  ThreadPool pool(1);
+  server::ServerOptions options;
+  options.pool = &pool;
+  server::ExtractionServer srv(options);
+  srv.configure_tenant("alpha", {.weight = 3.0});
+  srv.configure_tenant("beta", {.weight = 2.0});
+  srv.configure_tenant("gamma", {.weight = 1.0});
+  if (!srv.start().ok()) return;
+
+  constexpr int kJobsPerTenant = 48;
+  const BenchClock::time_point t0 = BenchClock::now();
+  for (int i = 0; i < kJobsPerTenant; ++i)
+    for (const char* tenant : {"alpha", "beta", "gamma"})
+      (void)served_submit(srv.port(), served_request(tenant),
+                          std::string("?tenant=") + tenant, nullptr);
+
+  // Sample dispatch shares while all three tenants are still backlogged:
+  // alpha (share 1/2) drains first, at ~2*kJobsPerTenant completions —
+  // snapshot at half that.
+  double share_alpha = 0, share_beta = 0, share_gamma = 0, max_rel_error = 0;
+  for (;;) {
+    Result<server::ClientResponse> response =
+        server::http_call(srv.port(), "GET", "/v1/stats");
+    if (!response.ok() || response.value().status != 200) break;
+    Result<wire::JsonValue> doc =
+        wire::parse_json(response.value().body);
+    if (!doc.ok()) break;
+    const wire::JsonValue* completed = doc.value().find("completed");
+    if (completed != nullptr &&
+        completed->as_u64() >= static_cast<std::uint64_t>(kJobsPerTenant)) {
+      const wire::JsonValue* tenants = doc.value().find("tenants");
+      if (tenants == nullptr) break;
+      double dispatched_sum = 0, weight_sum = 0;
+      for (const wire::JsonValue& row : tenants->items()) {
+        dispatched_sum += double(row.find("dispatched")->as_u64());
+        weight_sum += row.find("weight")->as_double();
+      }
+      for (const wire::JsonValue& row : tenants->items()) {
+        const double share =
+            double(row.find("dispatched")->as_u64()) / dispatched_sum;
+        const double expected = row.find("weight")->as_double() / weight_sum;
+        max_rel_error =
+            std::max(max_rel_error, std::abs(share - expected) / expected);
+        const std::string name = row.find("tenant")->as_string();
+        (name == "alpha" ? share_alpha
+                         : name == "beta" ? share_beta : share_gamma) = share;
+      }
+      break;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+
+  srv.queue().wait_all();
+  const double total_seconds = us_since(t0) * 1e-6;
+  srv.stop();
+
+  json.begin_scenario("server_fairness_3tenants_weighted");
+  json.field("jobs_per_tenant", static_cast<long>(kJobsPerTenant));
+  json.field("weight_alpha", 3.0);
+  json.field("weight_beta", 2.0);
+  json.field("weight_gamma", 1.0);
+  json.field("share_alpha", share_alpha);
+  json.field("share_beta", share_beta);
+  json.field("share_gamma", share_gamma);
+  json.field("max_share_rel_error", max_rel_error);
+  json.field("within_10pct_of_weights", max_rel_error <= 0.10);
+  json.field("drained_jobs_per_sec", 3.0 * kJobsPerTenant / total_seconds);
+  json.end_scenario();
+}
+
+void bench_server_load_shedding(JsonWriter& json) {
+  ThreadPool pool(1);
+  server::ServerOptions options;
+  options.pool = &pool;
+  server::ExtractionServer srv(options);
+  srv.configure_tenant("burst", {.weight = 1.0, .max_pending = 8});
+  if (!srv.start().ok()) return;
+
+  constexpr int kJobs = 100;
+  long accepted = 0, shed = 0;
+  std::vector<double> shed_us;
+  for (int i = 0; i < kJobs; ++i) {
+    const BenchClock::time_point t0 = BenchClock::now();
+    const int status = served_submit(srv.port(), served_request("burst"),
+                                     "?tenant=burst", nullptr);
+    if (status == 200) {
+      ++accepted;
+    } else if (status == 503) {
+      ++shed;
+      shed_us.push_back(us_since(t0));
+    }
+  }
+  srv.queue().wait_all();
+  srv.stop();
+
+  json.begin_scenario("server_load_shedding");
+  json.field("jobs_offered", static_cast<long>(kJobs));
+  json.field("max_pending", 8L);
+  json.field("accepted", accepted);
+  json.field("shed_503", shed);
+  json.field("shed_response_us_p50", bench_percentile(shed_us, 0.5));
+  json.field("shed_response_us_p95", bench_percentile(shed_us, 0.95));
+  json.end_scenario();
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
-  const std::string out_path = argc > 1 ? argv[1] : "BENCH_PR7.json";
+  const std::string out_path = argc > 1 ? argv[1] : "BENCH_PR8.json";
 
   JsonWriter json;
   json.out.precision(6);
@@ -1282,6 +1516,9 @@ int main(int argc, char** argv) {
   bench_drift_recovery(json);
   bench_retry_overhead_zero_fault(json);
   bench_kernel_sweep(json);
+  bench_server_submit_latency(json);
+  bench_server_fairness(json);
+  bench_server_load_shedding(json);
   json.end();
 
   std::ofstream file(out_path);

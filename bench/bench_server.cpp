@@ -1,0 +1,296 @@
+// Open-loop multi-tenant load generator for the wire API (PR 8): drives a
+// live ExtractionServer over real loopback sockets and measures the three
+// numbers the serving layer is judged on —
+//   1. submit -> first-progress-event latency (SSE subscription per job),
+//   2. sustained jobs/sec through the HTTP + queue + engine stack,
+//   3. fairness: per-tenant dispatch share vs configured weight under
+//      saturation (weights 3/2/1 on a single-worker pool, sampled while
+//      every tenant is still backlogged), plus load-shedding behaviour
+//      (typed 503 rejections past a tenant's max_pending bound).
+// The same scenarios are recorded as machine-readable JSON by bench_json
+// (BENCH_PR8.json); this binary is the human-readable drill-down with
+// percentiles and per-tenant tables.
+// Usage: bench_server [jobs_per_tenant] (default 60).
+#include "common/thread_pool.hpp"
+#include "server/extraction_server.hpp"
+#include "server/http_client.hpp"
+#include "wire/json.hpp"
+#include "wire/messages.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace {
+
+using namespace qvg;
+using namespace qvg::server;
+using Clock = std::chrono::steady_clock;
+
+double us_since(Clock::time_point t0) {
+  return std::chrono::duration<double, std::micro>(Clock::now() - t0).count();
+}
+
+/// The standard small job: 64px fast extraction on a jittered double dot —
+/// sub-millisecond of engine work, so the serving overhead is visible.
+wire::WireRequest small_request(const std::string& label) {
+  wire::WireRequest r;
+  r.method = ExtractionMethod::kFast;
+  r.backend = wire::WireBackendKind::kDevice;
+  r.device.params.n_dots = 2;
+  r.device.params.cross_ratio = 0.25;
+  r.device.params.jitter = 0.05;
+  r.device.has_jitter = true;
+  r.device.jitter_seed = 7;
+  r.device.noise_seed = 123;
+  r.device.pixels_per_axis = 64;
+  r.device.white_noise_sigma = 0.02;
+  r.label = label;
+  return r;
+}
+
+std::string_view as_view(const std::vector<std::uint8_t>& bytes) {
+  return {reinterpret_cast<const char*>(bytes.data()), bytes.size()};
+}
+
+/// POST a request; returns the HTTP status and (on 200) the job id.
+int submit(std::uint16_t port, const wire::WireRequest& request,
+           const std::string& query, std::size_t* job_id) {
+  Result<ClientResponse> response = http_call(
+      port, "POST", "/v1/jobs" + query, as_view(wire::encode(request)));
+  if (!response.ok()) return -1;
+  if (response.value().status == 200 && job_id != nullptr) {
+    Result<wire::JsonValue> doc = wire::parse_json(response.value().body);
+    if (doc.ok()) {
+      if (const wire::JsonValue* job = doc.value().find("job"))
+        *job_id = static_cast<std::size_t>(job->as_u64());
+    }
+  }
+  return response.value().status;
+}
+
+double percentile(std::vector<double> values, double p) {
+  if (values.empty()) return 0.0;
+  std::sort(values.begin(), values.end());
+  const double rank = p * static_cast<double>(values.size() - 1);
+  const std::size_t lo = static_cast<std::size_t>(rank);
+  const std::size_t hi = std::min(lo + 1, values.size() - 1);
+  const double frac = rank - static_cast<double>(lo);
+  return values[lo] + (values[hi] - values[lo]) * frac;
+}
+
+struct TenantSnapshot {
+  std::size_t dispatched = 0;
+  std::size_t completed = 0;
+  std::size_t rejected = 0;
+  double weight = 0.0;
+};
+
+/// Parse /v1/stats into {total completed, per-tenant rows}.
+std::size_t poll_stats(std::uint16_t port,
+                       std::vector<std::pair<std::string, TenantSnapshot>>* out) {
+  Result<ClientResponse> response = http_call(port, "GET", "/v1/stats");
+  if (!response.ok() || response.value().status != 200) return 0;
+  Result<wire::JsonValue> doc = wire::parse_json(response.value().body);
+  if (!doc.ok()) return 0;
+  std::size_t completed = 0;
+  if (const wire::JsonValue* c = doc.value().find("completed"))
+    completed = static_cast<std::size_t>(c->as_u64());
+  if (out != nullptr) {
+    out->clear();
+    if (const wire::JsonValue* tenants = doc.value().find("tenants")) {
+      for (const wire::JsonValue& row : tenants->items()) {
+        TenantSnapshot snap;
+        std::string name;
+        if (const wire::JsonValue* v = row.find("tenant")) name = v->as_string();
+        if (const wire::JsonValue* v = row.find("dispatched"))
+          snap.dispatched = static_cast<std::size_t>(v->as_u64());
+        if (const wire::JsonValue* v = row.find("completed"))
+          snap.completed = static_cast<std::size_t>(v->as_u64());
+        if (const wire::JsonValue* v = row.find("rejected"))
+          snap.rejected = static_cast<std::size_t>(v->as_u64());
+        if (const wire::JsonValue* v = row.find("weight"))
+          snap.weight = v->as_double();
+        out->emplace_back(std::move(name), snap);
+      }
+    }
+  }
+  return completed;
+}
+
+// --- Scenario 1: submit -> first progress event / report latency ----------
+
+void run_latency(int jobs) {
+  ExtractionServer server;
+  if (!server.start().ok()) return;
+  // Warm up the engine caches and the accept path.
+  for (int i = 0; i < 4; ++i) {
+    std::size_t id = 0;
+    (void)submit(server.port(), small_request("warmup"), "", &id);
+    (void)http_call(server.port(), "GET",
+                    "/v1/jobs/" + std::to_string(id) + "?wait=1");
+  }
+
+  std::vector<double> submit_us, first_event_us, report_us;
+  for (int i = 0; i < jobs; ++i) {
+    const Clock::time_point t0 = Clock::now();
+    std::size_t id = 0;
+    if (submit(server.port(), small_request("lat"), "", &id) != 200) continue;
+    submit_us.push_back(us_since(t0));
+
+    // The event log replays from the start, so subscribing after submit
+    // still times the first *produced* event relative to the submit call.
+    SseClient sse;
+    if (sse.connect(server.port(), "/v1/jobs/" + std::to_string(id) + "/events")
+            .ok()) {
+      Result<std::optional<std::string>> event = sse.next_event();
+      if (event.ok() && event.value().has_value())
+        first_event_us.push_back(us_since(t0));
+      sse.close();
+    }
+
+    Result<ClientResponse> report = http_call(
+        server.port(), "GET", "/v1/jobs/" + std::to_string(id) + "?wait=1");
+    if (report.ok() && report.value().status == 200)
+      report_us.push_back(us_since(t0));
+  }
+  server.stop();
+
+  std::printf("submit latency (%d jobs, default pool)\n", jobs);
+  std::printf("  %-28s %10.1f %10.1f\n", "submit -> job id (us p50/p95)",
+              percentile(submit_us, 0.5), percentile(submit_us, 0.95));
+  std::printf("  %-28s %10.1f %10.1f\n", "submit -> 1st event (us)",
+              percentile(first_event_us, 0.5), percentile(first_event_us, 0.95));
+  std::printf("  %-28s %10.1f %10.1f\n", "submit -> report (us)",
+              percentile(report_us, 0.5), percentile(report_us, 0.95));
+}
+
+// --- Scenario 2: sustained open-loop throughput ---------------------------
+
+void run_throughput(int jobs) {
+  ExtractionServer server;
+  if (!server.start().ok()) return;
+  const Clock::time_point t0 = Clock::now();
+  int accepted = 0;
+  for (int i = 0; i < jobs; ++i)
+    if (submit(server.port(), small_request("tp"), "", nullptr) == 200)
+      ++accepted;
+  const double submit_seconds = us_since(t0) * 1e-6;
+  server.queue().wait_all();
+  const double total_seconds = us_since(t0) * 1e-6;
+  server.stop();
+
+  std::printf("sustained throughput (%d jobs, open loop)\n", jobs);
+  std::printf("  %-28s %10.0f\n", "submit rate (jobs/s)",
+              accepted / submit_seconds);
+  std::printf("  %-28s %10.0f\n", "completed rate (jobs/s)",
+              accepted / total_seconds);
+}
+
+// --- Scenario 3: weighted fairness under saturation -----------------------
+
+void run_fairness(int jobs_per_tenant) {
+  // A single-worker pool serialises dispatch, so the deficit-weighted order
+  // is exactly observable; equal backlogs per tenant keep everyone
+  // saturated until the heaviest tenant drains.
+  ThreadPool pool(1);
+  ServerOptions options;
+  options.pool = &pool;
+  ExtractionServer server(options);
+  server.configure_tenant("alpha", {.weight = 3.0});
+  server.configure_tenant("beta", {.weight = 2.0});
+  server.configure_tenant("gamma", {.weight = 1.0});
+  if (!server.start().ok()) return;
+
+  const Clock::time_point t0 = Clock::now();
+  for (int i = 0; i < jobs_per_tenant; ++i)
+    for (const char* tenant : {"alpha", "beta", "gamma"})
+      (void)submit(server.port(), small_request(tenant),
+                   std::string("?tenant=") + tenant, nullptr);
+
+  // Sample dispatch shares while every tenant is still backlogged: alpha
+  // (weight 3, share 1/2) is the first to drain, at ~2*jobs_per_tenant
+  // total completions — snapshot at half that.
+  const std::size_t snapshot_at =
+      static_cast<std::size_t>(jobs_per_tenant);
+  std::vector<std::pair<std::string, TenantSnapshot>> tenants;
+  while (poll_stats(server.port(), &tenants) < snapshot_at)
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+
+  double weight_sum = 0.0;
+  std::size_t dispatched_sum = 0;
+  for (const auto& [name, snap] : tenants) {
+    weight_sum += snap.weight;
+    dispatched_sum += snap.dispatched;
+  }
+  std::printf("weighted fairness (3 tenants, weights 3/2/1, 1-worker pool)\n");
+  double max_rel_error = 0.0;
+  for (const auto& [name, snap] : tenants) {
+    const double share =
+        static_cast<double>(snap.dispatched) / static_cast<double>(dispatched_sum);
+    const double expected = snap.weight / weight_sum;
+    const double rel_error = std::abs(share - expected) / expected;
+    max_rel_error = std::max(max_rel_error, rel_error);
+    std::printf("  %-8s weight %.0f  dispatched %4zu  share %.3f  expected %.3f\n",
+                name.c_str(), snap.weight, snap.dispatched, share, expected);
+  }
+  std::printf("  %-28s %10.1f%%\n", "max share error vs weights",
+              100.0 * max_rel_error);
+
+  server.queue().wait_all();
+  const double total_seconds = us_since(t0) * 1e-6;
+  std::printf("  %-28s %10.0f\n", "drained (jobs/s)",
+              3.0 * jobs_per_tenant / total_seconds);
+  server.stop();
+}
+
+// --- Scenario 4: load shedding past a tenant's backlog bound --------------
+
+void run_shedding(int jobs) {
+  ThreadPool pool(1);
+  ServerOptions options;
+  options.pool = &pool;
+  ExtractionServer server(options);
+  server.configure_tenant("burst", {.weight = 1.0, .max_pending = 8});
+  if (!server.start().ok()) return;
+
+  int accepted = 0, shed = 0;
+  std::vector<double> shed_us;
+  for (int i = 0; i < jobs; ++i) {
+    const Clock::time_point t0 = Clock::now();
+    const int status =
+        submit(server.port(), small_request("burst"), "?tenant=burst", nullptr);
+    if (status == 200) {
+      ++accepted;
+    } else if (status == 503) {
+      ++shed;
+      shed_us.push_back(us_since(t0));
+    }
+  }
+  server.queue().wait_all();
+  server.stop();
+
+  std::printf("load shedding (%d jobs, max_pending=8, 1-worker pool)\n", jobs);
+  std::printf("  %-28s %10d\n", "accepted (200)", accepted);
+  std::printf("  %-28s %10d\n", "shed (503 kOverloaded)", shed);
+  std::printf("  %-28s %10.1f %10.1f\n", "shed response (us p50/p95)",
+              percentile(shed_us, 0.5), percentile(shed_us, 0.95));
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const int jobs_per_tenant = argc > 1 ? std::atoi(argv[1]) : 60;
+  run_latency(std::min(jobs_per_tenant, 40));
+  std::printf("\n");
+  run_throughput(2 * jobs_per_tenant);
+  std::printf("\n");
+  run_fairness(jobs_per_tenant);
+  std::printf("\n");
+  run_shedding(100);
+  return 0;
+}

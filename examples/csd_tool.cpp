@@ -1,15 +1,29 @@
 // csd_tool: command-line virtual gate extraction from a recorded charge
-// stability diagram.
+// stability diagram — local, served, or as a wire-API client.
 //
 //   csd_tool <diagram.csv> [--method fast|hough] [--dwell seconds]
 //            [--timeout-ms T] [--max-probes N] [--cancel] [--progress]
 //            [--fault-rate p] [--fault-seed S] [--max-retries R]
+//            [--wall-backoff]
+//   csd_tool --serve [--port P] [--max-pending N]
+//   csd_tool <diagram.csv> --connect PORT [--tenant NAME] [--progress]
+//            [--disconnect-after-first-event] [...request flags...]
 //
 // Reads a CSD saved with qvg's CSV format (see dataset/csd_io.hpp), replays
 // it through the paper's simulated getCurrent (dwell-time accounting
 // included), runs the chosen extraction method as an async job, and prints
 // the virtualization matrix plus probe statistics. When the file carries
 // ground truth (simulated diagrams do), the verdict is printed too.
+//
+// --serve starts the embedded wire-API server (PR 8) on 127.0.0.1 and
+// blocks until POST /v1/shutdown; the bound port is printed on stdout so
+// scripts can grab it (pass --port 0 for an ephemeral port). --connect
+// ships the loaded diagram inline as a playback wire request to a running
+// server, streams progress over SSE with --progress, and prints the same
+// summary from the served report — exit codes are identical to the local
+// path, so scripts cannot tell the difference. --disconnect-after-first-
+// event drops the SSE connection after one progress frame (the client-
+// disconnect-cancels-the-job path, for smoke tests), then polls the report.
 //
 // --timeout-ms and --max-probes set the request's deadline/probe budget;
 // --cancel submits the job with an already-fired CancelToken (exercises the
@@ -18,7 +32,11 @@
 // --fault-rate injects transient probe faults at the given per-batch
 // probability (deterministic under --fault-seed), recovered by up to
 // --max-retries probe-level retries; retry exhaustion surfaces as a probe
-// hard fault with its own exit code. Exit codes are distinct per outcome:
+// hard fault with its own exit code. --wall-backoff makes retry backoff
+// wait real wall-clock time (polling the CancelToken), so a saturated
+// fault rate plus a huge retry budget is a job that runs until cancelled —
+// the recipe the CI smoke uses to prove cancel-on-disconnect.
+// Exit codes are distinct per outcome:
 //   0 success, 1 extraction/load failure, 2 usage,
 //   3 job cancelled (kCancelled), 4 deadline exceeded (kDeadlineExceeded),
 //   5 probe budget exhausted (kBudgetExhausted),
@@ -27,7 +45,11 @@
 // Generate inputs with examples/device_playground or dataset tooling:
 //   ./device_playground && ./csd_tool playground_clean.csv
 #include "common/strings.hpp"
+#include "server/extraction_server.hpp"
+#include "server/http_client.hpp"
 #include "service/job_queue.hpp"
+#include "wire/json.hpp"
+#include "wire/messages.hpp"
 
 #include <chrono>
 #include <iostream>
@@ -46,113 +68,20 @@ int usage() {
   std::cerr << "usage: csd_tool <diagram.csv> [--method fast|hough] "
                "[--dwell seconds] [--timeout-ms T] [--max-probes N] "
                "[--cancel] [--progress] [--fault-rate p] [--fault-seed S] "
-               "[--max-retries R]\n";
+               "[--max-retries R] [--wall-backoff]\n"
+               "       csd_tool --serve [--port P] [--max-pending N]\n"
+               "       csd_tool <diagram.csv> --connect PORT [--tenant NAME] "
+               "[--progress] [--disconnect-after-first-event]\n";
   return kExitUsage;
 }
 
-}  // namespace
-
-int main(int argc, char** argv) {
+/// Shared outcome printing + exit-code mapping: ExtractionReport (local
+/// path) and wire::WireReport (served path) expose the same field names,
+/// so the served summary is byte-for-byte the local one.
+template <class ReportT>
+int print_outcome(const ReportT& report, const std::string& method,
+                  std::size_t total_pixels) {
   using namespace qvg;
-  if (argc < 2) return usage();
-
-  std::string path = argv[1];
-  std::string method = "fast";
-  double dwell = 0.050;
-  double timeout_ms = 0.0;
-  long max_probes = 0;
-  bool cancel_job = false;
-  bool show_progress = false;
-  double fault_rate = 0.0;
-  unsigned long long fault_seed = 0x5eedfa17u;
-  int max_retries = 3;
-  try {
-    for (int i = 2; i < argc; ++i) {
-      const std::string flag = argv[i];
-      if (flag == "--cancel") {
-        cancel_job = true;
-      } else if (flag == "--progress") {
-        show_progress = true;
-      } else if (i + 1 >= argc) {
-        return usage();
-      } else if (flag == "--method") {
-        method = argv[++i];
-      } else if (flag == "--dwell") {
-        dwell = std::stod(argv[++i]);
-      } else if (flag == "--timeout-ms") {
-        timeout_ms = std::stod(argv[++i]);
-      } else if (flag == "--max-probes") {
-        max_probes = std::stol(argv[++i]);
-      } else if (flag == "--fault-rate") {
-        fault_rate = std::stod(argv[++i]);
-      } else if (flag == "--fault-seed") {
-        fault_seed = std::stoull(argv[++i]);
-      } else if (flag == "--max-retries") {
-        max_retries = std::stoi(argv[++i]);
-      } else {
-        return usage();
-      }
-    }
-  } catch (const std::exception&) {  // malformed number: a usage error
-    return usage();
-  }
-  if (method != "fast" && method != "hough") return usage();
-  if (fault_rate < 0.0 || fault_rate > 1.0 || max_retries < 0) return usage();
-
-  // Typed load: missing and malformed files are ordinary Status failures.
-  const Result<Csd> loaded = try_load_csd_csv(path);
-  if (!loaded) {
-    std::cerr << "error [" << error_code_name(loaded.status().code())
-              << "]: " << loaded.status().detail() << "\n";
-    return kExitFailure;
-  }
-  const Csd& csd = *loaded;
-  std::cout << "loaded " << path << ": " << csd.width() << "x" << csd.height()
-            << " pixels, VP1 " << csd.x_axis().start() << ".."
-            << csd.x_axis().end() << " V, VP2 " << csd.y_axis().start()
-            << ".." << csd.y_axis().end() << " V\n";
-
-  ExtractionRequest request;
-  request.method = method == "fast" ? ExtractionMethod::kFast
-                                    : ExtractionMethod::kHoughBaseline;
-  request.playback.csd = &csd;
-  request.playback.dwell_seconds = dwell;
-  request.label = path;
-  if (timeout_ms > 0.0)
-    request.deadline = std::chrono::steady_clock::now() +
-                       std::chrono::microseconds(
-                           static_cast<long long>(timeout_ms * 1e3));
-  request.budget.max_probes = max_probes;
-  if (fault_rate > 0.0) {
-    request.faults.transient_rate = fault_rate;
-    request.faults.seed = fault_seed;
-  }
-  // max_attempts counts the first try; "--max-retries 0" means one attempt,
-  // so any injected transient escalates straight to a hard fault.
-  request.retry.max_attempts = max_retries + 1;
-
-  SubmitOptions options;
-  options.priority = Priority::kInteractive;  // a human is waiting
-  options.cancel = CancelToken::make();
-  if (cancel_job) options.cancel.cancel();
-  if (show_progress) {
-    // Print stage transitions only (every batch boundary would be one line
-    // per raster row); the final event count still shows in the summary.
-    options.on_progress = [last = std::string()](
-                              const ProgressEvent& event) mutable {
-      if (event.stage == last) return;
-      last = event.stage;
-      std::cerr << "[progress] stage=" << event.stage
-                << " probes=" << event.probes_used << " elapsed="
-                << qvg::format_fixed(event.elapsed_seconds * 1e3, 1)
-                << " ms\n";
-    };
-  }
-
-  JobQueue jobs;
-  const ExtractionReport report =
-      jobs.submit(request, std::move(options)).wait();
-
   if (!report.status.ok()) {
     const bool interrupted =
         report.status.code() == ErrorCode::kCancelled ||
@@ -185,7 +114,7 @@ int main(int argc, char** argv) {
             << "  probes: " << report.stats.unique_probes << " ("
             << format_fixed(100.0 *
                                 static_cast<double>(report.stats.unique_probes) /
-                                static_cast<double>(csd.width() * csd.height()),
+                                static_cast<double>(total_pixels),
                             2)
             << "% of the diagram), simulated experiment time "
             << format_fixed(report.stats.simulated_seconds, 2) << " s\n";
@@ -211,4 +140,273 @@ int main(int argc, char** argv) {
               << format_fixed(verdict.virtualized_angle_deg, 1) << " deg)\n";
   }
   return 0;
+}
+
+/// --serve: run the embedded server until POST /v1/shutdown.
+int run_server(std::uint16_t port, std::size_t max_pending) {
+  using namespace qvg::server;
+  ServerOptions options;
+  options.port = port;
+  options.max_pending = max_pending;
+  ExtractionServer server(options);
+  const qvg::Status started = server.start();
+  if (!started.ok()) {
+    std::cerr << "error [" << qvg::error_code_name(started.code())
+              << "]: " << started.detail() << "\n";
+    return kExitFailure;
+  }
+  // Scripts parse this line for the bound (possibly ephemeral) port.
+  std::cout << "serving on 127.0.0.1:" << server.port() << std::endl;
+  server.wait_for_shutdown();
+  server.stop();
+  std::cout << "shutdown complete\n";
+  return 0;
+}
+
+/// --connect: ship the request to a running server, stream progress, and
+/// print the served report through the same summary path as a local run.
+int run_client(const qvg::wire::WireRequest& request, std::uint16_t port,
+               const std::string& tenant, bool show_progress,
+               bool disconnect_after_first_event, std::size_t total_pixels,
+               const std::string& method) {
+  using namespace qvg;
+  using namespace qvg::server;
+
+  const std::vector<std::uint8_t> bytes = wire::encode(request);
+  std::string query;
+  if (!tenant.empty()) query = "?tenant=" + tenant;
+  Result<ClientResponse> submitted = http_call(
+      port, "POST", "/v1/jobs" + query,
+      {reinterpret_cast<const char*>(bytes.data()), bytes.size()});
+  if (!submitted.ok()) {
+    std::cerr << "error [" << error_code_name(submitted.status().code())
+              << "]: " << submitted.status().detail() << "\n";
+    return kExitFailure;
+  }
+  if (submitted.value().status != 200) {
+    std::cerr << "submit rejected (HTTP " << submitted.value().status
+              << "): " << submitted.value().body << "\n";
+    return kExitFailure;
+  }
+  Result<wire::JsonValue> doc = wire::parse_json(submitted.value().body);
+  const wire::JsonValue* job =
+      doc.ok() ? doc.value().find("job") : nullptr;
+  if (job == nullptr) {
+    std::cerr << "malformed submit response: " << submitted.value().body
+              << "\n";
+    return kExitFailure;
+  }
+  const std::string id = std::to_string(job->as_u64());
+  std::cerr << "[client] submitted job " << id << " to 127.0.0.1:" << port
+            << (tenant.empty() ? "" : " as tenant '" + tenant + "'") << "\n";
+
+  if (show_progress || disconnect_after_first_event) {
+    SseClient sse;
+    const Status connected = sse.connect(port, "/v1/jobs/" + id + "/events");
+    if (!connected.ok()) {
+      std::cerr << "error [" << error_code_name(connected.code())
+                << "]: " << connected.detail() << "\n";
+      return kExitFailure;
+    }
+    std::string last_stage;
+    for (;;) {
+      Result<std::optional<std::string>> frame = sse.next_event();
+      if (!frame.ok() || !frame.value().has_value()) break;
+      const std::string& text = *frame.value();
+      if (text.rfind("event: done", 0) == 0) break;
+      if (text.rfind("data: ", 0) != 0) continue;
+      Result<ProgressEvent> event = wire::progress_from_json(text.substr(6));
+      if (!event.ok()) continue;
+      if (show_progress && event.value().stage != last_stage) {
+        last_stage = event.value().stage;
+        std::cerr << "[progress] stage=" << event.value().stage
+                  << " probes=" << event.value().probes_used << " elapsed="
+                  << format_fixed(event.value().elapsed_seconds * 1e3, 1)
+                  << " ms\n";
+      }
+      if (disconnect_after_first_event) {
+        // Drop the stream mid-job: the server fires the job's CancelToken
+        // (cancel-on-disconnect), which the report fetch below observes.
+        sse.close();
+        std::cerr << "[client] dropped the progress stream after one event\n";
+        break;
+      }
+    }
+  }
+
+  Result<ClientResponse> fetched =
+      http_call(port, "GET", "/v1/jobs/" + id + "?wait=1");
+  if (!fetched.ok() || fetched.value().status != 200) {
+    std::cerr << "report fetch failed\n";
+    return kExitFailure;
+  }
+  const std::string& body = fetched.value().body;
+  Result<wire::WireReport> report = wire::decode_report(
+      {reinterpret_cast<const std::uint8_t*>(body.data()), body.size()});
+  if (!report.ok()) {
+    std::cerr << "error [" << error_code_name(report.status().code())
+              << "]: " << report.status().detail() << "\n";
+    return kExitFailure;
+  }
+  return print_outcome(report.value(), method, total_pixels);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace qvg;
+  if (argc < 2) return usage();
+
+  std::string path;
+  std::string method = "fast";
+  double dwell = 0.050;
+  double timeout_ms = 0.0;
+  long max_probes = 0;
+  bool cancel_job = false;
+  bool show_progress = false;
+  double fault_rate = 0.0;
+  unsigned long long fault_seed = 0x5eedfa17u;
+  int max_retries = 3;
+  bool serve = false;
+  long port = 8477;  // default --serve port; --connect has no default
+  long max_pending = 0;
+  long connect_port = 0;
+  std::string tenant;
+  bool disconnect_after_first_event = false;
+  bool wall_backoff = false;
+
+  const int first_flag = argv[1][0] == '-' ? 1 : 2;
+  if (first_flag == 2) path = argv[1];
+  try {
+    for (int i = first_flag; i < argc; ++i) {
+      const std::string flag = argv[i];
+      if (flag == "--cancel") {
+        cancel_job = true;
+      } else if (flag == "--progress") {
+        show_progress = true;
+      } else if (flag == "--serve") {
+        serve = true;
+      } else if (flag == "--disconnect-after-first-event") {
+        disconnect_after_first_event = true;
+      } else if (flag == "--wall-backoff") {
+        wall_backoff = true;
+      } else if (i + 1 >= argc) {
+        return usage();
+      } else if (flag == "--method") {
+        method = argv[++i];
+      } else if (flag == "--dwell") {
+        dwell = std::stod(argv[++i]);
+      } else if (flag == "--timeout-ms") {
+        timeout_ms = std::stod(argv[++i]);
+      } else if (flag == "--max-probes") {
+        max_probes = std::stol(argv[++i]);
+      } else if (flag == "--fault-rate") {
+        fault_rate = std::stod(argv[++i]);
+      } else if (flag == "--fault-seed") {
+        fault_seed = std::stoull(argv[++i]);
+      } else if (flag == "--max-retries") {
+        max_retries = std::stoi(argv[++i]);
+      } else if (flag == "--port") {
+        port = std::stol(argv[++i]);
+      } else if (flag == "--max-pending") {
+        max_pending = std::stol(argv[++i]);
+      } else if (flag == "--connect") {
+        connect_port = std::stol(argv[++i]);
+      } else if (flag == "--tenant") {
+        tenant = argv[++i];
+      } else {
+        return usage();
+      }
+    }
+  } catch (const std::exception&) {  // malformed number: a usage error
+    return usage();
+  }
+  if (serve) {
+    if (port < 0 || port > 65535) return usage();
+    return run_server(static_cast<std::uint16_t>(port),
+                      static_cast<std::size_t>(max_pending));
+  }
+  if (path.empty()) return usage();
+  if (method != "fast" && method != "hough") return usage();
+  if (fault_rate < 0.0 || fault_rate > 1.0 || max_retries < 0) return usage();
+  if (connect_port < 0 || connect_port > 65535) return usage();
+
+  // Typed load: missing and malformed files are ordinary Status failures.
+  const Result<Csd> loaded = try_load_csd_csv(path);
+  if (!loaded) {
+    std::cerr << "error [" << error_code_name(loaded.status().code())
+              << "]: " << loaded.status().detail() << "\n";
+    return kExitFailure;
+  }
+  const Csd& csd = *loaded;
+  std::cout << "loaded " << path << ": " << csd.width() << "x" << csd.height()
+            << " pixels, VP1 " << csd.x_axis().start() << ".."
+            << csd.x_axis().end() << " V, VP2 " << csd.y_axis().start()
+            << ".." << csd.y_axis().end() << " V\n";
+  const std::size_t total_pixels = csd.width() * csd.height();
+
+  if (connect_port > 0) {
+    // Served path: the diagram travels inline as a playback wire request.
+    wire::WireRequest request;
+    request.method = method == "fast" ? ExtractionMethod::kFast
+                                      : ExtractionMethod::kHoughBaseline;
+    request.backend = wire::WireBackendKind::kPlayback;
+    request.playback.csd = csd;
+    request.playback.dwell_seconds = dwell;
+    request.label = path;
+    request.deadline_ms = static_cast<std::uint64_t>(timeout_ms);
+    request.budget.max_probes = max_probes;
+    if (fault_rate > 0.0) {
+      request.faults.transient_rate = fault_rate;
+      request.faults.seed = fault_seed;
+    }
+    request.retry.max_attempts = max_retries + 1;
+    request.retry.wall_clock_backoff = wall_backoff;
+    return run_client(request, static_cast<std::uint16_t>(connect_port),
+                      tenant, show_progress, disconnect_after_first_event,
+                      total_pixels, method);
+  }
+
+  ExtractionRequest request;
+  request.method = method == "fast" ? ExtractionMethod::kFast
+                                    : ExtractionMethod::kHoughBaseline;
+  request.playback.csd = &csd;
+  request.playback.dwell_seconds = dwell;
+  request.label = path;
+  if (timeout_ms > 0.0)
+    request.deadline = std::chrono::steady_clock::now() +
+                       std::chrono::microseconds(
+                           static_cast<long long>(timeout_ms * 1e3));
+  request.budget.max_probes = max_probes;
+  if (fault_rate > 0.0) {
+    request.faults.transient_rate = fault_rate;
+    request.faults.seed = fault_seed;
+  }
+  // max_attempts counts the first try; "--max-retries 0" means one attempt,
+  // so any injected transient escalates straight to a hard fault.
+  request.retry.max_attempts = max_retries + 1;
+  request.retry.wall_clock_backoff = wall_backoff;
+
+  SubmitOptions options;
+  options.priority = Priority::kInteractive;  // a human is waiting
+  options.cancel = CancelToken::make();
+  if (cancel_job) options.cancel.cancel();
+  if (show_progress) {
+    // Print stage transitions only (every batch boundary would be one line
+    // per raster row); the final event count still shows in the summary.
+    options.on_progress = [last = std::string()](
+                              const ProgressEvent& event) mutable {
+      if (event.stage == last) return;
+      last = event.stage;
+      std::cerr << "[progress] stage=" << event.stage
+                << " probes=" << event.probes_used << " elapsed="
+                << qvg::format_fixed(event.elapsed_seconds * 1e3, 1)
+                << " ms\n";
+    };
+  }
+
+  JobQueue jobs;
+  const ExtractionReport report =
+      jobs.submit(request, std::move(options)).wait();
+  return print_outcome(report, method, total_pixels);
 }

@@ -6,10 +6,17 @@
 // baseline as *async jobs* through the service layer's JobQueue — the fast
 // job at interactive priority with streaming per-stage progress, the
 // baseline as batch work — cancels a redundant third job, and compares the
-// results with the analytic ground truth.
+// results with the analytic ground truth. Finally the same extraction is
+// served over the wire API: an in-process ExtractionServer on a loopback
+// socket, a binary wire submit, SSE progress, and a served report that
+// matches the direct run bit for bit.
 #include "common/strings.hpp"
 #include "extraction/validation.hpp"
+#include "server/extraction_server.hpp"
+#include "server/http_client.hpp"
 #include "service/job_queue.hpp"
+#include "wire/json.hpp"
+#include "wire/messages.hpp"
 
 #include <iostream>
 #include <memory>
@@ -149,7 +156,83 @@ int main() {
               << format_fixed(baseline.stats.total_seconds() /
                                   fast.stats.total_seconds(),
                               2)
-              << "x\n";
+              << "x\n\n";
+  }
+
+  // 5. The same extraction served over the wire API (PR 8): an in-process
+  //    server on a loopback socket. The wire request carries the *recipe*
+  //    (device params + seeds), not the device object, so the server
+  //    rebuilds the identical device and the served report matches a
+  //    direct engine run exactly.
+  {
+    using namespace qvg::server;
+    wire::WireRequest remote;
+    remote.method = ExtractionMethod::kFast;
+    remote.backend = wire::WireBackendKind::kDevice;
+    remote.device.params = params;
+    remote.device.has_jitter = true;
+    remote.device.jitter_seed = 7;
+    remote.device.noise_seed = 123;
+    remote.device.pixels_per_axis = 100;
+    remote.device.white_noise_sigma = 0.02;
+    remote.label = "served-fast";
+
+    ExtractionServer server;  // port 0: an ephemeral loopback port
+    if (server.start().ok()) {
+      const std::vector<std::uint8_t> bytes = wire::encode(remote);
+      Result<ClientResponse> submitted = http_call(
+          server.port(), "POST", "/v1/jobs?tenant=quickstart",
+          {reinterpret_cast<const char*>(bytes.data()), bytes.size()});
+      if (submitted.ok() && submitted.value().status == 200) {
+        Result<wire::JsonValue> doc =
+            wire::parse_json(submitted.value().body);
+        const std::string id =
+            std::to_string(doc.value().find("job")->as_u64());
+        std::cout << "Wire API: job " << id << " submitted to 127.0.0.1:"
+                  << server.port() << " (tenant 'quickstart')\n";
+
+        // Stream progress over SSE until the done frame.
+        SseClient sse;
+        std::string last_stage;
+        if (sse.connect(server.port(), "/v1/jobs/" + id + "/events").ok()) {
+          for (;;) {
+            Result<std::optional<std::string>> frame = sse.next_event();
+            if (!frame.ok() || !frame.value().has_value()) break;
+            if (frame.value()->rfind("event: done", 0) == 0) break;
+            if (frame.value()->rfind("data: ", 0) != 0) continue;
+            Result<ProgressEvent> event =
+                wire::progress_from_json(frame.value()->substr(6));
+            if (event.ok() && event.value().stage != last_stage) {
+              last_stage = event.value().stage;
+              std::cout << "[progress] served: stage=" << event.value().stage
+                        << " probes=" << event.value().probes_used << "\n";
+            }
+          }
+        }
+
+        Result<ClientResponse> fetched =
+            http_call(server.port(), "GET", "/v1/jobs/" + id + "?wait=1");
+        if (fetched.ok() && fetched.value().status == 200) {
+          const std::string& body = fetched.value().body;
+          Result<wire::WireReport> served = wire::decode_report(
+              {reinterpret_cast<const std::uint8_t*>(body.data()),
+               body.size()});
+          if (served.ok()) {
+            std::cout << "Served report:   alpha12 = "
+                      << served.value().virtual_gates.alpha12
+                      << ", alpha21 = " << served.value().virtual_gates.alpha21
+                      << " — " << (served.value().virtual_gates.alpha12 ==
+                                           fast.virtual_gates.alpha12 &&
+                                       served.value().virtual_gates.alpha21 ==
+                                           fast.virtual_gates.alpha21
+                                       ? "identical to the direct run"
+                                       : "MISMATCH vs the direct run")
+                      << "\n";
+          }
+        }
+      }
+      server.stop();
+    }
   }
   return fast.verdict.success ? 0 : 1;
 }

@@ -1,15 +1,16 @@
 #!/usr/bin/env bash
-# Build Release and refresh the perf-trajectory snapshot (BENCH_PR7.json at
-# the repo root; it includes every PR 1-6 scenario plus the PR 7 kernel
-# sweep, so earlier numbers stay reproducible and the SIMD/blocked kernels
-# are re-pinned against their references on the host CPU — see the
-# "metadata" object for the CPU/compiler/flags the numbers belong to).
+# Build Release and refresh the perf-trajectory snapshot. The output path is
+# the optional first argument (default: BENCH_PR8.json at the repo root —
+# bump the default once per PR; no in-script renames needed). The snapshot
+# includes every PR 1-7 scenario plus the PR 8 wire/server scenarios, so
+# earlier numbers stay reproducible — see the "metadata" object for the
+# CPU/compiler/flags the numbers belong to.
 # Usage: scripts/run_bench.sh [output.json]
 # Set QVG_THREADS=N to pin the thread-pool size (recorded per scenario).
 set -euo pipefail
 
 repo_root="$(cd "$(dirname "$0")/.." && pwd)"
-out="${1:-$repo_root/BENCH_PR7.json}"
+out="${1:-$repo_root/BENCH_PR8.json}"
 build_dir="$repo_root/build-release"
 
 cmake -B "$build_dir" -S "$repo_root" -DCMAKE_BUILD_TYPE=Release

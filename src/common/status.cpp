@@ -21,6 +21,7 @@ const char* error_code_name(ErrorCode code) noexcept {
     case ErrorCode::kProbeTransient: return "probe_transient";
     case ErrorCode::kProbeHardFault: return "probe_hard_fault";
     case ErrorCode::kDeviceDrifted: return "device_drifted";
+    case ErrorCode::kOverloaded: return "overloaded";
     case ErrorCode::kInternal: return "internal";
   }
   return "unknown";

@@ -69,6 +69,11 @@ enum class ErrorCode {
   /// recalibrated by the time this is reported; recovery invalidates the
   /// stale ProbeCache region and re-probes only the affected rows.
   kDeviceDrifted,
+  /// The service shed this job at admission: the tenant's (or the queue's)
+  /// pending backlog exceeded its configured bound. The job never ran and
+  /// issued zero probes; clients should back off and resubmit. Maps to
+  /// HTTP 503 at the wire API.
+  kOverloaded,
   /// Unclassified internal failure.
   kInternal,
 };

@@ -62,6 +62,9 @@ struct DotArrayParams {
   /// Relative jitter (fraction) applied to lever arms, charging energies,
   /// and transition placements when a jitter Rng is supplied.
   double jitter = 0.0;
+
+  friend bool operator==(const DotArrayParams&, const DotArrayParams&) =
+      default;
 };
 
 struct BuiltDevice {

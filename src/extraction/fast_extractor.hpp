@@ -42,6 +42,8 @@ struct ProbeStats {
   [[nodiscard]] double total_seconds() const {
     return simulated_seconds + compute_seconds;
   }
+
+  friend bool operator==(const ProbeStats&, const ProbeStats&) = default;
 };
 
 struct FastExtractionResult {

@@ -30,6 +30,8 @@ struct Verdict {
   /// Angle between the true transition lines after applying the extracted
   /// virtualization matrix.
   double virtualized_angle_deg = 0.0;
+
+  friend bool operator==(const Verdict&, const Verdict&) = default;
 };
 
 /// Judge an extracted pair against the ground truth. `extraction_succeeded`

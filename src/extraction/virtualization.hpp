@@ -27,6 +27,9 @@ struct VirtualGatePair {
 
   /// The 2x2 virtualization matrix [[1, a12], [a21, 1]].
   [[nodiscard]] Matrix matrix() const;
+
+  friend bool operator==(const VirtualGatePair&, const VirtualGatePair&) =
+      default;
 };
 
 /// Build the pair from measured slopes (both must be negative, with

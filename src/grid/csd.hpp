@@ -28,6 +28,9 @@ struct TransitionTruth {
   /// VP1 on the vertical axis.)
   [[nodiscard]] double alpha12() const { return -1.0 / slope_steep; }
   [[nodiscard]] double alpha21() const { return -slope_shallow; }
+
+  friend bool operator==(const TransitionTruth&, const TransitionTruth&) =
+      default;
 };
 
 /// A measured or simulated charge stability diagram.
@@ -75,6 +78,10 @@ class Csd {
   /// which crops qflow diagrams to the central 50% region.
   [[nodiscard]] Csd cropped(std::size_t x0, std::size_t y0, std::size_t w,
                             std::size_t h) const;
+
+  /// Full value equality: axes, pixels, truth, and name (wire round-trip
+  /// tests pin bit-exact diagrams).
+  friend bool operator==(const Csd&, const Csd&) = default;
 
  private:
   VoltageAxis x_axis_;

@@ -43,6 +43,8 @@ struct Budget {
   [[nodiscard]] bool unlimited() const noexcept {
     return max_probes <= 0 && max_wall_seconds <= 0.0;
   }
+
+  friend bool operator==(const Budget&, const Budget&) = default;
 };
 
 class AcquisitionContext {

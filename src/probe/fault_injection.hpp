@@ -82,6 +82,8 @@ struct FaultSchedule {
   double drift_detect_threshold_volts = 1e-3;
   int drift_detect_lag_batches = 1;
 
+  friend bool operator==(const FaultSchedule&, const FaultSchedule&) = default;
+
   /// Whether this schedule can inject anything at all.
   [[nodiscard]] bool active() const noexcept {
     return transient_rate > 0.0 || hard_fault_rate > 0.0 || stuck_rate > 0.0 ||

@@ -45,6 +45,8 @@ void ProgressSink::report(const char* stage, long probes_used) const {
     latest.elapsed_seconds =
         std::chrono::duration<double>(now - state_->start).count();
     latest.sequence = state_->next_sequence++;
+    latest.timestamp_seconds =
+        std::chrono::duration<double>(now.time_since_epoch()).count();
     state_->any = true;
     event = latest;
   }

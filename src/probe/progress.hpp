@@ -41,6 +41,14 @@ struct ProgressEvent {
   double elapsed_seconds = 0.0;
   /// Strictly increasing per-sink event number, starting at 0.
   std::size_t sequence = 0;
+  /// Monotonic wall-clock timestamp of the boundary: seconds on the steady
+  /// clock (since its epoch), sampled at the same instant as
+  /// elapsed_seconds. Self-describing on the wire: a streamed event carries
+  /// when it happened without the receiver having to know the job's start,
+  /// and timestamps are comparable across events of one process.
+  double timestamp_seconds = 0.0;
+
+  friend bool operator==(const ProgressEvent&, const ProgressEvent&) = default;
 };
 
 /// Shared-state handle on a job's progress stream (copyable, like

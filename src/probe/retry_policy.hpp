@@ -62,6 +62,8 @@ struct RetryPolicy {
   /// The deterministic backoff (seconds) before retry `retry_index` (1-based),
   /// jitter drawn from `jitter_rng`.
   [[nodiscard]] double backoff_seconds(int retry_index, Rng& jitter_rng) const;
+
+  friend bool operator==(const RetryPolicy&, const RetryPolicy&) = default;
 };
 
 /// Totals of everything the recovery layer absorbed during one job. All

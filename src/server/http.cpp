@@ -1,0 +1,323 @@
+#include "server/http.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cctype>
+#include <cerrno>
+#include <csignal>
+#include <cstdio>
+#include <cstring>
+#include <mutex>
+#include <thread>
+
+namespace qvg::server {
+
+namespace {
+
+// MSG_NOSIGNAL keeps a write to a dead peer from raising SIGPIPE (we want
+// the EPIPE return instead — that is the disconnect signal).
+bool send_all(int fd, const char* data, std::size_t size) {
+  while (size > 0) {
+    const ssize_t n = ::send(fd, data, size, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    data += n;
+    size -= static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+std::string lowercase(std::string s) {
+  std::transform(s.begin(), s.end(), s.begin(), [](unsigned char c) {
+    return static_cast<char>(std::tolower(c));
+  });
+  return s;
+}
+
+}  // namespace
+
+const char* http_status_reason(int status) noexcept {
+  switch (status) {
+    case 200: return "OK";
+    case 202: return "Accepted";
+    case 400: return "Bad Request";
+    case 404: return "Not Found";
+    case 405: return "Method Not Allowed";
+    case 408: return "Request Timeout";
+    case 413: return "Payload Too Large";
+    case 500: return "Internal Server Error";
+    case 503: return "Service Unavailable";
+    default: return "Unknown";
+  }
+}
+
+std::string HttpRequest::query_param(std::string_view key,
+                                     std::string_view fallback) const {
+  std::string_view rest = query;
+  while (!rest.empty()) {
+    const std::size_t amp = rest.find('&');
+    const std::string_view pair =
+        amp == std::string_view::npos ? rest : rest.substr(0, amp);
+    rest = amp == std::string_view::npos ? std::string_view{}
+                                         : rest.substr(amp + 1);
+    const std::size_t eq = pair.find('=');
+    if (eq == std::string_view::npos) continue;
+    if (pair.substr(0, eq) == key) return std::string(pair.substr(eq + 1));
+  }
+  return std::string(fallback);
+}
+
+// ---------------------------------------------------- ResponseWriter ------
+
+bool ResponseWriter::write_all(std::string_view data) {
+  if (dead_) return false;
+  if (!send_all(fd_, data.data(), data.size())) {
+    dead_ = true;
+    return false;
+  }
+  return true;
+}
+
+void ResponseWriter::send(
+    int status, std::string_view content_type, std::string_view body,
+    const std::vector<std::pair<std::string, std::string>>& extra_headers) {
+  responded_ = true;
+  std::string head = "HTTP/1.1 " + std::to_string(status) + " " +
+                     http_status_reason(status) + "\r\n";
+  head += "Content-Type: " + std::string(content_type) + "\r\n";
+  head += "Content-Length: " + std::to_string(body.size()) + "\r\n";
+  for (const auto& [k, v] : extra_headers) head += k + ": " + v + "\r\n";
+  head += "Connection: close\r\n\r\n";
+  if (write_all(head)) (void)write_all(body);
+}
+
+void ResponseWriter::begin_stream(int status, std::string_view content_type) {
+  responded_ = true;
+  streaming_ = true;
+  std::string head = "HTTP/1.1 " + std::to_string(status) + " " +
+                     http_status_reason(status) + "\r\n";
+  head += "Content-Type: " + std::string(content_type) + "\r\n";
+  head += "Cache-Control: no-store\r\n";
+  head += "Transfer-Encoding: chunked\r\n";
+  head += "Connection: close\r\n\r\n";
+  (void)write_all(head);
+}
+
+bool ResponseWriter::write_chunk(std::string_view data) {
+  if (data.empty()) return !dead_;  // an empty chunk would terminate
+  char size_line[32];
+  std::snprintf(size_line, sizeof size_line, "%zx\r\n", data.size());
+  if (!write_all(size_line)) return false;
+  if (!write_all(data)) return false;
+  return write_all("\r\n");
+}
+
+void ResponseWriter::end_stream() {
+  if (streaming_) (void)write_all("0\r\n\r\n");
+}
+
+// --------------------------------------------------------- HttpServer -----
+
+struct HttpServer::Impl {
+  Handler handler;
+  int listen_fd = -1;
+  std::thread accept_thread;
+  std::atomic<bool> stopping{false};
+
+  std::mutex mutex;  // guards connections + threads
+  std::vector<int> open_fds;
+  std::vector<std::thread> workers;
+
+  explicit Impl(Handler h) : handler(std::move(h)) {}
+
+  void serve_connection(int fd) {
+    handle_one(fd);
+    // Deregister BEFORE closing: once close() returns the kernel may hand
+    // the same fd number to a new accept(), and a stale open_fds entry
+    // would make the finished connection's erase also drop the new
+    // connection's entry — stop() would then never shut that socket down
+    // and would join its handler thread forever (or shutdown() a reused,
+    // unrelated descriptor).
+    {
+      std::lock_guard<std::mutex> lock(mutex);
+      open_fds.erase(std::remove(open_fds.begin(), open_fds.end(), fd),
+                     open_fds.end());
+    }
+    ::close(fd);
+  }
+
+  /// Read headers (bounded), then the Content-Length body (bounded), parse,
+  /// dispatch. Any protocol problem answers with a 4xx and closes.
+  void handle_one(int fd) {
+    ResponseWriter writer(fd);
+    std::string buffer;
+    std::size_t header_end = std::string::npos;
+    char chunk[4096];
+    while (header_end == std::string::npos) {
+      if (buffer.size() > kMaxHeaderBytes) {
+        writer.send(413, "text/plain", "headers too large\n");
+        return;
+      }
+      const ssize_t n = ::recv(fd, chunk, sizeof chunk, 0);
+      if (n <= 0) return;  // client went away before completing the request
+      buffer.append(chunk, static_cast<std::size_t>(n));
+      header_end = buffer.find("\r\n\r\n");
+    }
+
+    HttpRequest request;
+    {
+      // Request line: METHOD SP target SP version.
+      const std::size_t line_end = buffer.find("\r\n");
+      const std::string line = buffer.substr(0, line_end);
+      const std::size_t sp1 = line.find(' ');
+      const std::size_t sp2 =
+          sp1 == std::string::npos ? std::string::npos : line.find(' ', sp1 + 1);
+      if (sp2 == std::string::npos) {
+        writer.send(400, "text/plain", "malformed request line\n");
+        return;
+      }
+      request.method = line.substr(0, sp1);
+      std::string target = line.substr(sp1 + 1, sp2 - sp1 - 1);
+      const std::size_t qmark = target.find('?');
+      if (qmark == std::string::npos) {
+        request.path = std::move(target);
+      } else {
+        request.path = target.substr(0, qmark);
+        request.query = target.substr(qmark + 1);
+      }
+      // Header lines up to the blank line.
+      std::size_t pos = line_end + 2;
+      while (pos < header_end) {
+        const std::size_t eol = buffer.find("\r\n", pos);
+        const std::string header = buffer.substr(pos, eol - pos);
+        pos = eol + 2;
+        const std::size_t colon = header.find(':');
+        if (colon == std::string::npos) continue;
+        std::string key = lowercase(header.substr(0, colon));
+        std::size_t vstart = colon + 1;
+        while (vstart < header.size() && header[vstart] == ' ') ++vstart;
+        request.headers[std::move(key)] = header.substr(vstart);
+      }
+    }
+
+    std::size_t content_length = 0;
+    if (auto it = request.headers.find("content-length");
+        it != request.headers.end()) {
+      char* end = nullptr;
+      const unsigned long long v = std::strtoull(it->second.c_str(), &end, 10);
+      if (end == it->second.c_str() || *end != '\0' || v > kMaxBodyBytes) {
+        writer.send(v > kMaxBodyBytes ? 413 : 400, "text/plain",
+                    "bad content length\n");
+        return;
+      }
+      content_length = static_cast<std::size_t>(v);
+    }
+
+    request.body = buffer.substr(header_end + 4);
+    while (request.body.size() < content_length) {
+      const ssize_t n = ::recv(fd, chunk, sizeof chunk, 0);
+      if (n <= 0) return;  // truncated body: client gone
+      request.body.append(chunk, static_cast<std::size_t>(n));
+    }
+    request.body.resize(content_length);
+
+    handler(request, writer);
+    if (!writer.responded())
+      writer.send(500, "text/plain", "handler produced no response\n");
+    writer.end_stream();
+  }
+
+  void accept_loop() {
+    for (;;) {
+      const int fd = ::accept(listen_fd, nullptr, nullptr);
+      if (fd < 0) {
+        if (errno == EINTR) continue;
+        return;  // listener closed: stop() is running
+      }
+      if (stopping.load()) {
+        ::close(fd);
+        return;
+      }
+      std::lock_guard<std::mutex> lock(mutex);
+      open_fds.push_back(fd);
+      workers.emplace_back([this, fd] { serve_connection(fd); });
+    }
+  }
+};
+
+HttpServer::HttpServer(Handler handler)
+    : impl_(std::make_unique<Impl>(std::move(handler))) {}
+
+HttpServer::~HttpServer() { stop(); }
+
+Status HttpServer::start(std::uint16_t port) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0)
+    return Status::failure(ErrorCode::kIoError, "http",
+                           std::string("socket: ") + std::strerror(errno));
+  const int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (::bind(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof addr) < 0 ||
+      ::listen(fd, 64) < 0) {
+    const std::string detail = std::strerror(errno);
+    ::close(fd);
+    return Status::failure(ErrorCode::kIoError, "http", "bind: " + detail);
+  }
+  socklen_t len = sizeof addr;
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &len) < 0) {
+    const std::string detail = std::strerror(errno);
+    ::close(fd);
+    return Status::failure(ErrorCode::kIoError, "http",
+                           "getsockname: " + detail);
+  }
+  port_ = ntohs(addr.sin_port);
+  impl_->listen_fd = fd;
+  impl_->accept_thread = std::thread([impl = impl_.get()] {
+    impl->accept_loop();
+  });
+  return Status();
+}
+
+void HttpServer::stop() {
+  if (impl_ == nullptr || impl_->stopping.exchange(true)) {
+    // Second call (or never started): still join if the first caller has
+    // not finished — but stop() from the destructor after an explicit
+    // stop() must be a no-op, which the joinable() checks below give us.
+  }
+  if (impl_ == nullptr) return;
+  if (impl_->listen_fd >= 0) {
+    // Closing the listener pops accept() with EBADF/ECONNABORTED and ends
+    // the accept loop.
+    ::shutdown(impl_->listen_fd, SHUT_RDWR);
+    ::close(impl_->listen_fd);
+    impl_->listen_fd = -1;
+  }
+  if (impl_->accept_thread.joinable()) impl_->accept_thread.join();
+  // Shut down in-flight connections: blocked recv()s return 0, blocked
+  // send()s fail, handlers unwind, then join everyone.
+  {
+    std::lock_guard<std::mutex> lock(impl_->mutex);
+    for (int fd : impl_->open_fds) ::shutdown(fd, SHUT_RDWR);
+  }
+  std::vector<std::thread> workers;
+  {
+    std::lock_guard<std::mutex> lock(impl_->mutex);
+    workers.swap(impl_->workers);
+  }
+  for (std::thread& t : workers)
+    if (t.joinable()) t.join();
+}
+
+}  // namespace qvg::server

@@ -1,0 +1,267 @@
+#include "server/http_client.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cctype>
+#include <cerrno>
+#include <cstdlib>
+#include <cstring>
+
+namespace qvg::server {
+
+namespace {
+
+Status io_error(std::string detail) {
+  return Status::failure(ErrorCode::kIoError, "http_client",
+                         std::move(detail));
+}
+
+Status parse_error(std::string detail) {
+  return Status::failure(ErrorCode::kParseError, "http_client",
+                         std::move(detail));
+}
+
+int connect_loopback(std::uint16_t port) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return -1;
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof addr) <
+      0) {
+    ::close(fd);
+    return -1;
+  }
+  return fd;
+}
+
+bool send_all(int fd, std::string_view data) {
+  const char* p = data.data();
+  std::size_t size = data.size();
+  while (size > 0) {
+    const ssize_t n = ::send(fd, p, size, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    p += n;
+    size -= static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+std::string request_text(const std::string& method, const std::string& target,
+                         std::string_view body,
+                         const std::string& content_type) {
+  std::string out = method + " " + target + " HTTP/1.1\r\n";
+  out += "Host: 127.0.0.1\r\n";
+  if (!body.empty() || method == "POST") {
+    out += "Content-Type: " + content_type + "\r\n";
+    out += "Content-Length: " + std::to_string(body.size()) + "\r\n";
+  }
+  out += "Connection: close\r\n\r\n";
+  out.append(body);
+  return out;
+}
+
+/// Parse "HTTP/1.1 NNN ..." + headers out of `raw`; returns the body offset
+/// or npos if the header block is not complete yet.
+std::size_t parse_head(const std::string& raw, int& status,
+                       std::map<std::string, std::string>& headers) {
+  const std::size_t head_end = raw.find("\r\n\r\n");
+  if (head_end == std::string::npos) return std::string::npos;
+  const std::size_t line_end = raw.find("\r\n");
+  const std::string line = raw.substr(0, line_end);
+  const std::size_t sp = line.find(' ');
+  status = sp == std::string::npos ? 0 : std::atoi(line.c_str() + sp + 1);
+  std::size_t pos = line_end + 2;
+  while (pos < head_end) {
+    const std::size_t eol = raw.find("\r\n", pos);
+    const std::string header = raw.substr(pos, eol - pos);
+    pos = eol + 2;
+    const std::size_t colon = header.find(':');
+    if (colon == std::string::npos) continue;
+    std::string key = header.substr(0, colon);
+    std::transform(key.begin(), key.end(), key.begin(), [](unsigned char c) {
+      return static_cast<char>(std::tolower(c));
+    });
+    std::size_t vstart = colon + 1;
+    while (vstart < header.size() && header[vstart] == ' ') ++vstart;
+    headers[std::move(key)] = header.substr(vstart);
+  }
+  return head_end + 4;
+}
+
+/// De-chunk `input` (a complete chunked body) into `out`; false when the
+/// stream is malformed or incomplete.
+bool dechunk_all(std::string_view input, std::string& out) {
+  std::size_t pos = 0;
+  for (;;) {
+    const std::size_t eol = input.find("\r\n", pos);
+    if (eol == std::string_view::npos) return false;
+    const std::string size_line(input.substr(pos, eol - pos));
+    char* end = nullptr;
+    const unsigned long long size = std::strtoull(size_line.c_str(), &end, 16);
+    if (end == size_line.c_str()) return false;
+    pos = eol + 2;
+    if (size == 0) return true;
+    if (input.size() - pos < size + 2) return false;
+    out.append(input.substr(pos, size));
+    pos += size + 2;  // chunk + trailing CRLF
+  }
+}
+
+}  // namespace
+
+Result<ClientResponse> http_call(std::uint16_t port, const std::string& method,
+                                 const std::string& target,
+                                 std::string_view body,
+                                 const std::string& content_type) {
+  const int fd = connect_loopback(port);
+  if (fd < 0)
+    return io_error("connect to 127.0.0.1:" + std::to_string(port) + ": " +
+                    std::strerror(errno));
+  if (!send_all(fd, request_text(method, target, body, content_type))) {
+    ::close(fd);
+    return io_error("send failed");
+  }
+  // Connection: close — the response is everything until EOF.
+  std::string raw;
+  char chunk[4096];
+  for (;;) {
+    const ssize_t n = ::recv(fd, chunk, sizeof chunk, 0);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      ::close(fd);
+      return io_error("recv failed");
+    }
+    if (n == 0) break;
+    raw.append(chunk, static_cast<std::size_t>(n));
+  }
+  ::close(fd);
+
+  ClientResponse response;
+  const std::size_t body_start =
+      parse_head(raw, response.status, response.headers);
+  if (body_start == std::string::npos)
+    return parse_error("response headers never completed");
+  const std::string_view payload =
+      std::string_view(raw).substr(body_start);
+  const auto te = response.headers.find("transfer-encoding");
+  if (te != response.headers.end() && te->second == "chunked") {
+    if (!dechunk_all(payload, response.body))
+      return parse_error("malformed chunked body");
+  } else {
+    response.body.assign(payload);
+  }
+  return response;
+}
+
+// ------------------------------------------------------------ SseClient ---
+
+Status SseClient::connect(std::uint16_t port, const std::string& target) {
+  close();
+  fd_ = connect_loopback(port);
+  if (fd_ < 0)
+    return io_error("connect to 127.0.0.1:" + std::to_string(port) + ": " +
+                    std::strerror(errno));
+  if (!send_all(fd_, request_text("GET", target, {}, ""))) {
+    close();
+    return io_error("send failed");
+  }
+  // Read until the header block is complete.
+  while (!headers_done_) {
+    if (!fill()) {
+      close();
+      return io_error("connection closed before response headers");
+    }
+    int status = 0;
+    std::map<std::string, std::string> headers;
+    const std::size_t body_start = parse_head(raw_, status, headers);
+    if (body_start == std::string::npos) continue;
+    if (status != 200) {
+      close();
+      return io_error("server answered " + std::to_string(status));
+    }
+    raw_.erase(0, body_start);
+    headers_done_ = true;
+  }
+  return Status();
+}
+
+bool SseClient::fill() {
+  if (fd_ < 0) return false;
+  char chunk[4096];
+  for (;;) {
+    const ssize_t n = ::recv(fd_, chunk, sizeof chunk, 0);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    if (n == 0) return false;
+    raw_.append(chunk, static_cast<std::size_t>(n));
+    return true;
+  }
+}
+
+Result<std::optional<std::string>> SseClient::next_event() {
+  if (fd_ < 0 && decoded_.empty() && !stream_ended_)
+    return io_error("not connected");
+  for (;;) {
+    // 1. A complete frame already decoded?
+    while (true) {
+      const std::size_t sep = decoded_.find("\n\n");
+      if (sep == std::string::npos) break;
+      std::string frame = decoded_.substr(0, sep);
+      decoded_.erase(0, sep + 2);
+      if (!frame.empty() && frame[0] == ':') continue;  // keepalive comment
+      return std::optional<std::string>(std::move(frame));
+    }
+    if (stream_ended_) return std::optional<std::string>(std::nullopt);
+
+    // 2. De-chunk what we have.
+    for (;;) {
+      const std::size_t eol = raw_.find("\r\n");
+      if (eol == std::string::npos) break;
+      const std::string size_line = raw_.substr(0, eol);
+      char* end = nullptr;
+      const unsigned long long size =
+          std::strtoull(size_line.c_str(), &end, 16);
+      if (end == size_line.c_str())
+        return parse_error("malformed chunk size '" + size_line + "'");
+      if (size == 0) {
+        stream_ended_ = true;
+        break;
+      }
+      if (raw_.size() - (eol + 2) < size + 2) break;  // chunk incomplete
+      decoded_.append(raw_, eol + 2, size);
+      raw_.erase(0, eol + 2 + size + 2);
+    }
+    if (stream_ended_) continue;
+    if (decoded_.find("\n\n") != std::string::npos) continue;
+
+    // 3. Need more bytes.
+    if (!fill()) {
+      if (decoded_.empty()) return std::optional<std::string>(std::nullopt);
+      return io_error("connection dropped mid-stream");
+    }
+  }
+}
+
+void SseClient::close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+  raw_.clear();
+  decoded_.clear();
+  headers_done_ = false;
+  stream_ended_ = false;
+}
+
+}  // namespace qvg::server

@@ -16,15 +16,27 @@
 //
 // Scheduling: submission enqueues the request in the queue's own pending
 // list and posts one generic drain task to the ThreadPool; each drain task
-// pops the *highest-priority* pending job at the moment a worker picks it
-// up (kInteractive < kNormal < kBatch, FIFO within a class). Aging prevents
-// starvation: a pending job is promoted one class for every
-// kAgingDispatches jobs dispatched past it, so a kBatch job under a
-// saturating interactive stream still runs after a bounded number of
-// bypasses. On a pool with no workers submission degrades to synchronous
-// execution inside submit() (priority cannot reorder anything — each job
-// completes before the next is submitted); the handle API behaves
-// identically.
+// pops the best pending job at the moment a worker picks it up. Selection
+// is two-level (multi-tenant weighted fairness, PR 8): first the *tenant*,
+// by deficit-weighted dispatch — each tenant accrues 1/weight of "virtual
+// work" per dispatched job and the backlogged tenant with the least
+// virtual work is served next, so under saturation dispatch shares
+// converge to the configured weights (ties break by tenant name; a tenant
+// going idle is clamped forward on reactivation so it cannot bank credit).
+// Then, *within* the tenant, the existing priority order (kInteractive <
+// kNormal < kBatch, FIFO within a class) with aging: a pending job is
+// promoted one class for every kAgingDispatches jobs dispatched past it,
+// so a kBatch job under a saturating interactive stream still runs after a
+// bounded number of bypasses. Every job belongs to a tenant
+// (SubmitOptions::tenant; the empty default tenant has weight 1), so a
+// queue used without tenants schedules exactly as before. Admission
+// control: configure_tenant attaches per-job Budget caps (folded into each
+// request, tighter field wins) and a max_pending backlog bound — a submit
+// past the bound (or past set_max_pending's queue-wide bound) is shed with
+// a typed kOverloaded report instead of being queued. On a pool with no
+// workers submission degrades to synchronous execution inside submit()
+// (priority cannot reorder anything — each job completes before the next
+// is submitted); the handle API behaves identically.
 //
 // Execution: jobs run as fire-and-forget tasks on the ThreadPool (JobQueue
 // itself owns no threads), and — via the pool's cooperative scheduler — a
@@ -73,6 +85,11 @@ enum class Priority {
 /// Per-submission options (all optional).
 struct SubmitOptions {
   Priority priority = Priority::kNormal;
+  /// Tenant this job is accounted to. Tenants are the unit of weighted
+  /// fairness and admission control (see JobQueue::configure_tenant); the
+  /// empty name is the default tenant (weight 1, no quotas). Submitting
+  /// under an unconfigured name lazily creates a default-configured tenant.
+  std::string tenant;
   /// Pre-wired cancellation (e.g. cancel before the queue can start the
   /// job); by default each job gets its own fresh token, reachable through
   /// JobHandle::cancel().
@@ -135,6 +152,47 @@ class JobHandle {
   std::shared_ptr<State> state_;
 };
 
+/// Per-tenant scheduling weight and admission quotas (multi-tenant weighted
+/// fairness, PR 8). All fields optional; the default is weight 1 with no
+/// quotas — indistinguishable from the pre-tenant queue.
+struct TenantConfig {
+  /// Relative dispatch share under contention: a weight-2 tenant with a
+  /// saturated backlog is dispatched twice as often as a weight-1 tenant.
+  /// Must be > 0.
+  double weight = 1.0;
+  /// Admission control through the existing Budget machinery: a per-job cap
+  /// folded into every submitted request's budget (the tighter of the two
+  /// wins, field by field). Zero fields = no cap.
+  Budget job_budget;
+  /// Load shedding: a submit while this tenant already has max_pending jobs
+  /// waiting is rejected with a typed kOverloaded report (the job never
+  /// runs). 0 = unlimited.
+  std::size_t max_pending = 0;
+};
+
+/// Snapshot of one tenant's accounting (see JobQueue::stats).
+struct TenantStats {
+  std::string tenant;
+  double weight = 1.0;
+  std::size_t submitted = 0;   // accepted jobs
+  std::size_t dispatched = 0;  // handed to a worker
+  std::size_t completed = 0;   // report published
+  std::size_t rejected = 0;    // shed at admission (kOverloaded)
+  std::size_t pending = 0;     // accepted, not yet dispatched
+};
+
+/// Queue-wide + per-tenant counters, one consistent snapshot. Feeds load
+/// shedding decisions and the wire API's /stats endpoint; the dispatch
+/// counters are what the fairness bench measures against tenant weights.
+struct QueueStats {
+  std::size_t submitted = 0;
+  std::size_t completed = 0;
+  std::size_t pending = 0;
+  std::size_t rejected = 0;
+  /// Sorted by tenant name; the default tenant is "".
+  std::vector<TenantStats> tenants;
+};
+
 class JobQueue {
  public:
   /// A pending job is promoted one priority class after this many jobs have
@@ -160,6 +218,16 @@ class JobQueue {
   /// Back-compat convenience: submit with a pre-wired token at kNormal.
   JobHandle submit(ExtractionRequest request, CancelToken cancel);
 
+  /// Configure (or reconfigure) a tenant's weight and quotas. May be called
+  /// at any time; affects jobs submitted afterwards (and the dispatch share
+  /// of jobs already pending). config.weight must be > 0.
+  void configure_tenant(const std::string& tenant, TenantConfig config);
+
+  /// Queue-wide load-shedding bound: a submit while max_pending jobs are
+  /// already waiting (across all tenants) is rejected with kOverloaded.
+  /// 0 = unlimited (default).
+  void set_max_pending(std::size_t max_pending);
+
   /// Block until every job submitted so far has finished.
   void wait_all() const;
 
@@ -167,6 +235,8 @@ class JobQueue {
   [[nodiscard]] std::size_t completed() const;
   /// Jobs accepted but not yet picked up by a worker.
   [[nodiscard]] std::size_t pending() const;
+  /// One consistent snapshot of the queue-wide and per-tenant counters.
+  [[nodiscard]] QueueStats stats() const;
 
  private:
   struct Shared;
