@@ -93,7 +93,11 @@
 // Every scenario records the effective thread count (set QVG_THREADS=N to
 // re-measure on multi-core hardware in one variable).
 //
-// Usage: bench_json [output.json]   (default: BENCH_PR8.json in the CWD)
+// Usage: bench_json [output.json] [filter]
+//   (default output: BENCH_PR9.json in the CWD; `filter` is an optional
+//   substring matched against scenario-family names — only matching families
+//   run, e.g. `bench_json out.json solver_frontier`. An unknown filter runs
+//   nothing and lists the family names.)
 #include "common/simd.hpp"
 #include "common/stopwatch.hpp"
 #include "common/thread_pool.hpp"
@@ -163,7 +167,7 @@ struct JsonWriter {
   bool first_scenario = true;
 
   void begin() {
-    out << "{\n  \"bench\": \"PR8\",\n  \"metadata\": {\n"
+    out << "{\n  \"bench\": \"PR9\",\n  \"metadata\": {\n"
         << "    \"cpu\": \"" << cpu_model() << "\",\n"
         << "    \"compiler\": \"" << __VERSION__ << "\",\n"
 #ifdef QVG_BUILD_FLAGS
@@ -1280,6 +1284,164 @@ void bench_kernel_sweep(JsonWriter& json) {
   set_parallelism_enabled(true);
 }
 
+// PR 9: the solver frontier at 8-16 dots — annealing and tabu vs the PR 2
+// multistart-greedy ablation baseline, on random near-transition drive sets.
+// At 8 dots branch-and-bound is still tractable, so the exact-recovery
+// fraction of every stochastic strategy is measured against ground truth; at
+// 12 and 16 dots quality is mean excess energy over the best state any
+// strategy found. The anneal restart ladder (1/2/4 restarts) traces the
+// quality-vs-time front one knob controls.
+void bench_solver_frontier(JsonWriter& json) {
+  for (std::size_t n_dots : {8u, 12u, 16u}) {
+    DotArrayParams params;
+    params.n_dots = n_dots;
+    const BuiltDevice device = build_dot_array(params);
+    Rng rng(900 + n_dots);
+    const int solves = n_dots == 8 ? 16 : n_dots == 12 ? 10 : 6;
+    std::vector<std::vector<double>> drive_sets;
+    std::vector<double> voltages(n_dots);
+    for (int s = 0; s < solves; ++s) {
+      for (auto& v : voltages) v = rng.uniform(0.0, 0.06);
+      drive_sets.push_back(device.model.dot_drives(voltages));
+    }
+
+    struct Variant {
+      std::string label;
+      FrontierOptions options;
+    };
+    std::vector<Variant> variants;
+    {
+      FrontierOptions greedy;
+      greedy.strategy = FrontierStrategy::kMultistartGreedy;
+      greedy.restarts = 8;
+      variants.push_back({"greedy8", greedy});
+      FrontierOptions anneal;  // production defaults
+      variants.push_back({"anneal", anneal});
+      FrontierOptions tabu;
+      tabu.strategy = FrontierStrategy::kTabu;
+      variants.push_back({"tabu", tabu});
+      for (const int restarts : {1, 2, 4}) {
+        FrontierOptions ladder;
+        ladder.restarts = restarts;
+        variants.push_back({"anneal_r" + std::to_string(restarts), ladder});
+      }
+    }
+
+    // Exact ground-state energies via branch-and-bound where tractable.
+    std::vector<double> exact_energy;
+    double bb_s = 0.0;
+    if (n_dots == 8) {
+      IncrementalGroundStateSolver solver(device.model);
+      bb_s = time_best(2, [&] {
+        for (const auto& d : drive_sets)
+          (void)solver.solve(d, 4, nullptr,
+                             ExhaustiveStrategy::kBranchAndBound);
+      });
+      for (const auto& d : drive_sets)
+        exact_energy.push_back(device.model.energy(
+            solver.solve(d, 4, nullptr, ExhaustiveStrategy::kBranchAndBound),
+            d));
+    }
+
+    // Energies per variant per drive set (outside the timed loops), plus the
+    // best state any variant found — the 12/16-dot quality reference.
+    std::vector<std::vector<double>> energies(variants.size());
+    std::vector<double> best_energy(drive_sets.size(),
+                                    std::numeric_limits<double>::infinity());
+    std::vector<std::uint64_t> moves(variants.size(), 0);
+    for (std::size_t v = 0; v < variants.size(); ++v) {
+      for (std::size_t s = 0; s < drive_sets.size(); ++s) {
+        SolveStats stats;
+        const double e = device.model.energy(
+            ground_state_frontier(device.model, drive_sets[s], 4,
+                                  variants[v].options, &stats),
+            drive_sets[s]);
+        energies[v].push_back(e);
+        best_energy[s] = std::min(best_energy[s], e);
+        moves[v] += stats.moves_evaluated;
+      }
+    }
+    if (!exact_energy.empty())
+      for (std::size_t s = 0; s < drive_sets.size(); ++s)
+        best_energy[s] = std::min(best_energy[s], exact_energy[s]);
+
+    json.begin_scenario("solver_frontier_" + std::to_string(n_dots) + "dot");
+    json.field("solves", static_cast<long>(solves));
+    if (n_dots == 8) json.field("bb_us_per_solve", bb_s / solves * 1e6);
+    for (std::size_t v = 0; v < variants.size(); ++v) {
+      const auto& variant = variants[v];
+      const double wall_s = time_best(2, [&] {
+        for (const auto& d : drive_sets)
+          (void)ground_state_frontier(device.model, d, 4, variant.options);
+      });
+      json.field(variant.label + "_us_per_solve", wall_s / solves * 1e6);
+      json.field(variant.label + "_moves_per_solve",
+                 static_cast<double>(moves[v]) / solves);
+      // Exact recovery against B&B truth at 8 dots; mean excess energy over
+      // the best-of-all state above (0 = matched the best anyone found).
+      int exact = 0;
+      double excess = 0.0;
+      for (std::size_t s = 0; s < drive_sets.size(); ++s) {
+        const double reference =
+            exact_energy.empty() ? best_energy[s] : exact_energy[s];
+        if (energies[v][s] <= reference + 1e-12) ++exact;
+        excess += energies[v][s] - best_energy[s];
+      }
+      if (n_dots == 8)
+        json.field(variant.label + "_exact_fraction",
+                   static_cast<double>(exact) / solves);
+      json.field(variant.label + "_mean_excess_energy", excess / solves);
+    }
+    json.end_scenario();
+  }
+}
+
+// PR 9: the sharded 10-16 dot array lane. The n-1 pair extractions run
+// serially, one-shard-per-pair, and in 4 round-robin shards; all three must
+// compose bit-identically (the pin), and the sharded walks show the
+// wall-clock win per-shard ProbeCaches buy (no cross-shard lock contention).
+void bench_array_sharded(JsonWriter& json) {
+  for (std::size_t n_dots : {10u, 16u}) {
+    DotArrayParams params;
+    params.n_dots = n_dots;
+    const BuiltDevice device = build_dot_array(params);
+
+    ArrayExtractionOptions serial_opt;
+    serial_opt.pixels_per_axis = 32;
+    serial_opt.parallel = false;
+    serial_opt.shards = 1;
+    ArrayExtractionOptions per_pair_opt = serial_opt;
+    per_pair_opt.parallel = true;
+    per_pair_opt.shards = 0;  // one shard per pair
+    ArrayExtractionOptions sharded_opt = per_pair_opt;
+    sharded_opt.shards = 4;
+
+    ArrayExtractionResult serial, per_pair, sharded;
+    const double serial_s =
+        time_best(2, [&] { serial = extract_array_virtualization(device, serial_opt); });
+    const double per_pair_s = time_best(
+        2, [&] { per_pair = extract_array_virtualization(device, per_pair_opt); });
+    const double sharded_s = time_best(
+        2, [&] { sharded = extract_array_virtualization(device, sharded_opt); });
+
+    json.begin_scenario("array_sharded_" + std::to_string(n_dots) + "dot");
+    json.field("pairs", static_cast<long>(n_dots - 1));
+    json.field("pixels_per_axis", 32L);
+    json.field("success", serial.status.ok());
+    json.field("unique_probes", serial.total_stats.unique_probes);
+    json.field("serial_seconds", serial_s);
+    json.field("per_pair_shard_seconds", per_pair_s);
+    json.field("sharded4_seconds", sharded_s);
+    json.field("sharded4_speedup_vs_serial", serial_s / sharded_s);
+    json.field("sharded4_shards", static_cast<long>(sharded.shards.size()));
+    json.field("serial_sharded_identical",
+               array_results_identical(serial, sharded) &&
+                   array_results_identical(serial, per_pair));
+    json.field("band_max_error", serial.band_max_error);
+    json.end_scenario();
+  }
+}
+
 // --- PR 8: wire API served over real loopback sockets ---------------------
 
 using BenchClock = std::chrono::steady_clock;
@@ -1490,35 +1652,63 @@ void bench_server_load_shedding(JsonWriter& json) {
   json.end_scenario();
 }
 
+/// Scenario families, runnable individually via the optional filter
+/// argument (substring match on the family name).
+struct BenchFamily {
+  const char* name;
+  void (*run)(JsonWriter&);
+};
+
+constexpr BenchFamily kFamilies[] = {
+    {"dense_raster", bench_dense_raster},
+    {"micro_solver", bench_solver},
+    {"solver_scaling", bench_solver_scaling},
+    {"imgproc", bench_imgproc},
+    {"table1", bench_extraction},
+    {"scaling_array", bench_scaling},
+    {"array_scaling", bench_array_scaling},
+    {"suite_generation", bench_suite_generation},
+    {"probe_path", bench_probe_path},
+    {"engine_overhead", bench_engine_overhead},
+    {"cancellation_overhead", bench_cancellation_overhead},
+    {"async_queue", bench_async_queue},
+    {"async_parallel_raster", bench_async_parallel_raster},
+    {"priority_latency", bench_priority_latency},
+    {"fault_success", bench_fault_success_vs_rate},
+    {"drift_recovery", bench_drift_recovery},
+    {"retry_overhead", bench_retry_overhead_zero_fault},
+    {"kernel_sweep", bench_kernel_sweep},
+    {"solver_frontier", bench_solver_frontier},
+    {"array_sharded", bench_array_sharded},
+    {"server_submit_latency", bench_server_submit_latency},
+    {"server_fairness", bench_server_fairness},
+    {"server_load_shedding", bench_server_load_shedding},
+};
+
 }  // namespace
 
 int main(int argc, char** argv) {
-  const std::string out_path = argc > 1 ? argv[1] : "BENCH_PR8.json";
+  const std::string out_path = argc > 1 ? argv[1] : "BENCH_PR9.json";
+  const std::string filter = argc > 2 ? argv[2] : "";
+
+  int matched = 0;
+  for (const BenchFamily& family : kFamilies)
+    if (std::string(family.name).find(filter) != std::string::npos) ++matched;
+  if (matched == 0) {
+    std::cerr << "no scenario family matches '" << filter
+              << "'; available families:\n";
+    for (const BenchFamily& family : kFamilies)
+      std::cerr << "  " << family.name << "\n";
+    return 1;
+  }
 
   JsonWriter json;
   json.out.precision(6);
   json.begin();
-  bench_dense_raster(json);
-  bench_solver(json);
-  bench_solver_scaling(json);
-  bench_imgproc(json);
-  bench_extraction(json);
-  bench_scaling(json);
-  bench_array_scaling(json);
-  bench_suite_generation(json);
-  bench_probe_path(json);
-  bench_engine_overhead(json);
-  bench_cancellation_overhead(json);
-  bench_async_queue(json);
-  bench_async_parallel_raster(json);
-  bench_priority_latency(json);
-  bench_fault_success_vs_rate(json);
-  bench_drift_recovery(json);
-  bench_retry_overhead_zero_fault(json);
-  bench_kernel_sweep(json);
-  bench_server_submit_latency(json);
-  bench_server_fairness(json);
-  bench_server_load_shedding(json);
+  for (const BenchFamily& family : kFamilies) {
+    if (std::string(family.name).find(filter) == std::string::npos) continue;
+    family.run(json);
+  }
   json.end();
 
   std::ofstream file(out_path);

@@ -8,6 +8,22 @@
 //   csd_tool --serve [--port P] [--max-pending N]
 //   csd_tool <diagram.csv> --connect PORT [--tenant NAME] [--progress]
 //            [--disconnect-after-first-event] [...request flags...]
+//   csd_tool --dots N [--frontier anneal|tabu|greedy] [--shards K]
+//            [--pixels P] [--method fast|hough] [--connect PORT]
+//   csd_tool --frontier-probe N [--frontier ...] [--frontier-seed S]
+//
+// --dots N runs the paper's n-dot array virtualization walk (n-1 pair
+// extractions, composed into the full matrix) against a freshly built
+// simulated linear array — no CSV needed. Pairs shard across the thread
+// pool (--shards K; 0 = one shard per pair); each pair's simulator uses the
+// chosen --frontier ground-state strategy above the exhaustive dot limit.
+// With --connect the n-1 pair extractions are submitted to a running server
+// as self-contained device wire requests and composed client-side — the
+// wire lane serves 10-16 dot arrays end to end.
+// --frontier-probe N solves one ground state on an N-dot device with the
+// chosen strategy and prints the occupation vector plus SolveStats; the
+// output is a pure function of (N, strategy, --frontier-seed), which the CI
+// smoke pins by diffing two runs.
 //
 // Reads a CSD saved with qvg's CSV format (see dataset/csd_io.hpp), replays
 // it through the paper's simulated getCurrent (dwell-time accounting
@@ -45,15 +61,21 @@
 // Generate inputs with examples/device_playground or dataset tooling:
 //   ./device_playground && ./csd_tool playground_clean.csv
 #include "common/strings.hpp"
+#include "device/charge_state.hpp"
+#include "device/dot_array.hpp"
+#include "extraction/array_extractor.hpp"
 #include "server/extraction_server.hpp"
 #include "server/http_client.hpp"
+#include "service/extraction_engine.hpp"
 #include "service/job_queue.hpp"
 #include "wire/json.hpp"
 #include "wire/messages.hpp"
 
 #include <chrono>
+#include <cstdint>
 #include <iostream>
 #include <string>
+#include <vector>
 
 namespace {
 
@@ -71,8 +93,89 @@ int usage() {
                "[--max-retries R] [--wall-backoff]\n"
                "       csd_tool --serve [--port P] [--max-pending N]\n"
                "       csd_tool <diagram.csv> --connect PORT [--tenant NAME] "
-               "[--progress] [--disconnect-after-first-event]\n";
+               "[--progress] [--disconnect-after-first-event]\n"
+               "       csd_tool --dots N [--frontier anneal|tabu|greedy] "
+               "[--shards K] [--pixels P] [--method fast|hough] "
+               "[--connect PORT]\n"
+               "       csd_tool --frontier-probe N [--frontier ...] "
+               "[--frontier-seed S]\n";
   return kExitUsage;
+}
+
+/// Map a composed array status to the tool's typed exit codes.
+int array_exit_code(const qvg::Status& status) {
+  switch (status.code()) {
+    case qvg::ErrorCode::kCancelled: return kExitCancelled;
+    case qvg::ErrorCode::kDeadlineExceeded: return kExitDeadlineExceeded;
+    case qvg::ErrorCode::kBudgetExhausted: return kExitBudgetExhausted;
+    case qvg::ErrorCode::kProbeHardFault: return kExitProbeHardFault;
+    default: return kExitFailure;
+  }
+}
+
+int print_array_outcome(const qvg::ArrayExtractionResult& result,
+                        std::size_t dots, const std::string& method,
+                        const std::string& frontier) {
+  using namespace qvg;
+  if (!result.status.ok()) {
+    std::cout << "array extraction FAILED ["
+              << error_code_name(result.status.code()) << "] at stage '"
+              << result.status.stage() << "': " << result.status.detail()
+              << " (after " << result.total_stats.unique_probes
+              << " probes)\n";
+    return array_exit_code(result.status);
+  }
+  std::cout << "array extraction succeeded (" << dots << " dots, "
+            << result.pairs.size() << " pairs, " << method
+            << " method, frontier " << frontier << ")\n"
+            << "  band max error vs ideal virtualization = "
+            << result.band_max_error << "\n"
+            << "  probes: " << result.total_stats.unique_probes
+            << " unique across the array, simulated experiment time "
+            << format_fixed(result.total_stats.simulated_seconds, 2)
+            << " s\n"
+            << "  shards: " << result.shards.size() << "\n";
+  for (const auto& pair : result.pairs)
+    std::cout << "  pair " << pair.pair_index << ": alpha12 = "
+              << pair.gates.alpha12 << ", alpha21 = " << pair.gates.alpha21
+              << (pair.verdict.success ? "" : "  [verdict: failed]") << "\n";
+  return 0;
+}
+
+/// --frontier-probe: one deterministic stochastic ground-state solve,
+/// printed in full (occupation + SolveStats) so two same-seed runs can be
+/// diffed byte for byte.
+int run_frontier_probe(std::size_t dots, qvg::FrontierStrategy strategy,
+                       const std::string& frontier_label,
+                       std::uint64_t seed) {
+  using namespace qvg;
+  DotArrayParams params;
+  params.n_dots = dots;
+  const BuiltDevice device = build_dot_array(params);
+  // Solve at the window centre of every plunger (all dots near their
+  // transition — the frustrated regime the stochastic search is for).
+  std::vector<double> voltages = device.base_voltages;
+  const double centre = 0.5 * (params.window_lo + params.window_hi);
+  for (std::size_t g = 0; g < device.model.num_gates(); ++g)
+    voltages[g] = centre;
+  const auto drives = device.model.dot_drives(voltages);
+
+  FrontierOptions options;
+  options.strategy = strategy;
+  options.seed = seed;
+  SolveStats stats;
+  const std::vector<int> occupation = ground_state_frontier(
+      device.model, drives, /*max_electrons_per_dot=*/4, options, &stats);
+
+  std::cout << "frontier " << frontier_label << " on " << dots
+            << "-dot device, seed " << seed << "\n  occupation = [";
+  for (std::size_t d = 0; d < occupation.size(); ++d)
+    std::cout << (d == 0 ? "" : ", ") << occupation[d];
+  std::cout << "]\n  energy = " << device.model.energy(occupation, drives)
+            << "\n  stats: moves_evaluated=" << stats.moves_evaluated
+            << " moves_accepted=" << stats.moves_accepted
+            << " restarts=" << stats.restarts << "\n";
+  return 0;
 }
 
 /// Shared outcome printing + exit-code mapping: ExtractionReport (local
@@ -251,6 +354,113 @@ int run_client(const qvg::wire::WireRequest& request, std::uint16_t port,
   return print_outcome(report.value(), method, total_pixels);
 }
 
+/// --dots without --connect: run the array walk through the local engine.
+int run_array_local(std::size_t dots, const std::string& method, double dwell,
+                    std::size_t pixels, std::size_t shards,
+                    qvg::FrontierStrategy strategy,
+                    const std::string& frontier_label) {
+  using namespace qvg;
+  DotArrayParams params;
+  params.n_dots = dots;
+  const BuiltDevice device = build_dot_array(params);
+  ArrayExtractionOptions opt;
+  opt.method = method == "fast" ? ExtractionMethod::kFast
+                                : ExtractionMethod::kHoughBaseline;
+  opt.pixels_per_axis = pixels;
+  opt.dwell_seconds = dwell;
+  opt.shards = shards;
+  opt.frontier = strategy;
+  const ExtractionEngine engine;
+  return print_array_outcome(engine.run_array(device, opt), dots, method,
+                             frontier_label);
+}
+
+/// --dots with --connect: submit the n-1 pair extractions as self-contained
+/// device wire requests, fetch each served report, and compose the array
+/// result client-side — same composition (and same summary) as the local
+/// walk, with the device rebuilt locally from the identical params.
+int run_array_client(std::size_t dots, const std::string& method, double dwell,
+                     std::size_t pixels, std::size_t shards,
+                     qvg::FrontierStrategy strategy,
+                     const std::string& frontier_label, std::uint16_t port,
+                     const std::string& tenant) {
+  using namespace qvg;
+  using namespace qvg::server;
+
+  DotArrayParams params;
+  params.n_dots = dots;
+
+  std::string query;
+  if (!tenant.empty()) query = "?tenant=" + tenant;
+
+  // Submit all n-1 pairs first (the server fans them out across its own
+  // worker pool), then collect the reports in pair order.
+  std::vector<std::string> job_ids;
+  job_ids.reserve(dots - 1);
+  for (std::size_t pair_index = 0; pair_index + 1 < dots; ++pair_index) {
+    wire::WireRequest request;
+    request.method = method == "fast" ? ExtractionMethod::kFast
+                                      : ExtractionMethod::kHoughBaseline;
+    request.backend = wire::WireBackendKind::kDevice;
+    request.device.params = params;
+    request.device.pair_index = pair_index;
+    request.device.noise_seed = 42 + pair_index;  // the array walk's schedule
+    request.device.dwell_seconds = dwell;
+    request.device.pixels_per_axis = pixels;
+    request.device.frontier = static_cast<std::uint64_t>(strategy);
+    request.label = "pair-" + std::to_string(pair_index);
+
+    const std::vector<std::uint8_t> bytes = wire::encode(request);
+    Result<ClientResponse> submitted = http_call(
+        port, "POST", "/v1/jobs" + query,
+        {reinterpret_cast<const char*>(bytes.data()), bytes.size()});
+    if (!submitted.ok() || submitted.value().status != 200) {
+      std::cerr << "pair " << pair_index << " submit failed\n";
+      return kExitFailure;
+    }
+    Result<wire::JsonValue> doc = wire::parse_json(submitted.value().body);
+    const wire::JsonValue* job = doc.ok() ? doc.value().find("job") : nullptr;
+    if (job == nullptr) {
+      std::cerr << "malformed submit response: " << submitted.value().body
+                << "\n";
+      return kExitFailure;
+    }
+    job_ids.push_back(std::to_string(job->as_u64()));
+  }
+  std::cerr << "[client] submitted " << job_ids.size()
+            << " pair extractions to 127.0.0.1:" << port << "\n";
+
+  std::vector<PairExtraction> pairs(job_ids.size());
+  for (std::size_t i = 0; i < job_ids.size(); ++i) {
+    Result<ClientResponse> fetched =
+        http_call(port, "GET", "/v1/jobs/" + job_ids[i] + "?wait=1");
+    if (!fetched.ok() || fetched.value().status != 200) {
+      std::cerr << "pair " << i << " report fetch failed\n";
+      return kExitFailure;
+    }
+    const std::string& body = fetched.value().body;
+    Result<wire::WireReport> report = wire::decode_report(
+        {reinterpret_cast<const std::uint8_t*>(body.data()), body.size()});
+    if (!report.ok()) {
+      std::cerr << "error [" << error_code_name(report.status().code())
+                << "]: " << report.status().detail() << "\n";
+      return kExitFailure;
+    }
+    pairs[i].pair_index = i;
+    pairs[i].status = report.value().status;
+    pairs[i].gates = report.value().virtual_gates;
+    pairs[i].verdict = report.value().verdict;
+    pairs[i].stats = report.value().stats;
+  }
+
+  // build_dot_array is deterministic given params, so the client-side device
+  // is bit-identical to each server-side materialization.
+  const BuiltDevice device = build_dot_array(params);
+  return print_array_outcome(
+      compose_array_result(device, std::move(pairs), shards), dots, method,
+      frontier_label);
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -274,6 +484,12 @@ int main(int argc, char** argv) {
   std::string tenant;
   bool disconnect_after_first_event = false;
   bool wall_backoff = false;
+  long dots = 0;
+  long frontier_probe_dots = 0;
+  std::string frontier = "anneal";
+  long shards = 0;
+  long pixels = 48;
+  unsigned long long frontier_seed = FrontierOptions{}.seed;
 
   const int first_flag = argv[1][0] == '-' ? 1 : 2;
   if (first_flag == 2) path = argv[1];
@@ -314,6 +530,18 @@ int main(int argc, char** argv) {
         connect_port = std::stol(argv[++i]);
       } else if (flag == "--tenant") {
         tenant = argv[++i];
+      } else if (flag == "--dots") {
+        dots = std::stol(argv[++i]);
+      } else if (flag == "--frontier") {
+        frontier = argv[++i];
+      } else if (flag == "--shards") {
+        shards = std::stol(argv[++i]);
+      } else if (flag == "--pixels") {
+        pixels = std::stol(argv[++i]);
+      } else if (flag == "--frontier-probe") {
+        frontier_probe_dots = std::stol(argv[++i]);
+      } else if (flag == "--frontier-seed") {
+        frontier_seed = std::stoull(argv[++i]);
       } else {
         return usage();
       }
@@ -326,6 +554,39 @@ int main(int argc, char** argv) {
     return run_server(static_cast<std::uint16_t>(port),
                       static_cast<std::size_t>(max_pending));
   }
+
+  FrontierStrategy frontier_strategy = FrontierStrategy::kAnneal;
+  if (frontier == "tabu") {
+    frontier_strategy = FrontierStrategy::kTabu;
+  } else if (frontier == "greedy") {
+    frontier_strategy = FrontierStrategy::kMultistartGreedy;
+  } else if (frontier != "anneal") {
+    return usage();
+  }
+
+  if (frontier_probe_dots > 0) {
+    if (frontier_probe_dots < 2 || frontier_probe_dots > 64) return usage();
+    return run_frontier_probe(static_cast<std::size_t>(frontier_probe_dots),
+                              frontier_strategy, frontier, frontier_seed);
+  }
+  if (dots > 0) {
+    if (dots < 2 || dots > 64) return usage();
+    if (method != "fast" && method != "hough") return usage();
+    if (pixels < 16 || shards < 0) return usage();
+    if (connect_port < 0 || connect_port > 65535) return usage();
+    if (connect_port > 0)
+      return run_array_client(static_cast<std::size_t>(dots), method, dwell,
+                              static_cast<std::size_t>(pixels),
+                              static_cast<std::size_t>(shards),
+                              frontier_strategy, frontier,
+                              static_cast<std::uint16_t>(connect_port),
+                              tenant);
+    return run_array_local(static_cast<std::size_t>(dots), method, dwell,
+                           static_cast<std::size_t>(pixels),
+                           static_cast<std::size_t>(shards), frontier_strategy,
+                           frontier);
+  }
+
   if (path.empty()) return usage();
   if (method != "fast" && method != "hough") return usage();
   if (fault_rate < 0.0 || fault_rate > 1.0 || max_retries < 0) return usage();

@@ -1,18 +1,27 @@
 #!/usr/bin/env bash
 # Build Release and refresh the perf-trajectory snapshot. The output path is
-# the optional first argument (default: BENCH_PR8.json at the repo root —
+# the optional first argument (default: BENCH_PR9.json at the repo root —
 # bump the default once per PR; no in-script renames needed). The snapshot
-# includes every PR 1-7 scenario plus the PR 8 wire/server scenarios, so
-# earlier numbers stay reproducible — see the "metadata" object for the
-# CPU/compiler/flags the numbers belong to.
-# Usage: scripts/run_bench.sh [output.json]
+# includes every PR 1-8 scenario plus the PR 9 solver-frontier and sharded
+# 10-16 dot array scenarios, so earlier numbers stay reproducible — see the
+# "metadata" object for the CPU/compiler/flags the numbers belong to.
+# Usage: scripts/run_bench.sh [output.json] [filter]
+#   `filter` is an optional substring matched against scenario-family names;
+#   only matching families run (e.g. `scripts/run_bench.sh /tmp/f.json
+#   solver_frontier`). Handy for re-measuring one family without the full
+#   ~minutes sweep.
 # Set QVG_THREADS=N to pin the thread-pool size (recorded per scenario).
 set -euo pipefail
 
 repo_root="$(cd "$(dirname "$0")/.." && pwd)"
-out="${1:-$repo_root/BENCH_PR8.json}"
+out="${1:-$repo_root/BENCH_PR9.json}"
+filter="${2:-}"
 build_dir="$repo_root/build-release"
 
 cmake -B "$build_dir" -S "$repo_root" -DCMAKE_BUILD_TYPE=Release
 cmake --build "$build_dir" --target bench_json -j"$(nproc)"
-"$build_dir/bench_json" "$out"
+if [[ -n "$filter" ]]; then
+  "$build_dir/bench_json" "$out" "$filter"
+else
+  "$build_dir/bench_json" "$out"
+fi

@@ -4,6 +4,7 @@
 #include "common/random.hpp"
 #include "common/simd.hpp"
 
+#include <algorithm>
 #include <cmath>
 #include <limits>
 
@@ -156,13 +157,24 @@ std::vector<int> ground_state_greedy_reference(const CapacitanceModel& model,
   return occupation;
 }
 
+std::vector<int> ground_state_greedy_from(const CapacitanceModel& model,
+                                          const std::vector<double>& drives,
+                                          int max_electrons_per_dot,
+                                          std::vector<int> start) {
+  QVG_EXPECTS(max_electrons_per_dot >= 0);
+  QVG_EXPECTS(start.size() == model.num_dots());
+  std::vector<double> coupling(model.num_dots(), 0.0);
+  icm_relax(model, drives, max_electrons_per_dot, start, coupling);
+  return start;
+}
+
 std::vector<int> ground_state_greedy_multistart(
     const CapacitanceModel& model, const std::vector<double>& drives,
     int max_electrons_per_dot, int restarts, std::uint64_t seed) {
   QVG_EXPECTS(max_electrons_per_dot >= 0);
   QVG_EXPECTS(restarts >= 1);
   const std::size_t n = model.num_dots();
-  Rng rng(seed);
+  const Rng base(seed);
 
   std::vector<int> occupation(n, 0);
   std::vector<double> coupling(n, 0.0);
@@ -173,8 +185,13 @@ std::vector<int> ground_state_greedy_multistart(
     if (r == 0) {
       std::fill(occupation.begin(), occupation.end(), 0);
     } else {
+      // Stream-per-restart: restart k's starting state is a function of
+      // (seed, k) alone, never of how many restarts run in total, so
+      // multistart(R + j) replays multistart(R)'s starts exactly and then
+      // adds j new ones.
+      Rng stream = base.split(static_cast<std::uint64_t>(r));
       for (auto& c : occupation)
-        c = static_cast<int>(rng.uniform_int(0, max_electrons_per_dot));
+        c = static_cast<int>(stream.uniform_int(0, max_electrons_per_dot));
     }
     icm_relax(model, drives, max_electrons_per_dot, occupation, coupling);
     const double e = model.energy(occupation, drives);
@@ -184,6 +201,88 @@ std::vector<int> ground_state_greedy_multistart(
     }
   }
   return best;
+}
+
+void DeltaMoveEvaluator::bind(const CapacitanceModel& model) {
+  n_ = model.num_dots();
+  occupation_.assign(n_, 0);
+  drives_.assign(n_, 0.0);
+  coupling_.assign(n_, 0.0);
+  charging_ = model.charging_energies();
+  mutual_flat_.resize(n_ * n_);
+  const Matrix& mutual = model.mutual_coupling();
+  for (std::size_t i = 0; i < n_; ++i)
+    for (std::size_t k = 0; k < n_; ++k)
+      mutual_flat_[i * n_ + k] = mutual(i, k);
+  energy_ = 0.0;
+}
+
+void DeltaMoveEvaluator::set_state(const std::vector<int>& occupation,
+                                   const std::vector<double>& drives) {
+  QVG_EXPECTS(bound());
+  QVG_EXPECTS(occupation.size() == n_);
+  QVG_EXPECTS(drives.size() == n_);
+  occupation_ = occupation;
+  drives_ = drives;
+  double e = 0.0;
+  for (std::size_t j = 0; j < n_; ++j) {
+    const auto oj = static_cast<double>(occupation_[j]);
+    e += 0.5 * charging_[j] * oj * oj - oj * drives_[j];
+    const double* row = mutual_flat_.data() + j * n_;
+    double acc = 0.0;
+    for (std::size_t k = 0; k < n_; ++k)
+      acc += row[k] * static_cast<double>(occupation_[k]);
+    coupling_[j] = acc;
+    for (std::size_t k = j + 1; k < n_; ++k)
+      e += row[k] * oj * static_cast<double>(occupation_[k]);
+  }
+  energy_ = e;
+}
+
+double DeltaMoveEvaluator::delta_single(std::size_t d, int c) const {
+  // dE = Ec_d/2 (b^2 - a^2) - (b - a) drives[d] + (b - a) coupling[d].
+  const auto a = static_cast<double>(occupation_[d]);
+  const auto b = static_cast<double>(c);
+  return 0.5 * charging_[d] * (b * b - a * a) - (b - a) * drives_[d] +
+         (b - a) * coupling_[d];
+}
+
+double DeltaMoveEvaluator::delta_swap(std::size_t a, std::size_t b) const {
+  // Two single-dot deltas evaluated against the *current* coupling sums both
+  // count the mutual(a, b) cross term as if the other dot had not moved;
+  // exchanging occupancies leaves that term unchanged, so subtract the
+  // double-counted piece: Em_ab * (n_a - n_b)^2.
+  const double diff =
+      static_cast<double>(occupation_[a]) - static_cast<double>(occupation_[b]);
+  return delta_single(a, occupation_[b]) + delta_single(b, occupation_[a]) -
+         mutual_flat_[a * n_ + b] * diff * diff;
+}
+
+void DeltaMoveEvaluator::apply_single(std::size_t d, int c) {
+  energy_ += delta_single(d, c);
+  const double shift =
+      static_cast<double>(c) - static_cast<double>(occupation_[d]);
+  occupation_[d] = c;
+  // Element-wise in k: the lane-parallel form is bit-identical to the scalar
+  // loop (same multiply and add per element).
+  const double* row = mutual_flat_.data() + d * n_;
+  constexpr std::size_t kLanes = simd::VecD::kLanes;
+  const simd::VecD vshift = simd::VecD::broadcast(shift);
+  std::size_t k = 0;
+  for (; k + kLanes <= n_; k += kLanes)
+    (simd::VecD::load(coupling_.data() + k) +
+     simd::VecD::load(row + k) * vshift)
+        .store(coupling_.data() + k);
+  for (; k < n_; ++k) coupling_[k] += row[k] * shift;
+}
+
+void DeltaMoveEvaluator::apply_swap(std::size_t a, std::size_t b) {
+  // Sequential application is exact: the second delta is evaluated against
+  // the coupling sums already updated by the first move.
+  const int na = occupation_[a];
+  const int nb = occupation_[b];
+  apply_single(a, nb);
+  apply_single(b, na);
 }
 
 void IncrementalGroundStateSolver::bind(const CapacitanceModel& model) {
@@ -419,6 +518,270 @@ const std::vector<int>& IncrementalGroundStateSolver::solve(
   return best_;
 }
 
+void StochasticGroundStateSolver::bind(const CapacitanceModel& model) {
+  model_ = &model;
+  eval_.bind(model);
+  const std::size_t n = model.num_dots();
+  best_.assign(n, 0);
+  start_.assign(n, 0);
+  local_best_.assign(n, 0);
+  polish_coupling_.assign(n, 0.0);
+  tabu_until_.clear();
+}
+
+void StochasticGroundStateSolver::offer_polished(
+    std::vector<int>& state, const std::vector<double>& drives,
+    int max_electrons_per_dot) {
+  // Zero-temperature polish: descend to the ICM fixed point of the restart's
+  // best state, so no restart ever returns worse than plain greedy from that
+  // state. Cross-restart comparison uses a full energy recompute (no
+  // delta-accumulation residue), earliest restart wins exact ties.
+  icm_relax(*model_, drives, max_electrons_per_dot, state, polish_coupling_);
+  const double e = model_->energy(state, drives);
+  if (!has_best_ || e < best_energy_) {
+    best_energy_ = e;
+    best_ = state;
+    has_best_ = true;
+  }
+}
+
+void StochasticGroundStateSolver::solve_anneal(
+    const std::vector<double>& drives, int max_electrons_per_dot,
+    const FrontierOptions& opt) {
+  const std::size_t n = eval_.num_dots();
+  const Rng base(opt.seed);
+  const int restarts = std::max(1, opt.restarts);
+  const int sweeps = std::max(1, opt.sweeps);
+  const auto max_c = static_cast<std::int64_t>(max_electrons_per_dot);
+
+  // Temperature scale: the largest charging energy is the natural size of a
+  // single-dot move's energy change.
+  double t0 = 0.0;
+  for (const double ec : model_->charging_energies()) t0 = std::max(t0, ec);
+  t0 *= opt.initial_temperature_scale;
+  if (!(t0 > 0.0)) t0 = 1.0;
+
+  for (int r = 0; r < restarts; ++r) {
+    ++stats_.restarts;
+    // Stream-per-restart, same schedule contract as multistart: restart k
+    // depends on (seed, k) only.
+    Rng rng = base.split(static_cast<std::uint64_t>(r));
+    if (r == 0)
+      std::fill(start_.begin(), start_.end(), 0);
+    else
+      for (auto& c : start_) c = static_cast<int>(rng.uniform_int(0, max_c));
+    eval_.set_state(start_, drives);
+    local_best_ = eval_.occupation();
+    double local_best_e = eval_.energy();
+
+    double t = t0;
+    for (int sweep = 0; sweep < sweeps; ++sweep) {
+      for (std::size_t step = 0; step < n; ++step) {
+        bool accepted = false;
+        if (n >= 2 && max_electrons_per_dot >= 1 &&
+            rng.uniform() < opt.swap_probability) {
+          const auto a = static_cast<std::size_t>(
+              rng.uniform_int(0, static_cast<std::int64_t>(n) - 1));
+          auto b = static_cast<std::size_t>(
+              rng.uniform_int(0, static_cast<std::int64_t>(n) - 2));
+          if (b >= a) ++b;
+          const double de = eval_.delta_swap(a, b);
+          ++stats_.moves_evaluated;
+          if (de < 0.0 || rng.uniform() < std::exp(-de / t)) {
+            eval_.apply_swap(a, b);
+            accepted = true;
+          }
+        } else if (max_electrons_per_dot >= 1) {
+          const auto d = static_cast<std::size_t>(
+              rng.uniform_int(0, static_cast<std::int64_t>(n) - 1));
+          // Uniform over {0..max} minus the current occupancy.
+          int c = static_cast<int>(rng.uniform_int(0, max_c - 1));
+          if (c >= eval_.occupation()[d]) ++c;
+          const double de = eval_.delta_single(d, c);
+          ++stats_.moves_evaluated;
+          if (de < 0.0 || rng.uniform() < std::exp(-de / t)) {
+            eval_.apply_single(d, c);
+            accepted = true;
+          }
+        }
+        if (accepted) {
+          ++stats_.moves_accepted;
+          if (eval_.energy() < local_best_e) {
+            local_best_e = eval_.energy();
+            local_best_ = eval_.occupation();
+          }
+        }
+      }
+      t *= opt.cooling;
+    }
+    offer_polished(local_best_, drives, max_electrons_per_dot);
+  }
+}
+
+void StochasticGroundStateSolver::solve_tabu(const std::vector<double>& drives,
+                                             int max_electrons_per_dot,
+                                             const FrontierOptions& opt) {
+  const std::size_t n = eval_.num_dots();
+  const std::size_t m = static_cast<std::size_t>(max_electrons_per_dot) + 1;
+  const Rng base(opt.seed);
+  const int restarts = std::max(1, opt.restarts);
+  const std::uint64_t tenure =
+      opt.tabu_tenure > 0 ? static_cast<std::uint64_t>(opt.tabu_tenure)
+                          : static_cast<std::uint64_t>(n) / 2 + 2;
+  const std::uint64_t iters =
+      static_cast<std::uint64_t>(std::max(1, opt.tabu_iterations_per_dot)) *
+      static_cast<std::uint64_t>(n);
+  const auto max_c = static_cast<std::int64_t>(max_electrons_per_dot);
+
+  for (int r = 0; r < restarts; ++r) {
+    ++stats_.restarts;
+    Rng rng = base.split(static_cast<std::uint64_t>(r));
+    if (r == 0)
+      std::fill(start_.begin(), start_.end(), 0);
+    else
+      for (auto& c : start_) c = static_cast<int>(rng.uniform_int(0, max_c));
+    // Tabu explores the landscape around a local optimum: descend first.
+    icm_relax(*model_, drives, max_electrons_per_dot, start_,
+              polish_coupling_);
+    eval_.set_state(start_, drives);
+    local_best_ = eval_.occupation();
+    double local_best_e = eval_.energy();
+    tabu_until_.assign(n * m, 0);
+
+    for (std::uint64_t it = 1; it <= iters; ++it) {
+      // Steepest admissible move over the full single-dot + pair-swap
+      // neighbourhood (each candidate O(1)). A tabu move is admissible only
+      // if it beats the restart's best (aspiration). Fixed scan order and
+      // strict < keep the walk deterministic.
+      int best_kind = -1;  // 0 = single, 1 = swap
+      std::size_t move_a = 0;
+      std::size_t move_b = 0;
+      int move_c = 0;
+      double best_de = std::numeric_limits<double>::infinity();
+      const std::vector<int>& occ = eval_.occupation();
+      for (std::size_t d = 0; d < n; ++d) {
+        const int cur = occ[d];
+        for (int c = 0; c <= max_electrons_per_dot; ++c) {
+          if (c == cur) continue;
+          const double de = eval_.delta_single(d, c);
+          ++stats_.moves_evaluated;
+          const bool is_tabu =
+              tabu_until_[d * m + static_cast<std::size_t>(c)] > it;
+          if (is_tabu && !(eval_.energy() + de < local_best_e)) continue;
+          if (de < best_de) {
+            best_de = de;
+            best_kind = 0;
+            move_a = d;
+            move_c = c;
+          }
+        }
+      }
+      for (std::size_t a = 0; a + 1 < n; ++a) {
+        for (std::size_t b = a + 1; b < n; ++b) {
+          if (occ[a] == occ[b]) continue;
+          const double de = eval_.delta_swap(a, b);
+          ++stats_.moves_evaluated;
+          const bool is_tabu =
+              tabu_until_[a * m + static_cast<std::size_t>(occ[b])] > it ||
+              tabu_until_[b * m + static_cast<std::size_t>(occ[a])] > it;
+          if (is_tabu && !(eval_.energy() + de < local_best_e)) continue;
+          if (de < best_de) {
+            best_de = de;
+            best_kind = 1;
+            move_a = a;
+            move_b = b;
+          }
+        }
+      }
+      if (best_kind < 0) break;  // every move tabu and none aspirates
+
+      if (best_kind == 0) {
+        const int old = occ[move_a];
+        eval_.apply_single(move_a, move_c);
+        tabu_until_[move_a * m + static_cast<std::size_t>(old)] =
+            it + tenure + 1;
+      } else {
+        const int old_a = occ[move_a];
+        const int old_b = occ[move_b];
+        eval_.apply_swap(move_a, move_b);
+        tabu_until_[move_a * m + static_cast<std::size_t>(old_a)] =
+            it + tenure + 1;
+        tabu_until_[move_b * m + static_cast<std::size_t>(old_b)] =
+            it + tenure + 1;
+      }
+      ++stats_.moves_accepted;
+      if (eval_.energy() < local_best_e) {
+        local_best_e = eval_.energy();
+        local_best_ = eval_.occupation();
+      }
+    }
+    offer_polished(local_best_, drives, max_electrons_per_dot);
+  }
+}
+
+const std::vector<int>& StochasticGroundStateSolver::solve(
+    const std::vector<double>& drives, int max_electrons_per_dot,
+    const FrontierOptions& options) {
+  QVG_EXPECTS(model_ != nullptr);
+  QVG_EXPECTS(max_electrons_per_dot >= 0);
+  QVG_EXPECTS(drives.size() == eval_.num_dots());
+  stats_ = SolveStats{};
+  has_best_ = false;
+  best_energy_ = std::numeric_limits<double>::infinity();
+
+  switch (options.strategy) {
+    case FrontierStrategy::kAnneal:
+      solve_anneal(drives, max_electrons_per_dot, options);
+      break;
+    case FrontierStrategy::kTabu:
+      solve_tabu(drives, max_electrons_per_dot, options);
+      break;
+    case FrontierStrategy::kMultistartGreedy: {
+      const int restarts = std::max(1, options.restarts);
+      best_ = ground_state_greedy_multistart(
+          *model_, drives, max_electrons_per_dot, restarts, options.seed);
+      stats_.restarts = static_cast<std::uint64_t>(restarts);
+      break;
+    }
+  }
+  return best_;
+}
+
+std::vector<int> ground_state_frontier(const CapacitanceModel& model,
+                                       const std::vector<double>& drives,
+                                       int max_electrons_per_dot,
+                                       const FrontierOptions& options,
+                                       SolveStats* stats) {
+  StochasticGroundStateSolver solver;
+  solver.bind(model);
+  std::vector<int> result =
+      solver.solve(drives, max_electrons_per_dot, options);
+  if (stats != nullptr) *stats = solver.last_stats();
+  return result;
+}
+
+std::vector<int> ground_state_anneal(const CapacitanceModel& model,
+                                     const std::vector<double>& drives,
+                                     int max_electrons_per_dot,
+                                     const FrontierOptions& options,
+                                     SolveStats* stats) {
+  FrontierOptions opt = options;
+  opt.strategy = FrontierStrategy::kAnneal;
+  return ground_state_frontier(model, drives, max_electrons_per_dot, opt,
+                               stats);
+}
+
+std::vector<int> ground_state_tabu(const CapacitanceModel& model,
+                                   const std::vector<double>& drives,
+                                   int max_electrons_per_dot,
+                                   const FrontierOptions& options,
+                                   SolveStats* stats) {
+  FrontierOptions opt = options;
+  opt.strategy = FrontierStrategy::kTabu;
+  return ground_state_frontier(model, drives, max_electrons_per_dot, opt,
+                               stats);
+}
+
 std::vector<int> ground_state(const CapacitanceModel& model,
                               const std::vector<double>& gate_voltages,
                               const ChargeSolverOptions& options) {
@@ -427,7 +790,8 @@ std::vector<int> ground_state(const CapacitanceModel& model,
     IncrementalGroundStateSolver solver(model);
     return solver.solve(drives, options.max_electrons_per_dot);
   }
-  return ground_state_greedy(model, drives, options.max_electrons_per_dot);
+  return ground_state_frontier(model, drives, options.max_electrons_per_dot,
+                               options.frontier);
 }
 
 }  // namespace qvg

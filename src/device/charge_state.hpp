@@ -52,8 +52,22 @@
 //     ground_state_greedy_multistart adds deterministic random restarts so
 //     large-array accuracy can be benchmarked against exact results.
 //
+//   ground_state_anneal / ground_state_tabu — stochastic search for the
+//     > exhaustive_dot_limit regime, built on the same O(1) delta-energy
+//     machinery (DeltaMoveEvaluator): single-dot occupancy moves and
+//     pair-swap moves evaluate in O(1) against maintained coupling sums, an
+//     accepted move costs O(n), and no per-trial vectors are copied.
+//     Annealing runs a geometric cooling schedule with deterministic
+//     restarts; tabu runs steepest-descent with a recency tabu list
+//     (attribute = (dot, previous occupancy)) and best-so-far aspiration.
+//     Both finish each restart with an ICM polish, so they never return
+//     worse than plain greedy, and both are fully deterministic given
+//     FrontierOptions::seed — restart k draws its starting state from
+//     Rng(seed).split(k), a stream independent of the restart count.
+//
 // ground_state() dispatches: IncrementalGroundStateSolver (branch-and-bound)
-// up to ChargeSolverOptions::exhaustive_dot_limit dots, greedy above.
+// up to ChargeSolverOptions::exhaustive_dot_limit dots, the configured
+// frontier strategy (annealing by default) above.
 #pragma once
 
 #include "device/capacitance.hpp"
@@ -63,11 +77,58 @@
 
 namespace qvg {
 
+/// Ground-state search strategy above ChargeSolverOptions::
+/// exhaustive_dot_limit, where exact enumeration is combinatorially out.
+enum class FrontierStrategy {
+  /// Simulated annealing on O(1) delta-energy moves (production default).
+  kAnneal,
+  /// Tabu search: steepest single-dot/pair-swap descent with a recency tabu
+  /// list and aspiration.
+  kTabu,
+  /// Multi-start ICM (ground_state_greedy_multistart). The PR 2 baseline,
+  /// kept as the ablation reference.
+  kMultistartGreedy,
+};
+
+/// Tuning for the stochastic frontier solvers. Every run is a pure function
+/// of (model, drives, these options): all randomness flows from `seed`
+/// through per-restart split streams, so re-running a request (job-level
+/// retries, fault-injection reruns) reproduces bit-identically.
+struct FrontierOptions {
+  FrontierStrategy strategy = FrontierStrategy::kAnneal;
+  /// Base seed. Restart k uses the independent stream Rng(seed).split(k);
+  /// callers that serve requests derive this from the request seed (see
+  /// DeviceSimulator) so retries replay the exact same search.
+  std::uint64_t seed = 0x9d075eedULL;
+  /// Independent restarts (anneal and tabu) / ICM multistarts. Restart 0
+  /// starts from the all-zero state (tabu: its greedy fixed point); later
+  /// restarts start from a uniform random occupation.
+  int restarts = 3;
+  /// Annealing: sweeps per restart (one sweep proposes n moves), with
+  /// temperature cooled geometrically per sweep.
+  int sweeps = 24;
+  /// Annealing: T0 = initial_temperature_scale * max charging energy.
+  double initial_temperature_scale = 0.8;
+  /// Annealing: geometric cooling factor applied after each sweep.
+  double cooling = 0.85;
+  /// Annealing: probability a proposed move is a pair swap (needs n >= 2).
+  double swap_probability = 0.25;
+  /// Tabu: iterations per restart = tabu_iterations_per_dot * n. Each
+  /// iteration scans the full single-dot + pair-swap neighbourhood.
+  int tabu_iterations_per_dot = 12;
+  /// Tabu: how long a reverted attribute (dot, previous occupancy) stays
+  /// forbidden. 0 = auto (n / 2 + 2).
+  int tabu_tenure = 0;
+};
+
 struct ChargeSolverOptions {
   int max_electrons_per_dot = 4;
-  /// Use the exhaustive solver up to this many dots, greedy above. The
-  /// branch-and-bound solver keeps exact enumeration tractable at this size.
+  /// Use the exhaustive solver up to this many dots, the frontier strategy
+  /// above. The branch-and-bound solver keeps exact enumeration tractable at
+  /// this size.
   std::size_t exhaustive_dot_limit = 7;
+  /// Strategy and tuning for dots > exhaustive_dot_limit.
+  FrontierOptions frontier;
 };
 
 /// Ground-state occupation at the given gate voltages.
@@ -95,11 +156,22 @@ struct ChargeSolverOptions {
     const CapacitanceModel& model, const std::vector<double>& drives,
     int max_electrons_per_dot);
 
+/// ICM relaxation from a caller-provided starting occupation (same sweep
+/// order and tie-breaking as ground_state_greedy, which is the special case
+/// start = all zeros). The building block of multistart/anneal/tabu polish.
+[[nodiscard]] std::vector<int> ground_state_greedy_from(
+    const CapacitanceModel& model, const std::vector<double>& drives,
+    int max_electrons_per_dot, std::vector<int> start);
+
 /// Multi-start ICM: restart 0 relaxes from the all-zero state (identical to
-/// ground_state_greedy); each further restart relaxes from a deterministic
-/// random occupation drawn from Rng(seed). Returns the lowest-energy fixed
-/// point (earliest restart wins exact ties), which recovers the exact ground
-/// state far more often than a single ICM run on frustrated large arrays.
+/// ground_state_greedy); restart k >= 1 relaxes from a deterministic random
+/// occupation drawn from the independent stream Rng(seed).split(k) — the
+/// stream depends only on k, never on the restart count, so multistart(R+j)
+/// evaluates exactly multistart(R)'s starting states plus j new ones (a
+/// strict prefix-superset; adding restarts can only improve the result).
+/// Returns the lowest-energy fixed point (earliest restart wins exact ties),
+/// which recovers the exact ground state far more often than a single ICM
+/// run on frustrated large arrays.
 [[nodiscard]] std::vector<int> ground_state_greedy_multistart(
     const CapacitanceModel& model, const std::vector<double>& drives,
     int max_electrons_per_dot, int restarts, std::uint64_t seed = 0x1c3ULL);
@@ -114,7 +186,8 @@ enum class ExhaustiveStrategy {
   kBranchAndBound,
 };
 
-/// Counters from the most recent IncrementalGroundStateSolver::solve call.
+/// Counters from the most recent solve call (exhaustive or stochastic; each
+/// solver family fills its own fields and zeroes the rest).
 struct SolveStats {
   /// States whose energy was actually evaluated (m^n for full enumeration).
   std::uint64_t states_visited = 0;
@@ -123,7 +196,124 @@ struct SolveStats {
   std::uint64_t subtrees_pruned = 0;
   /// States contained in the pruned subtrees (never evaluated).
   std::uint64_t states_pruned = 0;
+  /// Stochastic frontier solvers: delta-energy move evaluations performed.
+  std::uint64_t moves_evaluated = 0;
+  /// Stochastic frontier solvers: moves actually applied.
+  std::uint64_t moves_accepted = 0;
+  /// Stochastic frontier solvers / multistart: restarts executed.
+  std::uint64_t restarts = 0;
 };
+
+/// O(1) delta-energy move machinery shared by the stochastic frontier
+/// solvers, exposed so its invariants can be property-tested. Bind to a
+/// model, set a state, then: delta_single / delta_swap evaluate a move in
+/// O(1) against maintained per-dot coupling sums; apply_single / apply_swap
+/// commit it in O(n) (SIMD coupling update, bit-identical to scalar) and
+/// keep a running total energy. No per-trial vector copies anywhere.
+///
+/// Not thread-safe: one instance per thread.
+class DeltaMoveEvaluator {
+ public:
+  /// (Re)bind to a model (flat parameter copies). The model must outlive
+  /// the evaluator.
+  void bind(const CapacitanceModel& model);
+  [[nodiscard]] bool bound() const noexcept { return n_ != 0; }
+
+  /// Load an occupation + drives and rebuild coupling sums and the running
+  /// energy from scratch: O(n^2).
+  void set_state(const std::vector<int>& occupation,
+                 const std::vector<double>& drives);
+
+  /// Energy change of setting dot d to occupancy c (others fixed): O(1).
+  [[nodiscard]] double delta_single(std::size_t d, int c) const;
+  /// Energy change of exchanging the occupancies of dots a and b: O(1).
+  [[nodiscard]] double delta_swap(std::size_t a, std::size_t b) const;
+
+  /// Commit the move and update coupling sums + running energy: O(n).
+  void apply_single(std::size_t d, int c);
+  void apply_swap(std::size_t a, std::size_t b);
+
+  /// Running total energy (delta-accumulated; agrees with a full
+  /// CapacitanceModel::energy recompute to floating-point residue).
+  [[nodiscard]] double energy() const noexcept { return energy_; }
+  [[nodiscard]] const std::vector<int>& occupation() const noexcept {
+    return occupation_;
+  }
+  [[nodiscard]] std::size_t num_dots() const noexcept { return n_; }
+
+ private:
+  std::size_t n_ = 0;
+  std::vector<int> occupation_;
+  std::vector<double> drives_;
+  /// coupling_[d] = sum_k mutual(d, k) * occupation_[k].
+  std::vector<double> coupling_;
+  std::vector<double> mutual_flat_;
+  std::vector<double> charging_;
+  double energy_ = 0.0;
+};
+
+/// Allocation-free stochastic ground-state solver (annealing / tabu /
+/// multistart dispatch on FrontierOptions::strategy). Bind once, call
+/// solve() per pixel; the returned reference stays valid until the next
+/// solve()/bind(). Deterministic: a pure function of (model, drives,
+/// max_electrons_per_dot, options). Not thread-safe: one per thread.
+class StochasticGroundStateSolver {
+ public:
+  void bind(const CapacitanceModel& model);
+  [[nodiscard]] bool bound() const noexcept { return model_ != nullptr; }
+
+  const std::vector<int>& solve(const std::vector<double>& drives,
+                                int max_electrons_per_dot,
+                                const FrontierOptions& options);
+
+  /// Counters from the most recent solve().
+  [[nodiscard]] const SolveStats& last_stats() const noexcept { return stats_; }
+
+ private:
+  void solve_anneal(const std::vector<double>& drives,
+                    int max_electrons_per_dot, const FrontierOptions& options);
+  void solve_tabu(const std::vector<double>& drives, int max_electrons_per_dot,
+                  const FrontierOptions& options);
+  /// ICM-polish `state` in place, then fold it into best_ (full-recompute
+  /// energy comparison; earlier restarts win exact ties).
+  void offer_polished(std::vector<int>& state,
+                      const std::vector<double>& drives,
+                      int max_electrons_per_dot);
+
+  const CapacitanceModel* model_ = nullptr;
+  DeltaMoveEvaluator eval_;
+  std::vector<int> best_;
+  double best_energy_ = 0.0;
+  bool has_best_ = false;
+  std::vector<int> start_;
+  std::vector<int> local_best_;
+  std::vector<double> polish_coupling_;
+  /// Tabu recency list: tabu_until_[d * m + c] = first iteration at which
+  /// returning dot d to occupancy c is allowed again.
+  std::vector<std::uint64_t> tabu_until_;
+  SolveStats stats_;
+};
+
+/// Simulated annealing on O(1) delta-energy moves (see FrontierOptions for
+/// the schedule). Convenience wrapper over StochasticGroundStateSolver.
+[[nodiscard]] std::vector<int> ground_state_anneal(
+    const CapacitanceModel& model, const std::vector<double>& drives,
+    int max_electrons_per_dot, const FrontierOptions& options = {},
+    SolveStats* stats = nullptr);
+
+/// Tabu search (recency list + best-so-far aspiration). Convenience wrapper
+/// over StochasticGroundStateSolver.
+[[nodiscard]] std::vector<int> ground_state_tabu(
+    const CapacitanceModel& model, const std::vector<double>& drives,
+    int max_electrons_per_dot, const FrontierOptions& options = {},
+    SolveStats* stats = nullptr);
+
+/// Dispatch on options.strategy (anneal / tabu / multistart). This is what
+/// ground_state() and the device simulator run above exhaustive_dot_limit.
+[[nodiscard]] std::vector<int> ground_state_frontier(
+    const CapacitanceModel& model, const std::vector<double>& drives,
+    int max_electrons_per_dot, const FrontierOptions& options = {},
+    SolveStats* stats = nullptr);
 
 /// Allocation-free exhaustive solver with incremental delta-energy
 /// evaluation and optional branch-and-bound pruning. Bind it to a model

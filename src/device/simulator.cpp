@@ -5,6 +5,20 @@
 
 namespace qvg {
 
+namespace {
+
+/// Deterministic frontier seed from the simulator's noise seed (which is
+/// the request seed, or request seed + pair index for array walks). A pure
+/// function of its input, so job-level retries and fault-injection reruns —
+/// which rebuild the simulator from the same request — replay every
+/// stochastic ground-state search bit-identically.
+std::uint64_t frontier_seed_from(std::uint64_t noise_seed) {
+  Rng stream = Rng(noise_seed).split(/*tag=*/0xF5057ULL);
+  return stream.next_u64();
+}
+
+}  // namespace
+
 DeviceSimulator::DeviceSimulator(CapacitanceModel model,
                                  SensorConfig sensor_config,
                                  std::vector<double> base_voltages,
@@ -18,7 +32,13 @@ DeviceSimulator::DeviceSimulator(CapacitanceModel model,
       noise_seed_(noise_seed),
       clock_(dwell_seconds) {
   QVG_EXPECTS(base_voltages_.size() == model_.num_gates());
+  solver_options_.frontier.seed = frontier_seed_from(noise_seed);
   set_scan_pair(pair);
+}
+
+void DeviceSimulator::set_solver_options(const ChargeSolverOptions& options) {
+  solver_options_ = options;
+  scratch_.has_warm = false;
 }
 
 void DeviceSimulator::set_scan_pair(ScanPair pair) {
@@ -58,10 +78,13 @@ const std::vector<int>& DeviceSimulator::occupation_with(ProbeScratch& ws,
     ws.has_warm = true;
     return occ;
   }
-  // Large array: greedy solver (same dispatch as the reference path; no
-  // warm start, so results match ground_state() exactly).
-  ws.warm = ground_state_greedy(model_, ws.drives,
-                                solver_options_.max_electrons_per_dot);
+  // Large array: stochastic frontier solver (same dispatch as the reference
+  // path; deterministic given its options and independent of any warm
+  // start, so results match ground_state() exactly and every schedule —
+  // serial, row-parallel, chunked — makes identical per-pixel decisions).
+  if (!ws.frontier.bound()) ws.frontier.bind(model_);
+  ws.warm = ws.frontier.solve(ws.drives, solver_options_.max_electrons_per_dot,
+                              solver_options_.frontier);
   ws.has_warm = false;
   return ws.warm;
 }
@@ -85,8 +108,9 @@ double DeviceSimulator::ideal_current_naive(double v1, double v2) const {
       model_.num_dots() <= solver_options_.exhaustive_dot_limit
           ? ground_state_exhaustive(model_, drives,
                                     solver_options_.max_electrons_per_dot)
-          : ground_state_greedy(model_, drives,
-                                solver_options_.max_electrons_per_dot);
+          : ground_state_frontier(model_, drives,
+                                  solver_options_.max_electrons_per_dot,
+                                  solver_options_.frontier);
   return sensor_.current(v, occupation);
 }
 

@@ -113,6 +113,18 @@ class DeviceSimulator final : public CurrentSource {
   /// Update a base (non-swept) gate voltage.
   void set_base_voltage(std::size_t gate, double voltage);
 
+  /// Charge-solver configuration. The constructor derives
+  /// frontier.seed deterministically from the noise seed (the request
+  /// seed), so every stochastic ground-state search above the exhaustive
+  /// dot limit is a pure function of the request — job-level retries and
+  /// fault-injection reruns replay it bit-identically.
+  [[nodiscard]] const ChargeSolverOptions& solver_options() const noexcept {
+    return solver_options_;
+  }
+  /// Override the solver configuration (e.g. frontier strategy). Resets the
+  /// probe scratch's warm state.
+  void set_solver_options(const ChargeSolverOptions& options);
+
   /// Reset clock, probe counter, noise state, and noise RNG (deterministic
   /// replay of an experiment).
   void reset();
@@ -125,6 +137,8 @@ class DeviceSimulator final : public CurrentSource {
     std::vector<int> warm;
     bool has_warm = false;
     IncrementalGroundStateSolver solver;
+    /// Stochastic frontier solver for > exhaustive_dot_limit dots.
+    StochasticGroundStateSolver frontier;
   };
 
   /// Ground-state occupation via the scratch workspace (no allocation after

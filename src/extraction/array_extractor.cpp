@@ -28,6 +28,14 @@ PairExtraction extract_array_pair(const BuiltDevice& device,
 
   DeviceSimulator sim = make_pair_simulator(
       device, pair_index, opt.noise_seed + pair_index, opt.dwell_seconds);
+  {
+    // Frontier strategy only; the simulator keeps its own seed, derived from
+    // noise_seed + pair_index, so the stochastic search replays with the
+    // request.
+    ChargeSolverOptions solver = sim.solver_options();
+    solver.frontier.strategy = opt.frontier;
+    sim.set_solver_options(solver);
+  }
   if (opt.white_noise_sigma > 0.0)
     sim.add_noise(std::make_unique<WhiteNoise>(opt.white_noise_sigma));
   const VoltageAxis axis = scan_axis(device, opt.pixels_per_axis);
@@ -50,8 +58,18 @@ PairExtraction extract_array_pair(const BuiltDevice& device,
   return pair;
 }
 
+std::vector<std::vector<std::size_t>> plan_array_shards(std::size_t pair_count,
+                                                        std::size_t shards) {
+  if (shards == 0 || shards > pair_count) shards = pair_count;
+  std::vector<std::vector<std::size_t>> plan(shards);
+  for (std::size_t p = 0; p < pair_count; ++p)
+    plan[p % shards].push_back(p);
+  return plan;
+}
+
 ArrayExtractionResult compose_array_result(const BuiltDevice& device,
-                                           std::vector<PairExtraction> pairs) {
+                                           std::vector<PairExtraction> pairs,
+                                           std::size_t shards) {
   const std::size_t n = device.model.num_dots();
   QVG_EXPECTS(n >= 2);
   QVG_EXPECTS(pairs.size() == n - 1);
@@ -59,6 +77,22 @@ ArrayExtractionResult compose_array_result(const BuiltDevice& device,
   ArrayExtractionResult result;
   result.pairs = std::move(pairs);
   result.matrix = Matrix::identity(n);
+
+  // Per-shard bookkeeping from the same deterministic plan the walk ran.
+  const auto plan = plan_array_shards(result.pairs.size(), shards);
+  result.shards.resize(plan.size());
+  for (std::size_t s = 0; s < plan.size(); ++s) {
+    ArrayShardStats& shard = result.shards[s];
+    shard.shard_index = s;
+    shard.pair_indices = plan[s];
+    for (const std::size_t p : plan[s]) {
+      const ProbeStats& stats = result.pairs[p].stats;
+      shard.stats.unique_probes += stats.unique_probes;
+      shard.stats.total_requests += stats.total_requests;
+      shard.stats.simulated_seconds += stats.simulated_seconds;
+      shard.stats.compute_seconds += stats.compute_seconds;
+    }
+  }
 
   // Reference: nearest-neighbour band of the exact compensation matrix.
   result.reference = device.model.ideal_virtualization();
@@ -119,21 +153,27 @@ ArrayExtractionResult extract_array_virtualization(
   QVG_EXPECTS(opt.pixels_per_axis >= 16);
 
   // The paper's n-1 sequential pair extractions are independent given their
-  // per-pair simulators, so they fan out over the pool; each pair writes
-  // only its own preallocated slot. The shared context stops every pair at
-  // its next batch boundary (a probe budget applies per pair, since each
-  // pair drives its own simulator and cache).
+  // per-pair simulators, so they shard out over the pool: each shard runs
+  // its pairs serially, shards run concurrently, and every pair writes only
+  // its own preallocated slot — no mutable state (simulator, ProbeCache,
+  // noise stream) crosses a shard boundary, so the hot probe path never
+  // contends on a lock. The shared context stops every pair at its next
+  // batch boundary (a probe budget applies per pair, since each pair drives
+  // its own simulator and cache).
+  const auto plan = plan_array_shards(n - 1, opt.shards);
   std::vector<PairExtraction> pairs(n - 1);
-  auto run_pairs = [&](std::size_t lo, std::size_t hi) {
-    for (std::size_t pair_index = lo; pair_index < hi; ++pair_index)
-      pairs[pair_index] = extract_array_pair(device, opt, pair_index, context);
+  auto run_shards = [&](std::size_t lo, std::size_t hi) {
+    for (std::size_t s = lo; s < hi; ++s)
+      for (const std::size_t pair_index : plan[s])
+        pairs[pair_index] =
+            extract_array_pair(device, opt, pair_index, context);
   };
   if (opt.parallel)
-    parallel_for_rows(pairs.size(), run_pairs, 1);
+    parallel_for_rows(plan.size(), run_shards, 1);
   else
-    run_pairs(0, pairs.size());
+    run_shards(0, plan.size());
 
-  return compose_array_result(device, std::move(pairs));
+  return compose_array_result(device, std::move(pairs), opt.shards);
 }
 
 }  // namespace qvg

@@ -32,6 +32,18 @@ struct ArrayExtractionOptions {
   /// and results are composed in pair order afterwards, so the output is
   /// bit-identical to the serial walk regardless of thread count.
   bool parallel = true;
+  /// Shard the n-1 pair extractions for parallel execution: pairs are
+  /// assigned round-robin (pair p -> shard p % shards), shards run
+  /// concurrently on the ThreadPool, and each shard walks its own pairs
+  /// serially — every pair still owns its simulator and ProbeCache, so
+  /// shards share no mutable state and the hot probe path has no cross-shard
+  /// lock contention. 0 = one shard per pair (the pre-shard fan-out).
+  /// Pair outputs never depend on the shard plan; only the per-shard stats
+  /// grouping does. Bit-identical to the serial walk for every shard count.
+  std::size_t shards = 0;
+  /// Ground-state search strategy each pair's simulator uses above the
+  /// exhaustive dot limit (the > 7-dot regime this walk scales into).
+  FrontierStrategy frontier = FrontierStrategy::kAnneal;
   FastExtractorOptions fast;
   HoughBaselineOptions baseline;
   VerdictOptions verdict;
@@ -46,11 +58,25 @@ struct PairExtraction {
   ProbeStats stats;
 };
 
+/// Deterministic per-shard bookkeeping composed alongside the array result:
+/// which pairs the shard ran and their summed ProbeStats. A function of
+/// (pair results, shard count) only — independent of scheduling — so
+/// engine-batched, parallel, and serial walks report identical shards.
+struct ArrayShardStats {
+  std::size_t shard_index = 0;
+  std::vector<std::size_t> pair_indices;
+  /// ProbeStats summed over the shard's pairs in pair order.
+  ProbeStats stats;
+};
+
 struct ArrayExtractionResult {
   /// ok() when every pair succeeded; kPairFailed otherwise, with the failed
   /// pair count in the detail.
   Status status;
   std::vector<PairExtraction> pairs;
+  /// One entry per shard of the executed plan (see
+  /// ArrayExtractionOptions::shards).
+  std::vector<ArrayShardStats> shards;
   /// Composed n x n virtualization matrix (identity entries where a pair
   /// failed).
   Matrix matrix;
@@ -81,11 +107,19 @@ struct ArrayExtractionResult {
     const BuiltDevice& device, const ArrayExtractionOptions& options,
     std::size_t pair_index, const AcquisitionContext& context = {});
 
+/// The shard plan: pair p runs in shard p % shard_count. shards == 0 or
+/// shards > pair_count normalizes to one shard per pair. Round-robin keeps
+/// the per-shard cost balanced when extraction cost drifts along the array.
+[[nodiscard]] std::vector<std::vector<std::size_t>> plan_array_shards(
+    std::size_t pair_count, std::size_t shards);
+
 /// Compose per-pair extractions (in pair order) into the full array result:
-/// n x n matrix, reference band, band error, summed ProbeStats, and overall
-/// status. Deterministic given `pairs`, so serial, parallel, and
-/// engine-batched walks compose bit-identically.
+/// n x n matrix, reference band, band error, summed ProbeStats, per-shard
+/// stats for the given shard count, and overall status. Deterministic given
+/// (pairs, shards), so serial, parallel, and engine-batched walks compose
+/// bit-identically.
 [[nodiscard]] ArrayExtractionResult compose_array_result(
-    const BuiltDevice& device, std::vector<PairExtraction> pairs);
+    const BuiltDevice& device, std::vector<PairExtraction> pairs,
+    std::size_t shards = 0);
 
 }  // namespace qvg

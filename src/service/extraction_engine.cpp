@@ -20,6 +20,11 @@ DeviceSimulator make_backend_simulator(const DeviceBackend& backend) {
   DeviceSimulator sim =
       make_pair_simulator(*backend.device, backend.pair_index,
                           backend.noise_seed, backend.dwell_seconds);
+  {
+    ChargeSolverOptions solver = sim.solver_options();
+    solver.frontier.strategy = backend.frontier;
+    sim.set_solver_options(solver);
+  }
   if (backend.white_noise_sigma > 0.0)
     sim.add_noise(std::make_unique<WhiteNoise>(backend.white_noise_sigma));
   if (backend.pink_noise_sigma > 0.0)
@@ -233,15 +238,27 @@ ArrayExtractionResult ExtractionEngine::run_array(
     request.device.dwell_seconds = opt.dwell_seconds;
     request.device.pixels_per_axis = opt.pixels_per_axis;
     request.device.white_noise_sigma = opt.white_noise_sigma;
+    request.device.frontier = opt.frontier;
     request.fast = opt.fast;
     request.hough = opt.baseline;
     request.verdict = opt.verdict;
     request.label = "pair-" + std::to_string(pair_index);
   }
 
-  ExtractionEngine batch_engine(EngineOptions{.parallel_batch = opt.parallel});
-  const std::vector<ExtractionReport> reports =
-      batch_engine.run_batch(requests);
+  // Execute the same shard plan the direct walk runs: shards fan out, each
+  // shard serves its requests serially. Reports are schedule-independent, so
+  // this stays bit-identical to run_batch — but the scheduling (and the
+  // composed per-shard stats) now match extract_array_virtualization.
+  const auto plan = plan_array_shards(requests.size(), opt.shards);
+  std::vector<ExtractionReport> reports(requests.size());
+  auto run_shards = [&](std::size_t lo, std::size_t hi) {
+    for (std::size_t s = lo; s < hi; ++s)
+      for (const std::size_t idx : plan[s]) reports[idx] = run(requests[idx]);
+  };
+  if (opt.parallel)
+    parallel_for_rows(plan.size(), run_shards, 1);
+  else
+    run_shards(0, plan.size());
 
   std::vector<PairExtraction> pairs(reports.size());
   for (std::size_t i = 0; i < reports.size(); ++i) {
@@ -251,7 +268,7 @@ ArrayExtractionResult ExtractionEngine::run_array(
     pairs[i].verdict = reports[i].verdict;
     pairs[i].stats = reports[i].stats;
   }
-  return compose_array_result(device, std::move(pairs));
+  return compose_array_result(device, std::move(pairs), opt.shards);
 }
 
 }  // namespace qvg

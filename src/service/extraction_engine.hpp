@@ -64,6 +64,10 @@ struct DeviceBackend {
   double pink_noise_sigma = 0.0;        // octave ladder tau 0.2 .. 30 s
   double telegraph_amplitude = 0.0;
   double telegraph_rate_hz = 0.5;
+  /// Ground-state search strategy above the exhaustive dot limit (the
+  /// simulator derives the stochastic seed from noise_seed, so the request
+  /// stays a pure description of the run).
+  FrontierStrategy frontier = FrontierStrategy::kAnneal;
 };
 
 /// Backend: replay of a recorded diagram through the paper's simulated

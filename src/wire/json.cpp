@@ -422,6 +422,30 @@ Status parse_method(const std::string& name, ExtractionMethod& out) {
   return json_error("unknown extraction method '" + name + "'");
 }
 
+const char* frontier_name(std::uint64_t frontier) {
+  switch (frontier) {
+    case 1: return "tabu";
+    case 2: return "greedy";
+    default: return "anneal";
+  }
+}
+
+Status parse_frontier(const std::string& name, std::uint64_t& out) {
+  if (name == "anneal") {
+    out = 0;
+    return Status();
+  }
+  if (name == "tabu") {
+    out = 1;
+    return Status();
+  }
+  if (name == "greedy") {
+    out = 2;
+    return Status();
+  }
+  return json_error("unknown frontier strategy '" + name + "'");
+}
+
 // ------------------------------------------------------ nested pieces -----
 
 JsonValue status_value(const Status& status) {
@@ -779,6 +803,8 @@ std::string to_json(const WireRequest& request) {
       dev.set("telegraph_amplitude",
               json_f64(request.device.telegraph_amplitude));
       dev.set("telegraph_rate_hz", json_f64(request.device.telegraph_rate_hz));
+      dev.set("frontier",
+              JsonValue::string(frontier_name(request.device.frontier)));
       obj.set("device", std::move(dev));
       break;
     }
@@ -919,6 +945,12 @@ Result<WireRequest> request_from_json(std::string_view text) {
                     out.device.telegraph_amplitude);
       if (s.ok())
         s = get_f64(*dev, "telegraph_rate_hz", out.device.telegraph_rate_hz);
+      if (s.ok()) {
+        // Absent = default ("anneal"): old clients stay valid.
+        std::string frontier = frontier_name(out.device.frontier);
+        s = get_str(*dev, "frontier", frontier);
+        if (s.ok()) s = parse_frontier(frontier, out.device.frontier);
+      }
     }
   }
   if (s.ok() && out.backend == WireBackendKind::kPlayback) {

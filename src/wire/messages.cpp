@@ -272,7 +272,7 @@ Status decode_params(std::span<const std::uint8_t> payload,
 }
 
 // WireDeviceBackend: 1 params, 2 has_jitter, 3 jitter_seed, 4 pair_index,
-// 5 noise_seed, 6 dwell, 7 pixels_per_axis, 8..11 noise tiers.
+// 5 noise_seed, 6 dwell, 7 pixels_per_axis, 8..11 noise tiers, 12 frontier.
 WireWriter encode_device(const WireDeviceBackend& d) {
   WireWriter w;
   w.msg(1, encode_params(d.params));
@@ -286,6 +286,7 @@ WireWriter encode_device(const WireDeviceBackend& d) {
   w.f64(9, d.pink_noise_sigma);
   w.f64(10, d.telegraph_amplitude);
   w.f64(11, d.telegraph_rate_hz);
+  w.u64(12, d.frontier);
   return w;
 }
 
@@ -309,6 +310,7 @@ Status decode_device(std::span<const std::uint8_t> payload,
       case 9: return take_f64(f, d.pink_noise_sigma);
       case 10: return take_f64(f, d.telegraph_amplitude);
       case 11: return take_f64(f, d.telegraph_rate_hz);
+      case 12: return take_u64(f, d.frontier);
       default: return Status();
     }
   });
@@ -816,6 +818,9 @@ Result<MaterializedRequest> materialize(const WireRequest& wire) {
         return invalid("device charging_energy must be > 0");
       if (wire.device.pixels_per_axis > 4096)
         return invalid("device pixels_per_axis above the service bound 4096");
+      if (wire.device.frontier >
+          static_cast<std::uint64_t>(FrontierStrategy::kMultistartGreedy))
+        return invalid("device frontier strategy out of range");
       if (wire.device.has_jitter) {
         Rng jitter_rng(wire.device.jitter_seed);
         m.device = std::make_unique<BuiltDevice>(build_dot_array(p, &jitter_rng));
@@ -833,6 +838,7 @@ Result<MaterializedRequest> materialize(const WireRequest& wire) {
       d.pink_noise_sigma = wire.device.pink_noise_sigma;
       d.telegraph_amplitude = wire.device.telegraph_amplitude;
       d.telegraph_rate_hz = wire.device.telegraph_rate_hz;
+      d.frontier = static_cast<FrontierStrategy>(wire.device.frontier);
       break;
     }
     case WireBackendKind::kPlayback: {

@@ -161,5 +161,89 @@ TEST(ArrayExtractorTest, ValidatesInput) {
   EXPECT_THROW(extract_array_virtualization(device, opt), ContractViolation);
 }
 
+TEST(ArrayShardTest, PlanPartitionsPairsRoundRobin) {
+  // 7 pairs over 3 shards: round-robin assignment, every pair exactly once.
+  const auto plan = plan_array_shards(7, 3);
+  ASSERT_EQ(plan.size(), 3u);
+  EXPECT_EQ(plan[0], (std::vector<std::size_t>{0, 3, 6}));
+  EXPECT_EQ(plan[1], (std::vector<std::size_t>{1, 4}));
+  EXPECT_EQ(plan[2], (std::vector<std::size_t>{2, 5}));
+  // 0 and oversubscribed counts normalize to one shard per pair.
+  EXPECT_EQ(plan_array_shards(5, 0).size(), 5u);
+  EXPECT_EQ(plan_array_shards(5, 9).size(), 5u);
+}
+
+void expect_identical_arrays(const ArrayExtractionResult& a,
+                             const ArrayExtractionResult& b) {
+  EXPECT_EQ(a.status, b.status);
+  EXPECT_EQ(a.band_max_error, b.band_max_error);
+  ASSERT_EQ(a.pairs.size(), b.pairs.size());
+  for (std::size_t i = 0; i < a.pairs.size(); ++i) {
+    EXPECT_EQ(a.pairs[i].status, b.pairs[i].status);
+    EXPECT_EQ(a.pairs[i].gates.alpha12, b.pairs[i].gates.alpha12);
+    EXPECT_EQ(a.pairs[i].gates.alpha21, b.pairs[i].gates.alpha21);
+    EXPECT_EQ(a.pairs[i].stats.unique_probes, b.pairs[i].stats.unique_probes);
+    EXPECT_EQ(a.pairs[i].stats.simulated_seconds,
+              b.pairs[i].stats.simulated_seconds);
+  }
+  for (std::size_t i = 0; i < a.matrix.rows(); ++i)
+    for (std::size_t j = 0; j < a.matrix.cols(); ++j)
+      EXPECT_EQ(a.matrix(i, j), b.matrix(i, j))
+          << "entry (" << i << ", " << j << ")";
+}
+
+TEST(ArrayShardTest, ShardedTenDotExtractionIsBitIdenticalToSerial) {
+  // 10 dots is the frontier regime: every pixel's ground state comes from
+  // the stochastic solver. The shard plan must not leak into results —
+  // serial, one-shard-per-pair, and 4-shard runs compose bit-identically.
+  const BuiltDevice device = array_device(10, 33);
+  ArrayExtractionOptions serial_opt;
+  serial_opt.pixels_per_axis = 24;
+  serial_opt.parallel = false;
+  serial_opt.shards = 1;
+  const auto serial = extract_array_virtualization(device, serial_opt);
+  ASSERT_EQ(serial.pairs.size(), 9u);
+
+  for (const std::size_t shards : {std::size_t{0}, std::size_t{4}}) {
+    ArrayExtractionOptions opt = serial_opt;
+    opt.parallel = true;
+    opt.shards = shards;
+    const auto sharded = extract_array_virtualization(device, opt);
+    expect_identical_arrays(serial, sharded);
+    // Per-shard stats partition the pairs: every pair in exactly one shard,
+    // stats summing to the total.
+    const std::size_t expect_shards = shards == 0 ? 9u : shards;
+    ASSERT_EQ(sharded.shards.size(), expect_shards);
+    std::vector<bool> seen(9, false);
+    long probes = 0;
+    for (const auto& shard : sharded.shards) {
+      for (const std::size_t p : shard.pair_indices) {
+        EXPECT_FALSE(seen[p]);
+        seen[p] = true;
+      }
+      probes += shard.stats.unique_probes;
+    }
+    for (const bool s : seen) EXPECT_TRUE(s);
+    EXPECT_EQ(probes, sharded.total_stats.unique_probes);
+  }
+}
+
+TEST(ArrayShardTest, FrontierStrategyOptionReachesThePairSolvers) {
+  // Tabu and anneal walk different search trajectories; at 10 dots both must
+  // still produce a successful, self-consistent composition.
+  const BuiltDevice device = array_device(10, 34);
+  for (const FrontierStrategy strategy :
+       {FrontierStrategy::kAnneal, FrontierStrategy::kTabu}) {
+    ArrayExtractionOptions opt;
+    opt.pixels_per_axis = 24;
+    opt.shards = 3;
+    opt.frontier = strategy;
+    const auto result = extract_array_virtualization(device, opt);
+    ASSERT_EQ(result.pairs.size(), 9u);
+    for (const auto& pair : result.pairs)
+      EXPECT_GT(pair.stats.unique_probes, 0);
+  }
+}
+
 }  // namespace
 }  // namespace qvg

@@ -214,6 +214,40 @@ TEST(ExtractionEngineTest, RunArrayMatchesDirectArrayExtraction) {
             direct.total_stats.unique_probes);
 }
 
+TEST(ExtractionEngineTest, RunArrayShardedTenDotMatchesDirect) {
+  // The 10-16 dot lane: sharded execution through the engine must compose
+  // bit-identically to the direct sharded walk, per-shard stats included.
+  const BuiltDevice device = test_device(10);
+
+  ArrayExtractionOptions options;
+  options.pixels_per_axis = 24;
+  options.shards = 4;
+
+  const ArrayExtractionResult direct =
+      extract_array_virtualization(device, options);
+  ExtractionEngine engine;
+  const ArrayExtractionResult via_engine = engine.run_array(device, options);
+
+  EXPECT_EQ(via_engine.status, direct.status);
+  EXPECT_EQ(via_engine.band_max_error, direct.band_max_error);
+  ASSERT_EQ(via_engine.pairs.size(), 9u);
+  for (std::size_t i = 0; i < direct.pairs.size(); ++i) {
+    EXPECT_EQ(via_engine.pairs[i].gates.alpha12, direct.pairs[i].gates.alpha12);
+    EXPECT_EQ(via_engine.pairs[i].gates.alpha21, direct.pairs[i].gates.alpha21);
+    expect_stats_equal(via_engine.pairs[i].stats, direct.pairs[i].stats);
+  }
+  for (std::size_t r = 0; r < direct.matrix.rows(); ++r)
+    for (std::size_t c = 0; c < direct.matrix.cols(); ++c)
+      EXPECT_EQ(via_engine.matrix(r, c), direct.matrix(r, c));
+  ASSERT_EQ(via_engine.shards.size(), 4u);
+  ASSERT_EQ(direct.shards.size(), 4u);
+  for (std::size_t s = 0; s < 4; ++s) {
+    EXPECT_EQ(via_engine.shards[s].pair_indices, direct.shards[s].pair_indices);
+    EXPECT_EQ(via_engine.shards[s].stats.unique_probes,
+              direct.shards[s].stats.unique_probes);
+  }
+}
+
 TEST(ExtractionEngineTest, RequestWithoutBackendFailsTyped) {
   ExtractionEngine engine;
   const ExtractionReport report = engine.run(ExtractionRequest{});

@@ -49,6 +49,8 @@ WireRequest sample_device_request(std::uint64_t variant) {
             break;
     default: break;
   }
+  // Cycle the frontier strategy so round trips cover every enum value.
+  r.device.frontier = variant % 3;
   r.deadline_ms = 5000 + variant;
   r.budget.max_probes = 100000 + static_cast<long>(variant);
   r.budget.max_wall_seconds = 12.5;
@@ -530,6 +532,49 @@ TEST(WireMaterializeTest, UntrustedInputFailsTypedNotAborted) {
   empty_csd.backend = WireBackendKind::kPlayback;
   EXPECT_EQ(materialize(empty_csd).status().code(),
             ErrorCode::kInvalidRequest);
+}
+
+TEST(WireMaterializeTest, FrontierStrategyRoundTripsAndValidates) {
+  // Every strategy value survives both lanes and maps onto the engine
+  // request's enum; anything past the enum range is rejected typed.
+  for (std::uint64_t value : {0ull, 1ull, 2ull}) {
+    WireRequest wire = sample_device_request(0);
+    wire.device.frontier = value;
+    const std::vector<std::uint8_t> bytes = encode(wire);
+    Result<WireRequest> binary = decode_request(bytes);
+    ASSERT_TRUE(binary.ok());
+    EXPECT_EQ(binary.value().device.frontier, value);
+    Result<WireRequest> json = request_from_json(to_json(wire));
+    ASSERT_TRUE(json.ok()) << json.status().message();
+    EXPECT_EQ(json.value().device.frontier, value);
+
+    Result<MaterializedRequest> m = materialize(wire);
+    ASSERT_TRUE(m.ok()) << m.status().message();
+    EXPECT_EQ(m.value().request.device.frontier,
+              static_cast<FrontierStrategy>(value));
+  }
+
+  WireRequest bad = sample_device_request(0);
+  bad.device.frontier = 3;
+  EXPECT_EQ(materialize(bad).status().code(), ErrorCode::kInvalidRequest);
+}
+
+TEST(WireJsonTest, FrontierStringIsOptionalAndValidated) {
+  // Absent "frontier" key = the anneal default (old clients keep working);
+  // an unknown string is a typed parse error, not a silent default.
+  const WireRequest wire = sample_device_request(0);
+  std::string json = to_json(wire);
+  const auto pos = json.find(",\"frontier\":\"anneal\"");
+  ASSERT_NE(pos, std::string::npos) << json;
+  std::string without = json;
+  without.erase(pos, std::string(",\"frontier\":\"anneal\"").size());
+  Result<WireRequest> decoded = request_from_json(without);
+  ASSERT_TRUE(decoded.ok()) << decoded.status().message();
+  EXPECT_EQ(decoded.value().device.frontier, 0u);
+
+  std::string bogus = json;
+  bogus.replace(bogus.find("\"anneal\""), 8, "\"warp\"");
+  EXPECT_FALSE(request_from_json(bogus).ok());
 }
 
 }  // namespace
