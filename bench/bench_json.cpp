@@ -94,7 +94,7 @@
 // re-measure on multi-core hardware in one variable).
 //
 // Usage: bench_json [output.json] [filter]
-//   (default output: BENCH_PR9.json in the CWD; `filter` is an optional
+//   (default output: BENCH_PR10.json in the CWD; `filter` is an optional
 //   substring matched against scenario-family names — only matching families
 //   run, e.g. `bench_json out.json solver_frontier`. An unknown filter runs
 //   nothing and lists the family names.)
@@ -167,7 +167,7 @@ struct JsonWriter {
   bool first_scenario = true;
 
   void begin() {
-    out << "{\n  \"bench\": \"PR9\",\n  \"metadata\": {\n"
+    out << "{\n  \"bench\": \"PR10\",\n  \"metadata\": {\n"
         << "    \"cpu\": \"" << cpu_model() << "\",\n"
         << "    \"compiler\": \"" << __VERSION__ << "\",\n"
 #ifdef QVG_BUILD_FLAGS
@@ -1652,6 +1652,101 @@ void bench_server_load_shedding(JsonWriter& json) {
   json.end_scenario();
 }
 
+// PR 10: the instrument-driver acquisition pipeline. A 100x100 playback
+// raster goes out as 20 whole-row batches over a wall-clock transport link;
+// the synchronous-submission lane (io_depth = 1) pays the full command
+// latency per batch, the pipelined lane (io_depth = 4) overlaps it across
+// in-flight transfers. Results must stay bit-identical — only the wall
+// clock moves.
+void bench_driver_latency_sweep(JsonWriter& json) {
+  const Csd recorded = [] {
+    const BuiltDevice device = build_dot_array(DotArrayParams{});
+    const VoltageAxis axis = scan_axis(device, 100);
+    DeviceSimulator sim = make_pair_simulator(device);
+    return sim.generate_csd(axis, axis, "driver_latency");
+  }();
+
+  auto acquire = [&](long io_depth, double latency_us) {
+    AcquisitionContext context;
+    context.transport.io_depth = io_depth;
+    context.transport.latency_us = latency_us;
+    context.transport.wall_clock = true;
+    CsdPlayback playback(recorded);
+    return *acquire_full_csd(playback, recorded.x_axis(), recorded.y_axis(),
+                             context);
+  };
+
+  for (const double latency_us : {1000.0, 5000.0}) {
+    Csd sync_csd, pipelined_csd;
+    const double sync_s =
+        time_best(3, [&] { sync_csd = acquire(1, latency_us); });
+    const double pipelined_s =
+        time_best(3, [&] { pipelined_csd = acquire(4, latency_us); });
+    json.begin_scenario("driver_latency_sweep_100px_" +
+                        std::to_string(static_cast<long>(latency_us)) + "us");
+    json.field("pixels",
+               static_cast<long>(recorded.width() * recorded.height()));
+    json.field("latency_us", latency_us);
+    json.field("sync_seconds", sync_s);
+    json.field("pipelined_seconds", pipelined_s);
+    json.field("speedup", sync_s / pipelined_s);
+    json.field("results_identical", sync_csd.grid() == pipelined_csd.grid());
+    json.end_scenario();
+  }
+}
+
+// PR 10: cancellation reaches the driver boundary. A raster rides a
+// serialized link whose transfers take ~20 ms each; the cancel fires
+// mid-raster and the job must stop within roughly one transfer (plus poll
+// jitter), not run the remaining transfers out.
+void bench_driver_cancel_latency(JsonWriter& json) {
+  const Csd recorded = [] {
+    const BuiltDevice device = build_dot_array(DotArrayParams{});
+    const VoltageAxis axis = scan_axis(device, 100);
+    DeviceSimulator sim = make_pair_simulator(device);
+    return sim.generate_csd(axis, axis, "driver_cancel");
+  }();
+  constexpr double kTransferSeconds = 0.020;  // 500-point batch at 25k pts/s
+  constexpr int kReps = 5;
+
+  std::vector<double> cancel_to_stop(kReps);
+  bool always_cancelled = true;
+  for (int rep = 0; rep < kReps; ++rep) {
+    AcquisitionContext context;
+    context.cancel = CancelToken::make();
+    context.transport.io_depth = 2;
+    context.transport.bandwidth = 500.0 / kTransferSeconds;
+    context.transport.wall_clock = true;
+
+    std::chrono::steady_clock::time_point cancelled_at;
+    std::thread canceller([&, token = context.cancel]() mutable {
+      std::this_thread::sleep_for(std::chrono::milliseconds(50));
+      cancelled_at = std::chrono::steady_clock::now();
+      token.cancel();
+    });
+    CsdPlayback playback(recorded);
+    const Result<Csd> result = acquire_full_csd(
+        playback, recorded.x_axis(), recorded.y_axis(), context);
+    const auto stopped_at = std::chrono::steady_clock::now();
+    canceller.join();
+    always_cancelled &=
+        result.status().code() == ErrorCode::kCancelled;
+    cancel_to_stop[rep] =
+        std::chrono::duration<double>(stopped_at - cancelled_at).count();
+  }
+
+  std::sort(cancel_to_stop.begin(), cancel_to_stop.end());
+  json.begin_scenario("driver_cancel_latency");
+  json.field("transfer_seconds", kTransferSeconds);
+  json.field("cancel_to_stop_s_best", cancel_to_stop.front());
+  json.field("cancel_to_stop_s_p50", cancel_to_stop[kReps / 2]);
+  json.field("cancel_to_stop_s_worst", cancel_to_stop.back());
+  json.field("stopped_within_one_transfer",
+             cancel_to_stop.back() <= kTransferSeconds * 1.5);
+  json.field("always_cancelled", always_cancelled);
+  json.end_scenario();
+}
+
 /// Scenario families, runnable individually via the optional filter
 /// argument (substring match on the family name).
 struct BenchFamily {
@@ -1683,12 +1778,14 @@ constexpr BenchFamily kFamilies[] = {
     {"server_submit_latency", bench_server_submit_latency},
     {"server_fairness", bench_server_fairness},
     {"server_load_shedding", bench_server_load_shedding},
+    {"driver_latency_sweep", bench_driver_latency_sweep},
+    {"driver_cancel", bench_driver_cancel_latency},
 };
 
 }  // namespace
 
 int main(int argc, char** argv) {
-  const std::string out_path = argc > 1 ? argv[1] : "BENCH_PR9.json";
+  const std::string out_path = argc > 1 ? argv[1] : "BENCH_PR10.json";
   const std::string filter = argc > 2 ? argv[2] : "";
 
   int matched = 0;

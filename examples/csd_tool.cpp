@@ -52,6 +52,13 @@
 // wait real wall-clock time (polling the CancelToken), so a saturated
 // fault rate plus a huge retry budget is a job that runs until cancelled —
 // the recipe the CI smoke uses to prove cancel-on-disconnect.
+// --transport-latency-us / --transport-bandwidth / --io-depth model the
+// instrument link (PR 10): with --io-depth >= 1 the job acquires through an
+// InstrumentDriver whose request ring holds that many in-flight batches,
+// charging per-batch command latency plus size/bandwidth transfer time to
+// the simulated clock; results stay bit-identical to the default synchronous
+// path at any depth. The flags ride the wire request too, so the --connect
+// lane serves the same transport model with the same exit codes.
 // Exit codes are distinct per outcome:
 //   0 success, 1 extraction/load failure, 2 usage,
 //   3 job cancelled (kCancelled), 4 deadline exceeded (kDeadlineExceeded),
@@ -91,6 +98,8 @@ int usage() {
                "[--dwell seconds] [--timeout-ms T] [--max-probes N] "
                "[--cancel] [--progress] [--fault-rate p] [--fault-seed S] "
                "[--max-retries R] [--wall-backoff]\n"
+               "                [--transport-latency-us L] "
+               "[--transport-bandwidth B] [--io-depth D]\n"
                "       csd_tool --serve [--port P] [--max-pending N]\n"
                "       csd_tool <diagram.csv> --connect PORT [--tenant NAME] "
                "[--progress] [--disconnect-after-first-event]\n"
@@ -200,6 +209,14 @@ int print_outcome(const ReportT& report, const std::string& method,
                 << " retries, backoff "
                 << format_fixed(report.fault_stats.backoff_seconds, 2)
                 << " s\n";
+    if (report.fault_stats.driver_batches > 0 ||
+        report.fault_stats.driver_aborted_transfers > 0)
+      std::cout << "  driver: " << report.fault_stats.driver_batches
+                << " transfers, " << report.fault_stats.driver_aborted_transfers
+                << " aborted, max in-flight "
+                << report.fault_stats.driver_max_inflight << ", transport "
+                << format_fixed(report.fault_stats.transport_stall_seconds, 3)
+                << " s\n";
     switch (report.status.code()) {
       case ErrorCode::kCancelled: return kExitCancelled;
       case ErrorCode::kDeadlineExceeded: return kExitDeadlineExceeded;
@@ -230,6 +247,13 @@ int print_outcome(const ReportT& report, const std::string& method,
               << format_fixed(report.fault_stats.backoff_seconds, 2)
               << " s, " << report.fault_stats.reacquired_rows
               << " rows re-acquired\n";
+  if (report.fault_stats.driver_batches > 0)
+    std::cout << "  driver: " << report.fault_stats.driver_batches
+              << " transfers, " << report.fault_stats.driver_aborted_transfers
+              << " aborted, max in-flight "
+              << report.fault_stats.driver_max_inflight << ", transport "
+              << format_fixed(report.fault_stats.transport_stall_seconds, 3)
+              << " s\n";
 
   if (report.has_verdict) {
     const Verdict& verdict = report.verdict;
@@ -490,6 +514,9 @@ int main(int argc, char** argv) {
   long shards = 0;
   long pixels = 48;
   unsigned long long frontier_seed = FrontierOptions{}.seed;
+  double transport_latency_us = 0.0;
+  double transport_bandwidth = 0.0;
+  long io_depth = 0;
 
   const int first_flag = argv[1][0] == '-' ? 1 : 2;
   if (first_flag == 2) path = argv[1];
@@ -542,6 +569,12 @@ int main(int argc, char** argv) {
         frontier_probe_dots = std::stol(argv[++i]);
       } else if (flag == "--frontier-seed") {
         frontier_seed = std::stoull(argv[++i]);
+      } else if (flag == "--transport-latency-us") {
+        transport_latency_us = std::stod(argv[++i]);
+      } else if (flag == "--transport-bandwidth") {
+        transport_bandwidth = std::stod(argv[++i]);
+      } else if (flag == "--io-depth") {
+        io_depth = std::stol(argv[++i]);
       } else {
         return usage();
       }
@@ -591,6 +624,11 @@ int main(int argc, char** argv) {
   if (method != "fast" && method != "hough") return usage();
   if (fault_rate < 0.0 || fault_rate > 1.0 || max_retries < 0) return usage();
   if (connect_port < 0 || connect_port > 65535) return usage();
+  // Same bounds the wire layer enforces in materialize(): rejecting here
+  // turns a bad flag into exit 2 instead of a served kInvalidRequest.
+  if (transport_latency_us < 0.0 || transport_bandwidth < 0.0 ||
+      io_depth < 0 || io_depth > 256)
+    return usage();
 
   // Typed load: missing and malformed files are ordinary Status failures.
   const Result<Csd> loaded = try_load_csd_csv(path);
@@ -623,6 +661,9 @@ int main(int argc, char** argv) {
     }
     request.retry.max_attempts = max_retries + 1;
     request.retry.wall_clock_backoff = wall_backoff;
+    request.transport.latency_us = transport_latency_us;
+    request.transport.bandwidth = transport_bandwidth;
+    request.transport.io_depth = io_depth;
     return run_client(request, static_cast<std::uint16_t>(connect_port),
                       tenant, show_progress, disconnect_after_first_event,
                       total_pixels, method);
@@ -647,6 +688,9 @@ int main(int argc, char** argv) {
   // so any injected transient escalates straight to a hard fault.
   request.retry.max_attempts = max_retries + 1;
   request.retry.wall_clock_backoff = wall_backoff;
+  request.transport.latency_us = transport_latency_us;
+  request.transport.bandwidth = transport_bandwidth;
+  request.transport.io_depth = io_depth;
 
   SubmitOptions options;
   options.priority = Priority::kInteractive;  // a human is waiting

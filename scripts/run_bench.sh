@@ -1,27 +1,41 @@
 #!/usr/bin/env bash
 # Build Release and refresh the perf-trajectory snapshot. The output path is
-# the optional first argument (default: BENCH_PR9.json at the repo root —
+# the optional first argument (default: BENCH_PR10.json at the repo root —
 # bump the default once per PR; no in-script renames needed). The snapshot
-# includes every PR 1-8 scenario plus the PR 9 solver-frontier and sharded
-# 10-16 dot array scenarios, so earlier numbers stay reproducible — see the
-# "metadata" object for the CPU/compiler/flags the numbers belong to.
+# includes every PR 1-9 scenario plus the PR 10 instrument-driver latency
+# sweep and cancellation-latency scenarios, so earlier numbers stay
+# reproducible — see the "metadata" object for the CPU/compiler/flags the
+# numbers belong to.
 # Usage: scripts/run_bench.sh [output.json] [filter]
 #   `filter` is an optional substring matched against scenario-family names;
 #   only matching families run (e.g. `scripts/run_bench.sh /tmp/f.json
-#   solver_frontier`). Handy for re-measuring one family without the full
-#   ~minutes sweep.
+#   driver_latency_sweep`). Handy for re-measuring one family without the
+#   full ~minutes sweep.
 # Set QVG_THREADS=N to pin the thread-pool size (recorded per scenario).
 set -euo pipefail
 
 repo_root="$(cd "$(dirname "$0")/.." && pwd)"
-out="${1:-$repo_root/BENCH_PR9.json}"
+out="${1:-$repo_root/BENCH_PR10.json}"
 filter="${2:-}"
 build_dir="$repo_root/build-release"
 
-cmake -B "$build_dir" -S "$repo_root" -DCMAKE_BUILD_TYPE=Release
-cmake --build "$build_dir" --target bench_json -j"$(nproc)"
-if [[ -n "$filter" ]]; then
-  "$build_dir/bench_json" "$out" "$filter"
-else
-  "$build_dir/bench_json" "$out"
+if ! cmake -B "$build_dir" -S "$repo_root" -DCMAKE_BUILD_TYPE=Release; then
+  echo "error: cmake configure failed for $build_dir (is the toolchain" \
+       "installed? delete the directory to reconfigure from scratch)" >&2
+  exit 1
 fi
+if ! cmake --build "$build_dir" --target bench_json -j"$(nproc)"; then
+  echo "error: building the bench_json target failed; see the compiler" \
+       "output above" >&2
+  exit 1
+fi
+bench_bin="$build_dir/bench_json"
+if [[ ! -x "$bench_bin" ]]; then
+  echo "error: $bench_bin is missing or not executable after a successful" \
+       "build; delete $build_dir and re-run to rebuild from scratch" >&2
+  exit 1
+fi
+
+# Forward the filter in every path; bench_json itself rejects an unknown
+# filter with the list of available families.
+"$bench_bin" "$out" "$filter"

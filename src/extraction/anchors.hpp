@@ -22,6 +22,7 @@
 #include "grid/axis.hpp"
 #include "probe/acquisition_context.hpp"
 #include "probe/current_source.hpp"
+#include "probe/driver/async_source.hpp"
 
 #include <cstddef>
 #include <vector>
@@ -63,6 +64,20 @@ struct AnchorResult {
 [[nodiscard]] Result<AnchorResult> find_anchor_points(
     CurrentSource& source, const VoltageAxis& x_axis, const VoltageAxis& y_axis,
     const AnchorOptions& options = {},
+    const AcquisitionContext& context = {});
+
+/// The same search over an explicit driver lane. Batches that do not depend
+/// on each other — the two mask sweeps, the two snap scans — are submitted
+/// back to back when driver.depth() >= 2, pipelining the transport's
+/// command latency; at depth 1 (SyncSourceAdapter) every batch is submitted
+/// strictly after the check that gates it, call-for-call identical to the
+/// CurrentSource overload. Uninterrupted results are bit-identical at any
+/// depth. The CurrentSource overload routes here through an
+/// InstrumentDriver when context.transport is enabled, through the
+/// SyncSourceAdapter otherwise.
+[[nodiscard]] Result<AnchorResult> find_anchor_points(
+    AsyncCurrentSource& driver, const VoltageAxis& x_axis,
+    const VoltageAxis& y_axis, const AnchorOptions& options = {},
     const AcquisitionContext& context = {});
 
 }  // namespace qvg

@@ -2,9 +2,11 @@
 
 #include "common/stopwatch.hpp"
 #include "extraction/postprocess.hpp"
+#include "probe/driver/instrument_driver.hpp"
 #include "probe/probe_cache.hpp"
 
 #include <algorithm>
+#include <optional>
 
 namespace qvg {
 
@@ -22,6 +24,20 @@ FastExtractionResult run_fast_extraction(CurrentSource& source,
   // band around each transition line; a handful of rows' worth of capacity
   // covers the typical 4-17% unique-probe fraction without rehashing.
   cache.reserve((x_axis.count() + y_axis.count()) * 8);
+
+  // One acquisition lane for the whole job, wrapped around the cache: an
+  // InstrumentDriver when the job models a transport (one driver thread per
+  // job, its stats flushed into context.faults when the lane is destroyed),
+  // the SyncSourceAdapter — call-for-call the pre-driver path — otherwise.
+  // Every stage drains the lane before returning, so the cache statistics
+  // finish() reads are quiescent.
+  std::optional<InstrumentDriver> driver;
+  std::optional<SyncSourceAdapter> adapter;
+  AsyncCurrentSource* lane = nullptr;
+  if (context.transport.enabled())
+    lane = &driver.emplace(cache, context.transport, context.faults);
+  else
+    lane = &adapter.emplace(cache);
 
   auto finish = [&](Status status) {
     result.status = std::move(status);
@@ -43,7 +59,7 @@ FastExtractionResult run_fast_extraction(CurrentSource& source,
   // is checked before every anchor probe batch (including once on entry),
   // so a pre-cancelled job stops with zero probes.
   auto anchors =
-      find_anchor_points(cache, x_axis, y_axis, opt.anchors, context);
+      find_anchor_points(*lane, x_axis, y_axis, opt.anchors, context);
   if (!anchors) return finish(anchors.status());
   result.anchors = std::move(anchors).value();
 
@@ -53,7 +69,7 @@ FastExtractionResult run_fast_extraction(CurrentSource& source,
   SweepOptions sweep_opt = opt.sweep;
   sweep_opt.run_row_sweep = opt.enable_row_sweep;
   sweep_opt.run_col_sweep = opt.enable_col_sweep;
-  result.sweeps = run_sweeps(cache, x_axis, y_axis, result.anchors.anchor_a,
+  result.sweeps = run_sweeps(*lane, x_axis, y_axis, result.anchors.anchor_a,
                              result.anchors.anchor_b, sweep_opt, context);
   if (!result.sweeps.status.ok()) return finish(result.sweeps.status);
   std::vector<Pixel> raw_points;

@@ -46,6 +46,14 @@ std::span<const double> FeatureGradientBatch::evaluate(CurrentSource& source,
   return reduce_gradients();
 }
 
+CompletionHandle FeatureGradientBatch::submit(AsyncCurrentSource& driver,
+                                              double delta_x, double delta_y,
+                                              const AcquisitionContext& context,
+                                              const char* stage) {
+  build_probes(delta_x, delta_y);
+  return driver.submit(probes_, currents_, context, stage);
+}
+
 Status FeatureGradientBatch::try_evaluate(CurrentSource& source,
                                           double delta_x, double delta_y,
                                           const AcquisitionContext& context,

@@ -16,6 +16,7 @@
 
 #include "common/status.hpp"
 #include "probe/current_source.hpp"
+#include "probe/driver/async_source.hpp"
 
 #include <span>
 #include <vector>
@@ -60,6 +61,19 @@ class FeatureGradientBatch {
                                     const AcquisitionContext& context,
                                     const char* stage,
                                     std::span<const double>& out);
+
+  /// Asynchronous evaluation, split for pipelining: submit() posts the
+  /// queued centres' probe batch to the driver and returns the completion
+  /// handle; once the completion is ok(), reduce() turns the received
+  /// currents into the per-centre gradient span (valid until the next
+  /// evaluation). Between submit() and the handle's wait() the instance must
+  /// not be touched (the driver writes its currents buffer). Through a
+  /// SyncSourceAdapter submit()+reduce() is exactly try_evaluate().
+  [[nodiscard]] CompletionHandle submit(AsyncCurrentSource& driver,
+                                        double delta_x, double delta_y,
+                                        const AcquisitionContext& context,
+                                        const char* stage);
+  [[nodiscard]] std::span<const double> reduce() { return reduce_gradients(); }
 
  private:
   /// Queue the 3 probes per centre into probes_ (shared by both paths).

@@ -2,6 +2,7 @@
 
 #include "common/assert.hpp"
 #include "extraction/feature_gradient.hpp"
+#include "probe/driver/instrument_driver.hpp"
 
 #include <algorithm>
 #include <cmath>
@@ -29,7 +30,7 @@ std::pair<int, int> pixel_range(double span_lo, double span_hi, int window_hi) {
 
 }  // namespace
 
-SweepResult run_sweeps(CurrentSource& source, const VoltageAxis& x_axis,
+SweepResult run_sweeps(AsyncCurrentSource& driver, const VoltageAxis& x_axis,
                        const VoltageAxis& y_axis, Pixel anchor_a,
                        Pixel anchor_b, const SweepOptions& opt,
                        const AcquisitionContext& context) {
@@ -41,16 +42,36 @@ SweepResult run_sweeps(CurrentSource& source, const VoltageAxis& x_axis,
   QVG_EXPECTS(anchor_a.x >= 0 && anchor_b.y >= 0);
 
   // One batch per segment: every pixel's Algorithm-2 probes go out as a
-  // single get_currents request (same probe order as the scalar loop, so a
-  // wrapped ProbeCache sees identical traffic and backends batch the rest).
+  // single submission (same probe order as the scalar loop, so a wrapped
+  // ProbeCache sees identical traffic and backends batch the rest). Each
+  // segment's argmax moves the anchor shaping the next segment, so segments
+  // are submit + wait — serial through the driver at any depth.
   FeatureGradientBatch batch;
   SweepResult result;
 
   // Interruption check before each segment batch: a stopped sweep keeps the
-  // points found so far and reports the typed Status.
+  // points found so far and reports the typed Status. `last_probes` mirrors
+  // source.probe_count() at the equivalent synchronous boundary (the ring is
+  // idle between segments, so the completion-carried count is exact).
+  long last_probes = driver.probes_completed();
   auto interrupted = [&] {
-    result.status = context.check("sweeps", source.probe_count());
+    result.status = context.check("sweeps", last_probes);
     return !result.status.ok();
+  };
+
+  // Submit + wait one segment batch; on ok, `gradients` holds the reduced
+  // per-pixel gradients.
+  const auto evaluate_segment = [&](std::span<const double>& gradients) {
+    CompletionHandle handle = batch.submit(driver, x_axis.step(),
+                                           y_axis.step(), context, "sweeps");
+    const BatchCompletion& completion = handle.wait();
+    if (!completion.outcome.ok()) {
+      result.status = completion.outcome.status;
+      return false;
+    }
+    last_probes = completion.probes_after;
+    gradients = batch.reduce();
+    return true;
   };
 
   // --- Row-major sweep (bottom -> top), moving anchor B. -----------------
@@ -75,11 +96,7 @@ SweepResult run_sweeps(CurrentSource& source, const VoltageAxis& x_axis,
       for (int x = x_lo; x <= x_hi; ++x)
         batch.add(x_axis.voltage(x), y_axis.voltage(row));
       std::span<const double> gradients;
-      if (result.status = batch.try_evaluate(source, x_axis.step(),
-                                             y_axis.step(), context, "sweeps",
-                                             gradients);
-          !result.status.ok())
-        return result;
+      if (!evaluate_segment(gradients)) return result;
       SweepPoint best{{x_lo, row}, -1e300};
       for (int x = x_lo; x <= x_hi; ++x) {
         const double g = gradients[static_cast<std::size_t>(x - x_lo)];
@@ -118,11 +135,7 @@ SweepResult run_sweeps(CurrentSource& source, const VoltageAxis& x_axis,
       for (int y = y_lo; y <= y_hi; ++y)
         batch.add(x_axis.voltage(col), y_axis.voltage(y));
       std::span<const double> gradients;
-      if (result.status = batch.try_evaluate(source, x_axis.step(),
-                                             y_axis.step(), context, "sweeps",
-                                             gradients);
-          !result.status.ok())
-        return result;
+      if (!evaluate_segment(gradients)) return result;
       SweepPoint best{{col, y_lo}, -1e300};
       for (int y = y_lo; y <= y_hi; ++y) {
         const double g = gradients[static_cast<std::size_t>(y - y_lo)];
@@ -140,6 +153,19 @@ SweepResult run_sweeps(CurrentSource& source, const VoltageAxis& x_axis,
   }
 
   return result;
+}
+
+SweepResult run_sweeps(CurrentSource& source, const VoltageAxis& x_axis,
+                       const VoltageAxis& y_axis, Pixel anchor_a,
+                       Pixel anchor_b, const SweepOptions& opt,
+                       const AcquisitionContext& context) {
+  if (context.transport.enabled()) {
+    InstrumentDriver driver(source, context.transport, context.faults);
+    return run_sweeps(driver, x_axis, y_axis, anchor_a, anchor_b, opt,
+                      context);
+  }
+  SyncSourceAdapter adapter(source);
+  return run_sweeps(adapter, x_axis, y_axis, anchor_a, anchor_b, opt, context);
 }
 
 }  // namespace qvg

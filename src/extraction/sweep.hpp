@@ -19,6 +19,7 @@
 #include "grid/axis.hpp"
 #include "probe/acquisition_context.hpp"
 #include "probe/current_source.hpp"
+#include "probe/driver/async_source.hpp"
 
 #include <vector>
 
@@ -76,6 +77,21 @@ struct SweepResult {
 /// segment batch; a cancelled or expired job stops at the next segment
 /// boundary with the points found so far.
 [[nodiscard]] SweepResult run_sweeps(CurrentSource& source,
+                                     const VoltageAxis& x_axis,
+                                     const VoltageAxis& y_axis, Pixel anchor_a,
+                                     Pixel anchor_b,
+                                     const SweepOptions& options = {},
+                                     const AcquisitionContext& context = {});
+
+/// The same sweeps over an explicit driver lane. Each segment's argmax
+/// moves the anchor that shapes the next segment, so segments are
+/// inherently serial — the driver still absorbs the per-batch transport
+/// charge and keeps the cancellation boundary at the driver, but there is
+/// no lookahead to pipeline. Results are bit-identical to the CurrentSource
+/// overload, which routes here through an InstrumentDriver when
+/// context.transport is enabled and through the SyncSourceAdapter
+/// otherwise.
+[[nodiscard]] SweepResult run_sweeps(AsyncCurrentSource& driver,
                                      const VoltageAxis& x_axis,
                                      const VoltageAxis& y_axis, Pixel anchor_a,
                                      Pixel anchor_b,

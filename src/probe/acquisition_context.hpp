@@ -21,6 +21,7 @@
 #include "common/status.hpp"
 #include "probe/progress.hpp"
 #include "probe/retry_policy.hpp"
+#include "probe/transport_options.hpp"
 
 #include <chrono>
 #include <optional>
@@ -73,15 +74,21 @@ class AcquisitionContext {
   /// one recorder per job when fault injection is attached and snapshots it
   /// into ExtractionReport::fault_stats.
   FaultRecorder faults;
+  /// Instrument transport model (disabled by default). When
+  /// transport.enabled(), probe loops route batches through an
+  /// InstrumentDriver instead of the synchronous adapter; see
+  /// probe/transport_options.hpp.
+  TransportOptions transport;
 
   /// Whether any limit or listener is attached. Unlimited contexts let
   /// acquisition keep its single-batch fast path (no per-row checks,
   /// bit-identical to PR 3); a progress sink forces the batched path too,
   /// since events only fire at batch boundaries — as does a fault recorder,
-  /// since faults are injected and recovered per batch.
+  /// since faults are injected and recovered per batch, and an enabled
+  /// transport, since the driver charges and pipelines per batch.
   [[nodiscard]] bool limited() const noexcept {
     return cancel.can_cancel() || deadline.has_value() || max_probes > 0 ||
-           progress.active() || faults.active();
+           progress.active() || faults.active() || transport.enabled();
   }
 
   /// Interruption check, called between probe batches and pipeline stages.

@@ -1,0 +1,244 @@
+#include "probe/driver/instrument_driver.hpp"
+
+#include "common/error.hpp"
+
+#include <algorithm>
+#include <utility>
+#include <vector>
+
+namespace qvg {
+
+namespace {
+
+constexpr auto kPollInterval = std::chrono::milliseconds(1);
+
+Status aborted_status(const char* stage) {
+  return Status::failure(ErrorCode::kCancelled, stage,
+                         "transfer aborted at the driver boundary");
+}
+
+}  // namespace
+
+InstrumentDriver::InstrumentDriver(CurrentSource& source,
+                                   const TransportOptions& transport,
+                                   FaultRecorder recorder)
+    : source_(source), transport_(transport), recorder_(std::move(recorder)) {
+  if (transport_.io_depth < 1)
+    throw ContractViolation("InstrumentDriver requires io_depth >= 1");
+  if (transport_.latency_us < 0.0 || transport_.bandwidth < 0.0)
+    throw ContractViolation("InstrumentDriver transport must be non-negative");
+  last_probes_ = source_.probe_count();
+  link_free_at_ = WallClock::now();
+  thread_ = std::thread([this] { run(); });
+}
+
+InstrumentDriver::~InstrumentDriver() {
+  std::vector<Request> orphans;
+  {
+    std::lock_guard lock(mutex_);
+    stop_ = true;
+    ++abort_epoch_;  // interrupt an in-flight wall-clock transfer
+    while (!ring_.empty()) {
+      orphans.push_back(std::move(ring_.front()));
+      ring_.pop_front();
+    }
+    stats_.aborted_transfers += static_cast<long>(orphans.size());
+    cv_worker_.notify_all();
+    cv_submit_.notify_all();
+  }
+  for (Request& request : orphans) {
+    BatchCompletion completion;
+    completion.outcome.status = aborted_status(request.stage);
+    fulfil(request.state, std::move(completion));
+  }
+  thread_.join();
+  if (recorder_.active()) {
+    recorder_.record_driver(stats_.batches, stats_.aborted_transfers,
+                            stats_.max_inflight, stats_.transport_seconds);
+  }
+}
+
+CompletionHandle InstrumentDriver::submit(std::span<const Point2> points,
+                                          std::span<double> out,
+                                          const AcquisitionContext& context,
+                                          const char* stage) {
+  if (points.size() != out.size())
+    throw ContractViolation("InstrumentDriver::submit: span size mismatch");
+  auto state = std::make_shared<CompletionHandle::State>();
+  CompletionHandle handle{state};
+  Request request;
+  request.points = points;
+  request.out = out;
+  request.context = &context;
+  request.stage = stage;
+  request.state = std::move(state);
+  {
+    std::unique_lock lock(mutex_);
+    cv_submit_.wait(lock, [&] {
+      return stop_ || inflight_locked() < transport_.io_depth;
+    });
+    if (stop_) {
+      BatchCompletion completion;
+      completion.outcome.status = aborted_status(stage);
+      fulfil(request.state, std::move(completion));
+      return handle;
+    }
+    request.epoch = abort_epoch_;
+    request.submitted_at = WallClock::now();
+    ring_.push_back(std::move(request));
+    stats_.max_inflight = std::max(stats_.max_inflight, inflight_locked());
+    cv_worker_.notify_one();
+  }
+  return handle;
+}
+
+void InstrumentDriver::abort_inflight() {
+  std::vector<Request> aborted;
+  {
+    std::lock_guard lock(mutex_);
+    ++abort_epoch_;
+    while (!ring_.empty()) {
+      aborted.push_back(std::move(ring_.front()));
+      ring_.pop_front();
+    }
+    stats_.aborted_transfers += static_cast<long>(aborted.size());
+    cv_submit_.notify_all();
+    cv_idle_.notify_all();
+  }
+  for (Request& request : aborted) {
+    BatchCompletion completion;
+    completion.outcome.status = aborted_status(request.stage);
+    fulfil(request.state, std::move(completion));
+  }
+}
+
+void InstrumentDriver::drain() {
+  std::unique_lock lock(mutex_);
+  cv_idle_.wait(lock, [&] { return ring_.empty() && !executing_; });
+}
+
+long InstrumentDriver::probes_completed() const {
+  std::lock_guard lock(mutex_);
+  return last_probes_;
+}
+
+DriverStats InstrumentDriver::stats() const {
+  std::lock_guard lock(mutex_);
+  return stats_;
+}
+
+Status InstrumentDriver::wall_wait(const Request& request) {
+  if (!transport_.wall_clock) return {};
+  using Seconds = std::chrono::duration<double>;
+  const auto latency = std::chrono::duration_cast<WallClock::duration>(
+      Seconds(transport_.latency_us * 1e-6));
+  const double transfer_s =
+      transport_.bandwidth > 0.0
+          ? static_cast<double>(request.points.size()) / transport_.bandwidth
+          : 0.0;
+  const auto transfer =
+      std::chrono::duration_cast<WallClock::duration>(Seconds(transfer_s));
+  // Command latency runs from submission (overlapped across in-flight
+  // batches); the data transfer serializes on the link.
+  const auto start = std::max(link_free_at_, request.submitted_at + latency);
+  const auto end = start + transfer;
+  for (;;) {
+    const auto now = WallClock::now();
+    if (now >= end) break;
+    {
+      std::lock_guard lock(mutex_);
+      if (abort_epoch_ != request.epoch) {
+        link_free_at_ = now;
+        return aborted_status(request.stage);
+      }
+    }
+    if (request.context->cancel.cancelled()) {
+      link_free_at_ = now;
+      return Status::failure(ErrorCode::kCancelled, request.stage,
+                             "cancelled during in-flight transfer");
+    }
+    if (request.context->deadline &&
+        std::chrono::steady_clock::now() >= *request.context->deadline) {
+      link_free_at_ = now;
+      return Status::failure(ErrorCode::kDeadlineExceeded, request.stage,
+                             "deadline passed during in-flight transfer");
+    }
+    std::this_thread::sleep_for(
+        std::min<WallClock::duration>(kPollInterval, end - now));
+  }
+  link_free_at_ = end;
+  return {};
+}
+
+void InstrumentDriver::run() {
+  std::unique_lock lock(mutex_);
+  for (;;) {
+    cv_worker_.wait(lock, [&] { return stop_ || !ring_.empty(); });
+    if (ring_.empty()) return;  // stop_ set and nothing left to fail
+    Request request = std::move(ring_.front());
+    ring_.pop_front();
+    executing_ = true;
+    const bool aborted_before_execute = abort_epoch_ != request.epoch;
+    lock.unlock();
+
+    BatchCompletion completion;
+    bool executed = false;
+    bool transfer_aborted = false;
+    double charged_s = 0.0;
+    if (aborted_before_execute) {
+      completion.outcome.status = aborted_status(request.stage);
+    } else {
+      completion.outcome = probe_with_retry(source_, request.points,
+                                            request.out, *request.context,
+                                            request.stage);
+      executed = true;
+      if (completion.outcome.ok()) {
+        completion.probes_after = source_.probe_count();
+        // Per-batch transport charge: order-independent, so the simulated
+        // total is identical at any io_depth.
+        charged_s = transport_.latency_us * 1e-6;
+        if (transport_.bandwidth > 0.0)
+          charged_s +=
+              static_cast<double>(request.points.size()) / transport_.bandwidth;
+        source_.clock().charge(charged_s);
+        if (Status waited = wall_wait(request); !waited.ok()) {
+          // The probes already executed (results are in `out`), but the
+          // transfer was abandoned mid-flight: report the interruption and
+          // let the consumer discard the batch.
+          transfer_aborted = true;
+          completion.outcome = ProbeOutcome{};
+          completion.outcome.status = std::move(waited);
+          completion.probes_after = 0;
+        }
+      }
+    }
+
+    lock.lock();
+    if (executed) {
+      last_probes_ = source_.probe_count();
+      ++stats_.batches;
+      stats_.transport_seconds += charged_s;
+    }
+    if (transfer_aborted || !executed) ++stats_.aborted_transfers;
+    executing_ = false;
+    cv_submit_.notify_all();
+    cv_idle_.notify_all();
+    lock.unlock();
+
+    fulfil(request.state, std::move(completion));
+    lock.lock();
+  }
+}
+
+void InstrumentDriver::fulfil(
+    const std::shared_ptr<CompletionHandle::State>& state,
+    BatchCompletion completion) {
+  {
+    std::lock_guard guard(state->mutex);
+    state->completion = std::move(completion);
+    state->done = true;
+  }
+  state->cv.notify_all();
+}
+
+}  // namespace qvg

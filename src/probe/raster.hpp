@@ -6,6 +6,7 @@
 #include "grid/csd.hpp"
 #include "probe/acquisition_context.hpp"
 #include "probe/current_source.hpp"
+#include "probe/driver/async_source.hpp"
 
 namespace qvg {
 
@@ -38,6 +39,20 @@ namespace qvg {
 /// (true of FaultInjectingCurrentSource and any real driver; a ProbeCache
 /// invalidates its own stale region internally instead).
 [[nodiscard]] Result<Csd> acquire_full_csd(CurrentSource& source,
+                                           const VoltageAxis& x_axis,
+                                           const VoltageAxis& y_axis,
+                                           const AcquisitionContext& context);
+
+/// The same checked acquisition over an explicit driver lane: row batches
+/// are *submitted* to the AsyncCurrentSource with up to driver.depth()
+/// transfers in flight (pipelining the transport's command latency away),
+/// and every budget/drift decision is driven by completion-carried probe
+/// counts, so results and check sequences are deterministic at any depth
+/// and bit-identical across depths for uninterrupted runs. The
+/// CurrentSource overload above routes here — through an InstrumentDriver
+/// when context.transport is enabled, through the SyncSourceAdapter
+/// (call-for-call the pre-driver loop) otherwise.
+[[nodiscard]] Result<Csd> acquire_full_csd(AsyncCurrentSource& driver,
                                            const VoltageAxis& x_axis,
                                            const VoltageAxis& y_axis,
                                            const AcquisitionContext& context);

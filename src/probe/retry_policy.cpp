@@ -62,6 +62,18 @@ void FaultRecorder::record_reacquired_rows(long rows) const {
   state_->stats.reacquired_rows += rows;
 }
 
+void FaultRecorder::record_driver(long batches, long aborted_transfers,
+                                  long max_inflight,
+                                  double transport_seconds) const {
+  if (!state_) return;
+  std::lock_guard<std::mutex> lock(state_->mutex);
+  state_->stats.driver_batches += batches;
+  state_->stats.driver_aborted_transfers += aborted_transfers;
+  state_->stats.driver_max_inflight =
+      std::max(state_->stats.driver_max_inflight, max_inflight);
+  state_->stats.transport_stall_seconds += transport_seconds;
+}
+
 FaultStats FaultRecorder::snapshot() const {
   if (!state_) return {};
   std::lock_guard<std::mutex> lock(state_->mutex);

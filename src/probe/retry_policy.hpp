@@ -82,6 +82,18 @@ struct FaultStats {
   double backoff_seconds = 0.0;
   /// Rows re-probed by drift recovery (raster re-acquisition).
   long reacquired_rows = 0;
+  /// Transfers the instrument driver executed to completion (0 when the job
+  /// ran through the synchronous adapter — no driver attached).
+  long driver_batches = 0;
+  /// Transfers aborted at the driver boundary (queued requests drained by
+  /// abort/shutdown, plus in-flight transfers interrupted by cancellation or
+  /// deadline).
+  long driver_aborted_transfers = 0;
+  /// Request-ring occupancy high-water mark across the job's drivers.
+  long driver_max_inflight = 0;
+  /// Transport time charged by the driver (per-batch command latency plus
+  /// size/bandwidth transfer time), seconds.
+  double transport_stall_seconds = 0.0;
 
   friend bool operator==(const FaultStats&, const FaultStats&) = default;
 };
@@ -107,6 +119,11 @@ class FaultRecorder {
   void record_retry() const;
   void record_backoff(double seconds) const;
   void record_reacquired_rows(long rows) const;
+  /// Merge one InstrumentDriver's lifetime totals (called by its
+  /// destructor). Counters accumulate across drivers sharing the recorder,
+  /// except max_inflight which takes the maximum.
+  void record_driver(long batches, long aborted_transfers, long max_inflight,
+                     double transport_seconds) const;
 
   /// Current totals (zeros on an empty recorder).
   [[nodiscard]] FaultStats snapshot() const;

@@ -70,6 +70,12 @@ JsonValue stats_json(const QueueStats& stats) {
   obj.set("completed", JsonValue::unsigned_integer(stats.completed));
   obj.set("pending", JsonValue::unsigned_integer(stats.pending));
   obj.set("rejected", JsonValue::unsigned_integer(stats.rejected));
+  obj.set("driver_batches", JsonValue::integer(stats.driver_batches));
+  obj.set("driver_aborted_transfers",
+          JsonValue::integer(stats.driver_aborted_transfers));
+  obj.set("driver_max_inflight", JsonValue::integer(stats.driver_max_inflight));
+  obj.set("transport_stall_seconds",
+          JsonValue::number(stats.transport_stall_seconds));
   JsonValue tenants = JsonValue::array();
   for (const TenantStats& t : stats.tenants) {
     JsonValue row = JsonValue::object();

@@ -127,7 +127,9 @@ void ResponseWriter::end_stream() {
 
 struct HttpServer::Impl {
   Handler handler;
-  int listen_fd = -1;
+  // Atomic: stop() closes and clears the listener from the caller's thread
+  // while the accept thread is still reading it for the next accept().
+  std::atomic<int> listen_fd{-1};
   std::thread accept_thread;
   std::atomic<bool> stopping{false};
 
@@ -236,7 +238,7 @@ struct HttpServer::Impl {
 
   void accept_loop() {
     for (;;) {
-      const int fd = ::accept(listen_fd, nullptr, nullptr);
+      const int fd = ::accept(listen_fd.load(), nullptr, nullptr);
       if (fd < 0) {
         if (errno == EINTR) continue;
         return;  // listener closed: stop() is running
@@ -297,12 +299,11 @@ void HttpServer::stop() {
     // stop() must be a no-op, which the joinable() checks below give us.
   }
   if (impl_ == nullptr) return;
-  if (impl_->listen_fd >= 0) {
+  if (const int fd = impl_->listen_fd.exchange(-1); fd >= 0) {
     // Closing the listener pops accept() with EBADF/ECONNABORTED and ends
     // the accept loop.
-    ::shutdown(impl_->listen_fd, SHUT_RDWR);
-    ::close(impl_->listen_fd);
-    impl_->listen_fd = -1;
+    ::shutdown(fd, SHUT_RDWR);
+    ::close(fd);
   }
   if (impl_->accept_thread.joinable()) impl_->accept_thread.join();
   // Shut down in-flight connections: blocked recv()s return 0, blocked

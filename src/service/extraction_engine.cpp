@@ -82,11 +82,20 @@ AcquisitionContext make_context(const ExtractionRequest& request,
   }
   context.max_probes = request.budget.max_probes;
   context.retry = request.retry;
-  // A fault recorder is armed only when faults can actually occur: the
+  context.transport = request.transport;
+  // Drift recovery re-probes stale batches against the recalibrated source;
+  // with transfers pipelined ahead of the recovery point the re-issue order
+  // would depend on what was already in flight, so fault-injected jobs run
+  // the driver at depth 1 (synchronous submission, full transport charge).
+  if (request.faults.active() && context.transport.io_depth > 1)
+    context.transport.io_depth = 1;
+  // A fault recorder is armed only when something can actually feed it —
+  // injected faults, or a transport driver reporting its counters: the
   // default request keeps FaultRecorder empty, so limited() stays false for
   // plain unlimited runs and the single-batch fast paths (and their
   // bit-identity with earlier PRs) are untouched.
-  if (request.faults.active()) context.faults = FaultRecorder::make();
+  if (request.faults.active() || context.transport.enabled())
+    context.faults = FaultRecorder::make();
   return context;
 }
 

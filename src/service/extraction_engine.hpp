@@ -113,6 +113,14 @@ struct ExtractionRequest {
   /// (probe/retry_policy.hpp). Only consulted when a probe batch actually
   /// fails, so it is inert on fault-free backends.
   RetryPolicy retry;
+  /// Instrument transport model (probe/transport_options.hpp). The default
+  /// (io_depth = 0) keeps the synchronous adapter lane — bit-identical to a
+  /// request without the field; io_depth >= 1 routes the probe loops
+  /// through an InstrumentDriver with up to io_depth batches in flight and
+  /// arms a FaultRecorder so the report carries the driver counters. When
+  /// the request also injects faults, io_depth is clamped to 1 (drift
+  /// recovery is defined on a serial ring).
+  TransportOptions transport;
 
   /// Free-form tag echoed into the report (job ids, CSD names, ...).
   std::string label;

@@ -116,6 +116,11 @@ struct JobQueue::Shared {
   std::size_t rejected = 0;    // shed at admission, never dispatched
   std::size_t dispatch_count = 0;  // jobs handed to workers so far
   std::size_t max_pending = 0;     // queue-wide shed bound (0 = unlimited)
+  // Driver aggregates across completed jobs (see QueueStats).
+  long driver_batches = 0;
+  long driver_aborted_transfers = 0;
+  long driver_max_inflight = 0;
+  double transport_stall_seconds = 0.0;
   std::vector<Pending> pending;
   /// Ordered map: deterministic lexicographic tie-break on equal
   /// virtual_work, and stats() reports tenants sorted by name for free.
@@ -328,6 +333,14 @@ JobHandle JobQueue::submit(ExtractionRequest request, SubmitOptions options) {
     // the job as completed yet.
     {
       std::lock_guard<std::mutex> shared_lock(shared->mutex);
+      // Fold the job's driver counters into the queue-wide aggregates
+      // before publishing, so /stats and the report agree on the totals.
+      const FaultStats& fs = report.fault_stats;
+      shared->driver_batches += fs.driver_batches;
+      shared->driver_aborted_transfers += fs.driver_aborted_transfers;
+      shared->driver_max_inflight =
+          std::max(shared->driver_max_inflight, fs.driver_max_inflight);
+      shared->transport_stall_seconds += fs.transport_stall_seconds;
       {
         std::lock_guard<std::mutex> lock(job.state->mutex);
         job.state->report = std::move(report);
@@ -376,6 +389,10 @@ QueueStats JobQueue::stats() const {
   stats.completed = shared_->completed;
   stats.pending = shared_->pending.size();
   stats.rejected = shared_->rejected;
+  stats.driver_batches = shared_->driver_batches;
+  stats.driver_aborted_transfers = shared_->driver_aborted_transfers;
+  stats.driver_max_inflight = shared_->driver_max_inflight;
+  stats.transport_stall_seconds = shared_->transport_stall_seconds;
   stats.tenants.reserve(shared_->tenants.size());
   for (const auto& [name, tenant] : shared_->tenants) {
     TenantStats row;

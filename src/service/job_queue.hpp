@@ -189,6 +189,14 @@ struct QueueStats {
   std::size_t completed = 0;
   std::size_t pending = 0;
   std::size_t rejected = 0;
+  /// Instrument-driver aggregates, accumulated from the FaultStats of every
+  /// completed job (all zero until a job runs with transport enabled):
+  /// transfers executed / aborted at the driver boundary, the largest
+  /// request-ring occupancy any job saw, and total transport time charged.
+  long driver_batches = 0;
+  long driver_aborted_transfers = 0;
+  long driver_max_inflight = 0;
+  double transport_stall_seconds = 0.0;
   /// Sorted by tenant name; the default tenant is "".
   std::vector<TenantStats> tenants;
 };

@@ -480,6 +480,13 @@ JsonValue fault_stats_value(const FaultStats& stats) {
   obj.set("retries", JsonValue::integer(stats.retries));
   obj.set("backoff_seconds", json_f64(stats.backoff_seconds));
   obj.set("reacquired_rows", JsonValue::integer(stats.reacquired_rows));
+  obj.set("driver_batches", JsonValue::integer(stats.driver_batches));
+  obj.set("driver_aborted_transfers",
+          JsonValue::integer(stats.driver_aborted_transfers));
+  obj.set("driver_max_inflight",
+          JsonValue::integer(stats.driver_max_inflight));
+  obj.set("transport_stall_seconds",
+          json_f64(stats.transport_stall_seconds));
   return obj;
 }
 
@@ -491,6 +498,14 @@ Status fault_stats_from_value(const JsonValue& obj, FaultStats& out) {
   if (s.ok()) s = get_long(obj, "retries", out.retries);
   if (s.ok()) s = get_f64(obj, "backoff_seconds", out.backoff_seconds);
   if (s.ok()) s = get_long(obj, "reacquired_rows", out.reacquired_rows);
+  if (s.ok()) s = get_long(obj, "driver_batches", out.driver_batches);
+  if (s.ok())
+    s = get_long(obj, "driver_aborted_transfers",
+                 out.driver_aborted_transfers);
+  if (s.ok())
+    s = get_long(obj, "driver_max_inflight", out.driver_max_inflight);
+  if (s.ok())
+    s = get_f64(obj, "transport_stall_seconds", out.transport_stall_seconds);
   return s;
 }
 
@@ -871,6 +886,13 @@ std::string to_json(const WireRequest& request) {
   retry.set("jitter_seed", JsonValue::unsigned_integer(r.jitter_seed));
   retry.set("wall_clock_backoff", JsonValue::boolean(r.wall_clock_backoff));
   obj.set("retry", std::move(retry));
+  const TransportOptions& t = request.transport;
+  JsonValue transport = JsonValue::object();
+  transport.set("latency_us", json_f64(t.latency_us));
+  transport.set("bandwidth", json_f64(t.bandwidth));
+  transport.set("io_depth", JsonValue::integer(t.io_depth));
+  transport.set("wall_clock", JsonValue::boolean(t.wall_clock));
+  obj.set("transport", std::move(transport));
   obj.set("label", JsonValue::string(request.label));
   return obj.dump();
 }
@@ -1088,6 +1110,17 @@ Result<WireRequest> request_from_json(std::string_view text) {
       if (s.ok()) s = get_f64(*v, "jitter_fraction", r.jitter_fraction);
       if (s.ok()) s = get_u64(*v, "jitter_seed", r.jitter_seed);
       if (s.ok()) s = get_bool(*v, "wall_clock_backoff", r.wall_clock_backoff);
+    }
+  }
+  if (s.ok()) {
+    if (const JsonValue* v = obj.find("transport")) {
+      if (v->kind() != JsonValue::Kind::kObject)
+        s = json_error("transport is not an object");
+      TransportOptions& t = out.transport;
+      if (s.ok()) s = get_f64(*v, "latency_us", t.latency_us);
+      if (s.ok()) s = get_f64(*v, "bandwidth", t.bandwidth);
+      if (s.ok()) s = get_long(*v, "io_depth", t.io_depth);
+      if (s.ok()) s = get_bool(*v, "wall_clock", t.wall_clock);
     }
   }
   if (s.ok()) s = get_str(obj, "label", out.label);

@@ -426,6 +426,29 @@ Status decode_retry(std::span<const std::uint8_t> payload, RetryPolicy& r) {
   });
 }
 
+// TransportOptions: tags 1..4, declaration order.
+WireWriter encode_transport(const TransportOptions& t) {
+  WireWriter w;
+  w.f64(1, t.latency_us);
+  w.f64(2, t.bandwidth);
+  w.i64(3, t.io_depth);
+  w.boolean(4, t.wall_clock);
+  return w;
+}
+
+Status decode_transport(std::span<const std::uint8_t> payload,
+                        TransportOptions& t) {
+  return for_each_field(payload, [&](const WireField& f) {
+    switch (f.tag) {
+      case 1: return take_f64(f, t.latency_us);
+      case 2: return take_f64(f, t.bandwidth);
+      case 3: return take_long(f, t.io_depth);
+      case 4: return take_bool(f, t.wall_clock);
+      default: return Status();
+    }
+  });
+}
+
 // Status: 1 code, 2 stage, 3 detail.
 WireWriter encode_status_fields(const Status& status) {
   WireWriter w;
@@ -478,7 +501,8 @@ Status decode_stats(std::span<const std::uint8_t> payload, ProbeStats& stats) {
   });
 }
 
-// FaultStats: 1 transient, 2 drift, 3 retries, 4 backoff, 5 reacquired.
+// FaultStats: 1 transient, 2 drift, 3 retries, 4 backoff, 5 reacquired,
+// 6 driver batches, 7 driver aborted, 8 driver max inflight, 9 stall s.
 WireWriter encode_fault_stats_fields(const FaultStats& stats) {
   WireWriter w;
   w.i64(1, stats.transient_faults);
@@ -486,6 +510,10 @@ WireWriter encode_fault_stats_fields(const FaultStats& stats) {
   w.i64(3, stats.retries);
   w.f64(4, stats.backoff_seconds);
   w.i64(5, stats.reacquired_rows);
+  w.i64(6, stats.driver_batches);
+  w.i64(7, stats.driver_aborted_transfers);
+  w.i64(8, stats.driver_max_inflight);
+  w.f64(9, stats.transport_stall_seconds);
   return w;
 }
 
@@ -498,6 +526,10 @@ Status decode_fault_stats_fields(std::span<const std::uint8_t> payload,
       case 3: return take_long(f, stats.retries);
       case 4: return take_f64(f, stats.backoff_seconds);
       case 5: return take_long(f, stats.reacquired_rows);
+      case 6: return take_long(f, stats.driver_batches);
+      case 7: return take_long(f, stats.driver_aborted_transfers);
+      case 8: return take_long(f, stats.driver_max_inflight);
+      case 9: return take_f64(f, stats.transport_stall_seconds);
       default: return Status();
     }
   });
@@ -556,6 +588,7 @@ std::vector<std::uint8_t> encode(const WireRequest& request) {
   w.msg(9, encode_faults(request.faults));
   w.msg(10, encode_retry(request.retry));
   w.str(11, request.label);
+  w.msg(12, encode_transport(request.transport));
   return std::move(w).take();
 }
 
@@ -621,6 +654,10 @@ Result<WireRequest> decode_request(std::span<const std::uint8_t> buffer) {
         if (s.ok()) s = decode_retry(nested, out.retry);
         break;
       case 11: s = take_str(f, out.label); break;
+      case 12:
+        s = take_msg(f, nested);
+        if (s.ok()) s = decode_transport(nested, out.transport);
+        break;
       default: break;  // unknown tag: skip (newer writer)
     }
     if (!s.ok()) return s;
@@ -778,6 +815,10 @@ std::vector<std::uint8_t> encode(const FaultStats& stats) {
   w.i64(3, stats.retries);
   w.f64(4, stats.backoff_seconds);
   w.i64(5, stats.reacquired_rows);
+  w.i64(6, stats.driver_batches);
+  w.i64(7, stats.driver_aborted_transfers);
+  w.i64(8, stats.driver_max_inflight);
+  w.f64(9, stats.transport_stall_seconds);
   return std::move(w).take();
 }
 
@@ -860,6 +901,15 @@ Result<MaterializedRequest> materialize(const WireRequest& wire) {
   m.request.budget = wire.budget;
   m.request.faults = wire.faults;
   m.request.retry = wire.retry;
+  if (wire.transport.io_depth < 0)
+    return invalid("transport io_depth must be >= 0");
+  if (wire.transport.io_depth > 256)
+    return invalid("transport io_depth above the service bound 256");
+  if (wire.transport.latency_us < 0.0)
+    return invalid("transport latency_us must be >= 0");
+  if (wire.transport.bandwidth < 0.0)
+    return invalid("transport bandwidth must be >= 0");
+  m.request.transport = wire.transport;
   m.request.label = wire.label;
   return m;
 }

@@ -93,6 +93,10 @@ struct WireRequest {
   Budget budget;
   FaultSchedule faults;
   RetryPolicy retry;
+  /// Instrument transport model (probe/transport_options.hpp). Absent on
+  /// the wire = all defaults (io_depth 0, synchronous adapter lane), so old
+  /// clients and old servers interoperate unchanged.
+  TransportOptions transport;
   std::string label;
 
   friend bool operator==(const WireRequest&, const WireRequest&) = default;

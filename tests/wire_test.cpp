@@ -83,6 +83,20 @@ WireRequest sample_device_request(std::uint64_t variant) {
   r.retry.jitter_fraction = 0.1;
   r.retry.jitter_seed = 99;
   r.retry.wall_clock_backoff = variant % 2 == 0;
+  // Transport tiers: disabled, serial link, pipelined wall-clock link.
+  switch (variant % 3) {
+    case 1:
+      r.transport.io_depth = 1;
+      r.transport.latency_us = 250.0;
+      break;
+    case 2:
+      r.transport.io_depth = 4;
+      r.transport.latency_us = 1500.0;
+      r.transport.bandwidth = 2.5e5;
+      r.transport.wall_clock = true;
+      break;
+    default: break;
+  }
   r.label = "device-" + std::to_string(variant);
   return r;
 }
@@ -97,6 +111,9 @@ WireRequest sample_playback_request() {
   r.playback.csd = testsupport::make_synthetic_csd(spec);
   r.playback.csd.set_name("synthetic-12");
   r.playback.dwell_seconds = 0.002;
+  r.transport.io_depth = 2;
+  r.transport.latency_us = 750.0;
+  r.transport.bandwidth = 1.0e5;
   r.x_axis = VoltageAxis(-0.5, 0.001, 40);
   r.y_axis = VoltageAxis(-0.25, 0.002, 30);
   r.label = "playback";
@@ -123,6 +140,10 @@ WireReport sample_report(ErrorCode code) {
   report.fault_stats.retries = 5;
   report.fault_stats.backoff_seconds = 0.07;
   report.fault_stats.reacquired_rows = 2;
+  report.fault_stats.driver_batches = 38;
+  report.fault_stats.driver_aborted_transfers = 1;
+  report.fault_stats.driver_max_inflight = 4;
+  report.fault_stats.transport_stall_seconds = 0.0625;
   report.job_attempts = 2;
   report.wall_seconds = 1.625;
   report.verdict.success = code == ErrorCode::kOk;
@@ -225,6 +246,10 @@ TEST(WireCodecTest, ProgressStatusAndFaultStatsRoundTrip) {
   stats.retries = 11;
   stats.backoff_seconds = 0.375;
   stats.reacquired_rows = 6;
+  stats.driver_batches = 21;
+  stats.driver_aborted_transfers = 2;
+  stats.driver_max_inflight = 3;
+  stats.transport_stall_seconds = 1.25;
   Result<FaultStats> fault_stats = decode_fault_stats(encode(stats));
   ASSERT_TRUE(fault_stats.ok());
   EXPECT_EQ(fault_stats.value(), stats);
@@ -406,6 +431,10 @@ TEST(WireJsonTest, ProgressStatusAndFaultStatsRoundTripThroughJson) {
   FaultStats stats;
   stats.retries = 2;
   stats.backoff_seconds = 0.011;
+  stats.driver_batches = 7;
+  stats.driver_aborted_transfers = 1;
+  stats.driver_max_inflight = 2;
+  stats.transport_stall_seconds = 0.033;
   Result<FaultStats> fault_stats = fault_stats_from_json(to_json(stats));
   ASSERT_TRUE(fault_stats.ok());
   EXPECT_EQ(fault_stats.value(), stats);
@@ -532,6 +561,51 @@ TEST(WireMaterializeTest, UntrustedInputFailsTypedNotAborted) {
   empty_csd.backend = WireBackendKind::kPlayback;
   EXPECT_EQ(materialize(empty_csd).status().code(),
             ErrorCode::kInvalidRequest);
+}
+
+TEST(WireMaterializeTest, TransportRidesIntoTheEngineRequestAndValidates) {
+  // The transport model crosses materialize() intact...
+  WireRequest request = sample_playback_request();
+  request.transport.io_depth = 4;
+  request.transport.latency_us = 500.0;
+  request.transport.bandwidth = 1.0e6;
+  request.transport.wall_clock = true;
+  Result<MaterializedRequest> good = materialize(request);
+  ASSERT_TRUE(good.ok()) << good.status().message();
+  EXPECT_EQ(good.value().request.transport, request.transport);
+
+  // ...and out-of-range fields are rejected typed, not clamped silently.
+  WireRequest deep = sample_playback_request();
+  deep.transport.io_depth = 257;
+  EXPECT_EQ(materialize(deep).status().code(), ErrorCode::kInvalidRequest);
+  WireRequest negative_latency = sample_playback_request();
+  negative_latency.transport.latency_us = -1.0;
+  EXPECT_EQ(materialize(negative_latency).status().code(),
+            ErrorCode::kInvalidRequest);
+  WireRequest negative_bandwidth = sample_playback_request();
+  negative_bandwidth.transport.bandwidth = -0.5;
+  EXPECT_EQ(materialize(negative_bandwidth).status().code(),
+            ErrorCode::kInvalidRequest);
+}
+
+TEST(WireJsonTest, TransportObjectIsOptionalForOldClients) {
+  // A request serialized before PR 10 has no "transport" object; decoding
+  // must yield the disabled default (synchronous adapter lane).
+  WireRequest request = sample_device_request(0);
+  request.transport.io_depth = 8;  // must NOT survive the strip below
+  std::string text = to_json(request);
+  const std::size_t begin = text.find(",\"transport\":{");
+  ASSERT_NE(begin, std::string::npos);
+  const std::size_t end = text.find('}', begin);  // flat object: first brace
+  ASSERT_NE(end, std::string::npos);
+  text.erase(begin, end - begin + 1);
+
+  Result<WireRequest> decoded = request_from_json(text);
+  ASSERT_TRUE(decoded.ok()) << decoded.status().message();
+  EXPECT_EQ(decoded.value().transport, TransportOptions{});
+  EXPECT_FALSE(decoded.value().transport.enabled());
+  request.transport = {};
+  EXPECT_EQ(decoded.value(), request);
 }
 
 TEST(WireMaterializeTest, FrontierStrategyRoundTripsAndValidates) {
